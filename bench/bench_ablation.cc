@@ -1,0 +1,184 @@
+/// Ablation study of Nebula's design choices (see DESIGN.md §5):
+///
+///   (1) context-based weight adjustment on/off and the influence-range
+///       width alpha — measured by the quality of the generated queries;
+///   (2) the multi-query grouping reward (Step 2 of IdentifyRelatedTuples)
+///       on/off — measured by the rank of true references;
+///   (3) the ACG focal-based confidence adjustment on/off — same metric.
+///
+/// Each section prints the quality deltas on the Tiny-scaled dataset (the
+/// effects are scale-free) so the whole binary stays fast.
+
+#include "bench/bench_util.h"
+
+using namespace nebula;
+using namespace nebula::bench;
+
+namespace {
+
+/// Mean reciprocal rank of the true references among the candidates —
+/// over the full candidate list and restricted to data-table (gene /
+/// protein) candidates — plus recall@refs.
+struct RankQuality {
+  double mrr_all = 0;
+  double mrr_data = 0;
+  double recall = 0;
+  size_t n = 0;
+};
+
+RankQuality Evaluate(BioDataset* ds, const IdentifyParams& identify_params,
+                     const QueryGenerationParams& gen_params) {
+  KeywordSearchEngine engine(&ds->catalog, &ds->meta);
+  Acg acg;
+  acg.BuildFromStore(ds->store);
+  TupleIdentifier identifier(&engine, &acg, identify_params);
+  QueryGenerator generator(&ds->meta, gen_params);
+
+  RankQuality q;
+  for (size_t idx : ds->workload.BySizeClass(500)) {
+    const WorkloadAnnotation& wa = ds->workload.annotations[idx];
+    const std::vector<TupleId> focal{wa.ideal_tuples.front()};
+    const auto queries = generator.Generate(wa.text).queries;
+    auto candidates = identifier.Identify(queries, focal);
+    if (!candidates.ok()) continue;
+    for (size_t i = 1; i < wa.ideal_tuples.size(); ++i) {
+      double rr_all = 0, rr_data = 0;
+      size_t data_rank = 0;
+      for (size_t rank = 0; rank < candidates->size(); ++rank) {
+        const bool is_data =
+            (*candidates)[rank].tuple.table_id == ds->gene_table ||
+            (*candidates)[rank].tuple.table_id == ds->protein_table;
+        if ((*candidates)[rank].tuple == wa.ideal_tuples[i]) {
+          rr_all = 1.0 / static_cast<double>(rank + 1);
+          rr_data = 1.0 / static_cast<double>(data_rank + 1);
+          q.recall += 1;
+          break;
+        }
+        if (is_data) ++data_rank;
+      }
+      q.mrr_all += rr_all;
+      q.mrr_data += rr_data;
+      ++q.n;
+    }
+  }
+  if (q.n > 0) {
+    q.mrr_all /= static_cast<double>(q.n);
+    q.mrr_data /= static_cast<double>(q.n);
+    q.recall /= static_cast<double>(q.n);
+  }
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  DatasetSpec spec = DatasetSpec::Small();
+  auto ds = LoadDataset("D_small", spec);
+
+  // ---- (1) Context adjustment / alpha sweep ---------------------------
+  Banner("Ablation 1: context-based weight adjustment (query quality)");
+  {
+    // The adjustment boosts the weights of contextually-supported
+    // mappings, so the metric is the weight margin between true-reference
+    // queries and false-positive queries (a larger margin means the
+    // downstream confidence bounds separate them better).
+    TablePrinter table({"setting", "avg_w_true", "avg_w_fp", "margin"});
+    struct Setting {
+      std::string name;
+      size_t alpha;
+      double beta_scale;
+    };
+    const Setting settings[] = {
+        {"adjustment off (beta=0)", 4, 0.0},
+        {"alpha=2", 2, 1.0},
+        {"alpha=4 (default)", 4, 1.0},
+        {"alpha=8", 8, 1.0},
+    };
+    for (const auto& s : settings) {
+      QueryGenerationParams params;
+      params.epsilon = 0.6;
+      params.context.alpha = s.alpha;
+      params.context.beta1 *= s.beta_scale;
+      params.context.beta2 *= s.beta_scale;
+      params.context.beta3 *= s.beta_scale;
+      QueryGenerator generator(&ds->meta, params);
+      double w_true = 0, w_fp = 0;
+      size_t n_true = 0, n_fp = 0;
+      for (const auto& wa : ds->workload.annotations) {
+        const auto queries = generator.Generate(wa.text).queries;
+        for (const auto& q : queries) {
+          bool is_ref = false;
+          for (const auto& ref : wa.refs) {
+            for (const auto& surf : ref.surface) {
+              for (const auto& k : q.keywords) {
+                if (k == surf) is_ref = true;
+              }
+            }
+          }
+          if (is_ref) {
+            w_true += q.weight;
+            ++n_true;
+          } else {
+            w_fp += q.weight;
+            ++n_fp;
+          }
+        }
+      }
+      const double avg_true = n_true ? w_true / n_true : 0;
+      const double avg_fp = n_fp ? w_fp / n_fp : 0;
+      table.AddRow({s.name, Fmt("%.3f", avg_true), Fmt("%.3f", avg_fp),
+                    Fmt("%.3f", avg_true - avg_fp)});
+    }
+    table.Print();
+  }
+
+  // ---- (2) Grouping reward and (3) focal adjustment -------------------
+  Banner("Ablations 2+3: grouping reward & ACG focal adjustment "
+         "(candidate ranking)");
+  {
+    TablePrinter table(
+        {"setting", "MRR_all", "MRR_data_tables", "recall"});
+    struct Setting {
+      std::string name;
+      bool group;
+      bool focal;
+    };
+    const Setting settings[] = {
+        {"both on (default)", true, true},
+        {"grouping reward off", false, true},
+        {"focal adjustment off", true, false},
+        {"both off", false, false},
+    };
+    QueryGenerationParams gen_params;
+    gen_params.epsilon = 0.6;
+    for (const auto& s : settings) {
+      IdentifyParams params;
+      params.group_reward = s.group;
+      params.focal_adjustment = s.focal;
+      const RankQuality q = Evaluate(ds.get(), params, gen_params);
+      table.AddRow({s.name, Fmt("%.3f", q.mrr_all),
+                    Fmt("%.3f", q.mrr_data), Fmt("%.3f", q.recall)});
+    }
+    // The §6.2 extension the paper rejected for overfitting risk:
+    // shortest-path focal reward instead of direct edges.
+    for (size_t hops : {2u, 3u}) {
+      IdentifyParams params;
+      params.focal_reward_mode = FocalRewardMode::kShortestPath;
+      params.path_max_hops = hops;
+      const RankQuality q = Evaluate(ds.get(), params, gen_params);
+      table.AddRow({Fmt("shortest-path reward (<=%zu hops)", hops),
+                    Fmt("%.3f", q.mrr_all), Fmt("%.3f", q.mrr_data),
+                    Fmt("%.3f", q.recall)});
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nExpected: the true/FP weight margin grows with the influence\n"
+      "range and collapses when the adjustment is disabled; the grouping\n"
+      "reward helps dual-mentioned references but also rewards co-citing\n"
+      "publications (a trade-off the verification bounds absorb); the ACG\n"
+      "focal adjustment improves the ranking of true references. Recall\n"
+      "is unaffected throughout (both features only re-rank).\n");
+  return 0;
+}

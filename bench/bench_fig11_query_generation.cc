@@ -1,0 +1,107 @@
+/// Reproduces Figure 11 of the paper: the performance and quality of
+/// keyword-query generation from annotations.
+///
+///   11(a) time per generation phase (map generation / context adjustment
+///         / query formation), averaged per annotation, for each cutoff
+///         threshold epsilon and annotation set L^m;
+///   11(b) number of generated keyword queries;
+///   11(c) false-positive % of generated queries and false-negative % of
+///         embedded references, against the workload's ground truth.
+///
+/// Expected shape (paper §8.2): phase 1 takes ~2/3 of the time; eps=0.4
+/// passes far too many queries (high FP%, zero FN); eps=0.6 keeps FN at
+/// zero with much lower FP; eps=0.8 misses a few references but has the
+/// least queries; FP% grows with annotation size.
+
+#include "bench/bench_util.h"
+
+using namespace nebula;
+using namespace nebula::bench;
+
+int main() {
+  // Query generation only analyzes annotation content, so (like the
+  // paper) only the largest dataset is used.
+  auto ds = LoadDataset("D_large", DatasetSpec::Large());
+
+  struct Cell {
+    QueryGenerationTiming timing;
+    size_t queries = 0;
+    QueryClassification cls;
+    size_t count = 0;
+  };
+
+  std::vector<std::vector<Cell>> cells(
+      std::size(kEpsilons), std::vector<Cell>(std::size(kSizeClasses)));
+
+  for (size_t e = 0; e < std::size(kEpsilons); ++e) {
+    QueryGenerationParams params;
+    params.epsilon = kEpsilons[e];
+    QueryGenerator generator(&ds->meta, params);
+    for (size_t m = 0; m < std::size(kSizeClasses); ++m) {
+      Cell& cell = cells[e][m];
+      for (size_t idx : ds->workload.BySizeClass(kSizeClasses[m])) {
+        const WorkloadAnnotation& wa = ds->workload.annotations[idx];
+        const QueryGenerationResult result = generator.Generate(wa.text);
+        cell.timing.map_generation_us += result.timing.map_generation_us;
+        cell.timing.context_adjust_us += result.timing.context_adjust_us;
+        cell.timing.query_formation_us += result.timing.query_formation_us;
+        cell.queries += result.queries.size();
+        const QueryClassification cls = ClassifyQueries(wa, result.queries);
+        cell.cls.queries += cls.queries;
+        cell.cls.fp_queries += cls.fp_queries;
+        cell.cls.refs += cls.refs;
+        cell.cls.fn_refs += cls.fn_refs;
+        ++cell.count;
+      }
+    }
+  }
+
+  TablePrinter fig11a({"config", "map_gen_ms", "ctx_adjust_ms",
+                       "query_form_ms", "total_ms", "map_share"});
+  TablePrinter fig11b({"config", "annotations", "queries_total",
+                       "queries_avg", "refs_avg"});
+  TablePrinter fig11c({"config", "FP_queries_pct", "FN_refs_pct"});
+
+  for (size_t m = 0; m < std::size(kSizeClasses); ++m) {
+    for (size_t e = 0; e < std::size(kEpsilons); ++e) {
+      const Cell& cell = cells[e][m];
+      if (cell.count == 0) continue;
+      const double n = static_cast<double>(cell.count);
+      const double map_ms = cell.timing.map_generation_us / 1000.0 / n;
+      const double ctx_ms = cell.timing.context_adjust_us / 1000.0 / n;
+      const double form_ms = cell.timing.query_formation_us / 1000.0 / n;
+      const double total_ms = map_ms + ctx_ms + form_ms;
+      const std::string config =
+          Fmt("L^%-4zu eps=%.1f", kSizeClasses[m], kEpsilons[e]);
+      fig11a.AddRow({config, Fmt("%.3f", map_ms), Fmt("%.3f", ctx_ms),
+                     Fmt("%.3f", form_ms), Fmt("%.3f", total_ms),
+                     Fmt("%.0f%%", 100.0 * map_ms / total_ms)});
+      fig11b.AddRow({config, Fmt("%zu", cell.count),
+                     Fmt("%zu", cell.queries),
+                     Fmt("%.1f", static_cast<double>(cell.queries) / n),
+                     Fmt("%.1f", static_cast<double>(cell.cls.refs) / n)});
+      fig11c.AddRow(
+          {config,
+           Fmt("%.1f%%", cell.cls.queries == 0
+                             ? 0.0
+                             : 100.0 * cell.cls.fp_queries / cell.cls.queries),
+           Fmt("%.1f%%", cell.cls.refs == 0
+                             ? 0.0
+                             : 100.0 * cell.cls.fn_refs / cell.cls.refs)});
+    }
+  }
+
+  Banner("Figure 11(a): generation time per phase (avg ms per annotation)");
+  fig11a.Print();
+  Banner("Figure 11(b): number of generated keyword queries");
+  fig11b.Print();
+  Banner("Figure 11(c): query false positives / reference false negatives");
+  fig11c.Print();
+
+  std::printf(
+      "\nPaper-shape checks: map generation should dominate (~2/3 of "
+      "time);\n eps=0.4 and 0.6 should have 0%% FN with FP shrinking as "
+      "eps grows;\n eps=0.8 should show a small FN%% and the fewest "
+      "queries.\n");
+  return 0;
+}

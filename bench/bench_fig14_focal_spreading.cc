@@ -1,0 +1,217 @@
+/// Reproduces Figure 14 of the paper: the approximate focal-spreading
+/// search, plus the Figure 7 hop-distance profile that guides the choice
+/// of K.
+///
+/// Setup mirrors §8.2: the largest dataset, eps = 0.6, the L^100
+/// annotation set, no sharing. The distortion degree Delta (number of
+/// focal attachments kept) varies over {1,2,3} and the search radius K
+/// over {2,3,4}.
+///
+///   14(a) execution time: basic full-database search vs shared execution
+///         vs focal spreading (expected ~8-15x faster than basic);
+///   14(b) produced candidate tuples (expected ~an order of magnitude
+///         fewer under focal spreading).
+
+#include "bench/bench_util.h"
+#include "core/focal_spreading.h"
+#include "keyword/shared_executor.h"
+
+using namespace nebula;
+using namespace nebula::bench;
+
+int main() {
+  auto ds = LoadDataset("D_large", DatasetSpec::Large());
+  KeywordSearchEngine engine(&ds->catalog, &ds->meta);
+  Acg acg;
+  acg.BuildFromStore(ds->store);
+  TupleIdentifier identifier(&engine, &acg);
+
+  QueryGenerationParams gen_params;
+  gen_params.epsilon = 0.6;
+  QueryGenerator generator(&ds->meta, gen_params);
+
+  const auto annotation_set = ds->workload.BySizeClass(100);
+
+  // ---- Figure 7: hop-distance profile --------------------------------
+  // The profile records, for every discovered attachment, how many hops
+  // it was from the annotation's focal. Here it is fed from the workload
+  // ground truth (candidate tuple vs the Delta=1 focal).
+  for (size_t idx : annotation_set) {
+    const WorkloadAnnotation& wa = ds->workload.annotations[idx];
+    const std::vector<TupleId> focal{wa.ideal_tuples.front()};
+    for (size_t i = 1; i < wa.ideal_tuples.size(); ++i) {
+      acg.RecordProfilePoint(acg.HopDistance(focal, wa.ideal_tuples[i]));
+    }
+  }
+  Banner("Figure 7: hop-distance profile of true attachments");
+  {
+    uint64_t total = 0;
+    for (uint64_t v : acg.profile()) total += v;
+    uint64_t cumulative = 0;
+    TablePrinter profile({"hops", "count", "cumulative"});
+    for (size_t k = 0; k < acg.profile().size(); ++k) {
+      if (acg.profile()[k] == 0) continue;
+      cumulative += acg.profile()[k];
+      profile.AddRow({k + 1 == acg.profile().size() ? ">=15/unreachable"
+                                                    : Fmt("%zu", k),
+                      Fmt("%llu", static_cast<unsigned long long>(
+                                      acg.profile()[k])),
+                      Fmt("%.0f%%", total ? 100.0 * cumulative / total : 0)});
+    }
+    profile.Print();
+    std::printf("profile-driven K for 71%% recall: %zu; for 93%%: %zu\n",
+                acg.SelectK(0.71), acg.SelectK(0.93));
+  }
+
+  // ---- Baselines: basic and shared full-database search --------------
+  double basic_ms = 0;
+  double shared_ms = 0;
+  size_t basic_tuples = 0;
+  size_t count = 0;
+  uint64_t basic_rows = 0;
+  for (size_t idx : annotation_set) {
+    const WorkloadAnnotation& wa = ds->workload.annotations[idx];
+    const std::vector<TupleId> focal{wa.ideal_tuples.front()};
+    const auto queries = generator.Generate(wa.text).queries;
+
+    engine.ResetStats();
+    Stopwatch sw;
+    auto full = identifier.Identify(queries, focal);
+    basic_ms += sw.ElapsedMillis();
+    basic_rows += engine.stats().rows_examined;
+    if (full.ok()) basic_tuples += full->size();
+
+    IdentifyParams shared_params;
+    shared_params.shared_execution = true;
+    TupleIdentifier shared_identifier(&engine, &acg, shared_params);
+    sw.Restart();
+    (void)shared_identifier.Identify(queries, focal);
+    shared_ms += sw.ElapsedMillis();
+    ++count;
+  }
+
+  // ---- Focal spreading over Delta x K ---------------------------------
+  TablePrinter fig14a({"config", "time_ms", "vs_basic", "vs_shared",
+                       "rows_examined", "search_reduction", "miniDB_tuples"});
+  TablePrinter fig14b({"config", "tuples", "basic_tuples", "reduction"});
+  fig14a.AddRow({"basic (full DB)", Fmt("%.3f", basic_ms / count), "1.0x",
+                 "-", Fmt("%llu", static_cast<unsigned long long>(
+                                      basic_rows / count)),
+                 "1.0x", "-"});
+  fig14a.AddRow({"shared (full DB)", Fmt("%.3f", shared_ms / count),
+                 Fmt("%.1fx", basic_ms / shared_ms), "1.0x", "-", "-", "-"});
+
+  for (size_t delta : {1u, 2u, 3u}) {
+    for (size_t k : {2u, 3u, 4u}) {
+      FocalSpreadingParams sp;
+      sp.require_stable_acg = false;  // experiment setup forces approx mode
+      sp.selection = KSelection::kFixed;
+      sp.fixed_k = k;
+      FocalSpreading spreading(&acg, sp);
+
+      double ms = 0;
+      size_t tuples = 0;
+      size_t mini_sizes = 0;
+      engine.ResetStats();
+      for (size_t idx : annotation_set) {
+        const WorkloadAnnotation& wa = ds->workload.annotations[idx];
+        std::vector<TupleId> focal(
+            wa.ideal_tuples.begin(),
+            wa.ideal_tuples.begin() +
+                std::min<size_t>(delta, wa.ideal_tuples.size()));
+        const auto queries = generator.Generate(wa.text).queries;
+        Stopwatch sw;
+        const MiniDb mini = spreading.BuildMiniDb(focal);
+        auto result = identifier.Identify(queries, focal, &mini);
+        ms += sw.ElapsedMillis();
+        if (result.ok()) tuples += result->size();
+        mini_sizes += mini.size();
+      }
+      const std::string config = Fmt("Delta=%zu K=%zu", delta, k);
+      const uint64_t rows = engine.stats().rows_examined;
+      fig14a.AddRow({config, Fmt("%.3f", ms / count),
+                     Fmt("%.1fx", basic_ms / ms),
+                     Fmt("%.1fx", shared_ms / ms),
+                     Fmt("%llu", static_cast<unsigned long long>(
+                                     rows / count)),
+                     rows > 0 ? Fmt("%.1fx", static_cast<double>(basic_rows) /
+                                                 rows)
+                              : "-",
+                     Fmt("%zu", mini_sizes / count)});
+      fig14b.AddRow({config, Fmt("%.1f", static_cast<double>(tuples) / count),
+                     Fmt("%.1f", static_cast<double>(basic_tuples) / count),
+                     Fmt("%.1fx", tuples ? static_cast<double>(basic_tuples) /
+                                               tuples
+                                         : 0.0)});
+    }
+  }
+
+  Banner("Figure 14(a): focal-spreading execution time (avg ms/annotation)");
+  fig14a.Print();
+  Banner("Figure 14(b): produced candidate tuples");
+  fig14b.Print();
+
+  // ---- RDBMS cost model ------------------------------------------------
+  // The paper's substrate executes the search technique's generated SQL
+  // on an RDBMS where containment predicates are LIKE-style scans. Under
+  // that cost model (scan_containment = true) the full-database search
+  // pays for every scanned row, and focal spreading's restriction of the
+  // search space translates directly into wall-clock time — this is the
+  // regime in which the paper reports its ~15x speedup.
+  Banner("Figure 14(a'): RDBMS cost model (containment probes as scans)");
+  {
+    KeywordSearchParams scan_params;
+    scan_params.scan_containment = true;
+    KeywordSearchEngine scan_engine(&ds->catalog, &ds->meta, scan_params);
+    TupleIdentifier scan_identifier(&scan_engine, &acg);
+
+    double scan_basic_ms = 0;
+    uint64_t scan_basic_rows = 0;
+    scan_engine.ResetStats();
+    for (size_t idx : annotation_set) {
+      const WorkloadAnnotation& wa = ds->workload.annotations[idx];
+      const std::vector<TupleId> focal{wa.ideal_tuples.front()};
+      const auto queries = generator.Generate(wa.text).queries;
+      Stopwatch sw;
+      (void)scan_identifier.Identify(queries, focal);
+      scan_basic_ms += sw.ElapsedMillis();
+    }
+    scan_basic_rows = scan_engine.stats().rows_examined;
+
+    TablePrinter prime({"config", "time_ms", "vs_basic", "rows_examined"});
+    prime.AddRow({"basic (full DB)", Fmt("%.2f", scan_basic_ms / count),
+                  "1.0x",
+                  Fmt("%llu", static_cast<unsigned long long>(
+                                  scan_basic_rows / count))});
+    for (size_t k : {2u, 3u, 4u}) {
+      FocalSpreadingParams sp;
+      sp.require_stable_acg = false;
+      sp.selection = KSelection::kFixed;
+      sp.fixed_k = k;
+      FocalSpreading spreading(&acg, sp);
+      double ms = 0;
+      scan_engine.ResetStats();
+      for (size_t idx : annotation_set) {
+        const WorkloadAnnotation& wa = ds->workload.annotations[idx];
+        const std::vector<TupleId> focal{wa.ideal_tuples.front()};
+        const auto queries = generator.Generate(wa.text).queries;
+        Stopwatch sw;
+        const MiniDb mini = spreading.BuildMiniDb(focal);
+        (void)scan_identifier.Identify(queries, focal, &mini);
+        ms += sw.ElapsedMillis();
+      }
+      prime.AddRow({Fmt("Delta=1 K=%zu", k), Fmt("%.2f", ms / count),
+                    Fmt("%.1fx", scan_basic_ms / ms),
+                    Fmt("%llu", static_cast<unsigned long long>(
+                                    scan_engine.stats().rows_examined /
+                                    count))});
+    }
+    prime.Print();
+  }
+  std::printf(
+      "\nPaper-shape checks: focal spreading should be roughly an order\n"
+      "of magnitude faster than the basic search and produce roughly an\n"
+      "order of magnitude fewer candidates; time and tuples grow with\n"
+      "both Delta and K.\n");
+  return 0;
+}

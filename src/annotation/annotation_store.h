@@ -1,0 +1,108 @@
+#ifndef NEBULA_ANNOTATION_ANNOTATION_STORE_H_
+#define NEBULA_ANNOTATION_ANNOTATION_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace nebula {
+
+using AnnotationId = uint64_t;
+
+/// Attachment edge types of Def. 3.1: solid (True, weight 1, externally
+/// asserted) vs dotted (Predicted, weight < 1, proposed by Nebula).
+enum class AttachmentType { kTrue, kPredicted };
+
+/// A free-text annotation (comment, attached article, flag...).
+struct Annotation {
+  AnnotationId id = 0;
+  std::string text;
+  std::string author;
+};
+
+/// One edge of the annotated-database bipartite graph.
+struct Attachment {
+  AnnotationId annotation = 0;
+  TupleId tuple;
+  AttachmentType type = AttachmentType::kTrue;
+  double weight = 1.0;
+};
+
+/// The passive annotation-management engine Nebula layers on (paper [18]):
+/// seamless storage and organization of annotations, the
+/// annotation<->tuple bipartite graph, and propagation of annotations
+/// through query answers.
+///
+/// Invariants: at most one edge per (annotation, tuple) pair; True edges
+/// always have weight 1; Predicted edges have weight in (0, 1).
+class AnnotationStore {
+ public:
+  AnnotationStore() = default;
+  AnnotationStore(const AnnotationStore&) = delete;
+  AnnotationStore& operator=(const AnnotationStore&) = delete;
+  AnnotationStore(AnnotationStore&&) = default;
+  AnnotationStore& operator=(AnnotationStore&&) = default;
+
+  /// Registers a new annotation and returns its id.
+  AnnotationId AddAnnotation(std::string text, std::string author = "");
+
+  Result<const Annotation*> GetAnnotation(AnnotationId id) const;
+  size_t num_annotations() const { return annotations_.size(); }
+  size_t num_attachments() const { return num_edges_; }
+
+  /// Creates an edge. Fails on duplicates or out-of-range weights.
+  Status Attach(AnnotationId annotation, const TupleId& tuple,
+                AttachmentType type = AttachmentType::kTrue,
+                double weight = 1.0);
+
+  /// Removes an edge. Fails when absent.
+  Status Detach(AnnotationId annotation, const TupleId& tuple);
+
+  /// Converts a Predicted edge into a True edge with weight 1 (the action
+  /// taken when a verification task is accepted, §7).
+  Status PromoteToTrue(AnnotationId annotation, const TupleId& tuple);
+
+  bool HasAttachment(AnnotationId annotation, const TupleId& tuple) const;
+  /// Returns the edge when present (nullptr otherwise).
+  const Attachment* FindAttachment(AnnotationId annotation,
+                                   const TupleId& tuple) const;
+
+  /// Tuples an annotation is attached to. With `true_only`, this is the
+  /// annotation's focal in the sense of Def. 3.5.
+  std::vector<TupleId> AttachedTuples(AnnotationId annotation,
+                                      bool true_only = false) const;
+
+  /// Annotations attached to a tuple.
+  std::vector<AnnotationId> AnnotationsOf(const TupleId& tuple,
+                                          bool true_only = false) const;
+
+  /// Annotation propagation at query time (the core feature of the passive
+  /// engine): for each answer tuple, the annotations to surface with it.
+  std::vector<std::pair<TupleId, std::vector<AnnotationId>>> Propagate(
+      const std::vector<TupleId>& answer_tuples,
+      bool include_predicted = false) const;
+
+  /// All edges (for assessment / serialization). Order is deterministic
+  /// (by annotation id, then tuple).
+  std::vector<Attachment> AllAttachments() const;
+
+  /// Tuples that have at least one annotation (the ACG's node set).
+  std::vector<TupleId> AnnotatedTuples() const;
+
+ private:
+  std::vector<Annotation> annotations_;
+  // Adjacency: per-annotation edge list, plus a tuple-side index.
+  std::vector<std::vector<Attachment>> edges_by_annotation_;
+  std::unordered_map<TupleId, std::vector<AnnotationId>, TupleIdHash>
+      annotations_by_tuple_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace nebula
+
+#endif  // NEBULA_ANNOTATION_ANNOTATION_STORE_H_

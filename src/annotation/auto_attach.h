@@ -1,0 +1,54 @@
+#ifndef NEBULA_ANNOTATION_AUTO_ATTACH_H_
+#define NEBULA_ANNOTATION_AUTO_ATTACH_H_
+
+#include <vector>
+
+#include "annotation/annotation_store.h"
+#include "common/status.h"
+#include "storage/query.h"
+
+namespace nebula {
+
+/// A curator-defined auto-attachment rule: an annotation plus a
+/// structured predicate over one table.
+struct AutoAttachRule {
+  AnnotationId annotation = 0;
+  SelectQuery predicate;
+};
+
+/// Predicate-based automatic attachment — the facility of the passive
+/// engines [18, 25] that the paper's Related Work contrasts Nebula with:
+/// the curator declares a *structured* predicate as part of an
+/// annotation's definition, and tuples satisfying it (including tuples
+/// inserted later) get the annotation attached automatically. It handles
+/// schema-level rules ("flag every gene of family F1"), while Nebula
+/// handles the content-driven attachments these rules cannot express.
+class AutoAttachRegistry {
+ public:
+  AutoAttachRegistry(Catalog* catalog, AnnotationStore* store)
+      : catalog_(catalog), store_(store), executor_(catalog) {}
+
+  /// Registers a rule and immediately attaches the annotation to every
+  /// currently matching tuple. Returns the number of new attachments.
+  Result<size_t> AddRule(AnnotationId annotation, SelectQuery predicate);
+
+  /// Applies all rules of the tuple's table to a newly inserted tuple.
+  /// Returns the number of annotations attached.
+  Result<size_t> OnInsert(const TupleId& tuple);
+
+  const std::vector<AutoAttachRule>& rules() const { return rules_; }
+
+ private:
+  /// Attaches `annotation` to `tuple` unless already attached.
+  Status AttachIfNew(AnnotationId annotation, const TupleId& tuple,
+                     size_t* attached);
+
+  Catalog* catalog_;
+  AnnotationStore* store_;
+  QueryExecutor executor_;
+  std::vector<AutoAttachRule> rules_;
+};
+
+}  // namespace nebula
+
+#endif  // NEBULA_ANNOTATION_AUTO_ATTACH_H_

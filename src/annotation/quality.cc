@@ -1,0 +1,61 @@
+#include "annotation/quality.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace nebula {
+
+void EdgeSet::Add(AnnotationId annotation, const TupleId& tuple) {
+  if (edges_.insert(EdgeKey{annotation, tuple}).second) {
+    list_.push_back({annotation, tuple, AttachmentType::kTrue, 1.0});
+  }
+}
+
+bool EdgeSet::Contains(AnnotationId annotation, const TupleId& tuple) const {
+  return edges_.count(EdgeKey{annotation, tuple}) > 0;
+}
+
+EdgeSet EdgeSet::FromStore(const AnnotationStore& store, bool true_only) {
+  EdgeSet out;
+  for (const auto& edge : store.AllAttachments()) {
+    if (true_only && edge.type != AttachmentType::kTrue) continue;
+    out.Add(edge.annotation, edge.tuple);
+  }
+  return out;
+}
+
+std::vector<TupleId> EdgeSet::TuplesOf(AnnotationId annotation) const {
+  std::vector<TupleId> out;
+  for (const auto& edge : list_) {
+    if (edge.annotation == annotation) out.push_back(edge.tuple);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+DatabaseQuality MeasureQuality(const AnnotationStore& store,
+                               const EdgeSet& ideal) {
+  DatabaseQuality q;
+  const std::vector<Attachment> actual = store.AllAttachments();
+  size_t present_and_ideal = 0;
+  for (const auto& edge : actual) {
+    if (ideal.Contains(edge.annotation, edge.tuple)) {
+      ++present_and_ideal;
+    } else {
+      ++q.spurious_edges;
+    }
+  }
+  q.missing_edges = ideal.size() - present_and_ideal;
+  q.false_negative_ratio =
+      ideal.size() == 0 ? 0.0
+                        : static_cast<double>(q.missing_edges) /
+                              static_cast<double>(ideal.size());
+  q.false_positive_ratio =
+      actual.empty() ? 0.0
+                     : static_cast<double>(q.spurious_edges) /
+                           static_cast<double>(actual.size());
+  return q;
+}
+
+}  // namespace nebula

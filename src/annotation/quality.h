@@ -1,0 +1,65 @@
+#ifndef NEBULA_ANNOTATION_QUALITY_H_
+#define NEBULA_ANNOTATION_QUALITY_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "annotation/annotation_store.h"
+#include "common/hash.h"
+
+namespace nebula {
+
+/// A set of (annotation, tuple) edges used as ground truth (the E_ideal of
+/// Def. 3.1's ideal database) or as a snapshot of a store's edges.
+class EdgeSet {
+ public:
+  /// Exact edge key (hashing is only an accelerator; equality is exact).
+  struct EdgeKey {
+    AnnotationId annotation = 0;
+    TupleId tuple;
+    bool operator==(const EdgeKey& other) const {
+      return annotation == other.annotation && tuple == other.tuple;
+    }
+  };
+  struct EdgeKeyHash {
+    size_t operator()(const EdgeKey& k) const {
+      return static_cast<size_t>(HashCombine(k.annotation, k.tuple.Hash()));
+    }
+  };
+
+  EdgeSet() = default;
+
+  void Add(AnnotationId annotation, const TupleId& tuple);
+  bool Contains(AnnotationId annotation, const TupleId& tuple) const;
+  size_t size() const { return edges_.size(); }
+
+  /// Snapshot of every edge in a store (optionally True edges only).
+  static EdgeSet FromStore(const AnnotationStore& store,
+                           bool true_only = false);
+
+  /// Edges of a single annotation within this set.
+  std::vector<TupleId> TuplesOf(AnnotationId annotation) const;
+
+ private:
+  std::unordered_set<EdgeKey, EdgeKeyHash> edges_;
+  // Kept alongside the hash set for TuplesOf enumeration.
+  std::vector<Attachment> list_;
+};
+
+/// Database-quality metrics of Equations 1 & 2: the false-negative ratio
+/// |E_ideal - E| / |E_ideal| and false-positive ratio |E - E_ideal| / |E|.
+struct DatabaseQuality {
+  double false_negative_ratio = 0.0;  ///< D.F_N
+  double false_positive_ratio = 0.0;  ///< D.F_P
+  size_t missing_edges = 0;           ///< |E_ideal - E|
+  size_t spurious_edges = 0;          ///< |E - E_ideal|
+};
+
+/// Computes D.F_N / D.F_P for the store's current edge set against an
+/// ideal edge set.
+DatabaseQuality MeasureQuality(const AnnotationStore& store,
+                               const EdgeSet& ideal);
+
+}  // namespace nebula
+
+#endif  // NEBULA_ANNOTATION_QUALITY_H_

@@ -1,0 +1,339 @@
+#include "annotation/serialize.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace nebula {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+Result<std::ofstream> OpenForWrite(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  return out;
+}
+
+Result<std::ifstream> OpenForRead(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  return in;
+}
+
+const char* TypeTag(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+Result<DataType> ParseTypeTag(const std::string& tag) {
+  if (tag == "int64") return DataType::kInt64;
+  if (tag == "double") return DataType::kDouble;
+  if (tag == "string") return DataType::kString;
+  return Status::Corruption("unknown column type tag '" + tag + "'");
+}
+
+std::string SerializeValue(const Value& v) {
+  // Type is implied by the schema; only the text is stored. Doubles use
+  // max precision to round-trip.
+  if (v.is_double()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+    return buf;
+  }
+  return v.ToString();
+}
+
+Result<Value> DeserializeValue(const std::string& text, DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      if (!LooksLikeInteger(text)) {
+        return Status::Corruption("bad int64 value '" + text + "'");
+      }
+      return Value(static_cast<int64_t>(std::strtoll(text.c_str(), nullptr,
+                                                     10)));
+    case DataType::kDouble:
+      if (!LooksLikeNumber(text)) {
+        return Status::Corruption("bad double value '" + text + "'");
+      }
+      return Value(std::strtod(text.c_str(), nullptr));
+    case DataType::kString:
+      return Value(text);
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+std::string EscapeField(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeField(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\' || i + 1 >= escaped.size()) {
+      out += escaped[i];
+      continue;
+    }
+    switch (escaped[++i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      default:
+        out += escaped[i];
+    }
+  }
+  return out;
+}
+
+Status DatabaseSerializer::Save(const std::string& dir,
+                                const Catalog& catalog,
+                                const AnnotationStore* store) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory " + dir + ": " +
+                            ec.message());
+  }
+
+  // MANIFEST
+  {
+    NEBULA_ASSIGN_OR_RETURN(std::ofstream out,
+                            OpenForWrite(dir + "/MANIFEST"));
+    out << "nebula-db\t" << kFormatVersion << "\n";
+    for (const auto& table : catalog.tables()) {
+      out << EscapeField(table->name()) << "\n";
+    }
+  }
+
+  for (const auto& table : catalog.tables()) {
+    const std::string base = dir + "/" + table->name();
+    {
+      NEBULA_ASSIGN_OR_RETURN(std::ofstream out,
+                              OpenForWrite(base + ".schema"));
+      for (const auto& col : table->schema().columns()) {
+        out << EscapeField(col.name) << "\t" << TypeTag(col.type) << "\t"
+            << (col.unique ? 1 : 0) << "\n";
+      }
+    }
+    {
+      NEBULA_ASSIGN_OR_RETURN(std::ofstream out,
+                              OpenForWrite(base + ".rows"));
+      for (Table::RowId r = 0; r < table->num_rows(); ++r) {
+        const auto& row = table->GetRow(r);
+        for (size_t c = 0; c < row.size(); ++c) {
+          if (c > 0) out << '\t';
+          out << EscapeField(SerializeValue(row[c]));
+        }
+        out << '\n';
+      }
+    }
+  }
+
+  {
+    NEBULA_ASSIGN_OR_RETURN(std::ofstream out,
+                            OpenForWrite(dir + "/foreign_keys"));
+    for (const auto& fk : catalog.foreign_keys()) {
+      out << EscapeField(fk.child_table) << '\t'
+          << EscapeField(fk.child_column) << '\t'
+          << EscapeField(fk.parent_table) << '\t'
+          << EscapeField(fk.parent_column) << '\n';
+    }
+  }
+
+  if (store != nullptr) {
+    {
+      NEBULA_ASSIGN_OR_RETURN(std::ofstream out,
+                              OpenForWrite(dir + "/annotations"));
+      for (AnnotationId a = 0; a < store->num_annotations(); ++a) {
+        const Annotation* annotation = *store->GetAnnotation(a);
+        out << a << '\t' << EscapeField(annotation->author) << '\t'
+            << EscapeField(annotation->text) << '\n';
+      }
+    }
+    {
+      NEBULA_ASSIGN_OR_RETURN(std::ofstream out,
+                              OpenForWrite(dir + "/attachments"));
+      for (const Attachment& edge : store->AllAttachments()) {
+        out << edge.annotation << '\t' << edge.tuple.table_id << '\t'
+            << edge.tuple.row << '\t'
+            << (edge.type == AttachmentType::kTrue ? "T" : "P") << '\t'
+            << StrFormat("%.17g", edge.weight) << '\n';
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DatabaseSerializer::Load(const std::string& dir, Catalog* catalog,
+                                AnnotationStore* store) {
+  if (catalog->num_tables() != 0) {
+    return Status::InvalidArgument("catalog must be empty before Load");
+  }
+  NEBULA_ASSIGN_OR_RETURN(std::ifstream manifest,
+                          OpenForRead(dir + "/MANIFEST"));
+  std::string line;
+  if (!std::getline(manifest, line)) {
+    return Status::Corruption("empty MANIFEST");
+  }
+  {
+    const auto header = Split(line, '\t');
+    if (header.size() != 2 || header[0] != "nebula-db") {
+      return Status::Corruption("bad MANIFEST header");
+    }
+    if (std::strtol(header[1].c_str(), nullptr, 10) != kFormatVersion) {
+      return Status::NotSupported("unsupported format version " + header[1]);
+    }
+  }
+
+  std::vector<std::string> table_names;
+  while (std::getline(manifest, line)) {
+    if (!line.empty()) table_names.push_back(UnescapeField(line));
+  }
+
+  for (const auto& name : table_names) {
+    const std::string base = dir + "/" + name;
+    // Schema.
+    NEBULA_ASSIGN_OR_RETURN(std::ifstream schema_in,
+                            OpenForRead(base + ".schema"));
+    std::vector<ColumnDef> columns;
+    while (std::getline(schema_in, line)) {
+      if (line.empty()) continue;
+      const auto fields = Split(line, '\t');
+      if (fields.size() != 3) {
+        return Status::Corruption("bad schema line in " + base + ".schema");
+      }
+      NEBULA_ASSIGN_OR_RETURN(DataType type, ParseTypeTag(fields[1]));
+      columns.push_back(
+          {UnescapeField(fields[0]), type, fields[2] == "1"});
+    }
+    NEBULA_ASSIGN_OR_RETURN(Table * table,
+                            catalog->CreateTable(name, Schema(columns)));
+    // Rows.
+    NEBULA_ASSIGN_OR_RETURN(std::ifstream rows_in,
+                            OpenForRead(base + ".rows"));
+    while (std::getline(rows_in, line)) {
+      const auto fields = Split(line, '\t');
+      if (fields.size() != columns.size()) {
+        return Status::Corruption(
+            StrFormat("row arity mismatch in %s.rows", name.c_str()));
+      }
+      std::vector<Value> row;
+      row.reserve(fields.size());
+      for (size_t c = 0; c < fields.size(); ++c) {
+        NEBULA_ASSIGN_OR_RETURN(
+            Value v, DeserializeValue(UnescapeField(fields[c]),
+                                      columns[c].type));
+        row.push_back(std::move(v));
+      }
+      NEBULA_RETURN_NOT_OK(table->Insert(std::move(row)).status());
+    }
+  }
+
+  // Foreign keys.
+  {
+    auto fk_in = OpenForRead(dir + "/foreign_keys");
+    if (fk_in.ok()) {
+      while (std::getline(*fk_in, line)) {
+        if (line.empty()) continue;
+        const auto fields = Split(line, '\t');
+        if (fields.size() != 4) {
+          return Status::Corruption("bad foreign_keys line");
+        }
+        NEBULA_RETURN_NOT_OK(catalog->AddForeignKey(
+            UnescapeField(fields[0]), UnescapeField(fields[1]),
+            UnescapeField(fields[2]), UnescapeField(fields[3])));
+      }
+    }
+  }
+
+  if (store != nullptr) {
+    if (store->num_annotations() != 0) {
+      return Status::InvalidArgument("store must be empty before Load");
+    }
+    auto ann_in = OpenForRead(dir + "/annotations");
+    if (ann_in.ok()) {
+      while (std::getline(*ann_in, line)) {
+        if (line.empty()) continue;
+        const auto fields = Split(line, '\t');
+        if (fields.size() != 3) {
+          return Status::Corruption("bad annotations line");
+        }
+        const AnnotationId id = store->AddAnnotation(
+            UnescapeField(fields[2]), UnescapeField(fields[1]));
+        if (id != std::strtoull(fields[0].c_str(), nullptr, 10)) {
+          return Status::Corruption("annotation ids out of order");
+        }
+      }
+    }
+    auto att_in = OpenForRead(dir + "/attachments");
+    if (att_in.ok()) {
+      while (std::getline(*att_in, line)) {
+        if (line.empty()) continue;
+        const auto fields = Split(line, '\t');
+        if (fields.size() != 5) {
+          return Status::Corruption("bad attachments line");
+        }
+        const TupleId tuple{
+            static_cast<uint32_t>(std::strtoul(fields[1].c_str(), nullptr,
+                                               10)),
+            std::strtoull(fields[2].c_str(), nullptr, 10)};
+        const AttachmentType type =
+            fields[3] == "T" ? AttachmentType::kTrue
+                             : AttachmentType::kPredicted;
+        NEBULA_RETURN_NOT_OK(store->Attach(
+            std::strtoull(fields[0].c_str(), nullptr, 10), tuple, type,
+            std::strtod(fields[4].c_str(), nullptr)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace nebula

@@ -1,0 +1,47 @@
+#ifndef NEBULA_ANNOTATION_SERIALIZE_H_
+#define NEBULA_ANNOTATION_SERIALIZE_H_
+
+#include <string>
+
+#include "annotation/annotation_store.h"
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace nebula {
+
+/// Directory-based persistence for an annotated database.
+///
+/// Layout (all files are line-oriented UTF-8 with tab-separated fields;
+/// tabs/newlines/backslashes inside values are backslash-escaped):
+///
+///   <dir>/MANIFEST            format version + table list
+///   <dir>/<table>.schema      one column per line: name, type, unique
+///   <dir>/<table>.rows        one row per line
+///   <dir>/foreign_keys        child_table child_col parent_table parent_col
+///   <dir>/annotations         id author text
+///   <dir>/attachments         annotation table_id row type weight
+///
+/// Text indexes are not persisted (they are rebuilt on demand);
+/// TupleIds remain stable because tables and rows are written and read
+/// back in order.
+class DatabaseSerializer {
+ public:
+  /// Writes the catalog (and optionally the annotation store) to `dir`,
+  /// creating it if needed. Existing files are overwritten.
+  static Status Save(const std::string& dir, const Catalog& catalog,
+                     const AnnotationStore* store = nullptr);
+
+  /// Loads a database previously written by Save. `catalog` and `store`
+  /// must be empty.
+  static Status Load(const std::string& dir, Catalog* catalog,
+                     AnnotationStore* store = nullptr);
+};
+
+/// Escapes tabs, newlines, carriage returns and backslashes.
+std::string EscapeField(const std::string& raw);
+/// Inverse of EscapeField.
+std::string UnescapeField(const std::string& escaped);
+
+}  // namespace nebula
+
+#endif  // NEBULA_ANNOTATION_SERIALIZE_H_

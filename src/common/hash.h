@@ -1,0 +1,27 @@
+#ifndef NEBULA_COMMON_HASH_H_
+#define NEBULA_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace nebula {
+
+/// FNV-1a 64-bit hash over bytes. Used by the storage-layer hash indexes;
+/// chosen for determinism across platforms rather than raw speed.
+inline uint64_t Fnv1a(std::string_view s, uint64_t seed = 1469598103934665603ULL) {
+  uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// boost-style hash combiner.
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
+}
+
+}  // namespace nebula
+
+#endif  // NEBULA_COMMON_HASH_H_

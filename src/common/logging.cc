@@ -1,0 +1,38 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace nebula {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Logger::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[nebula %s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace nebula

@@ -1,0 +1,50 @@
+#ifndef NEBULA_COMMON_LOGGING_H_
+#define NEBULA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace nebula {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr. Global level defaults to
+/// kWarn so library consumers (tests, benchmarks) stay quiet unless they
+/// opt in.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+/// Stream collector that emits on destruction; enables the NEBULA_LOG
+/// macro's `<<` syntax.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define NEBULA_LOG(severity)                                       \
+  if (::nebula::LogLevel::severity < ::nebula::Logger::level()) {  \
+  } else                                                           \
+    ::nebula::internal::LogMessage(::nebula::LogLevel::severity)
+
+}  // namespace nebula
+
+#endif  // NEBULA_COMMON_LOGGING_H_

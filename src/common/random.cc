@@ -1,0 +1,51 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace nebula {
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  assert(n > 0);
+  if (n == 1) return 0;
+  // Inverse-CDF approximation over a truncated harmonic distribution.
+  // Exact Zipfian sampling is unnecessary here; we need a deterministic,
+  // skewed rank selector.
+  const double u = NextDouble();
+  const double zeta = (std::pow(static_cast<double>(n), 1.0 - theta) - 1.0) /
+                      (1.0 - theta);
+  const double x = std::pow(u * zeta * (1.0 - theta) + 1.0,
+                            1.0 / (1.0 - theta)) -
+                   1.0;
+  uint64_t rank = static_cast<uint64_t>(x);
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  assert(k <= n);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over an index array.
+    std::vector<uint64_t> idx(n);
+    for (uint64_t i = 0; i < n; ++i) idx[i] = i;
+    for (uint64_t i = 0; i < k; ++i) {
+      const uint64_t j = i + Uniform(n - i);
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+    return out;
+  }
+  // Sparse case: rejection sampling.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    const uint64_t v = Uniform(n);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace nebula

@@ -1,0 +1,140 @@
+#ifndef NEBULA_COMMON_STATUS_H_
+#define NEBULA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace nebula {
+
+/// Error categories used across the Nebula engine. Mirrors the
+/// RocksDB/Arrow convention of returning rich status objects rather than
+/// throwing exceptions across module boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotSupported,
+  kCorruption,
+  kInternal,
+};
+
+/// A lightweight success/error carrier. All fallible public APIs in Nebula
+/// return `Status` (or `Result<T>` when they produce a value).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "NotFound: table gene".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error carrier, the Arrow `Result<T>` idiom.
+///
+/// A `Result` is either OK and holds a `T`, or holds a non-OK `Status`.
+/// Accessing the value of an errored result is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value, or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define NEBULA_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::nebula::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error. `lhs` must be a declaration, e.g.
+/// `NEBULA_ASSIGN_OR_RETURN(auto table, catalog.GetTable("gene"));`
+#define NEBULA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define NEBULA_ASSIGN_OR_RETURN(lhs, expr) \
+  NEBULA_ASSIGN_OR_RETURN_IMPL(            \
+      NEBULA_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define NEBULA_CONCAT_INNER_(a, b) a##b
+#define NEBULA_CONCAT_(a, b) NEBULA_CONCAT_INNER_(a, b)
+
+}  // namespace nebula
+
+#endif  // NEBULA_COMMON_STATUS_H_

@@ -1,0 +1,40 @@
+#ifndef NEBULA_COMMON_STOPWATCH_H_
+#define NEBULA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace nebula {
+
+/// Simple monotonic stopwatch for phase timing inside the engine and the
+/// benchmark harness.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in microseconds.
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nebula
+
+#endif  // NEBULA_COMMON_STOPWATCH_H_

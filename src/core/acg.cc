@@ -1,0 +1,216 @@
+#include "core/acg.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace nebula {
+
+namespace {
+constexpr size_t kProfileBuckets = 16;  // last bucket is overflow
+}
+
+Acg::Acg(AcgStabilityConfig stability)
+    : stability_(stability), profile_(kProfileBuckets, 0) {}
+
+void Acg::AddEdgeCount(const TupleId& a, const TupleId& b, bool* created) {
+  auto& common_a = nodes_[a].common;
+  auto [it, inserted] = common_a.emplace(b, 1);
+  if (!inserted) ++it->second;
+  auto& common_b = nodes_[b].common;
+  auto [it2, inserted2] = common_b.emplace(a, 1);
+  if (!inserted2) ++it2->second;
+  if (inserted) {
+    ++num_edges_;
+    *created = true;
+  }
+}
+
+void Acg::BuildFromStore(const AnnotationStore& store) {
+  nodes_.clear();
+  num_edges_ = 0;
+  for (size_t a = 0; a < store.num_annotations(); ++a) {
+    const std::vector<TupleId> tuples =
+        store.AttachedTuples(a, /*true_only=*/true);
+    for (const auto& t : tuples) ++nodes_[t].annotation_count;
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      for (size_t j = i + 1; j < tuples.size(); ++j) {
+        bool created = false;
+        AddEdgeCount(tuples[i], tuples[j], &created);
+      }
+    }
+  }
+}
+
+void Acg::AddAttachment(AnnotationId annotation, const TupleId& tuple,
+                        const std::vector<TupleId>& siblings) {
+  // Stability bookkeeping (Def. 6.1): the batch closes when an attachment
+  // arrives for a (B+1)-th distinct annotation — closing on the B-th
+  // annotation's first attachment would split that annotation across two
+  // batches. At close, evaluate N/M < mu and reset for the next
+  // (non-overlapping) batch.
+  if (batch_annotations_.count(annotation) == 0 &&
+      batch_annotations_.size() >= stability_.batch_size) {
+    const double ratio =
+        batch_attachments_ == 0
+            ? 0.0
+            : static_cast<double>(batch_new_edges_) /
+                  static_cast<double>(batch_attachments_);
+    stable_ = ratio < stability_.mu;
+    batch_annotations_.clear();
+    batch_attachments_ = 0;
+    batch_new_edges_ = 0;
+  }
+  ++batch_attachments_;
+  batch_annotations_.insert(annotation);
+
+  ++nodes_[tuple].annotation_count;
+  for (const auto& s : siblings) {
+    if (s == tuple) continue;
+    bool created = false;
+    AddEdgeCount(tuple, s, &created);
+    if (created) ++batch_new_edges_;
+  }
+}
+
+double Acg::EdgeWeight(const TupleId& a, const TupleId& b) const {
+  auto it = nodes_.find(a);
+  if (it == nodes_.end()) return 0.0;
+  auto edge = it->second.common.find(b);
+  if (edge == it->second.common.end()) return 0.0;
+  const size_t common = edge->second;
+  auto itb = nodes_.find(b);
+  const size_t total = it->second.annotation_count +
+                       (itb == nodes_.end() ? 0 : itb->second.annotation_count) -
+                       common;
+  return total == 0 ? 0.0
+                    : static_cast<double>(common) / static_cast<double>(total);
+}
+
+bool Acg::HasNode(const TupleId& t) const { return nodes_.count(t) > 0; }
+
+std::vector<std::pair<TupleId, double>> Acg::Neighbors(
+    const TupleId& t) const {
+  std::vector<std::pair<TupleId, double>> out;
+  auto it = nodes_.find(t);
+  if (it == nodes_.end()) return out;
+  out.reserve(it->second.common.size());
+  for (const auto& [nb, _] : it->second.common) {
+    out.emplace_back(nb, EdgeWeight(t, nb));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::vector<TupleId> Acg::KHopNeighborhood(const std::vector<TupleId>& focal,
+                                           size_t k) const {
+  std::unordered_map<TupleId, size_t, TupleIdHash> dist;
+  std::deque<TupleId> frontier;
+  for (const auto& f : focal) {
+    if (nodes_.count(f) == 0) continue;
+    if (dist.emplace(f, 0).second) frontier.push_back(f);
+  }
+  while (!frontier.empty()) {
+    const TupleId cur = frontier.front();
+    frontier.pop_front();
+    const size_t d = dist[cur];
+    if (d >= k) continue;
+    auto it = nodes_.find(cur);
+    if (it == nodes_.end()) continue;
+    for (const auto& [nb, _] : it->second.common) {
+      if (dist.emplace(nb, d + 1).second) frontier.push_back(nb);
+    }
+  }
+  std::vector<TupleId> out;
+  out.reserve(dist.size());
+  for (const auto& [t, _] : dist) out.push_back(t);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int Acg::HopDistance(const std::vector<TupleId>& focal,
+                     const TupleId& t) const {
+  if (nodes_.count(t) == 0) return -1;
+  for (const auto& f : focal) {
+    if (f == t) return 0;
+  }
+  // BFS outward from the focal set until t is reached.
+  std::unordered_set<TupleId, TupleIdHash> visited;
+  std::deque<std::pair<TupleId, int>> frontier;
+  for (const auto& f : focal) {
+    if (nodes_.count(f) == 0) continue;
+    if (visited.insert(f).second) frontier.push_back({f, 0});
+  }
+  while (!frontier.empty()) {
+    const auto [cur, d] = frontier.front();
+    frontier.pop_front();
+    auto it = nodes_.find(cur);
+    if (it == nodes_.end()) continue;
+    for (const auto& [nb, _] : it->second.common) {
+      if (nb == t) return d + 1;
+      if (visited.insert(nb).second) frontier.push_back({nb, d + 1});
+    }
+  }
+  return -1;
+}
+
+double Acg::PathWeight(const std::vector<TupleId>& focal, const TupleId& t,
+                       size_t max_hops) const {
+  if (nodes_.count(t) == 0) return 0.0;
+  // Layered relaxation from the focal set: best[v] = max product of edge
+  // weights reaching v in <= layer hops. Weights are in [0,1], so longer
+  // paths can only lose, but a heavier 2-hop path may beat a feeble
+  // direct edge — which is exactly the semantic the paper debates.
+  std::unordered_map<TupleId, double, TupleIdHash> best;
+  for (const auto& f : focal) {
+    if (nodes_.count(f) > 0) best[f] = 1.0;
+  }
+  if (best.empty()) return 0.0;
+  double answer = best.count(t) > 0 ? 1.0 : 0.0;
+  std::unordered_map<TupleId, double, TupleIdHash> frontier = best;
+  for (size_t hop = 0; hop < max_hops && !frontier.empty(); ++hop) {
+    std::unordered_map<TupleId, double, TupleIdHash> next;
+    for (const auto& [node, product] : frontier) {
+      auto it = nodes_.find(node);
+      if (it == nodes_.end()) continue;
+      for (const auto& [nb, _] : it->second.common) {
+        const double w = product * EdgeWeight(node, nb);
+        if (w <= 0.0) continue;
+        auto [bit, inserted] = best.emplace(nb, w);
+        if (!inserted && w <= bit->second) continue;
+        bit->second = w;
+        next[nb] = w;
+        if (nb == t) answer = std::max(answer, w);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return answer;
+}
+
+void Acg::RecordProfilePoint(int hops) {
+  size_t bucket;
+  if (hops < 0 || static_cast<size_t>(hops) >= profile_.size() - 1) {
+    bucket = profile_.size() - 1;
+  } else {
+    bucket = static_cast<size_t>(hops);
+  }
+  ++profile_[bucket];
+}
+
+size_t Acg::SelectK(double desired_recall, size_t fallback) const {
+  uint64_t total = 0;
+  for (uint64_t v : profile_) total += v;
+  if (total == 0) return fallback;
+  uint64_t cumulative = 0;
+  for (size_t k = 0; k < profile_.size(); ++k) {
+    cumulative += profile_[k];
+    if (static_cast<double>(cumulative) / static_cast<double>(total) >=
+        desired_recall) {
+      return k;
+    }
+  }
+  return profile_.size() - 1;
+}
+
+}  // namespace nebula

@@ -1,0 +1,60 @@
+#include "core/assessment.h"
+
+#include <algorithm>
+
+namespace nebula {
+
+AssessmentResult ComputeAssessment(const AssessmentCounts& c) {
+  AssessmentResult r;
+  const double found = static_cast<double>(c.n_verify_t + c.n_accept_t +
+                                           c.n_focal);
+  r.fn = c.n_ideal == 0
+             ? 0.0
+             : (static_cast<double>(c.n_ideal) - found) /
+                   static_cast<double>(c.n_ideal);
+  r.fn = std::max(0.0, r.fn);
+  const double fp_denominator =
+      static_cast<double>(c.n_verify_t + c.n_accept() + c.n_focal);
+  r.fp = fp_denominator == 0.0
+             ? 0.0
+             : static_cast<double>(c.n_accept_f) / fp_denominator;
+  r.mf = static_cast<double>(c.n_verify());
+  r.mh = c.n_verify() == 0 ? 0.0
+                           : static_cast<double>(c.n_verify_t) /
+                                 static_cast<double>(c.n_verify());
+  return r;
+}
+
+AssessmentCounts AssessPrediction(
+    AnnotationId annotation, const std::vector<CandidateTuple>& candidates,
+    const std::vector<TupleId>& focal, const EdgeSet& ideal,
+    const VerificationBounds& bounds) {
+  AssessmentCounts counts;
+  counts.n_ideal = ideal.TuplesOf(annotation).size();
+  counts.n_focal = focal.size();
+  for (const auto& c : candidates) {
+    // Focal tuples are already attached, not predictions.
+    if (std::find(focal.begin(), focal.end(), c.tuple) != focal.end()) {
+      continue;
+    }
+    const bool correct = ideal.Contains(annotation, c.tuple);
+    if (c.confidence < bounds.lower) {
+      ++counts.n_reject;
+    } else if (c.confidence > bounds.upper) {
+      if (correct) {
+        ++counts.n_accept_t;
+      } else {
+        ++counts.n_accept_f;
+      }
+    } else {
+      if (correct) {
+        ++counts.n_verify_t;
+      } else {
+        ++counts.n_verify_f;
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace nebula

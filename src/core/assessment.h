@@ -1,0 +1,65 @@
+#ifndef NEBULA_CORE_ASSESSMENT_H_
+#define NEBULA_CORE_ASSESSMENT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "annotation/quality.h"
+#include "core/identify.h"
+#include "core/verification.h"
+
+namespace nebula {
+
+/// The prediction-category counters of Figure 8, computed for a single
+/// annotation's discovery round against ground truth.
+struct AssessmentCounts {
+  size_t n_ideal = 0;     ///< attachments of a in the ideal database
+  size_t n_focal = 0;     ///< pre-existing (focal) true attachments
+  size_t n_reject = 0;    ///< auto-rejected predictions
+  size_t n_verify_t = 0;  ///< pending tasks an expert would accept
+  size_t n_verify_f = 0;  ///< pending tasks an expert would reject
+  size_t n_accept_t = 0;  ///< auto-accepted, correct
+  size_t n_accept_f = 0;  ///< auto-accepted, wrong
+
+  size_t n_verify() const { return n_verify_t + n_verify_f; }
+  size_t n_accept() const { return n_accept_t + n_accept_f; }
+
+  AssessmentCounts& operator+=(const AssessmentCounts& o) {
+    n_ideal += o.n_ideal;
+    n_focal += o.n_focal;
+    n_reject += o.n_reject;
+    n_verify_t += o.n_verify_t;
+    n_verify_f += o.n_verify_f;
+    n_accept_t += o.n_accept_t;
+    n_accept_f += o.n_accept_f;
+    return *this;
+  }
+};
+
+/// The four assessment criteria of Def. 7.2.
+struct AssessmentResult {
+  double fn = 0.0;  ///< F_N  false-negative ratio
+  double fp = 0.0;  ///< F_P  false-positive ratio
+  double mf = 0.0;  ///< M_F  manual effort (# tasks needing an expert)
+  double mh = 0.0;  ///< M_H  manual hit (conversion) ratio
+};
+
+/// Evaluates the Def. 7.2 formulas on a set of counters.
+AssessmentResult ComputeAssessment(const AssessmentCounts& counts);
+
+/// Buckets one annotation's candidates against the bounds and ground
+/// truth, assuming an infallible expert for the middle band (exactly the
+/// paper's §8.2 methodology: since D_ideal is known, the expert-verified
+/// factors are computed automatically).
+///
+/// `focal` are the annotation's pre-existing attachments; candidates that
+/// coincide with focal tuples are not counted as predictions.
+AssessmentCounts AssessPrediction(AnnotationId annotation,
+                                  const std::vector<CandidateTuple>& candidates,
+                                  const std::vector<TupleId>& focal,
+                                  const EdgeSet& ideal,
+                                  const VerificationBounds& bounds);
+
+}  // namespace nebula
+
+#endif  // NEBULA_CORE_ASSESSMENT_H_

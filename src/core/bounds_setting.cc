@@ -1,0 +1,100 @@
+#include "core/bounds_setting.h"
+
+#include <algorithm>
+
+namespace nebula {
+
+BoundsSettingResult BoundsSetting(
+    const std::vector<TrainingAnnotation>& training,
+    const DiscoveryFn& discover, const BoundsSettingConfig& config) {
+  BoundsSettingResult result;
+
+  // Step 1+2: distort each training annotation (keep `distortion_keep`
+  // links as the focal) and run discovery once per annotation; the grid
+  // sweep then re-buckets the same candidate lists, so discovery cost is
+  // paid once, not once per grid point.
+  struct Round {
+    AnnotationId annotation;
+    std::vector<TupleId> focal;
+    std::vector<CandidateTuple> candidates;
+    EdgeSet ideal;
+  };
+  std::vector<Round> rounds;
+  rounds.reserve(training.size());
+  for (const auto& ta : training) {
+    if (ta.ideal_tuples.empty()) continue;
+    Round round;
+    round.annotation = ta.annotation;
+    const size_t keep =
+        std::min(config.distortion_keep, ta.ideal_tuples.size());
+    round.focal.assign(ta.ideal_tuples.begin(),
+                       ta.ideal_tuples.begin() + keep);
+    for (const auto& t : ta.ideal_tuples) round.ideal.Add(ta.annotation, t);
+    round.candidates = discover(ta.annotation, round.focal);
+    rounds.push_back(std::move(round));
+  }
+
+  // Step 3: evaluate every (lower <= upper) pair of the grid.
+  for (double lower : config.grid) {
+    for (double upper : config.grid) {
+      if (upper < lower) continue;
+      VerificationBounds bounds{lower, upper};
+      AssessmentResult sum;
+      size_t n = 0;
+      for (const auto& round : rounds) {
+        const AssessmentCounts counts =
+            AssessPrediction(round.annotation, round.candidates, round.focal,
+                             round.ideal, bounds);
+        const AssessmentResult r = ComputeAssessment(counts);
+        sum.fn += r.fn;
+        sum.fp += r.fp;
+        sum.mf += r.mf;
+        sum.mh += r.mh;
+        ++n;
+      }
+      BoundsCandidate candidate;
+      candidate.bounds = bounds;
+      if (n > 0) {
+        candidate.averaged.fn = sum.fn / static_cast<double>(n);
+        candidate.averaged.fp = sum.fp / static_cast<double>(n);
+        candidate.averaged.mf = sum.mf / static_cast<double>(n);
+        candidate.averaged.mh = sum.mh / static_cast<double>(n);
+      }
+      candidate.feasible = candidate.averaged.fn <= config.max_fn &&
+                           candidate.averaged.fp <= config.max_fp;
+      result.grid.push_back(candidate);
+    }
+  }
+
+  // Selection: among feasible settings minimize M_F; tie-break toward the
+  // higher M_H when configured (a high conversion ratio means the upper
+  // bound sits safely left). When nothing is feasible, take the setting
+  // with the smallest constraint violation.
+  const BoundsCandidate* best = nullptr;
+  for (const auto& c : result.grid) {
+    if (!c.feasible) continue;
+    if (best == nullptr || c.averaged.mf < best->averaged.mf ||
+        (config.use_mh_guidance && c.averaged.mf == best->averaged.mf &&
+         c.averaged.mh > best->averaged.mh)) {
+      best = &c;
+    }
+  }
+  if (best != nullptr) {
+    result.feasible = true;
+    result.best = best->bounds;
+    return result;
+  }
+  double least_violation = 0.0;
+  for (const auto& c : result.grid) {
+    const double violation = std::max(0.0, c.averaged.fn - config.max_fn) +
+                             std::max(0.0, c.averaged.fp - config.max_fp);
+    if (best == nullptr || violation < least_violation) {
+      best = &c;
+      least_violation = violation;
+    }
+  }
+  if (best != nullptr) result.best = best->bounds;
+  return result;
+}
+
+}  // namespace nebula

@@ -1,0 +1,71 @@
+#ifndef NEBULA_CORE_BOUNDS_SETTING_H_
+#define NEBULA_CORE_BOUNDS_SETTING_H_
+
+#include <functional>
+#include <vector>
+
+#include "annotation/quality.h"
+#include "core/assessment.h"
+#include "core/verification.h"
+
+namespace nebula {
+
+/// Configuration of the adaptive bound-tuning algorithm (paper Figure 9).
+struct BoundsSettingConfig {
+  /// Distortion degree Delta: for each training annotation, keep only this
+  /// many True links and drop the rest before running discovery.
+  size_t distortion_keep = 1;
+  /// Candidate bound grid (both lower and upper sweep this set, with
+  /// lower <= upper).
+  std::vector<double> grid = {0.0,  0.1,  0.2,  0.3, 0.32, 0.4, 0.5,
+                              0.6,  0.7,  0.8,  0.86, 0.9, 0.95, 1.0};
+  /// Acceptability constraints: settings whose averaged F_N / F_P exceed
+  /// these are discarded before the M_F minimization.
+  double max_fn = 0.25;
+  double max_fp = 0.10;
+  /// Use M_H to tie-break among settings with equal manual effort:
+  /// a higher conversion ratio means beta_upper could safely move left.
+  bool use_mh_guidance = true;
+};
+
+/// One grid point's averaged assessment.
+struct BoundsCandidate {
+  VerificationBounds bounds;
+  AssessmentResult averaged;
+  bool feasible = false;  ///< satisfies the F_N / F_P constraints
+};
+
+/// Result of a BoundsSetting run.
+struct BoundsSettingResult {
+  VerificationBounds best;
+  /// Whether any grid point satisfied the constraints. When false, `best`
+  /// is the least-violating point instead.
+  bool feasible = false;
+  /// The full grid evaluation, for reporting.
+  std::vector<BoundsCandidate> grid;
+};
+
+/// A training example: an annotation whose complete ideal attachment set
+/// is known (D_Training of §7).
+struct TrainingAnnotation {
+  AnnotationId annotation = 0;
+  std::vector<TupleId> ideal_tuples;
+};
+
+/// Runs discovery for an annotation given its (distorted) focal set and
+/// returns the ranked candidates. Supplied by the engine; injected here so
+/// the trainer stays independent of the full pipeline wiring.
+using DiscoveryFn = std::function<std::vector<CandidateTuple>(
+    AnnotationId annotation, const std::vector<TupleId>& focal)>;
+
+/// The BoundsSetting algorithm: distorts each training annotation down to
+/// `distortion_keep` links, re-discovers the dropped attachments, assesses
+/// every (beta_lower, beta_upper) grid pair, and picks the pair that
+/// minimizes expert effort M_F subject to the F_N / F_P constraints.
+BoundsSettingResult BoundsSetting(const std::vector<TrainingAnnotation>& training,
+                                  const DiscoveryFn& discover,
+                                  const BoundsSettingConfig& config = {});
+
+}  // namespace nebula
+
+#endif  // NEBULA_CORE_BOUNDS_SETTING_H_

@@ -1,0 +1,66 @@
+#ifndef NEBULA_CORE_CONTEXT_ADJUST_H_
+#define NEBULA_CORE_CONTEXT_ADJUST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/signature_maps.h"
+
+namespace nebula {
+
+/// Context-matching types of §5.2.2 (strongest first):
+/// Type-1 = {table, column, value}, Type-2 = {table, value},
+/// Type-3 = {column, value}.
+enum class MatchType { kNone = 0, kType3 = 1, kType2 = 2, kType1 = 3 };
+
+/// Parameters of the ContextBasedAdjustment function.
+struct ContextAdjustParams {
+  /// Influence-range half width: alpha words to each side.
+  size_t alpha = 4;
+  /// Percent rewards for Type-1/2/3 matches (beta3 < beta2 < beta1).
+  double beta1 = 0.30;
+  double beta2 = 0.20;
+  double beta3 = 0.10;
+  /// Cap on counted matches per mapping, to bound the reward of a mapping
+  /// that matches many neighbors.
+  size_t max_matches_counted = 3;
+};
+
+/// A consistent shape combination found inside a word's influence range.
+/// Word positions identify the participating words.
+struct ContextMatch {
+  MatchType type = MatchType::kNone;
+  size_t table_pos = 0;   ///< valid when type uses a table shape
+  size_t column_pos = 0;  ///< valid when type uses a column shape
+  size_t value_pos = 0;   ///< always valid (every match contains a value)
+  /// The mapping indices chosen on each participating word.
+  size_t table_mapping = 0;
+  size_t column_mapping = 0;
+  size_t value_mapping = 0;
+};
+
+/// ContextBasedAdjustment (paper Fig. 17): for every word w and every
+/// potential mapping of w, searches w's influence range for the strongest
+/// consistent match and rewards the mapping's weight by beta1/2/3 percent
+/// per found match (exclusive cascade: Type-1 suppresses Type-2/3).
+/// Weights are clamped to 1.0.
+void ContextBasedAdjustment(SignatureMap* context_map,
+                            const ContextAdjustParams& params);
+
+/// Finds the best (strongest-type, then highest combined weight) match
+/// that includes `mapping_idx` of word `pos`, looking at words within
+/// [pos-alpha, pos+alpha]. Returns kNone-typed match when none exists.
+/// Exposed separately because query generation (§5.2.3) re-uses it to form
+/// the emitted keyword queries.
+ContextMatch FindBestMatch(const SignatureMap& map, size_t pos,
+                           size_t mapping_idx, size_t alpha);
+
+/// All matches of a given type that include `mapping_idx` of word `pos`
+/// within the influence range (used for the per-match reward).
+std::vector<ContextMatch> FindMatchesOfType(const SignatureMap& map,
+                                            size_t pos, size_t mapping_idx,
+                                            size_t alpha, MatchType type);
+
+}  // namespace nebula
+
+#endif  // NEBULA_CORE_CONTEXT_ADJUST_H_

@@ -1,0 +1,86 @@
+#include "core/engine.h"
+
+#include "common/stopwatch.h"
+
+namespace nebula {
+
+NebulaEngine::NebulaEngine(Catalog* catalog, AnnotationStore* store,
+                           NebulaMeta* meta, NebulaConfig config)
+    : catalog_(catalog),
+      store_(store),
+      meta_(meta),
+      config_(config),
+      acg_(config.acg_stability),
+      search_engine_(catalog, meta, config.search),
+      verification_(store, &acg_, config.bounds) {}
+
+void NebulaEngine::RebuildAcg() { acg_.BuildFromStore(*store_); }
+
+Result<AnnotationReport> NebulaEngine::Discover(
+    AnnotationId annotation, const std::vector<TupleId>& focal) {
+  AnnotationReport report;
+  report.annotation = annotation;
+  NEBULA_ASSIGN_OR_RETURN(const Annotation* ann,
+                          store_->GetAnnotation(annotation));
+
+  // Stage 1: annotation text -> weighted keyword queries.
+  QueryGenerator generator(meta_, config_.generation);
+  QueryGenerationResult generated = generator.Generate(ann->text);
+  report.queries = std::move(generated.queries);
+  report.generation_timing = generated.timing;
+
+  // Stage 2: execute the queries, full-database or focal-spreading.
+  search_engine_.params() = config_.search;
+  TupleIdentifier identifier(&search_engine_, &acg_, config_.identify);
+  FocalSpreading spreading(&acg_, config_.spreading);
+
+  Stopwatch watch;
+  MiniDb mini;
+  const MiniDb* mini_ptr = nullptr;
+  if (config_.enable_focal_spreading && spreading.ShouldApproximate(focal)) {
+    mini = spreading.BuildMiniDb(focal);
+    mini_ptr = &mini;
+    report.mode = SearchMode::kFocalSpreading;
+    report.mini_db_size = mini.size();
+  } else {
+    report.mode = SearchMode::kFullDatabase;
+  }
+  NEBULA_ASSIGN_OR_RETURN(
+      report.candidates,
+      identifier.Identify(report.queries, focal, mini_ptr));
+  report.search_us = watch.ElapsedMicros();
+  return report;
+}
+
+Result<AnnotationReport> NebulaEngine::InsertAnnotation(
+    const std::string& text, const std::vector<TupleId>& focal,
+    const std::string& author) {
+  // Stage 0: store the annotation and its focal (True) attachments.
+  const AnnotationId id = store_->AddAnnotation(text, author);
+  for (size_t i = 0; i < focal.size(); ++i) {
+    NEBULA_RETURN_NOT_OK(store_->Attach(id, focal[i], AttachmentType::kTrue));
+    // The focal attachments themselves also enter the ACG incrementally.
+    std::vector<TupleId> siblings(focal.begin(), focal.begin() + i);
+    acg_.AddAttachment(id, focal[i], siblings);
+  }
+
+  // Stages 1-2.
+  NEBULA_ASSIGN_OR_RETURN(AnnotationReport report, Discover(id, focal));
+
+  // Footnote-1 spam guard: an annotation whose prediction covers an
+  // excessive share of the database must not flood the verification
+  // queue.
+  if (config_.enable_spam_guard) {
+    report.spam = DetectSpam(report.candidates, catalog_->TotalRows(),
+                             config_.spam_guard);
+    if (report.spam.spam_suspected) return report;
+  }
+
+  // Stage 3: submit the candidates for verification; auto-accepts apply
+  // their side effects (True attachment, ACG update, profile update).
+  verification_.set_bounds(config_.bounds);
+  report.verification = verification_.Submit(id, report.candidates);
+  return report;
+}
+
+}  // namespace nebula

@@ -1,0 +1,108 @@
+#ifndef NEBULA_CORE_ENGINE_H_
+#define NEBULA_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "annotation/annotation_store.h"
+#include "common/status.h"
+#include "core/acg.h"
+#include "core/focal_spreading.h"
+#include "core/identify.h"
+#include "core/query_generation.h"
+#include "core/spam.h"
+#include "core/verification.h"
+#include "keyword/engine.h"
+#include "meta/nebula_meta.h"
+#include "storage/catalog.h"
+
+namespace nebula {
+
+/// Which execution mode Stage 2 used for an annotation.
+enum class SearchMode { kFullDatabase, kFocalSpreading };
+
+/// Top-level engine configuration.
+struct NebulaConfig {
+  QueryGenerationParams generation;
+  KeywordSearchParams search;
+  IdentifyParams identify;
+  FocalSpreadingParams spreading;
+  VerificationBounds bounds;
+  /// Master switch for the §6.3 approximation. Even when true, the engine
+  /// falls back to full search while the ACG is not stable (unless the
+  /// spreading params disable that requirement).
+  bool enable_focal_spreading = false;
+  AcgStabilityConfig acg_stability;
+  /// Footnote-1 guard: when an annotation's prediction covers an
+  /// excessive share of the database, skip verification submission.
+  bool enable_spam_guard = true;
+  SpamGuardParams spam_guard;
+};
+
+/// Everything Nebula did for one inserted annotation (stages 1-3).
+struct AnnotationReport {
+  AnnotationId annotation = 0;
+  std::vector<KeywordQuery> queries;
+  std::vector<CandidateTuple> candidates;
+  SearchMode mode = SearchMode::kFullDatabase;
+  size_t mini_db_size = 0;  ///< 0 under full-database search
+  SubmitOutcome verification;
+  /// Footnote-1 guard verdict; when spam is suspected, no verification
+  /// tasks were created for this annotation.
+  SpamVerdict spam;
+  QueryGenerationTiming generation_timing;
+  uint64_t search_us = 0;  ///< Stage 2 wall time
+};
+
+/// The Nebula proactive annotation-management engine: wires the passive
+/// annotation store, the metadata repository, the keyword-search engine,
+/// the ACG, and the verification manager into the paper's
+/// insert-annotation -> discover -> verify pipeline.
+class NebulaEngine {
+ public:
+  /// All dependencies are borrowed; the caller owns them and must keep
+  /// them alive for the engine's lifetime.
+  NebulaEngine(Catalog* catalog, AnnotationStore* store, NebulaMeta* meta,
+               NebulaConfig config = {});
+
+  /// Stage 0: inserts a new annotation with its initial (focal)
+  /// attachments, then runs discovery (stages 1-2) and verification
+  /// submission (stage 3). Returns the full report.
+  Result<AnnotationReport> InsertAnnotation(
+      const std::string& text, const std::vector<TupleId>& focal,
+      const std::string& author = "");
+
+  /// Discovery only (stages 1-2) for an already-stored annotation: used by
+  /// the BoundsSetting trainer and the benchmarks. Does not create
+  /// verification tasks or modify any state.
+  Result<AnnotationReport> Discover(AnnotationId annotation,
+                                    const std::vector<TupleId>& focal);
+
+  /// Rebuilds the ACG from the store's current True attachments (the
+  /// "built at once" experimental setup).
+  void RebuildAcg();
+
+  Catalog* catalog() { return catalog_; }
+  AnnotationStore* store() { return store_; }
+  NebulaMeta* meta() { return meta_; }
+  Acg& acg() { return acg_; }
+  const Acg& acg() const { return acg_; }
+  KeywordSearchEngine& search_engine() { return search_engine_; }
+  VerificationManager& verification() { return verification_; }
+  NebulaConfig& config() { return config_; }
+  const NebulaConfig& config() const { return config_; }
+
+ private:
+  Catalog* catalog_;
+  AnnotationStore* store_;
+  NebulaMeta* meta_;
+  NebulaConfig config_;
+  Acg acg_;
+  KeywordSearchEngine search_engine_;
+  VerificationManager verification_;
+};
+
+}  // namespace nebula
+
+#endif  // NEBULA_CORE_ENGINE_H_

@@ -1,0 +1,37 @@
+#include "core/focal_spreading.h"
+
+namespace nebula {
+
+bool FocalSpreading::ShouldApproximate(
+    const std::vector<TupleId>& focal) const {
+  if (params_.require_stable_acg && !acg_->stable()) return false;
+  for (const auto& f : focal) {
+    if (acg_->HasNode(f)) return true;
+  }
+  return false;
+}
+
+size_t FocalSpreading::EffectiveK() const {
+  switch (params_.selection) {
+    case KSelection::kFixed:
+      return params_.fixed_k;
+    case KSelection::kProfileDriven:
+      return acg_->SelectK(params_.desired_recall, params_.fixed_k);
+  }
+  return params_.fixed_k;
+}
+
+MiniDb FocalSpreading::BuildMiniDb(const std::vector<TupleId>& focal) const {
+  return BuildMiniDb(focal, EffectiveK());
+}
+
+MiniDb FocalSpreading::BuildMiniDb(const std::vector<TupleId>& focal,
+                                   size_t k) const {
+  MiniDb mini;
+  for (const TupleId& t : acg_->KHopNeighborhood(focal, k)) {
+    mini.Add(t);
+  }
+  return mini;
+}
+
+}  // namespace nebula

@@ -1,0 +1,62 @@
+#ifndef NEBULA_CORE_FOCAL_SPREADING_H_
+#define NEBULA_CORE_FOCAL_SPREADING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/acg.h"
+#include "keyword/mini_db.h"
+
+namespace nebula {
+
+/// How K (the search radius around the focal) is chosen.
+enum class KSelection {
+  /// Fixed-Scope variant: use `fixed_k` as-is.
+  kFixed,
+  /// Use the ACG hop-distance profile to pick the smallest K reaching the
+  /// desired recall (paper Figure 7).
+  kProfileDriven,
+};
+
+struct FocalSpreadingParams {
+  KSelection selection = KSelection::kFixed;
+  size_t fixed_k = 3;
+  /// Target cumulative recall for profile-driven selection.
+  double desired_recall = 0.93;
+  /// Only spread when the ACG reports itself stable (Def. 6.1). When the
+  /// graph is not stable, ShouldApproximate() returns false and callers
+  /// fall back to full-database search.
+  bool require_stable_acg = true;
+};
+
+/// The approximate-search planner of §6.3: decides whether approximation
+/// applies and materializes the K-hop mini database around an
+/// annotation's focal.
+class FocalSpreading {
+ public:
+  FocalSpreading(const Acg* acg, FocalSpreadingParams params = {})
+      : acg_(acg), params_(params) {}
+
+  /// False when the ACG is not yet stable (and stability is required) or
+  /// the focal has no presence in the graph.
+  bool ShouldApproximate(const std::vector<TupleId>& focal) const;
+
+  /// The radius that will be used for the given configuration.
+  size_t EffectiveK() const;
+
+  /// Materializes the mini database: all ACG nodes within K hops of any
+  /// focal tuple (focal included).
+  MiniDb BuildMiniDb(const std::vector<TupleId>& focal) const;
+  MiniDb BuildMiniDb(const std::vector<TupleId>& focal, size_t k) const;
+
+  const FocalSpreadingParams& params() const { return params_; }
+  FocalSpreadingParams& params() { return params_; }
+
+ private:
+  const Acg* acg_;
+  FocalSpreadingParams params_;
+};
+
+}  // namespace nebula
+
+#endif  // NEBULA_CORE_FOCAL_SPREADING_H_

@@ -1,0 +1,101 @@
+#include "core/identify.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace nebula {
+
+Result<std::vector<CandidateTuple>> TupleIdentifier::Identify(
+    const std::vector<KeywordQuery>& queries,
+    const std::vector<TupleId>& focal, const MiniDb* mini_db) {
+  // Step 1: execute every keyword query; each answer tuple's confidence is
+  // scaled by its query's generation weight.
+  std::vector<std::vector<SearchHit>> per_query;
+  if (params_.shared_execution) {
+    SharedKeywordExecutor shared(engine_);
+    NEBULA_RETURN_NOT_OK(shared.ExecuteGroup(queries, &per_query, mini_db));
+  } else {
+    per_query.reserve(queries.size());
+    for (const auto& q : queries) {
+      NEBULA_ASSIGN_OR_RETURN(std::vector<SearchHit> hits,
+                              engine_->Search(q, mini_db));
+      per_query.push_back(std::move(hits));
+    }
+  }
+
+  // Step 2: group identical tuples across queries; reward multi-query
+  // tuples by summing (or keep the max under the ablation setting).
+  struct Accum {
+    double confidence = 0.0;
+    std::vector<std::string> evidence;
+  };
+  std::unordered_map<TupleId, Accum, TupleIdHash> grouped;
+  for (size_t qi = 0; qi < per_query.size(); ++qi) {
+    const double qweight = queries[qi].weight;
+    for (const auto& hit : per_query[qi]) {
+      const double contribution = hit.confidence * qweight;
+      Accum& acc = grouped[hit.tuple];
+      if (params_.group_reward) {
+        acc.confidence += contribution;
+      } else {
+        acc.confidence = std::max(acc.confidence, contribution);
+      }
+      acc.evidence.push_back(queries[qi].label.empty()
+                                 ? queries[qi].ToString()
+                                 : queries[qi].label);
+    }
+  }
+
+  // §6.2: focal-based confidence adjustment through the ACG — each direct
+  // edge to a focal tuple rewards the candidate by edge_weight * conf.
+  if (params_.focal_adjustment && acg_ != nullptr && !focal.empty()) {
+    for (auto& [tuple, acc] : grouped) {
+      double reward = 0.0;
+      if (params_.focal_reward_mode == FocalRewardMode::kDirectEdge) {
+        for (const auto& f : focal) {
+          const double w = acg_->EdgeWeight(tuple, f);
+          reward += w * acc.confidence;
+        }
+      } else {
+        // Shortest-path extension: one reward from the best path to any
+        // focal tuple (summing per focal would double-count shared path
+        // prefixes).
+        const double w =
+            acg_->PathWeight(focal, tuple, params_.path_max_hops);
+        reward = w * acc.confidence;
+      }
+      acc.confidence += reward;
+    }
+  }
+
+  // Step 3: normalize relative to the maximum confidence.
+  double max_conf = 0.0;
+  for (const auto& [_, acc] : grouped) {
+    max_conf = std::max(max_conf, acc.confidence);
+  }
+  std::vector<CandidateTuple> out;
+  out.reserve(grouped.size());
+  for (auto& [tuple, acc] : grouped) {
+    CandidateTuple c;
+    c.tuple = tuple;
+    c.confidence = max_conf > 0.0 ? acc.confidence / max_conf : 0.0;
+    // Deduplicate evidence labels while preserving order.
+    for (auto& e : acc.evidence) {
+      if (std::find(c.evidence.begin(), c.evidence.end(), e) ==
+          c.evidence.end()) {
+        c.evidence.push_back(std::move(e));
+      }
+    }
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CandidateTuple& a, const CandidateTuple& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              return a.tuple < b.tuple;
+            });
+  return out;
+}
+
+}  // namespace nebula

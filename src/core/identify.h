@@ -1,0 +1,79 @@
+#ifndef NEBULA_CORE_IDENTIFY_H_
+#define NEBULA_CORE_IDENTIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/acg.h"
+#include "keyword/engine.h"
+#include "keyword/shared_executor.h"
+
+namespace nebula {
+
+/// A candidate data tuple that the execution stage believes the annotation
+/// references, with Nebula's confidence and the supporting evidence
+/// (the keyword queries whose answers contained the tuple — this becomes
+/// the verification task's evidence set in §7).
+struct CandidateTuple {
+  TupleId tuple;
+  double confidence = 0.0;
+  std::vector<std::string> evidence;
+};
+
+/// How the §6.2 focal-based confidence adjustment consults the ACG.
+enum class FocalRewardMode {
+  /// Direct edges between the candidate and the focal only (the paper's
+  /// production choice: semantically strongest, no overfitting).
+  kDirectEdge,
+  /// The paper's discussed extension: best edge-weight product along a
+  /// shortest path of up to `path_max_hops` hops.
+  kShortestPath,
+};
+
+/// Knobs of the execution stage.
+struct IdentifyParams {
+  /// Step 2 of the paper's algorithm: reward tuples produced by several
+  /// queries of the same annotation by summing their confidences. When
+  /// disabled (ablation), the max is kept instead.
+  bool group_reward = true;
+  /// §6.2 focal-based adjustment through the ACG. When enabled, each
+  /// candidate directly connected to a focal tuple gains
+  /// edge_weight * confidence per edge.
+  bool focal_adjustment = true;
+  FocalRewardMode focal_reward_mode = FocalRewardMode::kDirectEdge;
+  /// Hop budget for the kShortestPath mode.
+  size_t path_max_hops = 3;
+  /// Execute the query group through the shared multi-query executor
+  /// instead of one-query-at-a-time.
+  bool shared_execution = false;
+};
+
+/// Stage 2 of the Nebula pipeline: executes the generated keyword queries
+/// and produces ranked candidate tuples (paper Figure 5, extended with the
+/// §6.2 focal-based confidence adjustment).
+class TupleIdentifier {
+ public:
+  TupleIdentifier(KeywordSearchEngine* engine, const Acg* acg,
+                  IdentifyParams params = {})
+      : engine_(engine), acg_(acg), params_(params) {}
+
+  /// Runs the algorithm. `focal` is Foc(a); `mini_db`, when given,
+  /// restricts the search (focal-spreading mode). Candidates are returned
+  /// sorted by confidence (descending), confidences normalized to (0,1].
+  Result<std::vector<CandidateTuple>> Identify(
+      const std::vector<KeywordQuery>& queries,
+      const std::vector<TupleId>& focal, const MiniDb* mini_db = nullptr);
+
+  const IdentifyParams& params() const { return params_; }
+  IdentifyParams& params() { return params_; }
+
+ private:
+  KeywordSearchEngine* engine_;
+  const Acg* acg_;
+  IdentifyParams params_;
+};
+
+}  // namespace nebula
+
+#endif  // NEBULA_CORE_IDENTIFY_H_

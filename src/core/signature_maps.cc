@@ -1,0 +1,103 @@
+#include "core/signature_maps.h"
+
+#include <algorithm>
+
+#include "text/stopwords.h"
+
+namespace nebula {
+
+bool SigWord::HasConceptMapping() const {
+  return std::any_of(mappings.begin(), mappings.end(),
+                     [](const WordMapping& m) { return m.IsConcept(); });
+}
+
+bool SigWord::HasValueMapping() const {
+  return std::any_of(mappings.begin(), mappings.end(),
+                     [](const WordMapping& m) { return !m.IsConcept(); });
+}
+
+const WordMapping* SigWord::BestMapping() const {
+  const WordMapping* best = nullptr;
+  for (const auto& m : mappings) {
+    if (best == nullptr || m.weight > best->weight) best = &m;
+  }
+  return best;
+}
+
+size_t SignatureMap::NumEmphasized() const {
+  size_t n = 0;
+  for (const auto& w : words) {
+    if (w.emphasized()) ++n;
+  }
+  return n;
+}
+
+SignatureMap SignatureMapBuilder::BuildConceptMap(
+    const std::vector<Token>& tokens, double epsilon) const {
+  SignatureMap map;
+  map.words.reserve(tokens.size());
+  for (const auto& token : tokens) {
+    SigWord word;
+    word.token = token;
+    // Stopwords can never be concept references; skip the inner loop.
+    if (!IsStopword(token.lower)) {
+      for (const auto& item : meta_->schema_items()) {
+        const double p = meta_->ConceptMatchScore(token.lower, item);
+        if (p < epsilon) continue;
+        WordMapping m;
+        m.kind = item.kind == SchemaItem::Kind::kTable
+                     ? WordMapping::Kind::kTable
+                     : WordMapping::Kind::kColumn;
+        m.table = item.table;
+        m.column = item.column;
+        m.weight = p;
+        word.mappings.push_back(std::move(m));
+      }
+    }
+    map.words.push_back(std::move(word));
+  }
+  return map;
+}
+
+SignatureMap SignatureMapBuilder::BuildValueMap(
+    const std::vector<Token>& tokens, double epsilon) const {
+  SignatureMap map;
+  map.words.reserve(tokens.size());
+  for (const auto& token : tokens) {
+    SigWord word;
+    word.token = token;
+    if (!IsStopword(token.lower)) {
+      for (const auto& vc : meta_->value_columns()) {
+        const double d = meta_->DomainMatchScore(token.text, vc);
+        if (d < epsilon) continue;
+        WordMapping m;
+        m.kind = WordMapping::Kind::kValue;
+        m.table = vc.table;
+        m.column = vc.column;
+        m.weight = d;
+        word.mappings.push_back(std::move(m));
+      }
+    }
+    map.words.push_back(std::move(word));
+  }
+  return map;
+}
+
+SignatureMap SignatureMapBuilder::Overlay(const SignatureMap& concept_map,
+                                          const SignatureMap& value_map) {
+  SignatureMap out;
+  const size_t n = std::min(concept_map.words.size(), value_map.words.size());
+  out.words.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    SigWord word;
+    word.token = concept_map.words[i].token;
+    word.mappings = concept_map.words[i].mappings;
+    for (const auto& m : value_map.words[i].mappings) {
+      word.mappings.push_back(m);
+    }
+    out.words.push_back(std::move(word));
+  }
+  return out;
+}
+
+}  // namespace nebula

@@ -1,0 +1,16 @@
+#include "core/spam.h"
+
+namespace nebula {
+
+SpamVerdict DetectSpam(const std::vector<CandidateTuple>& candidates,
+                       uint64_t total_rows, const SpamGuardParams& params) {
+  SpamVerdict verdict;
+  if (total_rows == 0) return verdict;
+  verdict.coverage = static_cast<double>(candidates.size()) /
+                     static_cast<double>(total_rows);
+  verdict.spam_suspected = candidates.size() >= params.min_candidates &&
+                           verdict.coverage > params.max_coverage;
+  return verdict;
+}
+
+}  // namespace nebula

@@ -1,0 +1,37 @@
+#ifndef NEBULA_CORE_SPAM_H_
+#define NEBULA_CORE_SPAM_H_
+
+#include <cstdint>
+
+#include "core/identify.h"
+
+namespace nebula {
+
+/// Thresholds for the spam-like annotation guard.
+struct SpamGuardParams {
+  /// A prediction covering more than this fraction of the database is
+  /// suspicious.
+  double max_coverage = 0.05;
+  /// ... but tiny databases need an absolute floor before the ratio
+  /// means anything.
+  size_t min_candidates = 50;
+};
+
+/// The guard's verdict for one annotation's discovery round.
+struct SpamVerdict {
+  bool spam_suspected = false;
+  double coverage = 0.0;  ///< |candidates| / |database rows|
+};
+
+/// Detector for "spam-like" annotations — the paper's footnote 1 excludes
+/// them by assumption ("an annotation that references all (or most) data
+/// tuples"); this guard makes the assumption enforceable: when a single
+/// annotation's candidate set covers an excessive share of the database,
+/// its predictions should not be turned into verification tasks at all.
+SpamVerdict DetectSpam(const std::vector<CandidateTuple>& candidates,
+                       uint64_t total_rows,
+                       const SpamGuardParams& params = {});
+
+}  // namespace nebula
+
+#endif  // NEBULA_CORE_SPAM_H_

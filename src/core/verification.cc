@@ -1,0 +1,179 @@
+#include "core/verification.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace nebula {
+
+const char* TaskStateName(TaskState state) {
+  switch (state) {
+    case TaskState::kPending:
+      return "PENDING";
+    case TaskState::kAutoAccepted:
+      return "AUTO_ACCEPTED";
+    case TaskState::kAutoRejected:
+      return "AUTO_REJECTED";
+    case TaskState::kExpertAccepted:
+      return "EXPERT_ACCEPTED";
+    case TaskState::kExpertRejected:
+      return "EXPERT_REJECTED";
+  }
+  return "?";
+}
+
+void VerificationManager::ApplyAccept(VerificationTask* task) {
+  // (1) Attach the annotation to the tuple as a True Attachment.
+  const std::vector<TupleId> siblings =
+      store_->AttachedTuples(task->annotation, /*true_only=*/true);
+  // The edge may exist as Predicted; promote, else attach fresh.
+  if (store_->HasAttachment(task->annotation, task->tuple)) {
+    (void)store_->PromoteToTrue(task->annotation, task->tuple);
+  } else {
+    (void)store_->Attach(task->annotation, task->tuple,
+                         AttachmentType::kTrue);
+  }
+  if (acg_ != nullptr) {
+    // (3) Feed the hop-distance profile *before* the ACG gains the new
+    // edges (paper §6.3: the profile records how far the discovered tuple
+    // was from the focal at discovery time).
+    acg_->RecordProfilePoint(acg_->HopDistance(siblings, task->tuple));
+    // (2) Update the ACG with the new attachment.
+    acg_->AddAttachment(task->annotation, task->tuple, siblings);
+  }
+}
+
+SubmitOutcome VerificationManager::Submit(
+    AnnotationId annotation, const std::vector<CandidateTuple>& candidates) {
+  SubmitOutcome outcome;
+  for (const auto& c : candidates) {
+    if (store_->HasAttachment(annotation, c.tuple)) {
+      ++outcome.already_attached;
+      continue;
+    }
+    VerificationTask task;
+    task.vid = tasks_.size();
+    task.annotation = annotation;
+    task.tuple = c.tuple;
+    task.confidence = c.confidence;
+    task.evidence = c.evidence;
+    if (c.confidence < bounds_.lower) {
+      task.state = TaskState::kAutoRejected;
+      ++outcome.auto_rejected;
+      tasks_.push_back(std::move(task));
+    } else if (c.confidence > bounds_.upper) {
+      task.state = TaskState::kAutoAccepted;
+      tasks_.push_back(std::move(task));
+      ApplyAccept(&tasks_.back());
+      ++outcome.auto_accepted;
+    } else {
+      task.state = TaskState::kPending;
+      tasks_.push_back(std::move(task));
+      ++outcome.pending;
+    }
+  }
+  return outcome;
+}
+
+Status VerificationManager::Verify(uint64_t vid) {
+  if (vid >= tasks_.size()) {
+    return Status::NotFound(StrFormat("verification task %llu",
+                                      static_cast<unsigned long long>(vid)));
+  }
+  VerificationTask& task = tasks_[vid];
+  if (task.state != TaskState::kPending) {
+    return Status::InvalidArgument(
+        StrFormat("task %llu is %s, not PENDING",
+                  static_cast<unsigned long long>(vid),
+                  TaskStateName(task.state)));
+  }
+  task.state = TaskState::kExpertAccepted;
+  ApplyAccept(&task);
+  return Status::OK();
+}
+
+Status VerificationManager::Reject(uint64_t vid) {
+  if (vid >= tasks_.size()) {
+    return Status::NotFound(StrFormat("verification task %llu",
+                                      static_cast<unsigned long long>(vid)));
+  }
+  VerificationTask& task = tasks_[vid];
+  if (task.state != TaskState::kPending) {
+    return Status::InvalidArgument(
+        StrFormat("task %llu is %s, not PENDING",
+                  static_cast<unsigned long long>(vid),
+                  TaskStateName(task.state)));
+  }
+  task.state = TaskState::kExpertRejected;
+  return Status::OK();
+}
+
+Status VerificationManager::ExecuteCommand(const std::string& command) {
+  std::string trimmed(Trim(command));
+  if (!trimmed.empty() && trimmed.back() == ';') trimmed.pop_back();
+  const std::vector<std::string> parts = SplitWhitespace(trimmed);
+  if (parts.size() != 3 || !EqualsIgnoreCase(parts[1], "attachment")) {
+    return Status::InvalidArgument(
+        "expected: [VERIFY | REJECT] ATTACHMENT <vid>");
+  }
+  if (!LooksLikeInteger(parts[2])) {
+    return Status::InvalidArgument("vid must be an integer, got '" +
+                                   parts[2] + "'");
+  }
+  const uint64_t vid = std::strtoull(parts[2].c_str(), nullptr, 10);
+  if (EqualsIgnoreCase(parts[0], "verify")) return Verify(vid);
+  if (EqualsIgnoreCase(parts[0], "reject")) return Reject(vid);
+  return Status::InvalidArgument("unknown verb '" + parts[0] +
+                                 "' (expected VERIFY or REJECT)");
+}
+
+VerificationManager::Stats VerificationManager::ComputeStats() const {
+  Stats stats;
+  for (const auto& task : tasks_) {
+    switch (task.state) {
+      case TaskState::kPending:
+        ++stats.pending;
+        break;
+      case TaskState::kAutoAccepted:
+        ++stats.auto_accepted;
+        break;
+      case TaskState::kAutoRejected:
+        ++stats.auto_rejected;
+        break;
+      case TaskState::kExpertAccepted:
+        ++stats.expert_accepted;
+        break;
+      case TaskState::kExpertRejected:
+        ++stats.expert_rejected;
+        break;
+    }
+  }
+  return stats;
+}
+
+std::vector<const VerificationTask*> VerificationManager::PendingTasks()
+    const {
+  std::vector<const VerificationTask*> out;
+  for (const auto& t : tasks_) {
+    if (t.state == TaskState::kPending) out.push_back(&t);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const VerificationTask* a, const VerificationTask* b) {
+              if (a->confidence != b->confidence) {
+                return a->confidence > b->confidence;
+              }
+              return a->vid < b->vid;
+            });
+  return out;
+}
+
+Result<const VerificationTask*> VerificationManager::GetTask(
+    uint64_t vid) const {
+  if (vid >= tasks_.size()) {
+    return Status::NotFound(StrFormat("verification task %llu",
+                                      static_cast<unsigned long long>(vid)));
+  }
+  return &tasks_[vid];
+}
+
+}  // namespace nebula

@@ -1,0 +1,121 @@
+#ifndef NEBULA_CORE_VERIFICATION_H_
+#define NEBULA_CORE_VERIFICATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "annotation/annotation_store.h"
+#include "common/status.h"
+#include "core/acg.h"
+#include "core/identify.h"
+
+namespace nebula {
+
+/// Verification decision bounds (paper Figure 8): confidence below
+/// `lower` auto-rejects, above `upper` auto-accepts, in between the task
+/// is pending expert verification.
+struct VerificationBounds {
+  double lower = 0.32;
+  double upper = 0.86;
+};
+
+/// The lifecycle states of a verification task.
+enum class TaskState {
+  kPending,
+  kAutoAccepted,
+  kAutoRejected,
+  kExpertAccepted,
+  kExpertRejected,
+};
+
+const char* TaskStateName(TaskState state);
+
+/// A verification task v = (vid, a, t, confidence, evidence) of Def. 7.1.
+struct VerificationTask {
+  uint64_t vid = 0;
+  AnnotationId annotation = 0;
+  TupleId tuple;
+  double confidence = 0.0;
+  std::vector<std::string> evidence;
+  TaskState state = TaskState::kPending;
+};
+
+/// Counts of one Submit() round, bucketed per Figure 8.
+struct SubmitOutcome {
+  size_t auto_accepted = 0;
+  size_t auto_rejected = 0;
+  size_t pending = 0;
+  /// Candidates skipped because the attachment already existed (e.g. the
+  /// search rediscovered a focal tuple).
+  size_t already_attached = 0;
+};
+
+/// Stage 3 of the Nebula pipeline: turns candidate tuples into
+/// verification tasks, applies the bounds, and executes the accept-side
+/// effects — attach the annotation (True edge), update the ACG, and feed
+/// the hop-distance profile.
+class VerificationManager {
+ public:
+  VerificationManager(AnnotationStore* store, Acg* acg,
+                      VerificationBounds bounds = {})
+      : store_(store), acg_(acg), bounds_(bounds) {}
+
+  /// Submits the candidates of one annotation's discovery round.
+  SubmitOutcome Submit(AnnotationId annotation,
+                       const std::vector<CandidateTuple>& candidates);
+
+  /// Expert accepts the pending task (the VERIFY ATTACHMENT command).
+  Status Verify(uint64_t vid);
+  /// Expert rejects the pending task (the REJECT ATTACHMENT command).
+  Status Reject(uint64_t vid);
+
+  /// Parses and executes the paper's extended SQL command:
+  ///   [VERIFY | REJECT] ATTACHMENT <vid>;
+  /// (case-insensitive; trailing semicolon optional).
+  Status ExecuteCommand(const std::string& command);
+
+  /// Aggregate counts per task state — the admin dashboard numbers.
+  struct Stats {
+    size_t pending = 0;
+    size_t auto_accepted = 0;
+    size_t auto_rejected = 0;
+    size_t expert_accepted = 0;
+    size_t expert_rejected = 0;
+    size_t total() const {
+      return pending + auto_accepted + auto_rejected + expert_accepted +
+             expert_rejected;
+    }
+    /// The M_H-style conversion ratio of the expert decisions so far.
+    double expert_hit_ratio() const {
+      const size_t decided = expert_accepted + expert_rejected;
+      return decided == 0 ? 0.0
+                          : static_cast<double>(expert_accepted) /
+                                static_cast<double>(decided);
+    }
+  };
+  Stats ComputeStats() const;
+
+  /// Pending tasks, ordered by descending confidence (what the system
+  /// table shows to DB admins).
+  std::vector<const VerificationTask*> PendingTasks() const;
+  /// All tasks ever created (for assessment).
+  const std::vector<VerificationTask>& tasks() const { return tasks_; }
+  Result<const VerificationTask*> GetTask(uint64_t vid) const;
+
+  const VerificationBounds& bounds() const { return bounds_; }
+  void set_bounds(VerificationBounds bounds) { bounds_ = bounds; }
+
+ private:
+  /// The accept side-effects shared by auto-accept and expert accept.
+  void ApplyAccept(VerificationTask* task);
+
+  AnnotationStore* store_;
+  Acg* acg_;
+  VerificationBounds bounds_;
+  std::vector<VerificationTask> tasks_;
+};
+
+}  // namespace nebula
+
+#endif  // NEBULA_CORE_VERIFICATION_H_

@@ -1,0 +1,364 @@
+#include "keyword/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "storage/table.h"
+
+namespace nebula {
+
+std::string GeneratedSql::CanonicalKey() const {
+  std::vector<std::string> preds;
+  preds.reserve(query.predicates.size());
+  for (const auto& p : query.predicates) preds.push_back(p.ToString());
+  std::sort(preds.begin(), preds.end());
+  return ToLower(query.table) + "|" + Join(preds, "&");
+}
+
+KeywordSearchEngine::KeywordSearchEngine(const Catalog* catalog,
+                                         const NebulaMeta* meta,
+                                         KeywordSearchParams params)
+    : catalog_(catalog), meta_(meta), params_(params), executor_(catalog) {}
+
+double KeywordSearchEngine::TextMappingScore(const Table& table,
+                                             size_t column,
+                                             const std::string& token) const {
+  const auto postings = table.LookupToken(column, token);
+  if (postings.empty()) return 0.0;
+  const double n = static_cast<double>(table.num_rows());
+  const double df = static_cast<double>(postings.size());
+  // idf normalized to (0,1]: rare tokens approach 1, ubiquitous tokens
+  // approach 0.
+  const double idf = std::log(1.0 + n / df) / std::log(1.0 + n);
+  return params_.text_score_base + params_.text_score_idf_scale * idf;
+}
+
+std::vector<KeywordMapping> KeywordSearchEngine::MapKeyword(
+    const std::string& word) const {
+  std::vector<KeywordMapping> mappings;
+  const std::string lower = ToLower(word);
+
+  // (a) Schema-item mappings (table / column names) via NebulaMeta.
+  for (const auto& item : meta_->schema_items()) {
+    const double score = meta_->ConceptMatchScore(lower, item);
+    if (score < params_.min_mapping_score) continue;
+    KeywordMapping m;
+    m.kind = item.kind == SchemaItem::Kind::kTable
+                 ? KeywordMapping::Kind::kTableName
+                 : KeywordMapping::Kind::kColumnName;
+    m.table = item.table;
+    m.column = item.column;
+    m.score = score;
+    mappings.push_back(m);
+  }
+
+  // (b) Declared value-domain mappings (ConceptRefs referencing columns).
+  for (const auto& vc : meta_->value_columns()) {
+    double score = meta_->DomainMatchScore(word, vc);
+    if (score < params_.min_mapping_score) continue;
+    auto table_result = catalog_->GetTable(vc.table);
+    bool unique_col = false;
+    if (table_result.ok()) {
+      const int ord = (*table_result)->schema().ColumnIndex(vc.column);
+      if (ord >= 0) {
+        unique_col = (*table_result)->schema().column(
+            static_cast<size_t>(ord)).unique;
+      }
+    }
+    if (unique_col) score = std::min(1.0, score + params_.unique_column_boost);
+    KeywordMapping m;
+    m.kind = KeywordMapping::Kind::kValue;
+    m.table = vc.table;
+    m.column = vc.column;
+    m.score = score;
+    m.exact_value = true;
+    mappings.push_back(m);
+  }
+
+  // (c) Text-index containment mappings over every text-indexed string
+  // column (this is what makes the Naive whole-annotation query explode:
+  // ordinary English words map into publication titles/abstracts).
+  for (const auto& table : catalog_->tables()) {
+    for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+      if (!table->HasTextIndex(c)) continue;
+      // Skip columns already covered by a declared value mapping for this
+      // word: the declared mapping is strictly more informative.
+      const ValueColumn* declared =
+          meta_->FindValueColumn(table->name(), table->schema().column(c).name);
+      const double score = TextMappingScore(*table, c, lower);
+      if (score < params_.min_mapping_score) continue;
+      if (declared != nullptr &&
+          meta_->DomainMatchScore(word, *declared) >=
+              params_.min_mapping_score) {
+        continue;
+      }
+      KeywordMapping m;
+      m.kind = KeywordMapping::Kind::kValue;
+      m.table = ToLower(table->name());
+      m.column = ToLower(table->schema().column(c).name);
+      m.score = score;
+      m.exact_value = false;
+      mappings.push_back(m);
+    }
+  }
+
+  std::sort(mappings.begin(), mappings.end(),
+            [](const KeywordMapping& a, const KeywordMapping& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.table != b.table) return a.table < b.table;
+              return a.column < b.column;
+            });
+  if (mappings.size() > params_.max_mappings_per_keyword) {
+    mappings.resize(params_.max_mappings_per_keyword);
+  }
+  return mappings;
+}
+
+std::vector<GeneratedSql> KeywordSearchEngine::CompileToSql(
+    const KeywordQuery& query, MappingCache* cache) const {
+  // Map every keyword (memoized across the group when a cache is given).
+  std::vector<std::vector<KeywordMapping>> all;
+  all.reserve(query.keywords.size());
+  for (const auto& kw : query.keywords) {
+    if (cache == nullptr) {
+      all.push_back(MapKeyword(kw));
+      continue;
+    }
+    auto it = cache->find(kw);
+    if (it == cache->end()) {
+      it = cache->emplace(kw, MapKeyword(kw)).first;
+    }
+    all.push_back(it->second);
+  }
+
+  // Collect configuration context: which tables / columns have a
+  // schema-item keyword in this query.
+  std::unordered_set<std::string> context_tables;
+  std::unordered_set<std::string> context_columns;  // "table.column"
+  for (const auto& mappings : all) {
+    for (const auto& m : mappings) {
+      if (m.kind == KeywordMapping::Kind::kTableName) {
+        context_tables.insert(m.table);
+      } else if (m.kind == KeywordMapping::Kind::kColumnName) {
+        context_columns.insert(m.table + "." + m.column);
+      }
+    }
+  }
+
+  auto contextual_score = [&](const KeywordMapping& m) {
+    double s = m.score;
+    if (context_tables.count(m.table) > 0) {
+      s *= 1.0 + params_.table_context_boost;
+    }
+    if (context_columns.count(m.table + "." + m.column) > 0) {
+      s *= 1.0 + params_.column_context_boost;
+    }
+    return std::min(s, 0.99);
+  };
+
+  auto make_predicates = [&](const std::string& keyword,
+                             const KeywordMapping& m) {
+    std::vector<Predicate> preds;
+    if (m.exact_value) {
+      Predicate p;
+      p.column = m.column;
+      p.op = CompareOp::kEq;
+      // Typed literal: integer columns need integer values.
+      auto table_result = catalog_->GetTable(m.table);
+      DataType type = DataType::kString;
+      if (table_result.ok()) {
+        const int ord = (*table_result)->schema().ColumnIndex(m.column);
+        if (ord >= 0) {
+          type = (*table_result)->schema().column(
+              static_cast<size_t>(ord)).type;
+        }
+      }
+      switch (type) {
+        case DataType::kInt64:
+          p.value = Value(static_cast<int64_t>(std::strtoll(
+              keyword.c_str(), nullptr, 10)));
+          break;
+        case DataType::kDouble:
+          p.value = Value(std::strtod(keyword.c_str(), nullptr));
+          break;
+        case DataType::kString:
+          p.value = Value(keyword);
+          break;
+      }
+      preds.push_back(std::move(p));
+    } else {
+      // Containment probes, one per token of the keyword ("G-Actin" ->
+      // tokens {"g","actin"}), conjunctive.
+      for (const auto& tok : TokenizeForIndex(keyword)) {
+        Predicate p;
+        p.column = m.column;
+        p.op = CompareOp::kContainsToken;
+        p.value = Value(tok);
+        preds.push_back(std::move(p));
+      }
+    }
+    return preds;
+  };
+
+  std::vector<GeneratedSql> out;
+  // (1) One statement per value mapping of each keyword.
+  // Track, per table.column, the keywords that mapped there (for combos).
+  std::unordered_map<std::string, std::vector<std::pair<std::string, double>>>
+      by_column;  // "table.column" -> [(keyword, score)]
+  for (size_t i = 0; i < query.keywords.size(); ++i) {
+    for (const auto& m : all[i]) {
+      if (m.kind != KeywordMapping::Kind::kValue) continue;
+      if (out.size() >= params_.max_sql_per_query) break;
+      GeneratedSql sql;
+      sql.query.table = m.table;
+      sql.query.predicates = make_predicates(query.keywords[i], m);
+      if (sql.query.predicates.empty()) continue;
+      sql.confidence = contextual_score(m);
+      by_column[m.table + "." + m.column].push_back(
+          {query.keywords[i], sql.confidence});
+      out.push_back(std::move(sql));
+    }
+  }
+
+  // (2) Combo statements for multi-column referencing combinations
+  // declared in ConceptRefs (e.g. Protein referenced by PName & PType):
+  // when every column of a declared combo received some keyword, emit the
+  // conjunctive statement with a confidence bonus.
+  for (const auto& cref : meta_->concepts()) {
+    for (const auto& combo : cref.referenced_by) {
+      if (combo.size() < 2) continue;
+      std::vector<std::pair<std::string, double>> chosen;  // (keyword, score)
+      bool complete = true;
+      for (const auto& col : combo) {
+        auto it = by_column.find(cref.table_name + "." + col);
+        if (it == by_column.end() || it->second.empty()) {
+          complete = false;
+          break;
+        }
+        // Best keyword for this column.
+        const auto best = *std::max_element(
+            it->second.begin(), it->second.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+        chosen.push_back(best);
+      }
+      if (!complete || out.size() >= params_.max_sql_per_query) continue;
+      GeneratedSql sql;
+      sql.query.table = cref.table_name;
+      double sum = 0.0;
+      bool ok = true;
+      for (size_t c = 0; c < combo.size(); ++c) {
+        const ValueColumn* vc =
+            meta_->FindValueColumn(cref.table_name, combo[c]);
+        KeywordMapping m;
+        m.kind = KeywordMapping::Kind::kValue;
+        m.table = cref.table_name;
+        m.column = combo[c];
+        m.exact_value = true;
+        (void)vc;
+        auto preds = make_predicates(chosen[c].first, m);
+        if (preds.empty()) {
+          ok = false;
+          break;
+        }
+        for (auto& p : preds) sql.query.predicates.push_back(std::move(p));
+        sum += chosen[c].second;
+      }
+      if (!ok) continue;
+      sql.confidence =
+          std::min(0.99, sum / static_cast<double>(combo.size()) + 0.10);
+      out.push_back(std::move(sql));
+    }
+  }
+
+  // Deduplicate identical statements, keeping the highest confidence.
+  std::unordered_map<std::string, size_t> seen;
+  std::vector<GeneratedSql> deduped;
+  for (auto& sql : out) {
+    const std::string key = sql.CanonicalKey();
+    auto it = seen.find(key);
+    if (it == seen.end()) {
+      seen.emplace(key, deduped.size());
+      deduped.push_back(std::move(sql));
+    } else if (sql.confidence > deduped[it->second].confidence) {
+      deduped[it->second].confidence = sql.confidence;
+    }
+  }
+  return deduped;
+}
+
+Result<std::vector<SearchHit>> KeywordSearchEngine::ExecuteSql(
+    const GeneratedSql& sql, const MiniDb* mini_db) {
+  NEBULA_ASSIGN_OR_RETURN(const Table* table,
+                          catalog_->GetTable(sql.query.table));
+  const std::unordered_set<Table::RowId>* restrict = nullptr;
+  if (mini_db != nullptr) {
+    restrict = mini_db->ForTable(table->id());
+    if (restrict == nullptr) {
+      // No rows of this table inside the mini database.
+      return std::vector<SearchHit>{};
+    }
+  }
+  NEBULA_ASSIGN_OR_RETURN(
+      std::vector<Table::RowId> rows,
+      executor_.Execute(sql.query, restrict,
+                        /*allow_text_index=*/!params_.scan_containment));
+  std::vector<SearchHit> hits;
+  hits.reserve(rows.size());
+  for (Table::RowId r : rows) {
+    hits.push_back({TupleId{table->id(), r}, sql.confidence});
+  }
+  if (params_.fk_expansion) {
+    std::vector<SearchHit> expanded;
+    for (const auto& hit : hits) {
+      size_t added = 0;
+      for (const TupleId& nb : catalog_->FkNeighbors(hit.tuple)) {
+        if (added >= params_.fk_fanout_cap) break;
+        if (mini_db != nullptr && !mini_db->Contains(nb)) continue;
+        expanded.push_back({nb, hit.confidence * params_.fk_decay});
+        ++added;
+      }
+    }
+    hits.insert(hits.end(), expanded.begin(), expanded.end());
+  }
+  return hits;
+}
+
+std::vector<SearchHit> KeywordSearchEngine::MergeHits(
+    const std::vector<std::vector<SearchHit>>& per_sql_hits) {
+  std::unordered_map<TupleId, double, TupleIdHash> best;
+  for (const auto& hits : per_sql_hits) {
+    for (const auto& h : hits) {
+      auto [it, inserted] = best.emplace(h.tuple, h.confidence);
+      if (!inserted && h.confidence > it->second) it->second = h.confidence;
+    }
+  }
+  std::vector<SearchHit> merged;
+  merged.reserve(best.size());
+  for (const auto& [tuple, conf] : best) merged.push_back({tuple, conf});
+  std::sort(merged.begin(), merged.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              return a.tuple < b.tuple;
+            });
+  return merged;
+}
+
+Result<std::vector<SearchHit>> KeywordSearchEngine::Search(
+    const KeywordQuery& query, const MiniDb* mini_db) {
+  const std::vector<GeneratedSql> plan = CompileToSql(query);
+  std::vector<std::vector<SearchHit>> per_sql;
+  per_sql.reserve(plan.size());
+  for (const auto& sql : plan) {
+    NEBULA_ASSIGN_OR_RETURN(std::vector<SearchHit> hits,
+                            ExecuteSql(sql, mini_db));
+    per_sql.push_back(std::move(hits));
+  }
+  return MergeHits(per_sql);
+}
+
+}  // namespace nebula

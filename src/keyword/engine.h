@@ -1,0 +1,91 @@
+#ifndef NEBULA_KEYWORD_ENGINE_H_
+#define NEBULA_KEYWORD_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "keyword/mini_db.h"
+#include "keyword/query_types.h"
+#include "meta/nebula_meta.h"
+#include "storage/catalog.h"
+#include "storage/query.h"
+
+namespace nebula {
+
+/// A candidate SQL statement compiled from one interpretation
+/// (configuration) of a keyword query, with the configuration confidence.
+struct GeneratedSql {
+  SelectQuery query;
+  double confidence = 0.0;
+
+  /// Canonical string used for duplicate elimination and cross-query
+  /// sharing (table + sorted predicates).
+  std::string CanonicalKey() const;
+};
+
+/// Metadata-driven keyword search over the relational catalog — Nebula's
+/// from-scratch implementation of the black-box search technique the paper
+/// builds on (Bergamaschi et al. [7] style).
+///
+/// Pipeline: (1) map each keyword to candidate schema items and value
+/// domains using NebulaMeta plus the tables' inverted text indexes;
+/// (2) combine the mappings into configurations and compile each to a
+/// conjunctive SQL statement with a confidence weight; (3) execute the SQL
+/// (optionally restricted to a MiniDb) and merge the per-tuple confidences.
+class KeywordSearchEngine {
+ public:
+  KeywordSearchEngine(const Catalog* catalog, const NebulaMeta* meta,
+                      KeywordSearchParams params = {});
+
+  /// Full search: mapping + compilation + execution.
+  Result<std::vector<SearchHit>> Search(const KeywordQuery& query,
+                                        const MiniDb* mini_db = nullptr);
+
+  /// Step 1 — candidate mappings for a single keyword, best-first,
+  /// thresholded and truncated per params.
+  std::vector<KeywordMapping> MapKeyword(const std::string& word) const;
+
+  /// Memoization table for MapKeyword, scoped by the caller (the shared
+  /// executor keeps one per query group: the same keyword — typically the
+  /// concept word — appears in most queries of a group, and mapping it is
+  /// the expensive part of compilation).
+  using MappingCache =
+      std::unordered_map<std::string, std::vector<KeywordMapping>>;
+
+  /// Steps 1+2 — the SQL plan for a query (exposed for the shared
+  /// executor and for tests). `cache`, when given, memoizes keyword
+  /// mappings across calls.
+  std::vector<GeneratedSql> CompileToSql(const KeywordQuery& query,
+                                         MappingCache* cache = nullptr) const;
+
+  /// Step 3 — executes one generated statement; hits carry
+  /// `sql.confidence`, FK-expanded when params.fk_expansion is set.
+  Result<std::vector<SearchHit>> ExecuteSql(const GeneratedSql& sql,
+                                            const MiniDb* mini_db = nullptr);
+
+  /// Merges hits from many statements of the *same* keyword query:
+  /// per-tuple max confidence (cross-query aggregation is the caller's
+  /// job — see IdentifyRelatedTuples).
+  static std::vector<SearchHit> MergeHits(
+      const std::vector<std::vector<SearchHit>>& per_sql_hits);
+
+  const ExecStats& stats() const { return executor_.stats(); }
+  void ResetStats() { executor_.ResetStats(); }
+  const KeywordSearchParams& params() const { return params_; }
+  KeywordSearchParams& params() { return params_; }
+
+ private:
+  /// idf-weighted score for `token` appearing in a text-indexed column.
+  double TextMappingScore(const Table& table, size_t column,
+                          const std::string& token) const;
+
+  const Catalog* catalog_;
+  const NebulaMeta* meta_;
+  KeywordSearchParams params_;
+  QueryExecutor executor_;
+};
+
+}  // namespace nebula
+
+#endif  // NEBULA_KEYWORD_ENGINE_H_

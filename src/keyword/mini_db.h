@@ -1,0 +1,51 @@
+#ifndef NEBULA_KEYWORD_MINI_DB_H_
+#define NEBULA_KEYWORD_MINI_DB_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace nebula {
+
+/// A materialized restriction of the database to a subset of rows — the
+/// "mini database" the focal-spreading search runs over (paper §6.3).
+///
+/// Rows keep their original TupleIds, so results over a MiniDb are directly
+/// comparable with full-database search results.
+class MiniDb {
+ public:
+  MiniDb() = default;
+
+  void Add(const TupleId& id) { rows_by_table_[id.table_id].insert(id.row); }
+
+  bool Contains(const TupleId& id) const {
+    auto it = rows_by_table_.find(id.table_id);
+    return it != rows_by_table_.end() && it->second.count(id.row) > 0;
+  }
+
+  /// Allowed rows for a table; nullptr means no rows of that table are in
+  /// the mini database.
+  const std::unordered_set<Table::RowId>* ForTable(uint32_t table_id) const {
+    auto it = rows_by_table_.find(table_id);
+    return it == rows_by_table_.end() ? nullptr : &it->second;
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const auto& [_, rows] : rows_by_table_) total += rows.size();
+    return total;
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::unordered_map<uint32_t, std::unordered_set<Table::RowId>>
+      rows_by_table_;
+};
+
+}  // namespace nebula
+
+#endif  // NEBULA_KEYWORD_MINI_DB_H_

@@ -1,0 +1,69 @@
+#include "keyword/shared_executor.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace nebula {
+
+Status SharedKeywordExecutor::ExecuteGroup(
+    const std::vector<KeywordQuery>& queries,
+    std::vector<std::vector<SearchHit>>* results, const MiniDb* mini_db) {
+  results->clear();
+  results->resize(queries.size());
+  stats_ = SharedExecutionStats();
+
+  // Phase 1: compile every query, canonicalize statements group-wide.
+  struct PlannedSql {
+    GeneratedSql sql;
+    // (query index, confidence under that query's plan).
+    std::vector<std::pair<size_t, double>> consumers;
+  };
+  std::unordered_map<std::string, size_t> index_by_key;
+  std::vector<PlannedSql> plan;
+  KeywordSearchEngine::MappingCache mapping_cache;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (auto& sql : engine_->CompileToSql(queries[qi], &mapping_cache)) {
+      ++stats_.total_sql;
+      const std::string key = sql.CanonicalKey();
+      auto it = index_by_key.find(key);
+      if (it == index_by_key.end()) {
+        index_by_key.emplace(key, plan.size());
+        PlannedSql planned;
+        planned.consumers.push_back({qi, sql.confidence});
+        planned.sql = std::move(sql);
+        plan.push_back(std::move(planned));
+      } else {
+        plan[it->second].consumers.push_back({qi, sql.confidence});
+      }
+    }
+  }
+  stats_.distinct_sql = plan.size();
+
+  // Phase 2: execute each distinct statement once; hand the row set to all
+  // consumers with their own confidences.
+  std::vector<std::vector<std::vector<SearchHit>>> per_query_hits(
+      queries.size());
+  for (auto& planned : plan) {
+    // Execute with confidence 1; scale per consumer below.
+    GeneratedSql unit = planned.sql;
+    unit.confidence = 1.0;
+    NEBULA_ASSIGN_OR_RETURN(std::vector<SearchHit> hits,
+                            engine_->ExecuteSql(unit, mini_db));
+    for (const auto& [qi, conf] : planned.consumers) {
+      std::vector<SearchHit> scaled;
+      scaled.reserve(hits.size());
+      for (const auto& h : hits) {
+        scaled.push_back({h.tuple, h.confidence * conf});
+      }
+      per_query_hits[qi].push_back(std::move(scaled));
+    }
+  }
+
+  // Phase 3: per-query merge, identical to the isolated path.
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    (*results)[qi] = KeywordSearchEngine::MergeHits(per_query_hits[qi]);
+  }
+  return Status::OK();
+}
+
+}  // namespace nebula

@@ -1,0 +1,54 @@
+#ifndef NEBULA_KEYWORD_SHARED_EXECUTOR_H_
+#define NEBULA_KEYWORD_SHARED_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "keyword/engine.h"
+
+namespace nebula {
+
+/// Statistics of one shared execution round (reported by the Fig. 13
+/// benchmark).
+struct SharedExecutionStats {
+  size_t total_sql = 0;     ///< SQL statements across all queries.
+  size_t distinct_sql = 0;  ///< Statements actually executed.
+  double sharing_ratio() const {
+    return total_sql == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(distinct_sql) /
+                           static_cast<double>(total_sql);
+  }
+};
+
+/// Shared execution of the keyword-query group generated from a single
+/// annotation (the multi-query optimization of §6).
+///
+/// The queries in a group overlap heavily: the same embedded reference is
+/// often emitted in several forms (e.g. a Type-2 and a Type-3 variant), and
+/// the underlying engine compiles those to identical SQL. Instead of
+/// executing each query in isolation, the shared executor canonicalizes
+/// every generated statement across the whole group, executes each
+/// distinct statement exactly once, and distributes the cached result to
+/// every (query, statement) pair.
+class SharedKeywordExecutor {
+ public:
+  explicit SharedKeywordExecutor(KeywordSearchEngine* engine)
+      : engine_(engine) {}
+
+  /// Executes all queries; `results[i]` are the merged hits of queries[i]
+  /// (identical to what engine->Search(queries[i]) would return).
+  Status ExecuteGroup(const std::vector<KeywordQuery>& queries,
+                      std::vector<std::vector<SearchHit>>* results,
+                      const MiniDb* mini_db = nullptr);
+
+  const SharedExecutionStats& stats() const { return stats_; }
+
+ private:
+  KeywordSearchEngine* engine_;
+  SharedExecutionStats stats_;
+};
+
+}  // namespace nebula
+
+#endif  // NEBULA_KEYWORD_SHARED_EXECUTOR_H_

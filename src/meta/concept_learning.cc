@@ -1,0 +1,98 @@
+#include "meta/concept_learning.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "storage/table.h"
+
+namespace nebula {
+
+std::vector<LearnedConcept> LearnConceptRefs(
+    const Catalog& catalog, const AnnotationStore& store,
+    const ConceptLearningParams& params) {
+  // (table, column ordinal) -> counters.
+  std::map<std::pair<uint32_t, size_t>, size_t> hits;
+  std::map<uint32_t, size_t> attachments_per_table;
+
+  size_t inspected = 0;
+  for (const Attachment& edge : store.AllAttachments()) {
+    if (inspected >= params.max_attachments) break;
+    if (edge.type != AttachmentType::kTrue) continue;
+    auto annotation = store.GetAnnotation(edge.annotation);
+    if (!annotation.ok()) continue;
+    ++inspected;
+
+    // Token set of the annotation text (lower-cased).
+    std::unordered_set<std::string> tokens;
+    for (auto& tok : TokenizeForIndex((*annotation)->text)) {
+      tokens.insert(std::move(tok));
+    }
+
+    const Table* table = catalog.GetTableById(edge.tuple.table_id);
+    ++attachments_per_table[table->id()];
+    for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+      if (table->schema().column(c).type != DataType::kString) continue;
+      const std::string& value =
+          table->GetCell(edge.tuple.row, c).AsString();
+      if (value.size() < params.min_value_length) continue;
+      // The value counts as referenced when all of its tokens appear in
+      // the annotation (single-token values are the common case).
+      bool all_present = true;
+      const auto value_tokens = TokenizeForIndex(value);
+      if (value_tokens.empty()) continue;
+      for (const auto& vt : value_tokens) {
+        if (tokens.count(vt) == 0) {
+          all_present = false;
+          break;
+        }
+      }
+      if (all_present) ++hits[{table->id(), c}];
+    }
+  }
+
+  std::vector<LearnedConcept> out;
+  for (const auto& [key, hit_count] : hits) {
+    const Table* table = catalog.GetTableById(key.first);
+    LearnedConcept lc;
+    lc.table = table->name();
+    lc.column = table->schema().column(key.second).name;
+    lc.hits = hit_count;
+    lc.attachments = attachments_per_table[key.first];
+    out.push_back(std::move(lc));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LearnedConcept& a, const LearnedConcept& b) {
+              if (a.support() != b.support()) {
+                return a.support() > b.support();
+              }
+              if (a.table != b.table) return a.table < b.table;
+              return a.column < b.column;
+            });
+  return out;
+}
+
+Status ApplyLearnedConcepts(const std::vector<LearnedConcept>& learned,
+                            double min_support, NebulaMeta* meta) {
+  // Group qualifying columns per table.
+  std::map<std::string, std::vector<std::string>> per_table;
+  for (const auto& lc : learned) {
+    if (lc.support() >= min_support) {
+      per_table[lc.table].push_back(lc.column);
+    }
+  }
+  for (const auto& [table, columns] : per_table) {
+    std::vector<std::vector<std::string>> referenced_by;
+    for (const auto& c : columns) referenced_by.push_back({c});
+    std::string concept_name = table;
+    if (!concept_name.empty()) {
+      concept_name[0] = static_cast<char>(
+          std::toupper(static_cast<unsigned char>(concept_name[0])));
+    }
+    NEBULA_RETURN_NOT_OK(meta->AddConcept(concept_name + " (learned)", table,
+                                          std::move(referenced_by)));
+  }
+  return Status::OK();
+}
+
+}  // namespace nebula

@@ -1,0 +1,59 @@
+#ifndef NEBULA_META_CONCEPT_LEARNING_H_
+#define NEBULA_META_CONCEPT_LEARNING_H_
+
+#include <string>
+#include <vector>
+
+#include "annotation/annotation_store.h"
+#include "common/status.h"
+#include "meta/nebula_meta.h"
+#include "storage/catalog.h"
+
+namespace nebula {
+
+/// A learned referencing column: how often the annotations attached to a
+/// table's tuples literally contain the attached tuple's value in this
+/// column.
+struct LearnedConcept {
+  std::string table;
+  std::string column;
+  size_t hits = 0;         ///< attachments whose text contains the value
+  size_t attachments = 0;  ///< attachments inspected for this table
+  double support() const {
+    return attachments == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(attachments);
+  }
+};
+
+struct ConceptLearningParams {
+  /// Cap on the inspected attachments (sampling keeps learning cheap on
+  /// large corpora; attachments are taken in store order).
+  size_t max_attachments = 5000;
+  /// Values shorter than this match text too easily to be evidence.
+  size_t min_value_length = 3;
+};
+
+/// The "extreme case" module of the paper's footnote 2: instead of having
+/// domain experts populate ConceptRefs, learn from the available
+/// annotations which concepts the annotations frequently reference, and
+/// by which column(s). For every (annotation, tuple) attachment it checks
+/// which string columns of the tuple have their value literally present
+/// in the annotation's text, and aggregates per-column support.
+///
+/// Results are sorted by support (descending) and cover every string
+/// column of every table that has at least one inspected attachment.
+std::vector<LearnedConcept> LearnConceptRefs(
+    const Catalog& catalog, const AnnotationStore& store,
+    const ConceptLearningParams& params = {});
+
+/// Registers the learned columns with `min_support` or better into the
+/// meta repository as one concept per table (named "<Table> (learned)"),
+/// each qualifying column a single-column referencing alternative.
+/// Tables whose columns all fall below the threshold are skipped.
+Status ApplyLearnedConcepts(const std::vector<LearnedConcept>& learned,
+                            double min_support, NebulaMeta* meta);
+
+}  // namespace nebula
+
+#endif  // NEBULA_META_CONCEPT_LEARNING_H_

@@ -1,0 +1,237 @@
+#include "meta/nebula_meta.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "text/similarity.h"
+
+namespace nebula {
+
+NebulaMeta::NebulaMeta(Lexicon lexicon) : lexicon_(std::move(lexicon)) {}
+
+Status NebulaMeta::AddConcept(
+    const std::string& concept_name, const std::string& table_name,
+    std::vector<std::vector<std::string>> referenced_by) {
+  if (referenced_by.empty()) {
+    return Status::InvalidArgument("concept '" + concept_name +
+                                   "' has no referencing columns");
+  }
+  ConceptRef ref;
+  ref.concept_name = concept_name;
+  ref.table_name = ToLower(table_name);
+  for (auto& combo : referenced_by) {
+    std::vector<std::string> lowered;
+    lowered.reserve(combo.size());
+    for (auto& c : combo) lowered.push_back(ToLower(c));
+    ref.referenced_by.push_back(std::move(lowered));
+  }
+  // Register the table as a schema item once.
+  const bool table_known =
+      std::any_of(schema_items_.begin(), schema_items_.end(),
+                  [&](const SchemaItem& it) {
+                    return it.kind == SchemaItem::Kind::kTable &&
+                           it.table == ref.table_name;
+                  });
+  if (!table_known) {
+    SchemaItem item;
+    item.kind = SchemaItem::Kind::kTable;
+    item.table = ref.table_name;
+    item.name = ref.table_name;
+    schema_items_.push_back(item);
+  }
+  // Register each referencing column as a schema item + value column.
+  for (const auto& combo : ref.referenced_by) {
+    for (const auto& col : combo) {
+      const std::string key = ref.table_name + "." + col;
+      if (value_column_index_.count(key) > 0) continue;
+      SchemaItem item;
+      item.kind = SchemaItem::Kind::kColumn;
+      item.table = ref.table_name;
+      item.column = col;
+      item.name = col;
+      schema_items_.push_back(item);
+
+      ValueColumn vc;
+      vc.table = ref.table_name;
+      vc.column = col;
+      value_column_index_.emplace(key, value_columns_.size());
+      value_columns_.push_back(std::move(vc));
+    }
+  }
+  concepts_.push_back(std::move(ref));
+  return Status::OK();
+}
+
+void NebulaMeta::AddTableAlias(const std::string& table,
+                               const std::string& alias) {
+  auto& tokens = aliases_[ToLower(table)];
+  for (const auto& tok : SplitWhitespace(ToLower(alias))) tokens.insert(tok);
+}
+
+void NebulaMeta::AddColumnAlias(const std::string& table,
+                                const std::string& column,
+                                const std::string& alias) {
+  auto& tokens = aliases_[ToLower(table) + "." + ToLower(column)];
+  for (const auto& tok : SplitWhitespace(ToLower(alias))) tokens.insert(tok);
+}
+
+Status NebulaMeta::SetColumnPattern(const std::string& table,
+                                    const std::string& column,
+                                    const std::string& regex) {
+  const std::string key = ToLower(table) + "." + ToLower(column);
+  auto it = value_column_index_.find(key);
+  if (it == value_column_index_.end()) {
+    return Status::NotFound("value column " + key +
+                            " (declare it via AddConcept first)");
+  }
+  NEBULA_ASSIGN_OR_RETURN(ValuePattern pattern, ValuePattern::Compile(regex));
+  value_columns_[it->second].pattern = std::move(pattern);
+  return Status::OK();
+}
+
+Status NebulaMeta::SetColumnOntology(const std::string& table,
+                                     const std::string& column,
+                                     const std::vector<std::string>& terms) {
+  const std::string key = ToLower(table) + "." + ToLower(column);
+  auto it = value_column_index_.find(key);
+  if (it == value_column_index_.end()) {
+    return Status::NotFound("value column " + key +
+                            " (declare it via AddConcept first)");
+  }
+  auto& onto = value_columns_[it->second].ontology;
+  onto.clear();
+  for (const auto& t : terms) onto.insert(ToLower(t));
+  return Status::OK();
+}
+
+Status NebulaMeta::DrawColumnSamples(const Catalog& catalog,
+                                     size_t per_column, Rng* rng) {
+  for (auto& vc : value_columns_) {
+    NEBULA_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(vc.table));
+    const int ord = table->schema().ColumnIndex(vc.column);
+    if (ord < 0) {
+      return Status::NotFound("column " + vc.Key());
+    }
+    vc.type = table->schema().column(static_cast<size_t>(ord)).type;
+    if (vc.pattern.has_value() || !vc.ontology.empty()) continue;
+    const uint64_t n = table->num_rows();
+    if (n == 0) continue;
+    const uint64_t k = std::min<uint64_t>(per_column, n);
+    vc.samples.clear();
+    vc.sample_trigrams.clear();
+    vc.sample_trigram_index.clear();
+    vc.samples_lower.clear();
+    for (uint64_t r : rng->SampleWithoutReplacement(n, k)) {
+      vc.samples.push_back(
+          table->GetCell(r, static_cast<size_t>(ord)).ToString());
+      const std::string lower = ToLower(vc.samples.back());
+      vc.samples_lower.insert(lower);
+      vc.sample_trigrams.push_back(TrigramIdSet(lower));
+      const uint32_t ordinal =
+          static_cast<uint32_t>(vc.sample_trigrams.size() - 1);
+      for (uint32_t gram : vc.sample_trigrams.back()) {
+        vc.sample_trigram_index[gram].push_back(ordinal);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+const ValueColumn* NebulaMeta::FindValueColumn(
+    const std::string& table, const std::string& column) const {
+  auto it = value_column_index_.find(ToLower(table) + "." + ToLower(column));
+  return it == value_column_index_.end() ? nullptr
+                                         : &value_columns_[it->second];
+}
+
+double NebulaMeta::ConceptMatchScore(const std::string& lower_word,
+                                     const SchemaItem& item) const {
+  // (1) Exact / stemmed name match.
+  if (lower_word == item.name) return scoring_.exact_name;
+  if (StemLite(lower_word) == item.name ||
+      StemLite(lower_word) == StemLite(item.name)) {
+    return scoring_.stemmed_name;
+  }
+  // (2) Expert-provided equivalent names.
+  auto it = aliases_.find(item.Key());
+  if (it != aliases_.end() && it->second.count(lower_word) > 0) {
+    return scoring_.equivalent_name;
+  }
+  // (3) Lexicon synonyms (and stemmed synonyms: "loci" is tricky, but
+  // "locuses"/"articles" style plurals should still hit).
+  if (lexicon_.AreSynonyms(lower_word, item.name) ||
+      lexicon_.AreSynonyms(StemLite(lower_word), item.name) ||
+      lexicon_.IsHyponymOf(lower_word, item.name)) {
+    return scoring_.synonym_name;
+  }
+  return 0.0;
+}
+
+double NebulaMeta::DomainMatchScore(const std::string& word,
+                                    const ValueColumn& column) const {
+  // Factor (1): data-type compatibility is a gate. A word that cannot be a
+  // value of the column's type scores zero outright.
+  bool type_ok = false;
+  switch (column.type) {
+    case DataType::kInt64:
+      type_ok = LooksLikeInteger(word);
+      break;
+    case DataType::kDouble:
+      type_ok = LooksLikeNumber(word);
+      break;
+    case DataType::kString:
+      type_ok = true;
+      break;
+  }
+  if (!type_ok) return 0.0;
+  double score = scoring_.type_compatible;
+
+  const std::string lower = ToLower(word);
+  bool structured_evidence = false;  // ontology or pattern present
+
+  // Factor (2): ontology membership.
+  if (!column.ontology.empty()) {
+    structured_evidence = true;
+    if (column.ontology.count(lower) > 0) score += scoring_.ontology_member;
+  }
+  // Factor (3): syntactic pattern.
+  if (column.pattern.has_value()) {
+    structured_evidence = true;
+    if (column.pattern->Matches(word)) score += scoring_.pattern_match;
+  }
+  // Factor (4): sample matching, only when no structured domain knowledge
+  // exists for the column (paper §5.1 (5)).
+  if (!structured_evidence && !column.samples.empty()) {
+    double best = 0.0;
+    if (column.samples_lower.count(lower) > 0) {
+      best = scoring_.sample_exact;
+    } else {
+      // Fuzzy matching only against samples sharing at least one trigram
+      // with the word (everything else has similarity 0 anyway).
+      const std::vector<uint32_t> word_trigrams = TrigramIdSet(lower);
+      std::vector<uint32_t> candidates;
+      for (uint32_t gram : word_trigrams) {
+        auto it = column.sample_trigram_index.find(gram);
+        if (it == column.sample_trigram_index.end()) continue;
+        candidates.insert(candidates.end(), it->second.begin(),
+                          it->second.end());
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+      for (uint32_t i : candidates) {
+        const double sim =
+            TrigramJaccardIds(column.sample_trigrams[i], word_trigrams);
+        if (sim >= scoring_.sample_fuzzy_hi_threshold) {
+          best = std::max(best, scoring_.sample_fuzzy_hi_scale * sim);
+        } else if (sim >= scoring_.sample_fuzzy_lo_threshold) {
+          best = std::max(best, scoring_.sample_fuzzy_lo_scale * sim);
+        }
+      }
+    }
+    score += best;
+  }
+  return std::min(score, 1.0);
+}
+
+}  // namespace nebula

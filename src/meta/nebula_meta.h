@@ -1,0 +1,168 @@
+#ifndef NEBULA_META_NEBULA_META_H_
+#define NEBULA_META_NEBULA_META_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "text/lexicon.h"
+#include "text/pattern.h"
+
+namespace nebula {
+
+/// One row of the ConceptRefs system table (paper Figure 3): a key database
+/// concept, the table that stores it, and the alternative column
+/// combinations by which annotations usually reference it.
+struct ConceptRef {
+  std::string concept_name;  ///< e.g. "Gene"
+  std::string table_name;    ///< e.g. "gene"
+  /// Alternatives; each inner vector is a column combination, e.g.
+  /// {{"pid"}, {"pname","ptype"}} for Protein.
+  std::vector<std::vector<std::string>> referenced_by;
+};
+
+/// A schema item that annotation words may reference: a table (rectangle in
+/// the paper's Concept-Map rendering) or a column (triangle).
+struct SchemaItem {
+  enum class Kind { kTable, kColumn };
+  Kind kind = Kind::kTable;
+  std::string table;   ///< Owning table (lower-case).
+  std::string column;  ///< Column name (lower-case); empty for kTable.
+  std::string name;    ///< Display/matching name (lower-case).
+
+  std::string Key() const {
+    return kind == Kind::kTable ? table : table + "." + column;
+  }
+};
+
+/// A column eligible to be referenced *by value* inside an annotation —
+/// i.e. a column mentioned in some ConceptRef.referenced_by entry —
+/// together with everything NebulaMeta knows about its value domain.
+struct ValueColumn {
+  std::string table;
+  std::string column;
+  DataType type = DataType::kString;
+  /// Syntactic pattern of the column's values, when declared.
+  std::optional<ValuePattern> pattern;
+  /// Controlled vocabulary for the column, when declared (lower-cased).
+  std::unordered_set<std::string> ontology;
+  /// Random sample of actual values, drawn by DrawColumnSamples.
+  std::vector<std::string> samples;
+  /// Precomputed packed trigram sets of the (lower-cased) samples,
+  /// parallel to `samples`; filled by DrawColumnSamples so per-word
+  /// scoring avoids rebuilding the sample side on every call.
+  std::vector<std::vector<uint32_t>> sample_trigrams;
+  /// Inverted index: trigram -> ordinals of samples containing it. Lets
+  /// the scorer skip samples sharing no trigram with the probed word
+  /// (the common case for identifier-shaped words).
+  std::unordered_map<uint32_t, std::vector<uint32_t>> sample_trigram_index;
+  /// Lower-cased sample values for O(1) exact matching.
+  std::unordered_set<std::string> samples_lower;
+
+  std::string Key() const { return table + "." + column; }
+};
+
+/// Weights of the individual evidence factors combined by
+/// NebulaMeta::DomainMatchScore / ConceptMatchScore. Exposed so tests and
+/// the ablation benchmarks can manipulate them.
+struct MetaScoringParams {
+  // Concept matching p(w,c) — paper §5.2.1 step 1.
+  double exact_name = 1.0;        ///< w exactly matches the item name.
+  double stemmed_name = 0.95;     ///< stem(w) matches ("genes" -> "gene").
+  double equivalent_name = 0.9;   ///< w matches an expert alias.
+  double synonym_name = 0.7;      ///< w is a lexicon synonym of the name.
+  // Domain matching d(w,c) — paper §5.2.1 step 2 (additive, clamped to 1).
+  double type_compatible = 0.25;  ///< w parses as the column's data type.
+  double ontology_member = 0.65;  ///< w is in the column's ontology.
+  double pattern_match = 0.65;    ///< w matches the column's regex.
+  double sample_exact = 0.65;     ///< w equals a sampled value.
+  /// Two-segment fuzzy sample matching: close near-misses (e.g. an
+  /// unsampled variant "Kinase2" of a sampled "Kinase") land in the
+  /// hi band and score near the medium-confidence range; distant
+  /// resemblances land in the lo band and score weakly.
+  double sample_fuzzy_hi_threshold = 0.55;
+  double sample_fuzzy_hi_scale = 0.75;
+  double sample_fuzzy_lo_threshold = 0.30;
+  double sample_fuzzy_lo_scale = 0.35;
+};
+
+/// NebulaMeta — the auxiliary-information repository of §5.1.
+///
+/// Aggregates: the ConceptRefs catalog, expert-provided equivalent names
+/// for tables/columns, per-column ontologies, syntactic value patterns,
+/// drawn value samples, and a lexical knowledge base (WordNet stand-in).
+/// The two scoring entry points, `ConceptMatchScore` (p(w,c)) and
+/// `DomainMatchScore` (d(w,c)), are what signature-map generation consumes.
+class NebulaMeta {
+ public:
+  explicit NebulaMeta(Lexicon lexicon = Lexicon::BuiltinEnglishBio());
+
+  /// Registers a concept row; also registers its table and referencing
+  /// columns as schema items / value columns.
+  Status AddConcept(const std::string& concept_name,
+                    const std::string& table_name,
+                    std::vector<std::vector<std::string>> referenced_by);
+
+  /// Expert-provided equivalent name for a table ("publication" ~ "pub").
+  void AddTableAlias(const std::string& table, const std::string& alias);
+  /// Expert-provided equivalent name for a column ("gid" ~ "gene id").
+  /// Multi-word aliases are matched token-wise.
+  void AddColumnAlias(const std::string& table, const std::string& column,
+                      const std::string& alias);
+
+  /// Declares the syntactic pattern of a referencing column's values.
+  Status SetColumnPattern(const std::string& table, const std::string& column,
+                          const std::string& regex);
+  /// Declares a controlled vocabulary for a referencing column.
+  Status SetColumnOntology(const std::string& table,
+                           const std::string& column,
+                           const std::vector<std::string>& terms);
+
+  /// Draws up to `per_column` random sample values for every referencing
+  /// column that has neither an ontology nor a pattern (paper §5.1 (5)).
+  Status DrawColumnSamples(const Catalog& catalog, size_t per_column,
+                           Rng* rng);
+
+  const std::vector<ConceptRef>& concepts() const { return concepts_; }
+  const std::vector<SchemaItem>& schema_items() const { return schema_items_; }
+  const std::vector<ValueColumn>& value_columns() const {
+    return value_columns_;
+  }
+  const Lexicon& lexicon() const { return lexicon_; }
+  MetaScoringParams& scoring() { return scoring_; }
+  const MetaScoringParams& scoring() const { return scoring_; }
+
+  /// Finds a value column by (table, column); nullptr when absent.
+  const ValueColumn* FindValueColumn(const std::string& table,
+                                     const std::string& column) const;
+
+  /// p(w,c): probability-like weight that lower-cased word `w` references
+  /// schema item `item` (paper step 1). Zero when unrelated.
+  double ConceptMatchScore(const std::string& lower_word,
+                           const SchemaItem& item) const;
+
+  /// d(w,c): probability-like weight that word `w` (original case — value
+  /// patterns are case-sensitive) belongs to `column`'s value domain
+  /// (paper step 2). Zero when incompatible.
+  double DomainMatchScore(const std::string& word,
+                          const ValueColumn& column) const;
+
+ private:
+  Lexicon lexicon_;
+  MetaScoringParams scoring_;
+  std::vector<ConceptRef> concepts_;
+  std::vector<SchemaItem> schema_items_;
+  std::vector<ValueColumn> value_columns_;
+  std::unordered_map<std::string, size_t> value_column_index_;  // by Key()
+  // item key -> set of alias tokens (lower-case).
+  std::unordered_map<std::string, std::unordered_set<std::string>> aliases_;
+};
+
+}  // namespace nebula
+
+#endif  // NEBULA_META_NEBULA_META_H_

@@ -1,0 +1,104 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace nebula {
+namespace sql {
+
+Result<std::vector<SqlToken>> Lex(const std::string& statement) {
+  std::vector<SqlToken> tokens;
+  size_t i = 0;
+  const size_t n = statement.size();
+  while (i < n) {
+    const char c = statement[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    SqlToken token;
+    token.offset = i;
+    if (c == '\'') {
+      // String literal with '' escaping.
+      token.kind = TokenKind::kString;
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (statement[i] == '\'') {
+          if (i + 1 < n && statement[i + 1] == '\'') {
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value += statement[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal at offset %zu",
+                      token.offset));
+      }
+      token.text = std::move(value);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(statement[i + 1])))) {
+      token.kind = TokenKind::kNumber;
+      size_t start = i;
+      if (c == '-') ++i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(statement[i])) ||
+                       statement[i] == '.')) {
+        ++i;
+      }
+      token.text = statement.substr(start, i - start);
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      token.kind = TokenKind::kIdentifier;
+      size_t start = i;
+      while (i < n &&
+             (std::isalnum(static_cast<unsigned char>(statement[i])) ||
+              statement[i] == '_')) {
+        ++i;
+      }
+      token.text = statement.substr(start, i - start);
+    } else {
+      token.kind = TokenKind::kSymbol;
+      // Two-character operators first.
+      if (i + 1 < n) {
+        const std::string two = statement.substr(i, 2);
+        if (two == "<>" || two == "!=" || two == "<=" || two == ">=") {
+          token.text = two;
+          i += 2;
+          tokens.push_back(std::move(token));
+          continue;
+        }
+      }
+      switch (c) {
+        case '(':
+        case ')':
+        case ',':
+        case ';':
+        case '.':
+        case '=':
+        case '<':
+        case '>':
+        case '*':
+          token.text = std::string(1, c);
+          ++i;
+          break;
+        default:
+          return Status::InvalidArgument(
+              StrFormat("unexpected character '%c' at offset %zu", c, i));
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace nebula

@@ -1,0 +1,34 @@
+#ifndef NEBULA_SQL_LEXER_H_
+#define NEBULA_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nebula {
+namespace sql {
+
+enum class TokenKind {
+  kIdentifier,  ///< bare word (keywords are identifiers; parser decides)
+  kString,      ///< '...' literal, quotes stripped, '' unescaped
+  kNumber,      ///< integer or decimal literal
+  kSymbol,      ///< punctuation / operator: ( ) , ; = <> != < <= > >= *
+  kEnd,
+};
+
+struct SqlToken {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   ///< identifier/symbol text, or literal value
+  size_t offset = 0;  ///< byte offset in the statement (for errors)
+};
+
+/// Tokenizes one SQL statement. Identifiers keep their original case;
+/// comparisons are done case-insensitively by the parser. Returns
+/// InvalidArgument on unterminated strings or stray characters.
+Result<std::vector<SqlToken>> Lex(const std::string& statement);
+
+}  // namespace sql
+}  // namespace nebula
+
+#endif  // NEBULA_SQL_LEXER_H_

@@ -1,0 +1,89 @@
+#ifndef NEBULA_SQL_PARSER_H_
+#define NEBULA_SQL_PARSER_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/query.h"
+
+namespace nebula {
+namespace sql {
+
+/// A possibly table-qualified column reference ("name" or "gene.name").
+struct QualifiedColumn {
+  std::string table;  ///< empty = unqualified
+  std::string column;
+};
+
+/// SELECT [cols | *] FROM t1 [JOIN t2] [WHERE conjunction]
+///                   [WITH ANNOTATIONS]
+///
+/// JOINs follow the FK declared between the two tables; WHERE predicates
+/// may qualify their columns with either table's name (required when a
+/// name exists on both sides). WITH ANNOTATIONS is single-table only.
+struct SelectStatement {
+  std::vector<QualifiedColumn> columns;  ///< empty = *
+  SelectQuery query;                      ///< left table + its predicates
+  std::string join_table;                 ///< empty = no join
+  std::vector<Predicate> join_predicates; ///< right-side predicates
+  /// Propagate attached annotations along the answer (the passive
+  /// engine's signature feature).
+  bool with_annotations = false;
+};
+
+/// INSERT INTO table VALUES (v1, v2, ...)
+struct InsertStatement {
+  std::string table;
+  /// Raw literal texts; the session coerces them to the column types.
+  std::vector<std::string> values;
+  std::vector<bool> value_is_string;  ///< literal was quoted
+};
+
+/// ANNOTATE 'text' ON table WHERE conjunction [BY 'author']
+///
+/// The proactive insert: attaches the annotation to every matching tuple
+/// (its focal) and triggers Nebula's discovery pipeline.
+struct AnnotateStatement {
+  std::string text;
+  std::string author;
+  SelectQuery predicate;
+};
+
+/// RULE 'text' ON table WHERE conjunction [BY 'author']
+///
+/// The predicate-based auto-attachment facility of the passive engines
+/// [18, 25]: creates the annotation, attaches it to every currently
+/// matching tuple, and registers the predicate so future inserts that
+/// satisfy it are annotated automatically.
+struct RuleStatement {
+  std::string text;
+  std::string author;
+  SelectQuery predicate;
+};
+
+/// [VERIFY | REJECT] ATTACHMENT <vid>  (the paper's §7 command)
+struct VerifyStatement {
+  bool accept = true;
+  uint64_t vid = 0;
+};
+
+/// SHOW PENDING | SHOW TABLES
+struct ShowStatement {
+  enum class What { kPending, kTables };
+  What what = What::kPending;
+};
+
+using Statement = std::variant<SelectStatement, InsertStatement,
+                               AnnotateStatement, RuleStatement,
+                               VerifyStatement, ShowStatement>;
+
+/// Parses one statement (trailing semicolon optional).
+Result<Statement> ParseStatement(const std::string& sql);
+
+}  // namespace sql
+}  // namespace nebula
+
+#endif  // NEBULA_SQL_PARSER_H_

@@ -1,0 +1,246 @@
+#include "storage/query.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace nebula {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kContainsToken:
+      return "CONTAINS";
+  }
+  return "?";
+}
+
+std::string Predicate::ToString() const {
+  return column + " " + CompareOpName(op) + " '" + value.ToString() + "'";
+}
+
+std::string SelectQuery::ToSqlString() const {
+  std::string sql = "SELECT * FROM " + table;
+  if (!predicates.empty()) {
+    sql += " WHERE ";
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      if (i > 0) sql += " AND ";
+      sql += predicates[i].ToString();
+    }
+  }
+  return sql;
+}
+
+namespace {
+
+bool CompareValues(const Value& cell, CompareOp op, const Value& target) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cell == target;
+    case CompareOp::kNe:
+      return cell != target;
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kGt:
+    case CompareOp::kGe: {
+      // Ordered comparisons: numeric across numeric types, lexicographic
+      // for strings; mixed string/number never matches.
+      double a = 0, b = 0;
+      int cmp = 0;
+      if (cell.is_string() != target.is_string()) return false;
+      if (cell.is_string()) {
+        cmp = cell.AsString().compare(target.AsString());
+      } else {
+        a = cell.NumericValue();
+        b = target.NumericValue();
+        cmp = (a < b) ? -1 : (a > b ? 1 : 0);
+      }
+      switch (op) {
+        case CompareOp::kLt:
+          return cmp < 0;
+        case CompareOp::kLe:
+          return cmp <= 0;
+        case CompareOp::kGt:
+          return cmp > 0;
+        default:
+          return cmp >= 0;
+      }
+    }
+    case CompareOp::kContainsToken: {
+      if (!cell.is_string()) return false;
+      const std::string needle = ToLower(target.ToString());
+      for (const auto& tok : TokenizeForIndex(cell.AsString())) {
+        if (tok == needle) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool QueryExecutor::RowMatches(const Table& table, Table::RowId row,
+                               const std::vector<Predicate>& preds,
+                               const std::vector<int>& ordinals) {
+  ++stats_.rows_examined;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    const Value& cell = table.GetCell(row, static_cast<size_t>(ordinals[i]));
+    if (!CompareValues(cell, preds[i].op, preds[i].value)) return false;
+  }
+  return true;
+}
+
+Result<std::vector<Table::RowId>> QueryExecutor::Execute(
+    const SelectQuery& query,
+    const std::unordered_set<Table::RowId>* restrict,
+    bool allow_text_index) {
+  NEBULA_ASSIGN_OR_RETURN(const Table* table, catalog_->GetTable(query.table));
+
+  std::vector<int> ordinals;
+  ordinals.reserve(query.predicates.size());
+  for (const auto& p : query.predicates) {
+    const int ord = table->schema().ColumnIndex(p.column);
+    if (ord < 0) {
+      return Status::NotFound("column " + query.table + "." + p.column);
+    }
+    ordinals.push_back(ord);
+  }
+
+  // Pick an access path: prefer an equality predicate (hash index), then a
+  // token predicate with a text index, then scan.
+  int driver = -1;
+  bool driver_is_token = false;
+  for (size_t i = 0; i < query.predicates.size(); ++i) {
+    if (query.predicates[i].op == CompareOp::kEq) {
+      driver = static_cast<int>(i);
+      break;
+    }
+  }
+  if (driver < 0 && allow_text_index) {
+    for (size_t i = 0; i < query.predicates.size(); ++i) {
+      if (query.predicates[i].op == CompareOp::kContainsToken &&
+          table->HasTextIndex(static_cast<size_t>(ordinals[i]))) {
+        driver = static_cast<int>(i);
+        driver_is_token = true;
+        break;
+      }
+    }
+  }
+
+  std::vector<Table::RowId> result;
+  auto consider = [&](Table::RowId r) {
+    if (restrict != nullptr && restrict->count(r) == 0) return;
+    if (RowMatches(*table, r, query.predicates, ordinals)) {
+      result.push_back(r);
+    }
+  };
+
+  if (driver >= 0) {
+    ++stats_.index_lookups;
+    const auto& p = query.predicates[static_cast<size_t>(driver)];
+    std::vector<Table::RowId> candidates =
+        driver_is_token
+            ? table->LookupToken(static_cast<size_t>(ordinals[driver]),
+                                 p.value.ToString())
+            : table->Lookup(static_cast<size_t>(ordinals[driver]), p.value);
+    for (Table::RowId r : candidates) consider(r);
+  } else if (restrict != nullptr) {
+    // Scan only the restricted subset.
+    std::vector<Table::RowId> rows(restrict->begin(), restrict->end());
+    std::sort(rows.begin(), rows.end());
+    for (Table::RowId r : rows) {
+      if (r < table->num_rows() &&
+          RowMatches(*table, r, query.predicates, ordinals)) {
+        result.push_back(r);
+      }
+    }
+  } else {
+    for (Table::RowId r = 0; r < table->num_rows(); ++r) consider(r);
+  }
+
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  stats_.matches += result.size();
+  return result;
+}
+
+Result<std::vector<std::pair<Table::RowId, Table::RowId>>>
+QueryExecutor::ExecuteJoin(const JoinQuery& query) {
+  NEBULA_ASSIGN_OR_RETURN(const Table* left,
+                          catalog_->GetTable(query.left_table));
+  NEBULA_ASSIGN_OR_RETURN(const Table* right,
+                          catalog_->GetTable(query.right_table));
+
+  // Find the FK connecting the two tables (either direction).
+  const ForeignKey* fk = nullptr;
+  bool left_is_child = false;
+  for (const auto& candidate : catalog_->foreign_keys()) {
+    if (EqualsIgnoreCase(candidate.child_table, left->name()) &&
+        EqualsIgnoreCase(candidate.parent_table, right->name())) {
+      fk = &candidate;
+      left_is_child = true;
+      break;
+    }
+    if (EqualsIgnoreCase(candidate.child_table, right->name()) &&
+        EqualsIgnoreCase(candidate.parent_table, left->name())) {
+      fk = &candidate;
+      left_is_child = false;
+      break;
+    }
+  }
+  if (fk == nullptr) {
+    return Status::NotFound("no foreign key links " + query.left_table +
+                            " and " + query.right_table);
+  }
+
+  // Drive from the left side (simple and predictable; the probe side uses
+  // the hash index either way).
+  NEBULA_ASSIGN_OR_RETURN(
+      std::vector<Table::RowId> left_rows,
+      Execute({query.left_table, query.left_predicates}));
+
+  const std::string& left_key =
+      left_is_child ? fk->child_column : fk->parent_column;
+  const std::string& right_key =
+      left_is_child ? fk->parent_column : fk->child_column;
+  const int left_key_ord = left->schema().ColumnIndex(left_key);
+  if (left_key_ord < 0) {
+    return Status::Corruption("FK column missing: " + left_key);
+  }
+  std::vector<int> right_ordinals;
+  for (const auto& p : query.right_predicates) {
+    const int ord = right->schema().ColumnIndex(p.column);
+    if (ord < 0) {
+      return Status::NotFound("column " + query.right_table + "." + p.column);
+    }
+    right_ordinals.push_back(ord);
+  }
+
+  std::vector<std::pair<Table::RowId, Table::RowId>> result;
+  for (Table::RowId l : left_rows) {
+    const Value& key =
+        left->GetCell(l, static_cast<size_t>(left_key_ord));
+    ++stats_.index_lookups;
+    for (Table::RowId r : right->Lookup(right_key, key)) {
+      if (RowMatches(*right, r, query.right_predicates, right_ordinals)) {
+        result.push_back({l, r});
+      }
+    }
+  }
+  stats_.matches += result.size();
+  return result;
+}
+
+}  // namespace nebula

@@ -1,0 +1,116 @@
+#ifndef NEBULA_STORAGE_QUERY_H_
+#define NEBULA_STORAGE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace nebula {
+
+/// Comparison operators supported by the select executor.
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  /// String column contains the (lower-cased) token; served by the
+  /// inverted text index when one exists, otherwise by scanning.
+  kContainsToken,
+};
+
+const char* CompareOpName(CompareOp op);
+
+/// A single column comparison.
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+
+  std::string ToString() const;
+};
+
+/// A conjunctive single-table selection, the building block the
+/// keyword-search layer compiles its configurations into.
+struct SelectQuery {
+  std::string table;
+  std::vector<Predicate> predicates;
+
+  std::string ToSqlString() const;
+};
+
+/// Execution counters; the benchmark harness uses these as a
+/// deterministic, hardware-independent cost measure alongside wall time.
+struct ExecStats {
+  uint64_t rows_examined = 0;
+  uint64_t index_lookups = 0;
+  uint64_t matches = 0;
+
+  ExecStats& operator+=(const ExecStats& other) {
+    rows_examined += other.rows_examined;
+    index_lookups += other.index_lookups;
+    matches += other.matches;
+    return *this;
+  }
+};
+
+/// A two-table join along a declared FK-PK relationship, with optional
+/// conjunctive predicates on each side. The join condition itself is
+/// implied by the catalog's foreign keys (the only joins the keyword
+/// layer and the SQL front-end need).
+struct JoinQuery {
+  std::string left_table;
+  std::string right_table;
+  std::vector<Predicate> left_predicates;
+  std::vector<Predicate> right_predicates;
+};
+
+/// Evaluates conjunctive selections over the catalog.
+///
+/// Strategy: if any equality predicate exists, probe the column hash index
+/// and verify the residue; if a kContainsToken predicate has a text index,
+/// probe that; otherwise fall back to a scan. An optional row restriction
+/// (`restrict`) confines evaluation to a subset of rows — this is how the
+/// focal-spreading miniDB search reuses the same executor.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// `allow_text_index = false` forces kContainsToken predicates onto the
+  /// scan path even when an inverted index exists — modeling an RDBMS
+  /// that must evaluate LIKE-style predicates by scanning.
+  Result<std::vector<Table::RowId>> Execute(
+      const SelectQuery& query,
+      const std::unordered_set<Table::RowId>* restrict = nullptr,
+      bool allow_text_index = true);
+
+  /// Executes an FK join: returns (left row, right row) pairs satisfying
+  /// both predicate sets and connected by a foreign key declared between
+  /// the two tables (either direction). Fails with NotFound when no FK
+  /// links them. Strategy: evaluate the side with the cheaper access
+  /// path first, then probe the other side through the key's hash index.
+  Result<std::vector<std::pair<Table::RowId, Table::RowId>>> ExecuteJoin(
+      const JoinQuery& query);
+
+  /// Counters accumulated across all Execute calls since construction or
+  /// the last ResetStats().
+  const ExecStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ExecStats(); }
+
+ private:
+  bool RowMatches(const Table& table, Table::RowId row,
+                  const std::vector<Predicate>& preds,
+                  const std::vector<int>& ordinals);
+
+  const Catalog* catalog_;
+  ExecStats stats_;
+};
+
+}  // namespace nebula
+
+#endif  // NEBULA_STORAGE_QUERY_H_

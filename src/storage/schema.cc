@@ -1,0 +1,35 @@
+#include "storage/schema.h"
+
+#include "common/string_util.h"
+
+namespace nebula {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    index_.emplace(ToLower(columns_[i].name), static_cast<int>(i));
+  }
+}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  auto it = index_.find(ToLower(name));
+  return it == index_.end() ? -1 : it->second;
+}
+
+Status Schema::ValidateRow(const std::vector<Value>& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu does not match schema arity %zu", row.size(),
+                  columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != columns_[i].type) {
+      return Status::InvalidArgument(
+          StrFormat("column '%s' expects %s, got %s", columns_[i].name.c_str(),
+                    DataTypeName(columns_[i].type),
+                    DataTypeName(row[i].type())));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace nebula

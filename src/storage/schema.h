@@ -1,0 +1,79 @@
+#ifndef NEBULA_STORAGE_SCHEMA_H_
+#define NEBULA_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace nebula {
+
+/// A column definition in a table schema.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kString;
+  /// Unique columns get a unique hash index and participate in PK lookups.
+  bool unique = false;
+
+  ColumnDef() = default;
+  ColumnDef(std::string n, DataType t, bool u = false)
+      : name(std::move(n)), type(t), unique(u) {}
+};
+
+/// An ordered list of columns with O(1) name lookup (case-insensitive,
+/// names are normalized to lower case internally).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Returns the ordinal of `name`, or -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+  bool HasColumn(const std::string& name) const {
+    return ColumnIndex(name) >= 0;
+  }
+
+  /// Validates that `row` matches the schema arity and column types.
+  Status ValidateRow(const std::vector<Value>& row) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, int> index_;  // lower-case name -> ordinal
+};
+
+/// Globally unique tuple identifier: (table id, row ordinal).
+struct TupleId {
+  uint32_t table_id = 0;
+  uint64_t row = 0;
+
+  bool operator==(const TupleId& other) const {
+    return table_id == other.table_id && row == other.row;
+  }
+  bool operator<(const TupleId& other) const {
+    if (table_id != other.table_id) return table_id < other.table_id;
+    return row < other.row;
+  }
+  uint64_t Hash() const {
+    return HashCombine(table_id, row);
+  }
+  std::string ToString() const {
+    return std::to_string(table_id) + ":" + std::to_string(row);
+  }
+};
+
+struct TupleIdHash {
+  size_t operator()(const TupleId& id) const {
+    return static_cast<size_t>(id.Hash());
+  }
+};
+
+}  // namespace nebula
+
+#endif  // NEBULA_STORAGE_SCHEMA_H_

@@ -1,0 +1,150 @@
+#include "storage/table.h"
+
+#include <cassert>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace nebula {
+
+std::vector<std::string> TokenizeForIndex(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+Table::Table(uint32_t id, std::string name, Schema schema)
+    : id_(id),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      indexes_(schema_.num_columns()),
+      index_built_(schema_.num_columns(), false),
+      text_indexes_(schema_.num_columns()),
+      text_index_built_(schema_.num_columns(), false) {}
+
+Result<Table::RowId> Table::Insert(std::vector<Value> row) {
+  NEBULA_RETURN_NOT_OK(schema_.ValidateRow(row));
+  // Unique-constraint check through the (lazily built) hash index.
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    if (!schema_.column(c).unique) continue;
+    if (!Lookup(c, row[c]).empty()) {
+      return Status::AlreadyExists(
+          StrFormat("duplicate value '%s' in unique column %s.%s",
+                    row[c].ToString().c_str(), name_.c_str(),
+                    schema_.column(c).name.c_str()));
+    }
+  }
+  const RowId row_id = rows_.size();
+  // Maintain any already-built indexes incrementally.
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    if (index_built_[c]) {
+      indexes_[c][row[c]].push_back(row_id);
+    }
+    if (text_index_built_[c] && row[c].is_string()) {
+      for (const auto& tok : TokenizeForIndex(row[c].AsString())) {
+        auto& postings = text_indexes_[c][tok];
+        if (postings.empty() || postings.back() != row_id) {
+          postings.push_back(row_id);
+        }
+      }
+    }
+  }
+  rows_.push_back(std::move(row));
+  return row_id;
+}
+
+const std::vector<Value>& Table::GetRow(RowId row_id) const {
+  assert(row_id < rows_.size());
+  return rows_[row_id];
+}
+
+const Value& Table::GetCell(RowId row_id, size_t column) const {
+  assert(row_id < rows_.size() && column < schema_.num_columns());
+  return rows_[row_id][column];
+}
+
+const Table::HashIndex& Table::GetOrBuildIndex(size_t column) const {
+  assert(column < schema_.num_columns());
+  if (!index_built_[column]) {
+    HashIndex index;
+    index.reserve(rows_.size());
+    for (RowId r = 0; r < rows_.size(); ++r) {
+      index[rows_[r][column]].push_back(r);
+    }
+    indexes_[column] = std::move(index);
+    index_built_[column] = true;
+  }
+  return indexes_[column];
+}
+
+std::vector<Table::RowId> Table::Lookup(size_t column,
+                                        const Value& value) const {
+  const HashIndex& index = GetOrBuildIndex(column);
+  auto it = index.find(value);
+  return it == index.end() ? std::vector<RowId>{} : it->second;
+}
+
+std::vector<Table::RowId> Table::Lookup(const std::string& column,
+                                        const Value& value) const {
+  const int idx = schema_.ColumnIndex(column);
+  if (idx < 0) return {};
+  return Lookup(static_cast<size_t>(idx), value);
+}
+
+Status Table::BuildTextIndex(size_t column) {
+  if (column >= schema_.num_columns()) {
+    return Status::OutOfRange("text index column out of range");
+  }
+  if (schema_.column(column).type != DataType::kString) {
+    return Status::InvalidArgument(
+        StrFormat("text index requires STRING column, %s.%s is %s",
+                  name_.c_str(), schema_.column(column).name.c_str(),
+                  DataTypeName(schema_.column(column).type)));
+  }
+  TextIndex index;
+  for (RowId r = 0; r < rows_.size(); ++r) {
+    for (const auto& tok : TokenizeForIndex(rows_[r][column].AsString())) {
+      auto& postings = index[tok];
+      if (postings.empty() || postings.back() != r) postings.push_back(r);
+    }
+  }
+  text_indexes_[column] = std::move(index);
+  text_index_built_[column] = true;
+  return Status::OK();
+}
+
+bool Table::HasTextIndex(size_t column) const {
+  return column < text_index_built_.size() && text_index_built_[column];
+}
+
+std::vector<Table::RowId> Table::LookupToken(size_t column,
+                                             const std::string& token) const {
+  if (!HasTextIndex(column)) return {};
+  const auto& index = text_indexes_[column];
+  auto it = index.find(ToLower(token));
+  return it == index.end() ? std::vector<RowId>{} : it->second;
+}
+
+std::vector<Table::RowId> Table::Scan(
+    const std::function<bool(const std::vector<Value>&)>& pred) const {
+  std::vector<RowId> out;
+  for (RowId r = 0; r < rows_.size(); ++r) {
+    if (pred(rows_[r])) out.push_back(r);
+  }
+  return out;
+}
+
+uint64_t Table::DistinctCount(size_t column) const {
+  return GetOrBuildIndex(column).size();
+}
+
+}  // namespace nebula

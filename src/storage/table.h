@@ -1,0 +1,95 @@
+#ifndef NEBULA_STORAGE_TABLE_H_
+#define NEBULA_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace nebula {
+
+struct ValueHash {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+/// In-memory row-store table with per-column hash indexes and optional
+/// inverted text indexes on string columns.
+///
+/// Rows are identified by their insertion ordinal (RowId); rows are never
+/// physically deleted in this engine (the Nebula workloads are
+/// insert/annotate-only), which keeps TupleIds stable.
+class Table {
+ public:
+  using RowId = uint64_t;
+
+  Table(uint32_t id, std::string name, Schema schema);
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return rows_.size(); }
+
+  /// Inserts a row; validates arity/types and unique constraints.
+  Result<RowId> Insert(std::vector<Value> row);
+
+  /// Returns the row at `row_id`; asserts in-range.
+  const std::vector<Value>& GetRow(RowId row_id) const;
+
+  /// Cell accessor.
+  const Value& GetCell(RowId row_id, size_t column) const;
+
+  /// Exact-match lookup through the column hash index (built lazily).
+  std::vector<RowId> Lookup(size_t column, const Value& value) const;
+  std::vector<RowId> Lookup(const std::string& column,
+                            const Value& value) const;
+
+  /// Builds (or rebuilds) the inverted token index for a string column.
+  /// Tokens are lower-cased alphanumeric runs.
+  Status BuildTextIndex(size_t column);
+  bool HasTextIndex(size_t column) const;
+
+  /// Rows whose indexed text column contains `token` (lower-cased exact
+  /// token match). Returns empty when the column has no text index.
+  std::vector<RowId> LookupToken(size_t column,
+                                 const std::string& token) const;
+
+  /// Full scan with a caller predicate; returns matching row ids.
+  std::vector<RowId> Scan(
+      const std::function<bool(const std::vector<Value>&)>& pred) const;
+
+  /// Estimated count of distinct values in a column (exact, via the index).
+  uint64_t DistinctCount(size_t column) const;
+
+ private:
+  using HashIndex = std::unordered_map<Value, std::vector<RowId>, ValueHash>;
+  using TextIndex = std::unordered_map<std::string, std::vector<RowId>>;
+
+  const HashIndex& GetOrBuildIndex(size_t column) const;
+
+  uint32_t id_;
+  std::string name_;
+  Schema schema_;
+  std::vector<std::vector<Value>> rows_;
+  // Lazily built per-column hash indexes; mutable because building an index
+  // is a logically-const read optimization.
+  mutable std::vector<HashIndex> indexes_;
+  mutable std::vector<bool> index_built_;
+  std::vector<TextIndex> text_indexes_;
+  std::vector<bool> text_index_built_;
+};
+
+/// Splits `text` into lower-cased alphanumeric tokens. Shared by the table
+/// text index and the keyword-search layer so that both sides agree on
+/// token boundaries.
+std::vector<std::string> TokenizeForIndex(const std::string& text);
+
+}  // namespace nebula
+
+#endif  // NEBULA_STORAGE_TABLE_H_

@@ -1,0 +1,65 @@
+#include "storage/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace nebula {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return std::to_string(AsInt());
+    case DataType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", AsDouble());
+      return buf;
+    }
+    case DataType::kString:
+      return AsString();
+  }
+  return {};
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return HashCombine(1, static_cast<uint64_t>(AsInt()));
+    case DataType::kDouble: {
+      // Normalize -0.0 to 0.0 so equal doubles hash equal.
+      double d = AsDouble();
+      if (d == 0.0) d = 0.0;
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return HashCombine(2, bits);
+    }
+    case DataType::kString:
+      return HashCombine(3, Fnv1a(AsString()));
+  }
+  return 0;
+}
+
+bool Value::operator==(const Value& other) const {
+  return data_ == other.data_;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (data_.index() != other.data_.index()) {
+    return data_.index() < other.data_.index();
+  }
+  return data_ < other.data_;
+}
+
+}  // namespace nebula

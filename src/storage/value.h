@@ -1,0 +1,75 @@
+#ifndef NEBULA_STORAGE_VALUE_H_
+#define NEBULA_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/hash.h"
+
+namespace nebula {
+
+/// Column data types supported by the mini relational engine. This is the
+/// subset the Nebula evaluation needs (UniProt-style Gene / Protein /
+/// Publication tables).
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* DataTypeName(DataType type);
+
+/// A single cell value. Values are immutable once constructed; the row
+/// store copies them in and hands out const references.
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  DataType type() const {
+    switch (data_.index()) {
+      case 0:
+        return DataType::kInt64;
+      case 1:
+        return DataType::kDouble;
+      default:
+        return DataType::kString;
+    }
+  }
+
+  bool is_int() const { return data_.index() == 0; }
+  bool is_double() const { return data_.index() == 1; }
+  bool is_string() const { return data_.index() == 2; }
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: ints widen to double; strings are not numeric.
+  double NumericValue() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDouble();
+  }
+
+  /// Renders the value as text (the form keyword matching sees).
+  std::string ToString() const;
+
+  /// Stable 64-bit hash consistent with operator==.
+  uint64_t Hash() const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  /// Total order within a type; cross-type compares by type index (only
+  /// used for deterministic sorting, never for semantics).
+  bool operator<(const Value& other) const;
+
+ private:
+  std::variant<int64_t, double, std::string> data_;
+};
+
+}  // namespace nebula
+
+#endif  // NEBULA_STORAGE_VALUE_H_

@@ -1,0 +1,20 @@
+#include "text/pattern.h"
+
+namespace nebula {
+
+Result<ValuePattern> ValuePattern::Compile(const std::string& regex) {
+  try {
+    auto re = std::make_shared<const std::regex>(
+        regex, std::regex::ECMAScript | std::regex::optimize);
+    return ValuePattern(regex, std::move(re));
+  } catch (const std::regex_error& e) {
+    return Status::InvalidArgument("bad pattern '" + regex +
+                                   "': " + e.what());
+  }
+}
+
+bool ValuePattern::Matches(const std::string& s) const {
+  return std::regex_match(s, *re_);
+}
+
+}  // namespace nebula

@@ -1,0 +1,37 @@
+#ifndef NEBULA_TEXT_PATTERN_H_
+#define NEBULA_TEXT_PATTERN_H_
+
+#include <memory>
+#include <regex>
+#include <string>
+
+#include "common/status.h"
+
+namespace nebula {
+
+/// A compiled syntactic pattern over column values (e.g. the paper's
+/// Gene.ID pattern `JW[0-9]{4}` or Gene.Name pattern `[a-z]{3}[A-Z]`).
+///
+/// Wraps std::regex with whole-string matching semantics and a Status-based
+/// compile step so malformed patterns surface as errors, not exceptions.
+class ValuePattern {
+ public:
+  /// Compiles `regex` (ECMAScript syntax, case-sensitive, full match).
+  static Result<ValuePattern> Compile(const std::string& regex);
+
+  /// True when the entire string matches the pattern.
+  bool Matches(const std::string& s) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  ValuePattern(std::string pattern, std::shared_ptr<const std::regex> re)
+      : pattern_(std::move(pattern)), re_(std::move(re)) {}
+
+  std::string pattern_;
+  std::shared_ptr<const std::regex> re_;  // shared: ValuePattern is copyable
+};
+
+}  // namespace nebula
+
+#endif  // NEBULA_TEXT_PATTERN_H_

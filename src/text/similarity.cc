@@ -1,0 +1,144 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace nebula {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<size_t> prev(n + 1);
+  std::vector<size_t> cur(n + 1);
+  for (size_t i = 0; i <= n; ++i) prev[i] = i;
+  for (size_t j = 1; j <= m; ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= n; ++i) {
+      const size_t sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t dist = EditDistance(a, b);
+  const size_t longest = std::max(a.size(), b.size());
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(longest);
+}
+
+namespace {
+
+void CollectTrigrams(std::string_view s,
+                     std::unordered_set<std::string>* out) {
+  // Pad so single-character strings still produce grams.
+  std::string padded = "^^";
+  padded.append(s);
+  padded += "$$";
+  for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+    out->insert(padded.substr(i, 3));
+  }
+}
+
+}  // namespace
+
+double TrigramJaccard(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  return TrigramJaccardPrecomputed(TrigramSet(a), TrigramSet(b));
+}
+
+std::vector<std::string> TrigramSet(std::string_view s) {
+  std::unordered_set<std::string> grams;
+  CollectTrigrams(s, &grams);
+  std::vector<std::string> out(grams.begin(), grams.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint32_t> TrigramIdSet(std::string_view s) {
+  std::string padded = "^^";
+  padded.append(s);
+  padded += "$$";
+  std::vector<uint32_t> out;
+  out.reserve(padded.size());
+  for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+    out.push_back(static_cast<uint32_t>(
+        (static_cast<unsigned char>(padded[i]) << 16) |
+        (static_cast<unsigned char>(padded[i + 1]) << 8) |
+        static_cast<unsigned char>(padded[i + 2])));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+double TrigramJaccardIds(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double TrigramJaccardPrecomputed(const std::vector<std::string>& a,
+                                 const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  // Sorted-merge intersection count.
+  size_t inter = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const int cmp = a[i].compare(b[j]);
+    if (cmp == 0) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::string StemLite(std::string_view lower_word) {
+  std::string w(lower_word);
+  auto ends = [&](std::string_view suffix) {
+    return w.size() > suffix.size() + 2 &&
+           w.compare(w.size() - suffix.size(), suffix.size(), suffix) == 0;
+  };
+  if (ends("ies")) {
+    w.replace(w.size() - 3, 3, "y");
+  } else if (ends("sses")) {
+    w.erase(w.size() - 2);
+  } else if (ends("ing")) {
+    w.erase(w.size() - 3);
+  } else if (ends("ed")) {
+    w.erase(w.size() - 2);
+  } else if (ends("ly")) {
+    w.erase(w.size() - 2);
+  } else if (w.size() > 3 && w.back() == 's' && w[w.size() - 2] != 's') {
+    w.pop_back();
+  }
+  return w;
+}
+
+}  // namespace nebula

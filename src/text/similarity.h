@@ -1,0 +1,48 @@
+#ifndef NEBULA_TEXT_SIMILARITY_H_
+#define NEBULA_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nebula {
+
+/// Levenshtein edit distance (unit costs).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Normalized edit similarity in [0,1]: 1 - dist / max(len). Both inputs
+/// should already be lower-cased by the caller.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity over character trigrams (padded), in [0,1]. More
+/// robust than edit distance for abbreviation-style matches
+/// ("gid" vs "gene id").
+double TrigramJaccard(std::string_view a, std::string_view b);
+
+/// Precomputed trigram set of a string (padded, as used by
+/// TrigramJaccard). Lets hot paths score one word against many stored
+/// strings without rebuilding the stored side each time.
+std::vector<std::string> TrigramSet(std::string_view s);
+
+/// Jaccard over two precomputed trigram sets (each sorted + unique, as
+/// produced by TrigramSet).
+double TrigramJaccardPrecomputed(const std::vector<std::string>& a,
+                                 const std::vector<std::string>& b);
+
+/// Packed-integer trigram set: each (padded) trigram packed into a
+/// uint32 (c0<<16 | c1<<8 | c2), sorted + unique. The fast path used by
+/// the metadata scoring hot loop.
+std::vector<uint32_t> TrigramIdSet(std::string_view s);
+
+/// Jaccard over two packed trigram sets from TrigramIdSet.
+double TrigramJaccardIds(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b);
+
+/// Light suffix stemmer (plural / -ing / -ed / -ly). Good enough for
+/// matching concept words like "genes" -> "gene"; not a full Porter
+/// stemmer by design — over-stemming identifiers would be harmful here.
+std::string StemLite(std::string_view lower_word);
+
+}  // namespace nebula
+
+#endif  // NEBULA_TEXT_SIMILARITY_H_

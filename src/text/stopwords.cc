@@ -1,0 +1,38 @@
+#include "text/stopwords.h"
+
+#include <unordered_set>
+
+namespace nebula {
+
+bool IsStopword(const std::string& lower_word) {
+  static const std::unordered_set<std::string>* const kStopwords =
+      new std::unordered_set<std::string>{
+          "a",       "about",   "above",   "after",   "again",  "against",
+          "all",     "also",    "am",      "an",      "and",    "any",
+          "are",     "as",      "at",      "be",      "because", "been",
+          "before",  "being",   "below",   "between", "both",   "but",
+          "by",      "can",     "cannot",  "could",   "did",    "do",
+          "does",    "doing",   "down",    "during",  "each",   "few",
+          "for",     "from",    "further", "had",     "has",    "have",
+          "having",  "he",      "her",     "here",    "hers",   "herself",
+          "him",     "himself", "his",     "how",     "i",      "if",
+          "in",      "into",    "is",      "it",      "its",    "itself",
+          "just",    "may",     "me",      "might",   "more",   "most",
+          "must",    "my",      "myself",  "no",      "nor",    "not",
+          "now",     "of",      "off",     "on",      "once",   "only",
+          "or",      "other",   "our",     "ours",    "ourselves", "out",
+          "over",    "own",     "same",    "shall",   "she",    "should",
+          "so",      "some",    "such",    "than",    "that",   "the",
+          "their",   "theirs",  "them",    "themselves", "then", "there",
+          "these",   "they",    "this",    "those",   "through", "to",
+          "too",     "under",   "until",   "up",      "upon",   "very",
+          "was",     "we",      "were",    "what",    "when",   "where",
+          "which",   "while",   "who",     "whom",    "why",    "will",
+          "with",    "would",   "you",     "your",    "yours",  "yourself",
+          "yourselves", "seems", "exp",    "however", "therefore",
+          "thus",    "since",   "although", "whereas", "moreover",
+      };
+  return kStopwords->count(lower_word) > 0;
+}
+
+}  // namespace nebula

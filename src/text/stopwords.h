@@ -1,0 +1,15 @@
+#ifndef NEBULA_TEXT_STOPWORDS_H_
+#define NEBULA_TEXT_STOPWORDS_H_
+
+#include <string>
+
+namespace nebula {
+
+/// True when `lower_word` is a common English stopword (the word list is
+/// built in; lookups are O(1)). Stopwords are never candidates for
+/// embedded references, so the signature-map generation skips them early.
+bool IsStopword(const std::string& lower_word);
+
+}  // namespace nebula
+
+#endif  // NEBULA_TEXT_STOPWORDS_H_

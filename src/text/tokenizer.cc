@@ -1,0 +1,50 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace nebula {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t position = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !IsWordChar(text[i])) ++i;
+    if (i >= text.size()) break;
+    const size_t start = i;
+    while (i < text.size() && IsWordChar(text[i])) ++i;
+    // Trim connector characters from the edges: "-actin-" -> "actin",
+    // but keep interior ones: "G-Actin".
+    size_t b = start;
+    size_t e = i;
+    while (b < e && (text[b] == '-' || text[b] == '_')) ++b;
+    while (e > b && (text[e - 1] == '-' || text[e - 1] == '_')) --e;
+    if (e > b) {
+      Token tok;
+      tok.text = text.substr(b, e - b);
+      tok.lower = ToLower(tok.text);
+      tok.position = position++;
+      tok.char_offset = b;
+      tokens.push_back(std::move(tok));
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::string> TokenizeLower(const std::string& text) {
+  std::vector<std::string> out;
+  for (const auto& tok : Tokenize(text)) out.push_back(tok.lower);
+  return out;
+}
+
+}  // namespace nebula

@@ -1,0 +1,37 @@
+#ifndef NEBULA_TEXT_TOKENIZER_H_
+#define NEBULA_TEXT_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nebula {
+
+/// A word occurrence within an annotation, with its word position (used by
+/// the influence-range logic of ContextBasedAdjustment) and its character
+/// offset (used for evidence reporting).
+struct Token {
+  std::string text;   ///< Original surface form.
+  std::string lower;  ///< Lower-cased form; matching always uses this.
+  size_t position = 0;     ///< 0-based word index within the annotation.
+  size_t char_offset = 0;  ///< Byte offset of the first character.
+
+  bool operator==(const Token& other) const {
+    return text == other.text && position == other.position;
+  }
+};
+
+/// Splits annotation text into word tokens.
+///
+/// A token is a maximal run of alphanumeric characters plus the in-word
+/// connectors '-' and '_' (gene and protein identifiers such as "G-Actin"
+/// or "JW0014" must survive as single tokens). Punctuation is discarded
+/// but still advances positions' character offsets.
+std::vector<Token> Tokenize(const std::string& text);
+
+/// Convenience: lower-cased token strings only.
+std::vector<std::string> TokenizeLower(const std::string& text);
+
+}  // namespace nebula
+
+#endif  // NEBULA_TEXT_TOKENIZER_H_

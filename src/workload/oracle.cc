@@ -1,0 +1,36 @@
+#include "workload/oracle.h"
+
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace nebula {
+
+OracleOutcome OracleExpert::ProcessPending(
+    VerificationManager* manager) const {
+  OracleOutcome outcome;
+  // Snapshot the vids first: answering tasks mutates the manager.
+  std::vector<uint64_t> vids;
+  for (const VerificationTask* task : manager->PendingTasks()) {
+    vids.push_back(task->vid);
+  }
+  for (uint64_t vid : vids) {
+    auto task_result = manager->GetTask(vid);
+    if (!task_result.ok()) continue;
+    const bool accept = WouldAccept(**task_result);
+    const std::string command =
+        StrFormat("%s ATTACHMENT %llu;", accept ? "VERIFY" : "REJECT",
+                  static_cast<unsigned long long>(vid));
+    if (manager->ExecuteCommand(command).ok()) {
+      if (accept) {
+        ++outcome.accepted;
+      } else {
+        ++outcome.rejected;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace nebula

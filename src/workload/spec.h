@@ -1,0 +1,143 @@
+#ifndef NEBULA_WORKLOAD_SPEC_H_
+#define NEBULA_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace nebula {
+
+/// Reference-strength tiers of a generated embedded reference (see
+/// DESIGN.md: the generator self-calibrates words into these bands by
+/// scoring them through the live NebulaMeta).
+enum class RefStrength {
+  /// Survives every epsilon cutoff (score >= 0.8): pattern / ontology /
+  /// exact-sample references (gene ids, gene names, protein ids, types).
+  kStrong,
+  /// Survives epsilon = 0.6 but not 0.8 (score in [0.6, 0.8)): unsampled
+  /// protein-name variants. These are the source of Nebula-0.8's false
+  /// negatives in Figure 15(a).
+  kMedium,
+};
+
+/// One ground-truth embedded reference inside a workload annotation.
+struct GroundTruthRef {
+  TupleId target;
+  /// The value keyword(s) as written in the text (e.g. "JW00417", or
+  /// {"Braktorin2", "kinase"} for a name+type protein reference).
+  std::vector<std::string> surface;
+  RefStrength strength = RefStrength::kStrong;
+};
+
+/// A held-out workload annotation (the L^m sets of §8.1): the text to be
+/// inserted as a new annotation, plus its complete ground truth.
+struct WorkloadAnnotation {
+  std::string text;
+  size_t size_class = 0;  ///< m of L^m: max bytes (50/100/500/1000)
+  size_t link_class_lo = 0, link_class_hi = 0;  ///< i..j of L_{i-j}
+  std::vector<GroundTruthRef> refs;  ///< the embedded references
+  /// All tuples the annotation is ideally attached to (== refs' targets,
+  /// deduplicated, in generation order). The first Delta of these act as
+  /// the focal at insertion time.
+  std::vector<TupleId> ideal_tuples;
+};
+
+/// The full workload: 4 size classes x 3 link classes x 5 annotations
+/// (with the paper's footnote-3 substitution for L^50.L_{7-10}).
+struct Workload {
+  std::vector<WorkloadAnnotation> annotations;
+
+  /// Indices of the annotations in size class `m`.
+  std::vector<size_t> BySizeClass(size_t m) const {
+    std::vector<size_t> out;
+    for (size_t i = 0; i < annotations.size(); ++i) {
+      if (annotations[i].size_class == m) out.push_back(i);
+    }
+    return out;
+  }
+
+  /// Indices in size class `m` and link class [lo, hi].
+  std::vector<size_t> ByClasses(size_t m, size_t lo, size_t hi) const {
+    std::vector<size_t> out;
+    for (size_t i = 0; i < annotations.size(); ++i) {
+      const auto& a = annotations[i];
+      if (a.size_class == m && a.link_class_lo == lo && a.link_class_hi == hi) {
+        out.push_back(i);
+      }
+    }
+    return out;
+  }
+};
+
+/// Everything that parameterizes dataset + workload generation.
+struct DatasetSpec {
+  uint64_t seed = 42;
+
+  // Table sizes (D_large defaults; Small()/Mid() scale these).
+  size_t num_genes = 20000;
+  size_t num_proteins = 12000;
+  size_t num_publications = 30000;
+
+  // Topic structure: tuples are partitioned into research topics;
+  // publications cite within their topic with high probability. This is
+  // what gives the ACG the short-hop locality the paper's Figure 7
+  // profile shows.
+  size_t topic_size = 60;
+  double cross_topic_probability = 0.10;
+
+  // Corpus publication shape.
+  size_t min_corpus_refs = 1, max_corpus_refs = 8;
+  size_t corpus_abstract_words_lo = 25, corpus_abstract_words_hi = 60;
+
+  // Protein-name universe.
+  size_t num_protein_stems = 300;
+
+  // NebulaMeta sample size per referencing column.
+  size_t meta_sample_per_column = 600;
+
+  // Workload noise-injection rates (per filler word), by size class.
+  // Weak noise scores in [0.4, 0.6): visible only to epsilon = 0.4.
+  // Strong noise (decoy identifiers) scores >= 0.8: visible to all
+  // epsilons; injected only into the 500/1000-byte classes, which is what
+  // makes the false-positive query ratio grow with annotation size.
+  double weak_noise_rate_small = 0.05;   ///< L^50 / L^100
+  double weak_noise_rate_large = 0.30;   ///< L^500 / L^1000
+  double strong_noise_rate_large = 0.05; ///< L^500 / L^1000 only
+
+  /// Fraction of workload references drawn from the medium-strength
+  /// (unsampled protein-name) pool.
+  double medium_ref_fraction = 0.20;
+
+  /// Scaled presets mirroring the paper's D_small / D_mid / D_large.
+  static DatasetSpec Large() { return DatasetSpec{}; }
+  static DatasetSpec Mid() {
+    DatasetSpec s;
+    s.num_genes /= 2;
+    s.num_proteins /= 2;
+    s.num_publications /= 2;
+    return s;
+  }
+  static DatasetSpec Small() {
+    DatasetSpec s;
+    s.num_genes /= 10;
+    s.num_proteins /= 10;
+    s.num_publications /= 10;
+    return s;
+  }
+  /// Minimal dataset for unit tests (fast to generate).
+  static DatasetSpec Tiny() {
+    DatasetSpec s;
+    s.num_genes = 400;
+    s.num_proteins = 250;
+    s.num_publications = 600;
+    s.num_protein_stems = 60;
+    s.meta_sample_per_column = 120;
+    return s;
+  }
+};
+
+}  // namespace nebula
+
+#endif  // NEBULA_WORKLOAD_SPEC_H_

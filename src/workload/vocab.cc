@@ -1,0 +1,159 @@
+#include "workload/vocab.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <unordered_set>
+
+namespace nebula {
+
+const std::vector<std::string>& Vocab::Filler() {
+  // Deliberately excludes schema vocabulary ("gene", "protein", "family",
+  // "name", "id", "type", "sequence", ...) and its lexicon synonyms.
+  static const std::vector<std::string>* const kWords =
+      new std::vector<std::string>{
+          "analysis",    "approach",    "binding",     "cellular",
+          "comparison",  "conditions",  "control",     "culture",
+          "data",        "decrease",    "detected",    "differential",
+          "distribution", "effect",     "elevated",    "evidence",
+          "expression",  "growth",      "host",        "increase",
+          "induction",   "interaction", "levels",      "measured",
+          "mechanism",   "membrane",    "metabolism",  "method",
+          "mutation",    "observed",    "pathway",     "phenotype",
+          "population",  "presence",    "process",     "profile",
+          "rate",        "regulation",  "response",    "sample",
+          "signal",      "stress",      "structure",   "study",
+          "suggests",    "synthesis",   "temperature", "tissue",
+          "transcription", "treatment", "variation",   "cycle",
+          "degradation", "division",    "environment", "localization",
+          "morphology",  "nutrient",    "plasmid",     "strain",
+          "substrate",   "uptake",      "viability",   "wild",
+          "assembly",    "cascade",     "cluster",     "complex",
+          "density",     "dynamics",    "feedback",    "gradient",
+          "homeostasis", "inhibition",  "motif",       "network",
+          "oscillation", "promoter",    "repression",  "turnover",
+          "abundance",   "activation",  "alignment",   "annotation",
+          "background",  "baseline",    "batch",       "candidate",
+          "colony",      "component",   "concentration", "consensus",
+          "dataset",     "depletion",   "deviation",   "dose",
+          "duration",    "efficiency",  "enrichment",  "extract",
+          "fraction",    "frequency",   "fusion",      "generation",
+          "genome",      "heterogeneity", "hypothesis", "image",
+          "incubation",  "intensity",   "interval",    "isolation",
+          "knockdown",   "ligand",      "lineage",     "litreature",
+          "magnitude",   "marker",      "matrix",      "medium",
+          "migration",   "model",       "modification", "onset",
+          "overlap",     "panel",       "parameter",   "peak",
+          "perturbation", "plateau",    "precursor",   "prediction",
+          "preparation", "pressure",    "progression", "proliferation",
+          "protocol",    "purification", "readout",    "recovery",
+          "replicate",   "resolution",  "screen",      "secretion",
+          "selection",   "sensitivity", "signature",   "specificity",
+          "stability",   "stimulation", "subset",      "threshold",
+          "timing",      "titration",   "tolerance",   "trajectory",
+          "transition",  "transport",   "validation",  "yield",
+      };
+  return *kWords;
+}
+
+const std::vector<std::string>& Vocab::ProteinTypes() {
+  static const std::vector<std::string>* const kTypes =
+      new std::vector<std::string>{
+          "kinase",      "phosphatase", "receptor",  "transporter",
+          "hydrolase",   "ligase",      "isomerase", "polymerase",
+          "chaperone",   "regulator",
+      };
+  return *kTypes;
+}
+
+const std::vector<std::string>& Vocab::Organisms() {
+  static const std::vector<std::string>* const kOrganisms =
+      new std::vector<std::string>{
+          "ecoli", "yeast", "human", "mouse", "fly", "worm", "zebrafish",
+          "arabidopsis",
+      };
+  return *kOrganisms;
+}
+
+const std::vector<std::string>& Vocab::Journals() {
+  static const std::vector<std::string>* const kJournals =
+      new std::vector<std::string>{
+          "J Mol Bio", "Cell Reports", "Genome Res", "Nucleic Acids",
+          "EMBO J", "PNAS", "eLife", "Microbiology",
+      };
+  return *kJournals;
+}
+
+std::vector<std::string> Vocab::MakeProteinStems(size_t n, Rng* rng) {
+  static const char* kOnsets[] = {"b", "d", "f", "g", "k", "l", "m",
+                                  "n", "p", "r", "s", "t", "v", "z",
+                                  "br", "dr", "gl", "kr", "pl", "tr"};
+  static const char* kNuclei[] = {"a", "e", "i", "o", "u", "ae", "io"};
+  static const char* kSuffixes[] = {"in", "ase", "or", "ol", "ide"};
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    std::string stem;
+    const size_t syllables = 2 + rng->Uniform(2);
+    for (size_t s = 0; s < syllables; ++s) {
+      stem += kOnsets[rng->Uniform(std::size(kOnsets))];
+      stem += kNuclei[rng->Uniform(std::size(kNuclei))];
+    }
+    stem += kSuffixes[rng->Uniform(std::size(kSuffixes))];
+    stem[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(
+        stem[0])));
+    if (seen.insert(stem).second) out.push_back(std::move(stem));
+  }
+  return out;
+}
+
+std::string Vocab::FillerPhrase(size_t words, Rng* rng) {
+  const auto& filler = Filler();
+  std::string out;
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += filler[rng->Uniform(filler.size())];
+  }
+  return out;
+}
+
+std::string Vocab::DnaFragment(size_t n, Rng* rng) {
+  static const char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out += kBases[rng->Uniform(4)];
+  return out;
+}
+
+std::string Vocab::Mutate(const std::string& word, Rng* rng) {
+  std::string out = word;
+  if (out.empty()) return out;
+  const size_t ops = 1 + rng->Uniform(3);
+  for (size_t i = 0; i < ops && !out.empty(); ++i) {
+    switch (rng->Uniform(3)) {
+      case 0: {  // substitute a letter
+        const size_t pos = rng->Uniform(out.size());
+        out[pos] = static_cast<char>('a' + rng->Uniform(26));
+        break;
+      }
+      case 1: {  // drop the last character
+        out.pop_back();
+        break;
+      }
+      default: {  // insert a letter
+        const size_t pos = rng->Uniform(out.size() + 1);
+        out.insert(out.begin() + static_cast<ptrdiff_t>(pos),
+                   static_cast<char>('a' + rng->Uniform(26)));
+        break;
+      }
+    }
+  }
+  // Normalize to lower case: weak noise should read like ordinary words.
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace nebula

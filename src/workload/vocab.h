@@ -1,0 +1,47 @@
+#ifndef NEBULA_WORKLOAD_VOCAB_H_
+#define NEBULA_WORKLOAD_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace nebula {
+
+/// Word lists and small text grammars used by the synthetic UniProt-like
+/// generator. All lists are curated so that plain filler never collides
+/// with schema-item names, their aliases/synonyms, or value patterns.
+class Vocab {
+ public:
+  /// Plain scientific filler words (lower-case, guaranteed non-matching).
+  static const std::vector<std::string>& Filler();
+
+  /// Protein-type controlled vocabulary (becomes Protein.PType's
+  /// ontology).
+  static const std::vector<std::string>& ProteinTypes();
+
+  /// Organism names for the Gene/Protein organism columns.
+  static const std::vector<std::string>& Organisms();
+
+  /// Journal names for the Publication table.
+  static const std::vector<std::string>& Journals();
+
+  /// Deterministically builds `n` distinct protein-name stems
+  /// ("Raktorin", "Velsase", ...): capitalized syllable compounds with a
+  /// protein-ish suffix.
+  static std::vector<std::string> MakeProteinStems(size_t n, Rng* rng);
+
+  /// A random filler sentence fragment of `words` words.
+  static std::string FillerPhrase(size_t words, Rng* rng);
+
+  /// Random DNA fragment of length `n`.
+  static std::string DnaFragment(size_t n, Rng* rng);
+
+  /// Mutates a word (letter substitutions / truncations) — raw material
+  /// for the calibrated weak-noise pool.
+  static std::string Mutate(const std::string& word, Rng* rng);
+};
+
+}  // namespace nebula
+
+#endif  // NEBULA_WORKLOAD_VOCAB_H_

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "core/assessment.h"
+
+namespace nebula {
+namespace {
+
+const TupleId kF0{0, 0};
+const TupleId kT1{0, 1};
+const TupleId kT2{0, 2};
+const TupleId kT3{0, 3};
+const TupleId kT4{0, 4};
+
+CandidateTuple Candidate(const TupleId& t, double conf) {
+  CandidateTuple c;
+  c.tuple = t;
+  c.confidence = conf;
+  return c;
+}
+
+TEST(ComputeAssessmentTest, PerfectPrediction) {
+  AssessmentCounts c;
+  c.n_ideal = 4;
+  c.n_focal = 1;
+  c.n_accept_t = 3;
+  const AssessmentResult r = ComputeAssessment(c);
+  EXPECT_DOUBLE_EQ(r.fn, 0.0);
+  EXPECT_DOUBLE_EQ(r.fp, 0.0);
+  EXPECT_DOUBLE_EQ(r.mf, 0.0);
+  EXPECT_DOUBLE_EQ(r.mh, 0.0);
+}
+
+TEST(ComputeAssessmentTest, FalseNegativeFormula) {
+  AssessmentCounts c;
+  c.n_ideal = 10;
+  c.n_focal = 1;
+  c.n_accept_t = 2;
+  c.n_verify_t = 3;
+  // F_N = (10 - (3 + 2 + 1)) / 10
+  EXPECT_DOUBLE_EQ(ComputeAssessment(c).fn, 0.4);
+}
+
+TEST(ComputeAssessmentTest, FalsePositiveFormula) {
+  AssessmentCounts c;
+  c.n_ideal = 5;
+  c.n_focal = 1;
+  c.n_verify_t = 2;
+  c.n_accept_t = 1;
+  c.n_accept_f = 2;
+  // F_P = accept_f / (verify_t + accept + focal) = 2 / (2 + 3 + 1)
+  EXPECT_DOUBLE_EQ(ComputeAssessment(c).fp, 2.0 / 6.0);
+}
+
+TEST(ComputeAssessmentTest, ManualEffortAndHitRatio) {
+  AssessmentCounts c;
+  c.n_ideal = 5;
+  c.n_verify_t = 3;
+  c.n_verify_f = 9;
+  const AssessmentResult r = ComputeAssessment(c);
+  EXPECT_DOUBLE_EQ(r.mf, 12.0);
+  EXPECT_DOUBLE_EQ(r.mh, 0.25);
+}
+
+TEST(ComputeAssessmentTest, ZeroDenominatorsAreSafe) {
+  const AssessmentResult r = ComputeAssessment(AssessmentCounts{});
+  EXPECT_DOUBLE_EQ(r.fn, 0.0);
+  EXPECT_DOUBLE_EQ(r.fp, 0.0);
+  EXPECT_DOUBLE_EQ(r.mh, 0.0);
+}
+
+TEST(ComputeAssessmentTest, FnClampedAtZero) {
+  // Found more than ideal (possible when focal exceeds the recorded
+  // ideal set in degenerate setups): F_N must not go negative.
+  AssessmentCounts c;
+  c.n_ideal = 1;
+  c.n_focal = 2;
+  EXPECT_DOUBLE_EQ(ComputeAssessment(c).fn, 0.0);
+}
+
+TEST(AssessPredictionTest, BucketsAgainstGroundTruth) {
+  EdgeSet ideal;
+  ideal.Add(7, kF0);
+  ideal.Add(7, kT1);  // will be auto-accepted (correct)
+  ideal.Add(7, kT2);  // will be pending (correct -> verify_t)
+  // kT3 not ideal: pending -> verify_f; kT4 not ideal: rejected.
+  const VerificationBounds bounds{0.3, 0.8};
+  const AssessmentCounts c = AssessPrediction(
+      7,
+      {Candidate(kT1, 0.9), Candidate(kT2, 0.5), Candidate(kT3, 0.6),
+       Candidate(kT4, 0.1)},
+      {kF0}, ideal, bounds);
+  EXPECT_EQ(c.n_ideal, 3u);
+  EXPECT_EQ(c.n_focal, 1u);
+  EXPECT_EQ(c.n_accept_t, 1u);
+  EXPECT_EQ(c.n_accept_f, 0u);
+  EXPECT_EQ(c.n_verify_t, 1u);
+  EXPECT_EQ(c.n_verify_f, 1u);
+  EXPECT_EQ(c.n_reject, 1u);
+
+  const AssessmentResult r = ComputeAssessment(c);
+  EXPECT_DOUBLE_EQ(r.fn, 0.0);   // all 3 ideal edges covered
+  EXPECT_DOUBLE_EQ(r.fp, 0.0);   // nothing wrong auto-accepted
+  EXPECT_DOUBLE_EQ(r.mf, 2.0);
+  EXPECT_DOUBLE_EQ(r.mh, 0.5);
+}
+
+TEST(AssessPredictionTest, WrongAutoAcceptCountsAsAcceptF) {
+  EdgeSet ideal;
+  ideal.Add(7, kF0);
+  const AssessmentCounts c = AssessPrediction(
+      7, {Candidate(kT1, 0.95)}, {kF0}, ideal, {0.3, 0.8});
+  EXPECT_EQ(c.n_accept_f, 1u);
+  EXPECT_GT(ComputeAssessment(c).fp, 0.0);
+}
+
+TEST(AssessPredictionTest, FocalCandidatesNotCounted) {
+  EdgeSet ideal;
+  ideal.Add(7, kF0);
+  const AssessmentCounts c = AssessPrediction(
+      7, {Candidate(kF0, 0.99)}, {kF0}, ideal, {0.3, 0.8});
+  EXPECT_EQ(c.n_accept(), 0u);
+  EXPECT_EQ(c.n_verify(), 0u);
+  EXPECT_EQ(c.n_reject, 0u);
+}
+
+TEST(AssessPredictionTest, MissedReferenceShowsAsFn) {
+  EdgeSet ideal;
+  ideal.Add(7, kF0);
+  ideal.Add(7, kT1);
+  ideal.Add(7, kT2);
+  // Discovery produced nothing for kT2.
+  const AssessmentCounts c = AssessPrediction(
+      7, {Candidate(kT1, 0.9)}, {kF0}, ideal, {0.3, 0.8});
+  EXPECT_NEAR(ComputeAssessment(c).fn, 1.0 / 3.0, 1e-9);
+}
+
+TEST(AssessPredictionTest, DegenerateEqualBoundsEliminateExperts) {
+  // beta_lower == beta_upper == 0.5: nothing pends; everything >= 0.5 is
+  // accepted (0.5 itself remains a pending edge case per Fig. 8 -> here
+  // confidence==bounds goes to verify; use strictly-off values).
+  EdgeSet ideal;
+  ideal.Add(7, kT1);
+  const AssessmentCounts c = AssessPrediction(
+      7, {Candidate(kT1, 0.6), Candidate(kT2, 0.4)}, {}, ideal, {0.5, 0.5});
+  EXPECT_EQ(c.n_accept_t, 1u);
+  EXPECT_EQ(c.n_reject, 1u);
+  EXPECT_EQ(c.n_verify(), 0u);
+  EXPECT_DOUBLE_EQ(ComputeAssessment(c).mf, 0.0);
+}
+
+TEST(AssessmentCountsTest, Accumulation) {
+  AssessmentCounts a;
+  a.n_ideal = 2;
+  a.n_verify_t = 1;
+  AssessmentCounts b;
+  b.n_ideal = 3;
+  b.n_accept_f = 2;
+  a += b;
+  EXPECT_EQ(a.n_ideal, 5u);
+  EXPECT_EQ(a.n_verify_t, 1u);
+  EXPECT_EQ(a.n_accept_f, 2u);
+  EXPECT_EQ(a.n_accept(), 2u);
+  EXPECT_EQ(a.n_verify(), 1u);
+}
+
+}  // namespace
+}  // namespace nebula

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "core/bounds_setting.h"
+
+namespace nebula {
+namespace {
+
+TupleId Tid(uint64_t row) { return {0, row}; }
+
+CandidateTuple Candidate(const TupleId& t, double conf) {
+  CandidateTuple c;
+  c.tuple = t;
+  c.confidence = conf;
+  return c;
+}
+
+/// A synthetic discovery function with a clean confidence separation:
+/// true missing attachments score 0.9, junk scores 0.2. An ideal bounds
+/// setting can then fully automate (lower/upper between 0.2 and 0.9)
+/// with zero expert effort.
+std::vector<CandidateTuple> CleanDiscovery(
+    AnnotationId annotation, const std::vector<TupleId>& focal) {
+  (void)focal;
+  return {
+      Candidate(Tid(annotation * 10 + 1), 0.9),  // true, to rediscover
+      Candidate(Tid(annotation * 10 + 2), 0.9),  // true
+      Candidate(Tid(900 + annotation), 0.2),     // junk
+  };
+}
+
+std::vector<TrainingAnnotation> CleanTraining(size_t n) {
+  std::vector<TrainingAnnotation> training;
+  for (size_t a = 0; a < n; ++a) {
+    TrainingAnnotation ta;
+    ta.annotation = a;
+    ta.ideal_tuples = {Tid(a * 10), Tid(a * 10 + 1), Tid(a * 10 + 2)};
+    training.push_back(ta);
+  }
+  return training;
+}
+
+TEST(BoundsSettingTest, CleanSeparationFullyAutomates) {
+  BoundsSettingConfig config;
+  config.max_fn = 0.05;
+  config.max_fp = 0.05;
+  const BoundsSettingResult result =
+      BoundsSetting(CleanTraining(5), CleanDiscovery, config);
+  ASSERT_TRUE(result.feasible);
+  // The chosen bounds must auto-reject 0.2 and auto-accept 0.9.
+  EXPECT_GT(result.best.lower, 0.2);
+  EXPECT_LT(result.best.upper, 0.9);
+  // And the effort at the chosen point is zero.
+  for (const auto& g : result.grid) {
+    if (g.bounds.lower == result.best.lower &&
+        g.bounds.upper == result.best.upper) {
+      EXPECT_DOUBLE_EQ(g.averaged.mf, 0.0);
+      EXPECT_DOUBLE_EQ(g.averaged.fn, 0.0);
+      EXPECT_DOUBLE_EQ(g.averaged.fp, 0.0);
+    }
+  }
+}
+
+TEST(BoundsSettingTest, GridContainsOnlyOrderedPairs) {
+  const BoundsSettingResult result =
+      BoundsSetting(CleanTraining(2), CleanDiscovery);
+  EXPECT_FALSE(result.grid.empty());
+  for (const auto& g : result.grid) {
+    EXPECT_LE(g.bounds.lower, g.bounds.upper);
+  }
+}
+
+/// Ambiguous discovery: correct and junk candidates overlap at 0.5, so
+/// automation must either leak FPs or drop FNs; experts are needed.
+std::vector<CandidateTuple> AmbiguousDiscovery(
+    AnnotationId annotation, const std::vector<TupleId>& focal) {
+  (void)focal;
+  return {
+      Candidate(Tid(annotation * 10 + 1), 0.5),  // true
+      Candidate(Tid(900 + annotation), 0.5),     // junk, same confidence
+  };
+}
+
+TEST(BoundsSettingTest, AmbiguityForcesExpertInvolvement) {
+  std::vector<TrainingAnnotation> training;
+  for (size_t a = 0; a < 4; ++a) {
+    TrainingAnnotation ta;
+    ta.annotation = a;
+    ta.ideal_tuples = {Tid(a * 10), Tid(a * 10 + 1)};
+    training.push_back(ta);
+  }
+  BoundsSettingConfig config;
+  config.max_fn = 0.1;
+  config.max_fp = 0.1;
+  const BoundsSettingResult result =
+      BoundsSetting(training, AmbiguousDiscovery, config);
+  ASSERT_TRUE(result.feasible);
+  // The winning bounds must bracket 0.5 so those candidates pend.
+  EXPECT_LE(result.best.lower, 0.5);
+  EXPECT_GE(result.best.upper, 0.5);
+  // Its effort is nonzero.
+  for (const auto& g : result.grid) {
+    if (g.bounds.lower == result.best.lower &&
+        g.bounds.upper == result.best.upper) {
+      EXPECT_GT(g.averaged.mf, 0.0);
+    }
+  }
+}
+
+TEST(BoundsSettingTest, InfeasibleConstraintsFallBackToLeastViolation) {
+  // Junk and truth perfectly inverted: no bounds satisfy strict limits.
+  auto inverted = [](AnnotationId annotation,
+                     const std::vector<TupleId>& focal)
+      -> std::vector<CandidateTuple> {
+    (void)focal;
+    return {Candidate(Tid(annotation * 10 + 1), 0.1),   // true, low conf
+            Candidate(Tid(900 + annotation), 0.95)};    // junk, high conf
+  };
+  std::vector<TrainingAnnotation> training;
+  for (size_t a = 0; a < 3; ++a) {
+    TrainingAnnotation ta;
+    ta.annotation = a;
+    ta.ideal_tuples = {Tid(a * 10), Tid(a * 10 + 1)};
+    training.push_back(ta);
+  }
+  BoundsSettingConfig config;
+  config.max_fn = 0.0;
+  config.max_fp = 0.0;
+  config.grid = {0.5};  // single degenerate point: auto-only, both wrong
+  const BoundsSettingResult result = BoundsSetting(training, inverted, config);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.best.lower, 0.5);
+  EXPECT_DOUBLE_EQ(result.best.upper, 0.5);
+}
+
+TEST(BoundsSettingTest, DistortionKeepControlsFocalSize) {
+  std::vector<size_t> observed_focal_sizes;
+  auto spy = [&](AnnotationId annotation,
+                 const std::vector<TupleId>& focal)
+      -> std::vector<CandidateTuple> {
+    (void)annotation;
+    observed_focal_sizes.push_back(focal.size());
+    return {};
+  };
+  BoundsSettingConfig config;
+  config.distortion_keep = 2;
+  config.grid = {0.5};
+  BoundsSetting(CleanTraining(3), spy, config);
+  ASSERT_EQ(observed_focal_sizes.size(), 3u);
+  for (size_t s : observed_focal_sizes) EXPECT_EQ(s, 2u);
+}
+
+TEST(BoundsSettingTest, EmptyTrainingIsSafe) {
+  const BoundsSettingResult result = BoundsSetting({}, CleanDiscovery);
+  EXPECT_FALSE(result.grid.empty());
+}
+
+TEST(BoundsSettingTest, MhGuidanceBreaksTies) {
+  // Two settings with equal (zero) M_F exist; with use_mh_guidance the
+  // higher-M_H one must win among equals. With all-zero M_H the choice is
+  // just the first minimal-M_F point; this test asserts determinism.
+  BoundsSettingConfig config;
+  const BoundsSettingResult r1 =
+      BoundsSetting(CleanTraining(3), CleanDiscovery, config);
+  const BoundsSettingResult r2 =
+      BoundsSetting(CleanTraining(3), CleanDiscovery, config);
+  EXPECT_DOUBLE_EQ(r1.best.lower, r2.best.lower);
+  EXPECT_DOUBLE_EQ(r1.best.upper, r2.best.upper);
+}
+
+}  // namespace
+}  // namespace nebula

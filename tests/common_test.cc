@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace nebula {
+namespace {
+
+// --------------------------- Status / Result ---------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotFound("table gene").ToString(),
+            "NotFound: table gene");
+}
+
+TEST(StatusTest, NonOkIsNotOk) {
+  EXPECT_FALSE(Status::NotFound("y").ok());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+TEST(ResultTest, HoldsValueOnSuccess) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsStatusOnError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  EXPECT_EQ(ParsePositive(5).value_or(-1), 10);
+}
+
+Result<std::string> Chain(int x) {
+  NEBULA_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  return std::to_string(doubled);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  EXPECT_FALSE(Chain(0).ok());
+  ASSERT_TRUE(Chain(3).ok());
+  EXPECT_EQ(*Chain(3), "6");
+}
+
+Status Fails() { return Status::Internal("boom"); }
+Status Wrapper() {
+  NEBULA_RETURN_NOT_OK(Fails());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(Wrapper().code(), StatusCode::kInternal);
+}
+
+// ------------------------------- Rng -----------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) hit_lo = true;
+    if (v == 3) hit_hi = true;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.25);
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallRanks) {
+  Rng rng(17);
+  int small = 0;
+  const uint64_t n = 100;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t r = rng.Zipf(n, 0.7);
+    EXPECT_LT(r, n);
+    if (r < 10) ++small;
+  }
+  // A uniform sampler would put ~10% below rank 10.
+  EXPECT_GT(small, 2500);
+}
+
+TEST(RngTest, ZipfSingleElement) {
+  Rng rng(19);
+  EXPECT_EQ(rng.Zipf(1, 0.5), 0u);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(23);
+  for (uint64_t k : {0ULL, 1ULL, 10ULL, 100ULL}) {
+    const auto sample = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::unordered_set<uint64_t> set(sample.begin(), sample.end());
+    EXPECT_EQ(set.size(), k);
+    for (uint64_t v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(29);
+  const auto sample = rng.SampleWithoutReplacement(50, 50);
+  std::set<uint64_t> set(sample.begin(), sample.end());
+  EXPECT_EQ(set.size(), 50u);
+}
+
+// --------------------------- string utils ------------------------------
+
+TEST(StringUtilTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("Gene JW0014"), "gene jw0014");
+  EXPECT_EQ(ToUpper("grpC"), "GRPC");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t\na b\r "), "a b");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, SplitSingleField) {
+  const auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  const auto parts = SplitWhitespace("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("JW0014", "JW"));
+  EXPECT_FALSE(StartsWith("JW", "JW0014"));
+  EXPECT_TRUE(EndsWith("kinase", "ase"));
+  EXPECT_FALSE(EndsWith("as", "ase"));
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Gene", "gene"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("gene", "genes"));
+}
+
+TEST(StringUtilTest, DigitAndNumberClassification) {
+  EXPECT_TRUE(IsAllDigits("0123"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_TRUE(LooksLikeInteger("-42"));
+  EXPECT_TRUE(LooksLikeInteger("+7"));
+  EXPECT_FALSE(LooksLikeInteger("-"));
+  EXPECT_FALSE(LooksLikeInteger("3.5"));
+  EXPECT_TRUE(LooksLikeNumber("3.5"));
+  EXPECT_TRUE(LooksLikeNumber("-1e3"));
+  EXPECT_FALSE(LooksLikeNumber("JW0014"));
+  EXPECT_FALSE(LooksLikeNumber(""));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%05u", 14u), "00014");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+// ------------------------------- hash ----------------------------------
+
+TEST(HashTest, Fnv1aDeterministicAndSensitive) {
+  EXPECT_EQ(Fnv1a("gene"), Fnv1a("gene"));
+  EXPECT_NE(Fnv1a("gene"), Fnv1a("gen"));
+  EXPECT_NE(Fnv1a("ab"), Fnv1a("ba"));
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+// ----------------------------- stopwatch -------------------------------
+
+TEST(StopwatchTest, MonotoneNonNegative) {
+  Stopwatch sw;
+  const uint64_t a = sw.ElapsedMicros();
+  const uint64_t b = sw.ElapsedMicros();
+  EXPECT_GE(b, a);
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(i);
+  const uint64_t before = sw.ElapsedMicros();
+  sw.Restart();
+  EXPECT_LE(sw.ElapsedMicros(), before + 1000);
+}
+
+}  // namespace
+}  // namespace nebula

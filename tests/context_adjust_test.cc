@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "core/context_adjust.h"
+#include "core/signature_maps.h"
+#include "text/tokenizer.h"
+
+namespace nebula {
+namespace {
+
+/// Builds a SignatureMap by hand: each entry is (word, mappings).
+SignatureMap MakeMap(
+    const std::vector<std::pair<std::string, std::vector<WordMapping>>>&
+        words) {
+  SignatureMap map;
+  for (size_t i = 0; i < words.size(); ++i) {
+    SigWord w;
+    w.token.text = words[i].first;
+    w.token.lower = words[i].first;
+    w.token.position = i;
+    w.mappings = words[i].second;
+    map.words.push_back(std::move(w));
+  }
+  return map;
+}
+
+WordMapping TableM(const std::string& t, double w) {
+  return {WordMapping::Kind::kTable, t, "", w};
+}
+WordMapping ColumnM(const std::string& t, const std::string& c, double w) {
+  return {WordMapping::Kind::kColumn, t, c, w};
+}
+WordMapping ValueM(const std::string& t, const std::string& c, double w) {
+  return {WordMapping::Kind::kValue, t, c, w};
+}
+
+TEST(FindMatchesTest, Type1RequiresAllThreeShapes) {
+  const SignatureMap map = MakeMap({
+      {"gene", {TableM("gene", 1.0)}},
+      {"id", {ColumnM("gene", "gid", 0.9)}},
+      {"JW0018", {ValueM("gene", "gid", 0.9)}},
+  });
+  const auto matches = FindMatchesOfType(map, 2, 0, 4, MatchType::kType1);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].table_pos, 0u);
+  EXPECT_EQ(matches[0].column_pos, 1u);
+  EXPECT_EQ(matches[0].value_pos, 2u);
+}
+
+TEST(FindMatchesTest, Type1RequiresConsistency) {
+  // Column belongs to a different table: no Type-1.
+  const SignatureMap map = MakeMap({
+      {"gene", {TableM("gene", 1.0)}},
+      {"pid", {ColumnM("protein", "pid", 0.9)}},
+      {"JW0018", {ValueM("gene", "gid", 0.9)}},
+  });
+  EXPECT_TRUE(FindMatchesOfType(map, 2, 0, 4, MatchType::kType1).empty());
+  // But Type-2 (gene table + gene value) still forms.
+  EXPECT_EQ(FindMatchesOfType(map, 2, 0, 4, MatchType::kType2).size(), 1u);
+}
+
+TEST(FindMatchesTest, Type2TableValue) {
+  const SignatureMap map = MakeMap({
+      {"gene", {TableM("gene", 1.0)}},
+      {"yaaB", {ValueM("gene", "name", 0.9)}},
+  });
+  const auto matches = FindMatchesOfType(map, 1, 0, 4, MatchType::kType2);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].type, MatchType::kType2);
+  // Symmetric: from the table word's perspective too.
+  EXPECT_EQ(FindMatchesOfType(map, 0, 0, 4, MatchType::kType2).size(), 1u);
+}
+
+TEST(FindMatchesTest, Type3ColumnValue) {
+  const SignatureMap map = MakeMap({
+      {"name", {ColumnM("gene", "name", 1.0)}},
+      {"grpC", {ValueM("gene", "name", 0.9)}},
+  });
+  EXPECT_EQ(FindMatchesOfType(map, 1, 0, 4, MatchType::kType3).size(), 1u);
+  // Column/value column mismatch: no match.
+  const SignatureMap bad = MakeMap({
+      {"name", {ColumnM("gene", "name", 1.0)}},
+      {"JW0013", {ValueM("gene", "gid", 0.9)}},
+  });
+  EXPECT_TRUE(FindMatchesOfType(bad, 1, 0, 4, MatchType::kType3).empty());
+}
+
+TEST(FindMatchesTest, InfluenceRangeLimitsSearch) {
+  const SignatureMap map = MakeMap({
+      {"gene", {TableM("gene", 1.0)}},
+      {"f1", {}},
+      {"f2", {}},
+      {"f3", {}},
+      {"f4", {}},
+      {"f5", {}},
+      {"JW0018", {ValueM("gene", "gid", 0.9)}},
+  });
+  // alpha=4: "gene" at distance 6 is out of range.
+  EXPECT_TRUE(FindMatchesOfType(map, 6, 0, 4, MatchType::kType2).empty());
+  // alpha=6 reaches it.
+  EXPECT_EQ(FindMatchesOfType(map, 6, 0, 6, MatchType::kType2).size(), 1u);
+}
+
+TEST(FindMatchesTest, DistinctWordsRequiredForType1) {
+  // One word carrying both table and column mappings cannot satisfy two
+  // shapes of the same Type-1 match.
+  const SignatureMap map = MakeMap({
+      {"genegid", {TableM("gene", 1.0), ColumnM("gene", "gid", 0.9)}},
+      {"JW0018", {ValueM("gene", "gid", 0.9)}},
+  });
+  EXPECT_TRUE(FindMatchesOfType(map, 1, 0, 4, MatchType::kType1).empty());
+  EXPECT_EQ(FindMatchesOfType(map, 1, 0, 4, MatchType::kType2).size(), 1u);
+}
+
+TEST(FindBestMatchTest, PrefersStrongerType) {
+  const SignatureMap map = MakeMap({
+      {"gene", {TableM("gene", 1.0)}},
+      {"id", {ColumnM("gene", "gid", 0.9)}},
+      {"JW0018", {ValueM("gene", "gid", 0.9)}},
+  });
+  const ContextMatch best = FindBestMatch(map, 2, 0, 4);
+  EXPECT_EQ(best.type, MatchType::kType1);
+}
+
+TEST(FindBestMatchTest, FallsBackToWeakerTypes) {
+  const SignatureMap type2_only = MakeMap({
+      {"gene", {TableM("gene", 1.0)}},
+      {"JW0018", {ValueM("gene", "gid", 0.9)}},
+  });
+  EXPECT_EQ(FindBestMatch(type2_only, 1, 0, 4).type, MatchType::kType2);
+
+  const SignatureMap type3_only = MakeMap({
+      {"gid", {ColumnM("gene", "gid", 0.9)}},
+      {"JW0018", {ValueM("gene", "gid", 0.9)}},
+  });
+  EXPECT_EQ(FindBestMatch(type3_only, 1, 0, 4).type, MatchType::kType3);
+
+  const SignatureMap nothing = MakeMap({
+      {"JW0018", {ValueM("gene", "gid", 0.9)}},
+  });
+  EXPECT_EQ(FindBestMatch(nothing, 0, 0, 4).type, MatchType::kNone);
+}
+
+TEST(FindBestMatchTest, PicksHighestCombinedWeightAmongSameType) {
+  const SignatureMap map = MakeMap({
+      {"gene", {TableM("gene", 0.5)}},
+      {"locus", {TableM("gene", 1.0)}},
+      {"JW0018", {ValueM("gene", "gid", 0.9)}},
+  });
+  const ContextMatch best = FindBestMatch(map, 2, 0, 4);
+  EXPECT_EQ(best.type, MatchType::kType2);
+  EXPECT_EQ(best.table_pos, 1u);  // the heavier table word
+}
+
+TEST(ContextAdjustTest, Type1RewardsAllMembers) {
+  SignatureMap map = MakeMap({
+      {"gene", {TableM("gene", 1.0)}},
+      {"id", {ColumnM("gene", "gid", 0.8)}},
+      {"JW0018", {ValueM("gene", "gid", 0.8)}},
+  });
+  ContextAdjustParams params;
+  params.beta1 = 0.10;
+  ContextBasedAdjustment(&map, params);
+  // Each mapping found one Type-1 match: weight *= 1.10 (capped at 1).
+  EXPECT_DOUBLE_EQ(map.words[0].mappings[0].weight, 1.0);  // capped
+  EXPECT_NEAR(map.words[1].mappings[0].weight, 0.88, 1e-9);
+  EXPECT_NEAR(map.words[2].mappings[0].weight, 0.88, 1e-9);
+}
+
+TEST(ContextAdjustTest, ExclusiveCascadeType1SuppressesType2) {
+  SignatureMap map = MakeMap({
+      {"gene", {TableM("gene", 1.0)}},
+      {"id", {ColumnM("gene", "gid", 0.8)}},
+      {"JW0018", {ValueM("gene", "gid", 0.5)}},
+  });
+  ContextAdjustParams params;
+  params.beta1 = 0.10;
+  params.beta2 = 0.50;  // would be larger if (wrongly) applied
+  ContextBasedAdjustment(&map, params);
+  // The value word has a Type-1 match, so only beta1 applies.
+  EXPECT_NEAR(map.words[2].mappings[0].weight, 0.55, 1e-9);
+}
+
+TEST(ContextAdjustTest, Type2AndType3Rewards) {
+  SignatureMap type2 = MakeMap({
+      {"gene", {TableM("gene", 1.0)}},
+      {"JW0018", {ValueM("gene", "gid", 0.5)}},
+  });
+  ContextAdjustParams params;
+  params.beta2 = 0.20;
+  params.beta3 = 0.10;
+  ContextBasedAdjustment(&type2, params);
+  EXPECT_NEAR(type2.words[1].mappings[0].weight, 0.6, 1e-9);
+
+  SignatureMap type3 = MakeMap({
+      {"gid", {ColumnM("gene", "gid", 0.9)}},
+      {"JW0018", {ValueM("gene", "gid", 0.5)}},
+  });
+  ContextBasedAdjustment(&type3, params);
+  EXPECT_NEAR(type3.words[1].mappings[0].weight, 0.55, 1e-9);
+}
+
+TEST(ContextAdjustTest, MultipleMatchesCountedUpToCap) {
+  SignatureMap map = MakeMap({
+      {"gene", {TableM("gene", 1.0)}},
+      {"locus", {TableM("gene", 1.0)}},
+      {"JW0018", {ValueM("gene", "gid", 0.5)}},
+  });
+  ContextAdjustParams params;
+  params.beta2 = 0.10;
+  params.max_matches_counted = 2;
+  ContextBasedAdjustment(&map, params);
+  // Two Type-2 matches x 10% each: 0.5 * 1.2.
+  EXPECT_NEAR(map.words[2].mappings[0].weight, 0.6, 1e-9);
+
+  SignatureMap capped = MakeMap({
+      {"gene", {TableM("gene", 1.0)}},
+      {"locus", {TableM("gene", 1.0)}},
+      {"cistron", {TableM("gene", 1.0)}},
+      {"JW0018", {ValueM("gene", "gid", 0.5)}},
+  });
+  params.max_matches_counted = 1;
+  ContextBasedAdjustment(&capped, params);
+  EXPECT_NEAR(capped.words[3].mappings[0].weight, 0.55, 1e-9);
+}
+
+TEST(ContextAdjustTest, IsolatedWordsUnchanged) {
+  SignatureMap map = MakeMap({
+      {"JW0018", {ValueM("gene", "gid", 0.7)}},
+      {"banana", {}},
+  });
+  ContextBasedAdjustment(&map, ContextAdjustParams{});
+  EXPECT_DOUBLE_EQ(map.words[0].mappings[0].weight, 0.7);
+}
+
+TEST(ContextAdjustTest, AdjustmentUsesSnapshotWeights) {
+  // Rewards must be computed from pre-adjustment weights: processing
+  // order must not change the result. Two value words sharing one table
+  // word get identical relative boosts.
+  SignatureMap map = MakeMap({
+      {"JW0011", {ValueM("gene", "gid", 0.5)}},
+      {"gene", {TableM("gene", 1.0)}},
+      {"JW0012", {ValueM("gene", "gid", 0.5)}},
+  });
+  ContextAdjustParams params;
+  params.beta2 = 0.20;
+  ContextBasedAdjustment(&map, params);
+  EXPECT_DOUBLE_EQ(map.words[0].mappings[0].weight,
+                   map.words[2].mappings[0].weight);
+}
+
+}  // namespace
+}  // namespace nebula

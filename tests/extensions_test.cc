@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include "annotation/auto_attach.h"
+#include "common/string_util.h"
+#include "core/identify.h"
+#include "core/spam.h"
+#include "meta/concept_learning.h"
+
+namespace nebula {
+namespace {
+
+// --------------------- auto-attachment rules ([18]) ---------------------
+
+class AutoAttachTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gene_ = *catalog_.CreateTable(
+        "gene", Schema({{"gid", DataType::kString, true},
+                        {"family", DataType::kString}}));
+    ASSERT_TRUE(gene_->Insert({Value("JW0001"), Value("F1")}).ok());
+    ASSERT_TRUE(gene_->Insert({Value("JW0002"), Value("F2")}).ok());
+    ASSERT_TRUE(gene_->Insert({Value("JW0003"), Value("F1")}).ok());
+    flag_ = store_.AddAnnotation("Rounded Flag");
+    registry_ = std::make_unique<AutoAttachRegistry>(&catalog_, &store_);
+  }
+
+  SelectQuery FamilyF1() const {
+    return {"gene", {{"family", CompareOp::kEq, Value("F1")}}};
+  }
+
+  Catalog catalog_;
+  AnnotationStore store_;
+  Table* gene_ = nullptr;
+  AnnotationId flag_ = 0;
+  std::unique_ptr<AutoAttachRegistry> registry_;
+};
+
+TEST_F(AutoAttachTest, AddRuleAttachesToExistingMatches) {
+  auto attached = registry_->AddRule(flag_, FamilyF1());
+  ASSERT_TRUE(attached.ok());
+  EXPECT_EQ(*attached, 2u);
+  EXPECT_TRUE(store_.HasAttachment(flag_, {gene_->id(), 0}));
+  EXPECT_FALSE(store_.HasAttachment(flag_, {gene_->id(), 1}));
+  EXPECT_TRUE(store_.HasAttachment(flag_, {gene_->id(), 2}));
+  EXPECT_EQ(registry_->rules().size(), 1u);
+}
+
+TEST_F(AutoAttachTest, OnInsertAppliesMatchingRules) {
+  ASSERT_TRUE(registry_->AddRule(flag_, FamilyF1()).ok());
+  auto r1 = gene_->Insert({Value("JW0004"), Value("F1")});
+  ASSERT_TRUE(r1.ok());
+  auto attached = registry_->OnInsert({gene_->id(), *r1});
+  ASSERT_TRUE(attached.ok());
+  EXPECT_EQ(*attached, 1u);
+  EXPECT_TRUE(store_.HasAttachment(flag_, {gene_->id(), *r1}));
+
+  auto r2 = gene_->Insert({Value("JW0005"), Value("F9")});
+  ASSERT_TRUE(r2.ok());
+  attached = registry_->OnInsert({gene_->id(), *r2});
+  ASSERT_TRUE(attached.ok());
+  EXPECT_EQ(*attached, 0u);
+}
+
+TEST_F(AutoAttachTest, MultipleRulesCanFireOnOneInsert) {
+  const AnnotationId triangle = store_.AddAnnotation("Triangle Flag");
+  ASSERT_TRUE(registry_->AddRule(flag_, FamilyF1()).ok());
+  ASSERT_TRUE(registry_
+                  ->AddRule(triangle, {"gene",
+                                       {{"gid", CompareOp::kGt,
+                                         Value("JW0002")}}})
+                  .ok());
+  auto r = gene_->Insert({Value("JW0009"), Value("F1")});
+  ASSERT_TRUE(r.ok());
+  auto attached = registry_->OnInsert({gene_->id(), *r});
+  ASSERT_TRUE(attached.ok());
+  EXPECT_EQ(*attached, 2u);
+}
+
+TEST_F(AutoAttachTest, RuleValidation) {
+  EXPECT_FALSE(registry_->AddRule(99, FamilyF1()).ok());
+  EXPECT_FALSE(
+      registry_->AddRule(flag_, {"missing_table", {}}).ok());
+  EXPECT_EQ(registry_->rules().size(), 0u);
+}
+
+TEST_F(AutoAttachTest, DoesNotDuplicateExistingAttachment) {
+  ASSERT_TRUE(store_.Attach(flag_, {gene_->id(), 0}).ok());
+  auto attached = registry_->AddRule(flag_, FamilyF1());
+  ASSERT_TRUE(attached.ok());
+  EXPECT_EQ(*attached, 1u);  // row 0 already attached, only row 2 new
+}
+
+// ------------------ concept learning (footnote 2) -----------------------
+
+class ConceptLearningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gene_ = *catalog_.CreateTable(
+        "gene", Schema({{"gid", DataType::kString, true},
+                        {"name", DataType::kString, true},
+                        {"seq", DataType::kString}}));
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(gene_
+                      ->Insert({Value(StrFormat("JW%04d", i)),
+                                Value(StrFormat("ab%cX", 'a' + i)),
+                                Value("ACGTACGT")})
+                      .ok());
+    }
+    // Annotations that mention the gid of their attached tuple (and never
+    // the seq).
+    for (int i = 0; i < 8; ++i) {
+      const AnnotationId a = store_.AddAnnotation(
+          StrFormat("observed expression of gene JW%04d in culture", i));
+      ASSERT_TRUE(store_.Attach(a, {gene_->id(),
+                                    static_cast<uint64_t>(i)}).ok());
+    }
+    // A couple of annotations mentioning the name instead.
+    for (int i = 8; i < 10; ++i) {
+      const AnnotationId a = store_.AddAnnotation(
+          StrFormat("gene ab%cX shows decreased growth", 'a' + i));
+      ASSERT_TRUE(store_.Attach(a, {gene_->id(),
+                                    static_cast<uint64_t>(i)}).ok());
+    }
+  }
+
+  Catalog catalog_;
+  AnnotationStore store_;
+  Table* gene_ = nullptr;
+};
+
+TEST_F(ConceptLearningTest, LearnsReferencingColumnsWithSupport) {
+  const auto learned = LearnConceptRefs(catalog_, store_);
+  ASSERT_FALSE(learned.empty());
+  // gid should be the top column with 80% support; name has 20%.
+  EXPECT_EQ(learned[0].column, "gid");
+  EXPECT_NEAR(learned[0].support(), 0.8, 1e-9);
+  bool found_name = false;
+  for (const auto& lc : learned) {
+    if (lc.column == "name") {
+      found_name = true;
+      EXPECT_NEAR(lc.support(), 0.2, 1e-9);
+    }
+    EXPECT_NE(lc.column, "seq");  // never mentioned
+  }
+  EXPECT_TRUE(found_name);
+}
+
+TEST_F(ConceptLearningTest, ApplyRegistersConcept) {
+  NebulaMeta meta;
+  const auto learned = LearnConceptRefs(catalog_, store_);
+  ASSERT_TRUE(ApplyLearnedConcepts(learned, /*min_support=*/0.5, &meta).ok());
+  ASSERT_EQ(meta.concepts().size(), 1u);
+  EXPECT_EQ(meta.concepts()[0].concept_name, "Gene (learned)");
+  ASSERT_EQ(meta.concepts()[0].referenced_by.size(), 1u);
+  EXPECT_EQ(meta.concepts()[0].referenced_by[0][0], "gid");
+  // The learned column is usable by the matching pipeline.
+  EXPECT_NE(meta.FindValueColumn("gene", "gid"), nullptr);
+  EXPECT_EQ(meta.FindValueColumn("gene", "name"), nullptr);  // below 0.5
+}
+
+TEST_F(ConceptLearningTest, ApplyNothingBelowThreshold) {
+  NebulaMeta meta;
+  const auto learned = LearnConceptRefs(catalog_, store_);
+  ASSERT_TRUE(ApplyLearnedConcepts(learned, /*min_support=*/0.99, &meta).ok());
+  EXPECT_TRUE(meta.concepts().empty());
+}
+
+TEST_F(ConceptLearningTest, SamplingCapRespected) {
+  ConceptLearningParams params;
+  params.max_attachments = 3;
+  const auto learned = LearnConceptRefs(catalog_, store_, params);
+  for (const auto& lc : learned) {
+    EXPECT_LE(lc.attachments, 3u);
+  }
+}
+
+TEST_F(ConceptLearningTest, ShortValuesIgnored) {
+  Table* tag = *catalog_.CreateTable(
+      "tag", Schema({{"code", DataType::kString}}));
+  ASSERT_TRUE(tag->Insert({Value("in")}).ok());  // shorter than min length
+  const AnnotationId a = store_.AddAnnotation("found in the sample");
+  ASSERT_TRUE(store_.Attach(a, {tag->id(), 0}).ok());
+  const auto learned = LearnConceptRefs(catalog_, store_);
+  for (const auto& lc : learned) {
+    EXPECT_NE(lc.table, "tag");
+  }
+}
+
+// ---------------------- spam guard (footnote 1) --------------------------
+
+std::vector<CandidateTuple> MakeCandidates(size_t n) {
+  std::vector<CandidateTuple> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i].tuple = {0, i};
+    out[i].confidence = 0.5;
+  }
+  return out;
+}
+
+TEST(SpamGuardTest, SmallPredictionsPass) {
+  const SpamVerdict v = DetectSpam(MakeCandidates(10), 1000);
+  EXPECT_FALSE(v.spam_suspected);
+  EXPECT_NEAR(v.coverage, 0.01, 1e-9);
+}
+
+TEST(SpamGuardTest, ExcessiveCoverageFlagged) {
+  const SpamVerdict v = DetectSpam(MakeCandidates(200), 1000);
+  EXPECT_TRUE(v.spam_suspected);
+  EXPECT_NEAR(v.coverage, 0.2, 1e-9);
+}
+
+TEST(SpamGuardTest, AbsoluteFloorProtectsTinyDatabases) {
+  // 40% coverage but under the candidate floor: not spam.
+  SpamGuardParams params;
+  params.min_candidates = 50;
+  const SpamVerdict v = DetectSpam(MakeCandidates(4), 10, params);
+  EXPECT_FALSE(v.spam_suspected);
+}
+
+TEST(SpamGuardTest, EmptyDatabaseSafe) {
+  const SpamVerdict v = DetectSpam(MakeCandidates(5), 0);
+  EXPECT_FALSE(v.spam_suspected);
+  EXPECT_DOUBLE_EQ(v.coverage, 0.0);
+}
+
+// --------------- ACG shortest-path reward (§6.2 extension) ---------------
+
+class PathWeightTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Chain t0 - t1 - t2 with strong edges, plus an isolated t9.
+    AnnotationStore store;
+    for (int i = 0; i < 2; ++i) {
+      const AnnotationId a = store.AddAnnotation("x");
+      ASSERT_TRUE(store.Attach(a, {0, static_cast<uint64_t>(i)}).ok());
+      ASSERT_TRUE(store.Attach(a, {0, static_cast<uint64_t>(i + 1)}).ok());
+    }
+    acg_.BuildFromStore(store);
+  }
+
+  Acg acg_;
+};
+
+TEST_F(PathWeightTest, DirectEdgeEqualsEdgeWeight) {
+  EXPECT_NEAR(acg_.PathWeight({{0, 0}}, {0, 1}, 1),
+              acg_.EdgeWeight({0, 0}, {0, 1}), 1e-12);
+}
+
+TEST_F(PathWeightTest, TwoHopPathIsProductOfEdges) {
+  const double w01 = acg_.EdgeWeight({0, 0}, {0, 1});
+  const double w12 = acg_.EdgeWeight({0, 1}, {0, 2});
+  EXPECT_NEAR(acg_.PathWeight({{0, 0}}, {0, 2}, 2), w01 * w12, 1e-12);
+}
+
+TEST_F(PathWeightTest, HopBudgetEnforced) {
+  EXPECT_DOUBLE_EQ(acg_.PathWeight({{0, 0}}, {0, 2}, 1), 0.0);
+}
+
+TEST_F(PathWeightTest, UnreachableAndFocalCases) {
+  EXPECT_DOUBLE_EQ(acg_.PathWeight({{0, 0}}, {0, 9}, 5), 0.0);
+  // A focal tuple itself has path weight 1 (empty path).
+  EXPECT_DOUBLE_EQ(acg_.PathWeight({{0, 0}}, {0, 0}, 3), 1.0);
+}
+
+TEST_F(PathWeightTest, BestOverMultipleFocal) {
+  const double via0 = acg_.PathWeight({{0, 0}}, {0, 2}, 3);
+  const double direct = acg_.PathWeight({{0, 1}}, {0, 2}, 3);
+  EXPECT_NEAR(acg_.PathWeight({{0, 0}, {0, 1}}, {0, 2}, 3),
+              std::max(via0, direct), 1e-12);
+}
+
+TEST(FocalRewardModeTest, ShortestPathRewardsIndirectCandidates) {
+  // Catalog with three genes; ACG chain g0 - g1 - g2.
+  Catalog catalog;
+  Table* gene = *catalog.CreateTable(
+      "gene", Schema({{"gid", DataType::kString, true}}));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(gene->Insert({Value(StrFormat("JW%04d", i))}).ok());
+  }
+  NebulaMeta meta;
+  ASSERT_TRUE(meta.AddConcept("Gene", "gene", {{"gid"}}).ok());
+  ASSERT_TRUE(meta.SetColumnPattern("gene", "gid", "JW[0-9]{4}").ok());
+  KeywordSearchEngine engine(&catalog, &meta);
+
+  AnnotationStore store;
+  for (int i = 0; i < 2; ++i) {
+    const AnnotationId a = store.AddAnnotation("x");
+    ASSERT_TRUE(store.Attach(a, {gene->id(), static_cast<uint64_t>(i)}).ok());
+    ASSERT_TRUE(
+        store.Attach(a, {gene->id(), static_cast<uint64_t>(i + 1)}).ok());
+  }
+  Acg acg;
+  acg.BuildFromStore(store);
+
+  // Focal = g0; candidate g2 is 2 hops away: direct-edge mode gives it no
+  // reward, shortest-path mode does.
+  const std::vector<KeywordQuery> queries = {{{"JW0002"}, 1.0, "q"}};
+  IdentifyParams direct;
+  IdentifyParams path;
+  path.focal_reward_mode = FocalRewardMode::kShortestPath;
+  path.path_max_hops = 3;
+
+  TupleIdentifier direct_id(&engine, &acg, direct);
+  TupleIdentifier path_id(&engine, &acg, path);
+  const TupleId focal{gene->id(), 0};
+
+  // With a single candidate, normalization hides the reward; compare the
+  // relative confidence against an unrelated second query instead.
+  const std::vector<KeywordQuery> two = {{{"JW0002"}, 1.0, "q1"},
+                                         {{"JW0001"}, 1.0, "q2"}};
+  const auto d = *direct_id.Identify(two, {focal});
+  const auto p = *path_id.Identify(two, {focal});
+  auto conf_of = [&](const std::vector<CandidateTuple>& cs, uint64_t row) {
+    for (const auto& c : cs) {
+      if (c.tuple.row == row) return c.confidence;
+    }
+    return 0.0;
+  };
+  // Direct mode: g2 unconnected to focal -> strictly below g1.
+  EXPECT_LT(conf_of(d, 2), conf_of(d, 1));
+  // Path mode: g2 gains a 2-hop reward, closing part of the gap.
+  EXPECT_GT(conf_of(p, 2), conf_of(d, 2));
+}
+
+}  // namespace
+}  // namespace nebula

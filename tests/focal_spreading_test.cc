@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/focal_spreading.h"
+
+namespace nebula {
+namespace {
+
+const TupleId kT0{0, 0};
+const TupleId kT1{0, 1};
+const TupleId kT2{0, 2};
+const TupleId kT3{0, 3};
+const TupleId kFar{0, 99};
+
+/// Chain graph t0 - t1 - t2 - t3 built via a stable-capable ACG.
+class FocalSpreadingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AnnotationStore store;
+    for (int i = 0; i < 3; ++i) {
+      const AnnotationId a = store.AddAnnotation("x");
+      ASSERT_TRUE(store.Attach(a, {0, static_cast<uint64_t>(i)}).ok());
+      ASSERT_TRUE(store.Attach(a, {0, static_cast<uint64_t>(i + 1)}).ok());
+    }
+    acg_.BuildFromStore(store);
+  }
+
+  /// Drives the ACG through one quiet batch (plus the attachment that
+  /// closes it) so it reports stable.
+  void MakeStable() {
+    AcgStabilityConfig config = acg_.stability_config();
+    for (size_t a = 0; a <= config.batch_size; ++a) {
+      // Re-attachments along existing edges: no new edges created.
+      acg_.AddAttachment(1000 + a, kT0, {});
+      acg_.AddAttachment(1000 + a, kT1, {kT0});
+    }
+  }
+
+  Acg acg_;
+};
+
+TEST_F(FocalSpreadingTest, RequiresStableAcgByDefault) {
+  FocalSpreading spreading(&acg_);
+  EXPECT_FALSE(acg_.stable());
+  EXPECT_FALSE(spreading.ShouldApproximate({kT0}));
+  MakeStable();
+  EXPECT_TRUE(acg_.stable());
+  EXPECT_TRUE(spreading.ShouldApproximate({kT0}));
+}
+
+TEST_F(FocalSpreadingTest, StabilityRequirementCanBeWaived) {
+  FocalSpreadingParams params;
+  params.require_stable_acg = false;
+  FocalSpreading spreading(&acg_, params);
+  EXPECT_TRUE(spreading.ShouldApproximate({kT0}));
+}
+
+TEST_F(FocalSpreadingTest, NoApproximationForUnknownFocal) {
+  FocalSpreadingParams params;
+  params.require_stable_acg = false;
+  FocalSpreading spreading(&acg_, params);
+  EXPECT_FALSE(spreading.ShouldApproximate({kFar}));
+  EXPECT_FALSE(spreading.ShouldApproximate({}));
+  // Mixed: one known focal suffices.
+  EXPECT_TRUE(spreading.ShouldApproximate({kFar, kT1}));
+}
+
+TEST_F(FocalSpreadingTest, FixedScopeMiniDb) {
+  FocalSpreadingParams params;
+  params.selection = KSelection::kFixed;
+  params.fixed_k = 1;
+  FocalSpreading spreading(&acg_, params);
+  EXPECT_EQ(spreading.EffectiveK(), 1u);
+  const MiniDb mini = spreading.BuildMiniDb({kT0});
+  EXPECT_EQ(mini.size(), 2u);  // t0 + t1
+  EXPECT_TRUE(mini.Contains(kT0));
+  EXPECT_TRUE(mini.Contains(kT1));
+  EXPECT_FALSE(mini.Contains(kT2));
+}
+
+TEST_F(FocalSpreadingTest, LargerKGrowsMiniDb) {
+  FocalSpreading spreading(&acg_);
+  const MiniDb k1 = spreading.BuildMiniDb({kT0}, 1);
+  const MiniDb k2 = spreading.BuildMiniDb({kT0}, 2);
+  const MiniDb k3 = spreading.BuildMiniDb({kT0}, 3);
+  EXPECT_LT(k1.size(), k2.size());
+  EXPECT_LT(k2.size(), k3.size());
+  EXPECT_TRUE(k3.Contains(kT3));
+}
+
+TEST_F(FocalSpreadingTest, MultiFocalUnion) {
+  FocalSpreading spreading(&acg_);
+  const MiniDb mini = spreading.BuildMiniDb({kT0, kT3}, 1);
+  EXPECT_EQ(mini.size(), 4u);  // whole chain covered from both ends
+}
+
+TEST_F(FocalSpreadingTest, ProfileDrivenKSelection) {
+  // Profile says 95% of candidates are within 2 hops.
+  for (int i = 0; i < 95; ++i) acg_.RecordProfilePoint(2);
+  for (int i = 0; i < 5; ++i) acg_.RecordProfilePoint(4);
+  FocalSpreadingParams params;
+  params.selection = KSelection::kProfileDriven;
+  params.desired_recall = 0.95;
+  params.fixed_k = 9;  // fallback, must not be used
+  FocalSpreading spreading(&acg_, params);
+  EXPECT_EQ(spreading.EffectiveK(), 2u);
+}
+
+TEST_F(FocalSpreadingTest, ProfileDrivenFallsBackWhenEmpty) {
+  FocalSpreadingParams params;
+  params.selection = KSelection::kProfileDriven;
+  params.fixed_k = 5;
+  FocalSpreading spreading(&acg_, params);
+  EXPECT_EQ(spreading.EffectiveK(), 5u);
+}
+
+TEST_F(FocalSpreadingTest, MiniDbOfUnknownFocalIsEmpty) {
+  FocalSpreading spreading(&acg_);
+  EXPECT_TRUE(spreading.BuildMiniDb({kFar}, 3).empty());
+}
+
+}  // namespace
+}  // namespace nebula

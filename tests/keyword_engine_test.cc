@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include "keyword/engine.h"
+
+namespace nebula {
+namespace {
+
+/// Fixture: a small Figure-1-style database with gene / protein /
+/// publication tables, ConceptRefs metadata, and a text index over the
+/// publication abstracts.
+class KeywordEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gene_ = *catalog_.CreateTable(
+        "gene", Schema({{"gid", DataType::kString, true},
+                        {"name", DataType::kString, true},
+                        {"family", DataType::kString}}));
+    protein_ = *catalog_.CreateTable(
+        "protein", Schema({{"pid", DataType::kString, true},
+                           {"pname", DataType::kString},
+                           {"ptype", DataType::kString}}));
+    pub_ = *catalog_.CreateTable(
+        "publication", Schema({{"pubid", DataType::kString, true},
+                               {"abstract", DataType::kString}}));
+
+    auto add_gene = [&](const char* gid, const char* name, const char* fam) {
+      ASSERT_TRUE(gene_->Insert({Value(gid), Value(name), Value(fam)}).ok());
+    };
+    add_gene("JW0013", "grpC", "F1");
+    add_gene("JW0014", "groP", "F6");
+    add_gene("JW0019", "yaaB", "F3");
+    ASSERT_TRUE(
+        protein_->Insert({Value("P00001"), Value("Actin"), Value("kinase")})
+            .ok());
+    ASSERT_TRUE(protein_
+                    ->Insert({Value("P00002"), Value("Actin"),
+                              Value("receptor")})
+                    .ok());
+    ASSERT_TRUE(pub_->Insert({Value("PUB1"),
+                              Value("study of gene JW0014 expression")})
+                    .ok());
+    ASSERT_TRUE(pub_->Insert({Value("PUB2"),
+                              Value("growth rate analysis methods")})
+                    .ok());
+    ASSERT_TRUE(pub_->BuildTextIndex(1).ok());
+
+    ASSERT_TRUE(meta_.AddConcept("Gene", "gene", {{"gid"}, {"name"}}).ok());
+    ASSERT_TRUE(
+        meta_.AddConcept("Protein", "protein", {{"pid"}, {"pname", "ptype"}})
+            .ok());
+    ASSERT_TRUE(meta_.SetColumnPattern("gene", "gid", "JW[0-9]{4}").ok());
+    ASSERT_TRUE(meta_.SetColumnPattern("gene", "name", "[a-z]{3}[A-Z]").ok());
+    ASSERT_TRUE(meta_.SetColumnPattern("protein", "pid", "P[0-9]{5}").ok());
+    ASSERT_TRUE(meta_
+                    .SetColumnOntology("protein", "ptype",
+                                       {"kinase", "receptor"})
+                    .ok());
+    Rng rng(3);
+    ASSERT_TRUE(meta_.DrawColumnSamples(catalog_, 10, &rng).ok());
+    engine_ = std::make_unique<KeywordSearchEngine>(&catalog_, &meta_);
+  }
+
+  bool HasMapping(const std::vector<KeywordMapping>& ms,
+                  KeywordMapping::Kind kind, const std::string& table,
+                  const std::string& column = "") {
+    for (const auto& m : ms) {
+      if (m.kind == kind && m.table == table &&
+          (column.empty() || m.column == column)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Catalog catalog_;
+  NebulaMeta meta_;
+  Table* gene_ = nullptr;
+  Table* protein_ = nullptr;
+  Table* pub_ = nullptr;
+  std::unique_ptr<KeywordSearchEngine> engine_;
+};
+
+TEST_F(KeywordEngineTest, MapKeywordTableName) {
+  const auto ms = engine_->MapKeyword("gene");
+  EXPECT_TRUE(HasMapping(ms, KeywordMapping::Kind::kTableName, "gene"));
+}
+
+TEST_F(KeywordEngineTest, MapKeywordColumnName) {
+  const auto ms = engine_->MapKeyword("gid");
+  EXPECT_TRUE(
+      HasMapping(ms, KeywordMapping::Kind::kColumnName, "gene", "gid"));
+}
+
+TEST_F(KeywordEngineTest, MapKeywordValueByPattern) {
+  const auto ms = engine_->MapKeyword("JW0013");
+  ASSERT_FALSE(ms.empty());
+  EXPECT_TRUE(HasMapping(ms, KeywordMapping::Kind::kValue, "gene", "gid"));
+  // Best mapping should be the declared gid column, not the abstract.
+  EXPECT_EQ(ms[0].column, "gid");
+  EXPECT_TRUE(ms[0].exact_value);
+}
+
+TEST_F(KeywordEngineTest, MapKeywordTextIndexContainment) {
+  const auto ms = engine_->MapKeyword("expression");
+  EXPECT_TRUE(HasMapping(ms, KeywordMapping::Kind::kValue, "publication",
+                         "abstract"));
+  for (const auto& m : ms) {
+    if (m.table == "publication") EXPECT_FALSE(m.exact_value);
+  }
+}
+
+TEST_F(KeywordEngineTest, MapKeywordUnknownWordEmpty) {
+  EXPECT_TRUE(engine_->MapKeyword("zzzzqqq").empty());
+}
+
+TEST_F(KeywordEngineTest, MappingsRespectCap) {
+  engine_->params().max_mappings_per_keyword = 1;
+  EXPECT_LE(engine_->MapKeyword("JW0014").size(), 1u);
+}
+
+TEST_F(KeywordEngineTest, MappingsRespectThreshold) {
+  engine_->params().min_mapping_score = 0.95;
+  // Pattern-based value mapping scores ~0.9 + unique boost; threshold cuts
+  // the text-index mapping but keeps the strong one.
+  const auto ms = engine_->MapKeyword("JW0014");
+  for (const auto& m : ms) EXPECT_GE(m.score, 0.95);
+}
+
+TEST_F(KeywordEngineTest, CompileProducesValueSql) {
+  const auto plan = engine_->CompileToSql({{"gene", "JW0013"}, 1.0, ""});
+  bool has_gid_eq = false;
+  for (const auto& sql : plan) {
+    if (sql.query.table == "gene" && sql.query.predicates.size() == 1 &&
+        sql.query.predicates[0].column == "gid" &&
+        sql.query.predicates[0].op == CompareOp::kEq) {
+      has_gid_eq = true;
+      EXPECT_GT(sql.confidence, 0.8);
+    }
+  }
+  EXPECT_TRUE(has_gid_eq);
+}
+
+TEST_F(KeywordEngineTest, TableContextBoostsConfidence) {
+  const auto with_context = engine_->CompileToSql({{"gene", "JW0013"}, 1.0, ""});
+  const auto without = engine_->CompileToSql({{"JW0013"}, 1.0, ""});
+  double conf_with = 0, conf_without = 0;
+  for (const auto& sql : with_context) {
+    if (sql.query.table == "gene") conf_with = std::max(conf_with, sql.confidence);
+  }
+  for (const auto& sql : without) {
+    if (sql.query.table == "gene") conf_without = std::max(conf_without, sql.confidence);
+  }
+  EXPECT_GT(conf_with, conf_without);
+}
+
+TEST_F(KeywordEngineTest, ComboSqlForDeclaredColumnPairs) {
+  const auto plan =
+      engine_->CompileToSql({{"protein", "Actin", "kinase"}, 1.0, ""});
+  bool has_combo = false;
+  for (const auto& sql : plan) {
+    if (sql.query.table == "protein" && sql.query.predicates.size() == 2) {
+      has_combo = true;
+    }
+  }
+  EXPECT_TRUE(has_combo);
+}
+
+TEST_F(KeywordEngineTest, CompileDeduplicatesStatements) {
+  // The same keyword twice must not produce duplicate SQL.
+  const auto plan = engine_->CompileToSql({{"JW0013", "JW0013"}, 1.0, ""});
+  std::set<std::string> keys;
+  for (const auto& sql : plan) {
+    EXPECT_TRUE(keys.insert(sql.CanonicalKey()).second);
+  }
+}
+
+TEST_F(KeywordEngineTest, SearchFindsGeneByIdAndName) {
+  auto hits = *engine_->Search({{"gene", "JW0014"}, 1.0, ""});
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].tuple.table_id, gene_->id());
+  EXPECT_EQ(hits[0].tuple.row, 1u);
+
+  hits = *engine_->Search({{"gene", "grpC"}, 1.0, ""});
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].tuple.row, 0u);
+}
+
+TEST_F(KeywordEngineTest, SearchComboIdentifiesProtein) {
+  const auto hits = *engine_->Search({{"protein", "Actin", "kinase"}, 1.0, ""});
+  ASSERT_FALSE(hits.empty());
+  // The kinase Actin (row 0) must rank above the receptor Actin (row 1):
+  // only it satisfies the two-column combo statement.
+  EXPECT_EQ(hits[0].tuple.table_id, protein_->id());
+  EXPECT_EQ(hits[0].tuple.row, 0u);
+}
+
+TEST_F(KeywordEngineTest, SearchHitsCarryQueryIndependentConfidences) {
+  const auto hits = *engine_->Search({{"gene", "JW0014"}, 1.0, ""});
+  for (const auto& h : hits) {
+    EXPECT_GT(h.confidence, 0.0);
+    EXPECT_LE(h.confidence, 1.0);
+  }
+}
+
+TEST_F(KeywordEngineTest, SearchAlsoSurfacesPublicationMentions) {
+  // "JW0014" appears in PUB1's abstract: the text-index mapping should
+  // surface that publication, at lower confidence than the gene itself.
+  const auto hits = *engine_->Search({{"JW0014"}, 1.0, ""});
+  bool gene_hit = false, pub_hit = false;
+  double gene_conf = 0, pub_conf = 0;
+  for (const auto& h : hits) {
+    if (h.tuple.table_id == gene_->id()) {
+      gene_hit = true;
+      gene_conf = h.confidence;
+    }
+    if (h.tuple.table_id == pub_->id()) {
+      pub_hit = true;
+      pub_conf = h.confidence;
+    }
+  }
+  EXPECT_TRUE(gene_hit);
+  EXPECT_TRUE(pub_hit);
+  EXPECT_GT(gene_conf, pub_conf);
+}
+
+TEST_F(KeywordEngineTest, MiniDbRestrictsSearch) {
+  MiniDb mini;
+  mini.Add({gene_->id(), 0});  // only grpC's row allowed
+  const auto hits = *engine_->Search({{"gene", "JW0014"}, 1.0, ""}, &mini);
+  for (const auto& h : hits) {
+    EXPECT_TRUE(mini.Contains(h.tuple));
+  }
+  // JW0014 is row 1, outside the mini DB: no gene hits at all.
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST_F(KeywordEngineTest, MiniDbAllowsContainedRows) {
+  MiniDb mini;
+  mini.Add({gene_->id(), 1});
+  const auto hits = *engine_->Search({{"gene", "JW0014"}, 1.0, ""}, &mini);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].tuple.row, 1u);
+}
+
+TEST_F(KeywordEngineTest, FkExpansionAddsNeighbors) {
+  // Wire a FK from protein to gene and enable expansion.
+  Catalog catalog2;
+  Table* gene = *catalog2.CreateTable(
+      "gene", Schema({{"gid", DataType::kString, true}}));
+  Table* protein = *catalog2.CreateTable(
+      "protein", Schema({{"pid", DataType::kString, true},
+                         {"gene_gid", DataType::kString}}));
+  ASSERT_TRUE(gene->Insert({Value("JW0001")}).ok());
+  ASSERT_TRUE(protein->Insert({Value("P00001"), Value("JW0001")}).ok());
+  ASSERT_TRUE(catalog2.AddForeignKey("protein", "gene_gid", "gene", "gid").ok());
+  NebulaMeta meta2;
+  ASSERT_TRUE(meta2.AddConcept("Gene", "gene", {{"gid"}}).ok());
+  ASSERT_TRUE(meta2.SetColumnPattern("gene", "gid", "JW[0-9]{4}").ok());
+
+  KeywordSearchParams params;
+  params.fk_expansion = true;
+  KeywordSearchEngine engine(&catalog2, &meta2, params);
+  const auto hits = *engine.Search({{"JW0001"}, 1.0, ""});
+  bool protein_hit = false;
+  double gene_conf = 0, protein_conf = 0;
+  for (const auto& h : hits) {
+    if (h.tuple.table_id == protein->id()) {
+      protein_hit = true;
+      protein_conf = h.confidence;
+    } else {
+      gene_conf = h.confidence;
+    }
+  }
+  EXPECT_TRUE(protein_hit);
+  EXPECT_LT(protein_conf, gene_conf);  // decayed
+}
+
+TEST_F(KeywordEngineTest, MergeHitsKeepsMaxPerTuple) {
+  const TupleId t{0, 0};
+  const auto merged = KeywordSearchEngine::MergeHits(
+      {{{t, 0.3}}, {{t, 0.8}}, {{{1, 1}, 0.5}}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0].confidence, 0.8);
+  EXPECT_EQ(merged[0].tuple, t);
+}
+
+TEST_F(KeywordEngineTest, MergeHitsSortedByConfidenceThenTuple) {
+  const auto merged = KeywordSearchEngine::MergeHits(
+      {{{{0, 2}, 0.5}, {{0, 1}, 0.5}, {{0, 3}, 0.9}}});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].tuple.row, 3u);
+  EXPECT_EQ(merged[1].tuple.row, 1u);
+  EXPECT_EQ(merged[2].tuple.row, 2u);
+}
+
+TEST_F(KeywordEngineTest, StatsAccumulate) {
+  engine_->ResetStats();
+  ASSERT_TRUE(engine_->Search({{"gene", "JW0014"}, 1.0, ""}).ok());
+  EXPECT_GT(engine_->stats().index_lookups, 0u);
+}
+
+TEST_F(KeywordEngineTest, MappingCacheYieldsIdenticalPlans) {
+  const KeywordQuery q1{{"gene", "JW0013"}, 1.0, ""};
+  const KeywordQuery q2{{"gene", "grpC"}, 1.0, ""};
+  KeywordSearchEngine::MappingCache cache;
+  const auto plain1 = engine_->CompileToSql(q1);
+  const auto cached1 = engine_->CompileToSql(q1, &cache);
+  const auto cached2 = engine_->CompileToSql(q2, &cache);  // reuses "gene"
+  const auto plain2 = engine_->CompileToSql(q2);
+  ASSERT_EQ(plain1.size(), cached1.size());
+  for (size_t i = 0; i < plain1.size(); ++i) {
+    EXPECT_EQ(plain1[i].CanonicalKey(), cached1[i].CanonicalKey());
+    EXPECT_DOUBLE_EQ(plain1[i].confidence, cached1[i].confidence);
+  }
+  ASSERT_EQ(plain2.size(), cached2.size());
+  for (size_t i = 0; i < plain2.size(); ++i) {
+    EXPECT_EQ(plain2[i].CanonicalKey(), cached2[i].CanonicalKey());
+  }
+  // The cache holds one entry per distinct keyword.
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST_F(KeywordEngineTest, ScanContainmentModeSameAnswersMoreWork) {
+  KeywordSearchParams scan_params;
+  scan_params.scan_containment = true;
+  KeywordSearchEngine scan_engine(&catalog_, &meta_, scan_params);
+  const KeywordQuery q{{"expression"}, 1.0, ""};
+  const auto indexed = *engine_->Search(q);
+  const auto scanned = *scan_engine.Search(q);
+  ASSERT_EQ(indexed.size(), scanned.size());
+  for (size_t i = 0; i < indexed.size(); ++i) {
+    EXPECT_EQ(indexed[i].tuple, scanned[i].tuple);
+    EXPECT_DOUBLE_EQ(indexed[i].confidence, scanned[i].confidence);
+  }
+  EXPECT_GT(scan_engine.stats().rows_examined,
+            engine_->stats().rows_examined);
+}
+
+TEST_F(KeywordEngineTest, GeneratedSqlCanonicalKeyOrderInsensitive) {
+  GeneratedSql a;
+  a.query.table = "gene";
+  a.query.predicates = {{"gid", CompareOp::kEq, Value("x")},
+                        {"name", CompareOp::kEq, Value("y")}};
+  GeneratedSql b;
+  b.query.table = "GENE";
+  b.query.predicates = {{"name", CompareOp::kEq, Value("y")},
+                        {"gid", CompareOp::kEq, Value("x")}};
+  EXPECT_EQ(a.CanonicalKey(), b.CanonicalKey());
+}
+
+}  // namespace
+}  // namespace nebula

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "meta/nebula_meta.h"
+
+namespace nebula {
+namespace {
+
+/// Fixture with the Figure 3 ConceptRefs content on a small catalog.
+class MetaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table* gene =
+        *catalog_.CreateTable("gene",
+                              Schema({{"gid", DataType::kString, true},
+                                      {"name", DataType::kString, true},
+                                      {"family", DataType::kString}}));
+    Table* protein =
+        *catalog_.CreateTable("protein",
+                              Schema({{"pid", DataType::kString, true},
+                                      {"pname", DataType::kString},
+                                      {"ptype", DataType::kString}}));
+    ASSERT_TRUE(gene->Insert({Value("JW0013"), Value("grpC"), Value("F1")})
+                    .ok());
+    ASSERT_TRUE(gene->Insert({Value("JW0014"), Value("groP"), Value("F6")})
+                    .ok());
+    ASSERT_TRUE(
+        protein->Insert({Value("P00001"), Value("Actin"), Value("kinase")})
+            .ok());
+    ASSERT_TRUE(
+        protein->Insert({Value("P00002"), Value("Tubulin"), Value("receptor")})
+            .ok());
+
+    ASSERT_TRUE(meta_.AddConcept("Gene", "gene", {{"gid"}, {"name"}}).ok());
+    ASSERT_TRUE(
+        meta_.AddConcept("Protein", "protein", {{"pid"}, {"pname", "ptype"}})
+            .ok());
+    ASSERT_TRUE(meta_.SetColumnPattern("gene", "gid", "JW[0-9]{4}").ok());
+    ASSERT_TRUE(meta_.SetColumnPattern("gene", "name", "[a-z]{3}[A-Z]").ok());
+    ASSERT_TRUE(meta_.SetColumnPattern("protein", "pid", "P[0-9]{5}").ok());
+    ASSERT_TRUE(meta_
+                    .SetColumnOntology("protein", "ptype",
+                                       {"kinase", "receptor", "transporter"})
+                    .ok());
+  }
+
+  const SchemaItem* FindItem(SchemaItem::Kind kind,
+                             const std::string& name) const {
+    for (const auto& item : meta_.schema_items()) {
+      if (item.kind == kind && item.name == name) return &item;
+    }
+    return nullptr;
+  }
+
+  Catalog catalog_;
+  NebulaMeta meta_;
+};
+
+TEST_F(MetaTest, AddConceptRegistersSchemaItems) {
+  EXPECT_EQ(meta_.concepts().size(), 2u);
+  EXPECT_NE(FindItem(SchemaItem::Kind::kTable, "gene"), nullptr);
+  EXPECT_NE(FindItem(SchemaItem::Kind::kTable, "protein"), nullptr);
+  EXPECT_NE(FindItem(SchemaItem::Kind::kColumn, "gid"), nullptr);
+  EXPECT_NE(FindItem(SchemaItem::Kind::kColumn, "pname"), nullptr);
+  // 2 tables + 5 referencing columns.
+  EXPECT_EQ(meta_.schema_items().size(), 7u);
+  EXPECT_EQ(meta_.value_columns().size(), 5u);
+}
+
+TEST_F(MetaTest, AddConceptRejectsEmptyReferencing) {
+  NebulaMeta m;
+  EXPECT_EQ(m.AddConcept("X", "x", {}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(MetaTest, SetPatternOnUnknownColumnFails) {
+  EXPECT_EQ(meta_.SetColumnPattern("gene", "seq", "x").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(meta_.SetColumnOntology("gene", "seq", {"a"}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(MetaTest, SetPatternRejectsBadRegex) {
+  EXPECT_EQ(meta_.SetColumnPattern("gene", "gid", "[bad").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MetaTest, FindValueColumn) {
+  EXPECT_NE(meta_.FindValueColumn("gene", "gid"), nullptr);
+  EXPECT_NE(meta_.FindValueColumn("GENE", "GID"), nullptr);
+  EXPECT_EQ(meta_.FindValueColumn("gene", "seq"), nullptr);
+}
+
+// ----------------------- ConceptMatchScore p(w,c) -----------------------
+
+TEST_F(MetaTest, ConceptExactMatch) {
+  const SchemaItem* gene = FindItem(SchemaItem::Kind::kTable, "gene");
+  EXPECT_DOUBLE_EQ(meta_.ConceptMatchScore("gene", *gene), 1.0);
+}
+
+TEST_F(MetaTest, ConceptStemmedMatch) {
+  const SchemaItem* gene = FindItem(SchemaItem::Kind::kTable, "gene");
+  EXPECT_DOUBLE_EQ(meta_.ConceptMatchScore("genes", *gene), 0.95);
+}
+
+TEST_F(MetaTest, ConceptAliasMatch) {
+  meta_.AddColumnAlias("gene", "gid", "id");
+  const SchemaItem* gid = FindItem(SchemaItem::Kind::kColumn, "gid");
+  EXPECT_DOUBLE_EQ(meta_.ConceptMatchScore("id", *gid), 0.9);
+}
+
+TEST_F(MetaTest, ConceptTableAliasMatch) {
+  meta_.AddTableAlias("gene", "genetic locus");
+  const SchemaItem* gene = FindItem(SchemaItem::Kind::kTable, "gene");
+  // Multi-word aliases match token-wise.
+  EXPECT_DOUBLE_EQ(meta_.ConceptMatchScore("genetic", *gene), 0.9);
+}
+
+TEST_F(MetaTest, ConceptSynonymMatch) {
+  const SchemaItem* gene = FindItem(SchemaItem::Kind::kTable, "gene");
+  // "locus" ~ "gene" in the builtin lexicon.
+  EXPECT_DOUBLE_EQ(meta_.ConceptMatchScore("locus", *gene), 0.7);
+}
+
+TEST_F(MetaTest, ConceptHyponymMatch) {
+  const SchemaItem* protein = FindItem(SchemaItem::Kind::kTable, "protein");
+  EXPECT_DOUBLE_EQ(meta_.ConceptMatchScore("kinase", *protein), 0.7);
+}
+
+TEST_F(MetaTest, ConceptUnrelatedScoresZero) {
+  const SchemaItem* gene = FindItem(SchemaItem::Kind::kTable, "gene");
+  EXPECT_DOUBLE_EQ(meta_.ConceptMatchScore("banana", *gene), 0.0);
+  EXPECT_DOUBLE_EQ(meta_.ConceptMatchScore("jw0013", *gene), 0.0);
+}
+
+// ----------------------- DomainMatchScore d(w,c) -----------------------
+
+TEST_F(MetaTest, PatternMatchScoresHigh) {
+  const ValueColumn* gid = meta_.FindValueColumn("gene", "gid");
+  const double s = meta_.DomainMatchScore("JW0014", *gid);
+  EXPECT_GE(s, 0.8);
+  // Case matters for the pattern: lowercase misses.
+  EXPECT_LT(meta_.DomainMatchScore("jw0014", *gid), 0.4);
+}
+
+TEST_F(MetaTest, PatternMismatchScoresLow) {
+  const ValueColumn* gid = meta_.FindValueColumn("gene", "gid");
+  EXPECT_LT(meta_.DomainMatchScore("hello", *gid), 0.4);
+  const ValueColumn* name = meta_.FindValueColumn("gene", "name");
+  EXPECT_GE(meta_.DomainMatchScore("grpC", *name), 0.8);
+  EXPECT_LT(meta_.DomainMatchScore("grpc", *name), 0.4);
+}
+
+TEST_F(MetaTest, OntologyMembership) {
+  const ValueColumn* ptype = meta_.FindValueColumn("protein", "ptype");
+  EXPECT_GE(meta_.DomainMatchScore("kinase", *ptype), 0.8);
+  EXPECT_GE(meta_.DomainMatchScore("KINASE", *ptype), 0.8);  // case-insens.
+  EXPECT_LT(meta_.DomainMatchScore("whatever", *ptype), 0.4);
+}
+
+TEST_F(MetaTest, TypeGateRejectsNonNumericForIntColumn) {
+  // Build a meta with an INT referencing column.
+  Catalog catalog;
+  Table* t = *catalog.CreateTable(
+      "item", Schema({{"code", DataType::kInt64, true}}));
+  ASSERT_TRUE(t->Insert({Value(int64_t{12345})}).ok());
+  NebulaMeta meta;
+  ASSERT_TRUE(meta.AddConcept("Item", "item", {{"code"}}).ok());
+  Rng rng(1);
+  ASSERT_TRUE(meta.DrawColumnSamples(catalog, 10, &rng).ok());
+  const ValueColumn* code = meta.FindValueColumn("item", "code");
+  EXPECT_DOUBLE_EQ(meta.DomainMatchScore("abc", *code), 0.0);
+  EXPECT_GT(meta.DomainMatchScore("12345", *code), 0.0);
+}
+
+TEST_F(MetaTest, SampleExactMatch) {
+  Rng rng(7);
+  ASSERT_TRUE(meta_.DrawColumnSamples(catalog_, 10, &rng).ok());
+  const ValueColumn* pname = meta_.FindValueColumn("protein", "pname");
+  ASSERT_FALSE(pname->samples.empty());
+  // Both pnames are sampled (only 2 rows, 10 requested).
+  EXPECT_GE(meta_.DomainMatchScore("Actin", *pname), 0.8);
+  EXPECT_GE(meta_.DomainMatchScore("actin", *pname), 0.8);  // case-insens.
+}
+
+TEST_F(MetaTest, SampleFuzzyBands) {
+  Rng rng(7);
+  ASSERT_TRUE(meta_.DrawColumnSamples(catalog_, 10, &rng).ok());
+  const ValueColumn* pname = meta_.FindValueColumn("protein", "pname");
+  // A close variant of a sampled name lands in the medium band...
+  const double close = meta_.DomainMatchScore("Tubulin2", *pname);
+  EXPECT_GE(close, 0.6);
+  EXPECT_LT(close, 0.9);
+  // ... a distant variant lands in the weak band ("Actin2" vs "Actin"
+  // has trigram similarity 0.5, below the hi threshold)...
+  const double distant = meta_.DomainMatchScore("Actin2", *pname);
+  EXPECT_GE(distant, 0.4);
+  EXPECT_LT(distant, 0.6);
+  // ... while an unrelated word stays weak.
+  EXPECT_LT(meta_.DomainMatchScore("membrane", *pname), 0.45);
+}
+
+TEST_F(MetaTest, SamplesSkippedForStructuredColumns) {
+  Rng rng(7);
+  ASSERT_TRUE(meta_.DrawColumnSamples(catalog_, 10, &rng).ok());
+  // gid has a pattern -> no samples drawn.
+  EXPECT_TRUE(meta_.FindValueColumn("gene", "gid")->samples.empty());
+  EXPECT_TRUE(meta_.FindValueColumn("protein", "ptype")->samples.empty());
+  EXPECT_FALSE(meta_.FindValueColumn("protein", "pname")->samples.empty());
+}
+
+TEST_F(MetaTest, DrawSamplesFillsColumnTypes) {
+  Rng rng(7);
+  ASSERT_TRUE(meta_.DrawColumnSamples(catalog_, 10, &rng).ok());
+  EXPECT_EQ(meta_.FindValueColumn("gene", "gid")->type, DataType::kString);
+}
+
+TEST_F(MetaTest, ScoreCappedAtOne) {
+  const ValueColumn* gid = meta_.FindValueColumn("gene", "gid");
+  EXPECT_LE(meta_.DomainMatchScore("JW0013", *gid), 1.0);
+}
+
+}  // namespace
+}  // namespace nebula

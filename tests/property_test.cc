@@ -1,0 +1,397 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "annotation/serialize.h"
+#include "core/engine.h"
+#include "sql/parser.h"
+#include "core/query_generation.h"
+#include "workload/generator.h"
+
+namespace nebula {
+namespace {
+
+/// Shared Tiny dataset for all property suites (generated once).
+BioDataset* SharedDataset() {
+  static BioDataset* dataset = [] {
+    auto result = GenerateBioDataset(DatasetSpec::Tiny());
+    if (!result.ok()) return static_cast<BioDataset*>(nullptr);
+    return result->release();
+  }();
+  return dataset;
+}
+
+// ---------------- Property: epsilon monotonicity --------------------
+// Raising the cutoff can only remove emphasized words, so the number of
+// generated queries is non-increasing in epsilon, and every true
+// reference survives epsilon = 0.4 (which accepts everything 0.6 does).
+
+class EpsilonMonotonicity : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EpsilonMonotonicity, QueryCountNonIncreasingInEpsilon) {
+  BioDataset* ds = SharedDataset();
+  ASSERT_NE(ds, nullptr);
+  const WorkloadAnnotation& wa = ds->workload.annotations[GetParam()];
+  size_t prev = SIZE_MAX;
+  for (double eps : {0.4, 0.6, 0.8}) {
+    QueryGenerationParams params;
+    params.epsilon = eps;
+    QueryGenerator gen(&ds->meta, params);
+    const size_t n = gen.Generate(wa.text).queries.size();
+    EXPECT_LE(n, prev) << "eps=" << eps;
+    prev = n;
+  }
+}
+
+TEST_P(EpsilonMonotonicity, NoFalseNegativesAtPointSix) {
+  BioDataset* ds = SharedDataset();
+  ASSERT_NE(ds, nullptr);
+  const WorkloadAnnotation& wa = ds->workload.annotations[GetParam()];
+  QueryGenerationParams params;
+  params.epsilon = 0.6;
+  QueryGenerator gen(&ds->meta, params);
+  const auto queries = gen.Generate(wa.text).queries;
+  for (const auto& ref : wa.refs) {
+    bool covered = false;
+    for (const auto& q : queries) {
+      for (const auto& k : q.keywords) {
+        if (k == ref.surface[0]) covered = true;
+      }
+    }
+    EXPECT_TRUE(covered) << "missed reference " << ref.surface[0] << " in: "
+                         << wa.text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkloadAnnotations, EpsilonMonotonicity,
+                         ::testing::Range<size_t>(0, 60, 7));
+
+// ------------- Property: shared == isolated execution ----------------
+
+class SharedExecutionEquivalence
+    : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SharedExecutionEquivalence, IdenticalCandidates) {
+  BioDataset* ds = SharedDataset();
+  ASSERT_NE(ds, nullptr);
+  const WorkloadAnnotation& wa = ds->workload.annotations[GetParam()];
+
+  QueryGenerator gen(&ds->meta);
+  const auto queries = gen.Generate(wa.text).queries;
+  KeywordSearchEngine engine(&ds->catalog, &ds->meta);
+  Acg acg;
+  acg.BuildFromStore(ds->store);
+
+  IdentifyParams isolated_params;
+  IdentifyParams shared_params;
+  shared_params.shared_execution = true;
+  TupleIdentifier isolated(&engine, &acg, isolated_params);
+  TupleIdentifier shared(&engine, &acg, shared_params);
+
+  const std::vector<TupleId> focal{wa.ideal_tuples.front()};
+  const auto a = *isolated.Identify(queries, focal);
+  const auto b = *shared.Identify(queries, focal);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tuple, b[i].tuple);
+    EXPECT_NEAR(a[i].confidence, b[i].confidence, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkloadAnnotations, SharedExecutionEquivalence,
+                         ::testing::Values(0, 9, 21, 33, 45, 57));
+
+// -------- Property: focal-spreading results nest in full results -------
+
+class MiniDbSubset : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MiniDbSubset, ApproximateCandidatesAreSubsetOfFull) {
+  BioDataset* ds = SharedDataset();
+  ASSERT_NE(ds, nullptr);
+  const size_t k = GetParam();
+  const WorkloadAnnotation& wa = ds->workload.annotations[10];
+
+  QueryGenerator gen(&ds->meta);
+  const auto queries = gen.Generate(wa.text).queries;
+  KeywordSearchEngine engine(&ds->catalog, &ds->meta);
+  Acg acg;
+  acg.BuildFromStore(ds->store);
+  TupleIdentifier identifier(&engine, &acg);
+
+  // Use a corpus-annotated tuple as focal so the ACG has the node.
+  const std::vector<TupleId> focal{wa.ideal_tuples.front()};
+  FocalSpreadingParams sp;
+  sp.require_stable_acg = false;
+  FocalSpreading spreading(&acg, sp);
+  const MiniDb mini = spreading.BuildMiniDb(focal, k);
+
+  const auto approx = *identifier.Identify(queries, focal, &mini);
+  const auto full = *identifier.Identify(queries, focal);
+  EXPECT_LE(approx.size(), full.size());
+  for (const auto& c : approx) {
+    EXPECT_TRUE(mini.Contains(c.tuple));
+    bool in_full = false;
+    for (const auto& f : full) {
+      if (f.tuple == c.tuple) in_full = true;
+    }
+    EXPECT_TRUE(in_full);
+  }
+}
+
+TEST_P(MiniDbSubset, MiniDbGrowsMonotonicallyWithK) {
+  BioDataset* ds = SharedDataset();
+  ASSERT_NE(ds, nullptr);
+  const size_t k = GetParam();
+  Acg acg;
+  acg.BuildFromStore(ds->store);
+  FocalSpreading spreading(&acg);
+  const std::vector<TupleId> focal{
+      ds->workload.annotations[10].ideal_tuples.front()};
+  EXPECT_LE(spreading.BuildMiniDb(focal, k).size(),
+            spreading.BuildMiniDb(focal, k + 1).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, MiniDbSubset,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// ------------- Property: candidate confidence normalization ------------
+
+class ConfidenceNormalization : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ConfidenceNormalization, InUnitIntervalWithMaxOne) {
+  BioDataset* ds = SharedDataset();
+  ASSERT_NE(ds, nullptr);
+  const WorkloadAnnotation& wa = ds->workload.annotations[GetParam()];
+  QueryGenerator gen(&ds->meta);
+  const auto queries = gen.Generate(wa.text).queries;
+  if (queries.empty()) GTEST_SKIP();
+  KeywordSearchEngine engine(&ds->catalog, &ds->meta);
+  Acg acg;
+  acg.BuildFromStore(ds->store);
+  TupleIdentifier identifier(&engine, &acg);
+  const auto candidates =
+      *identifier.Identify(queries, {wa.ideal_tuples.front()});
+  if (candidates.empty()) GTEST_SKIP();
+  EXPECT_DOUBLE_EQ(candidates[0].confidence, 1.0);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_GT(candidates[i].confidence, 0.0);
+    EXPECT_LE(candidates[i].confidence, candidates[i - 1].confidence);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkloadAnnotations, ConfidenceNormalization,
+                         ::testing::Range<size_t>(0, 60, 11));
+
+// ------------- Property: ACG weights are a valid similarity ------------
+
+class AcgWeightProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AcgWeightProperty, WeightsSymmetricAndBounded) {
+  // Random bipartite attachment graphs driven by the seed.
+  Rng rng(GetParam());
+  AnnotationStore store;
+  const size_t annotations = 30;
+  const size_t tuples = 15;
+  for (size_t a = 0; a < annotations; ++a) {
+    const AnnotationId id = store.AddAnnotation("x");
+    const size_t fanout = 1 + rng.Uniform(4);
+    for (uint64_t t : rng.SampleWithoutReplacement(tuples, fanout)) {
+      ASSERT_TRUE(store.Attach(id, {0, t}).ok());
+    }
+  }
+  Acg acg;
+  acg.BuildFromStore(store);
+  for (uint64_t i = 0; i < tuples; ++i) {
+    for (uint64_t j = 0; j < tuples; ++j) {
+      const double w = acg.EdgeWeight({0, i}, {0, j});
+      EXPECT_GE(w, 0.0);
+      EXPECT_LE(w, 1.0);
+      EXPECT_NEAR(w, acg.EdgeWeight({0, j}, {0, i}), 1e-12);
+    }
+  }
+}
+
+TEST_P(AcgWeightProperty, HopDistanceConsistentWithNeighborhood) {
+  Rng rng(GetParam());
+  AnnotationStore store;
+  for (size_t a = 0; a < 25; ++a) {
+    const AnnotationId id = store.AddAnnotation("x");
+    for (uint64_t t : rng.SampleWithoutReplacement(12, 2)) {
+      ASSERT_TRUE(store.Attach(id, {0, t}).ok());
+    }
+  }
+  Acg acg;
+  acg.BuildFromStore(store);
+  const std::vector<TupleId> focal{{0, 0}};
+  if (!acg.HasNode(focal[0])) GTEST_SKIP();
+  for (size_t k = 0; k <= 3; ++k) {
+    const auto hood = acg.KHopNeighborhood(focal, k);
+    for (const TupleId& t : hood) {
+      const int d = acg.HopDistance(focal, t);
+      EXPECT_GE(d, 0);
+      EXPECT_LE(static_cast<size_t>(d), k);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcgWeightProperty,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+// ------ Property: F_P is zero whenever nothing is auto-accepted --------
+
+class NoAutoAcceptNoFalsePositive
+    : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NoAutoAcceptNoFalsePositive, UpperBoundOneImpliesZeroFp) {
+  BioDataset* ds = SharedDataset();
+  ASSERT_NE(ds, nullptr);
+  const WorkloadAnnotation& wa = ds->workload.annotations[GetParam()];
+  QueryGenerator gen(&ds->meta);
+  const auto queries = gen.Generate(wa.text).queries;
+  KeywordSearchEngine engine(&ds->catalog, &ds->meta);
+  Acg acg;
+  acg.BuildFromStore(ds->store);
+  TupleIdentifier identifier(&engine, &acg);
+  const std::vector<TupleId> focal{wa.ideal_tuples.front()};
+  const auto candidates = *identifier.Identify(queries, focal);
+
+  EdgeSet ideal;
+  for (const TupleId& t : wa.ideal_tuples) ideal.Add(1000, t);
+  // beta_upper = 1.0: nothing can be auto-accepted (Fig. 8), so F_P = 0.
+  const AssessmentCounts counts =
+      AssessPrediction(1000, candidates, focal, ideal, {0.3, 1.0});
+  EXPECT_EQ(counts.n_accept(), 0u);
+  EXPECT_DOUBLE_EQ(ComputeAssessment(counts).fp, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkloadAnnotations, NoAutoAcceptNoFalsePositive,
+                         ::testing::Values(2u, 17u, 31u, 44u, 59u));
+
+// ------------- Property: SQL parser is total (no crashes) --------------
+// Mutated valid statements and random printable garbage must always give
+// either a parsed statement or a clean error status.
+
+class SqlParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SqlParserFuzz, NeverCrashesOnMutatedInput) {
+  Rng rng(GetParam());
+  const std::string seeds[] = {
+      "SELECT gid, name FROM gene WHERE length > 1000 AND family = 'F1'",
+      "ANNOTATE 'related to gene JW0014' ON gene WHERE gid = 'x' BY 'a'",
+      "INSERT INTO gene VALUES ('JW0001', 'abcD', 42)",
+      "SELECT * FROM gene JOIN protein WHERE protein.ptype = 'kinase'",
+      "VERIFY ATTACHMENT 17;",
+      "SHOW PENDING",
+  };
+  for (int round = 0; round < 300; ++round) {
+    std::string input = seeds[rng.Uniform(std::size(seeds))];
+    // Apply 1-5 random mutations: delete, duplicate, or randomize a char.
+    const size_t mutations = 1 + rng.Uniform(5);
+    for (size_t m = 0; m < mutations && !input.empty(); ++m) {
+      const size_t pos = rng.Uniform(input.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          input.erase(pos, 1);
+          break;
+        case 1:
+          input.insert(input.begin() + static_cast<ptrdiff_t>(pos),
+                       input[pos]);
+          break;
+        default:
+          input[pos] = static_cast<char>(' ' + rng.Uniform(95));
+      }
+    }
+    // The only requirement: a clean Result, never a crash/UB.
+    const auto result = sql::ParseStatement(input);
+    (void)result;
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlParserFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------- Property: serializer round-trips random databases ----------
+
+class SerializeRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerializeRoundTrip, RandomDatabaseSurvives) {
+  Rng rng(GetParam());
+  Catalog catalog;
+  AnnotationStore store;
+  const size_t num_tables = 1 + rng.Uniform(3);
+  for (size_t t = 0; t < num_tables; ++t) {
+    std::vector<ColumnDef> columns;
+    const size_t num_columns = 1 + rng.Uniform(4);
+    for (size_t c = 0; c < num_columns; ++c) {
+      const DataType type = static_cast<DataType>(rng.Uniform(3));
+      columns.push_back({"c" + std::to_string(c), type, false});
+    }
+    Table* table =
+        *catalog.CreateTable("t" + std::to_string(t), Schema(columns));
+    const size_t rows = rng.Uniform(20);
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<Value> row;
+      for (const auto& col : columns) {
+        switch (col.type) {
+          case DataType::kInt64:
+            row.push_back(Value(static_cast<int64_t>(rng.Next())));
+            break;
+          case DataType::kDouble:
+            row.push_back(Value(rng.NextDouble() * 1e6 - 5e5));
+            break;
+          case DataType::kString: {
+            std::string text;
+            const size_t len = rng.Uniform(24);
+            for (size_t i = 0; i < len; ++i) {
+              text += static_cast<char>(' ' + rng.Uniform(95));
+            }
+            if (rng.Bernoulli(0.3)) text += "\ttab\nnewline\\slash";
+            row.push_back(Value(text));
+            break;
+          }
+        }
+      }
+      ASSERT_TRUE(table->Insert(std::move(row)).ok());
+    }
+    // A few annotations on random rows.
+    for (size_t a = 0; a < 3 && table->num_rows() > 0; ++a) {
+      const AnnotationId id = store.AddAnnotation(
+          "note " + std::to_string(rng.Next() % 1000), "fuzzer");
+      (void)store.Attach(id, {table->id(), rng.Uniform(table->num_rows())});
+    }
+  }
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("nebula_rt_" + std::to_string(GetParam())))
+          .string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(DatabaseSerializer::Save(dir, catalog, &store).ok());
+
+  Catalog loaded;
+  AnnotationStore loaded_store;
+  ASSERT_TRUE(DatabaseSerializer::Load(dir, &loaded, &loaded_store).ok());
+  std::filesystem::remove_all(dir);
+
+  ASSERT_EQ(loaded.num_tables(), catalog.num_tables());
+  for (const auto& table : catalog.tables()) {
+    const Table* other = *loaded.GetTable(table->name());
+    ASSERT_EQ(other->num_rows(), table->num_rows());
+    for (Table::RowId r = 0; r < table->num_rows(); ++r) {
+      for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+        EXPECT_EQ(other->GetCell(r, c), table->GetCell(r, c))
+            << table->name() << " row " << r << " col " << c;
+      }
+    }
+  }
+  EXPECT_EQ(loaded_store.num_annotations(), store.num_annotations());
+  EXPECT_EQ(loaded_store.num_attachments(), store.num_attachments());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRoundTrip,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace nebula

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/query_generation.h"
+
+namespace nebula {
+namespace {
+
+class QueryGenerationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(meta_.AddConcept("Gene", "gene", {{"gid"}, {"name"}}).ok());
+    ASSERT_TRUE(
+        meta_.AddConcept("Protein", "protein", {{"pid"}, {"pname", "ptype"}})
+            .ok());
+    meta_.AddColumnAlias("gene", "gid", "id");
+    ASSERT_TRUE(meta_.SetColumnPattern("gene", "gid", "JW[0-9]{4}").ok());
+    ASSERT_TRUE(meta_.SetColumnPattern("gene", "name", "[a-z]{3}[A-Z]").ok());
+    ASSERT_TRUE(meta_.SetColumnPattern("protein", "pid", "P[0-9]{5}").ok());
+    ASSERT_TRUE(
+        meta_.SetColumnOntology("protein", "ptype", {"kinase", "receptor"})
+            .ok());
+  }
+
+  std::vector<KeywordQuery> Generate(const std::string& text,
+                                     double epsilon = 0.6) {
+    QueryGenerationParams params;
+    params.epsilon = epsilon;
+    QueryGenerator gen(&meta_, params);
+    return gen.Generate(text).queries;
+  }
+
+  static bool HasQuery(const std::vector<KeywordQuery>& queries,
+                       std::vector<std::string> keywords) {
+    std::sort(keywords.begin(), keywords.end());
+    for (const auto& q : queries) {
+      std::vector<std::string> sorted = q.keywords;
+      std::sort(sorted.begin(), sorted.end());
+      if (sorted == keywords) return true;
+    }
+    return false;
+  }
+
+  NebulaMeta meta_;
+};
+
+TEST_F(QueryGenerationTest, AliceCommentProducesBothReferences) {
+  // The running example of the paper (Figure 1).
+  const auto queries = Generate(
+      "From the exp, it seems this gene is correlated to JW0014 of grpC");
+  EXPECT_TRUE(HasQuery(queries, {"gene", "JW0014"}));
+  EXPECT_TRUE(HasQuery(queries, {"gene", "grpC"}));
+  EXPECT_EQ(queries.size(), 2u);
+}
+
+TEST_F(QueryGenerationTest, Type1MatchYieldsThreeKeywordQuery) {
+  const auto queries = Generate("measured gene id JW0018 today");
+  ASSERT_FALSE(queries.empty());
+  EXPECT_TRUE(HasQuery(queries, {"gene", "id", "JW0018"}));
+}
+
+TEST_F(QueryGenerationTest, Type2MatchYieldsTwoKeywordQuery) {
+  const auto queries = Generate("the gene yaaB was elevated");
+  EXPECT_TRUE(HasQuery(queries, {"gene", "yaaB"}));
+}
+
+TEST_F(QueryGenerationTest, BackwardSearchFindsEarlierConcept) {
+  // "grpC" is far beyond the influence range (alpha=4) of "gene"; the
+  // backward special case must still pair them.
+  const auto queries = Generate(
+      "gene JW0014 shows increased expression under heat stress conditions "
+      "and further analysis suggests the involvement of grpC as well");
+  EXPECT_TRUE(HasQuery(queries, {"gene", "JW0014"}));
+  EXPECT_TRUE(HasQuery(queries, {"gene", "grpC"}));
+}
+
+TEST_F(QueryGenerationTest, BackwardSearchDisabledDropsOrphanValues) {
+  QueryGenerationParams params;
+  params.epsilon = 0.6;
+  params.backward_search_limit = 0;
+  QueryGenerator gen(&meta_, params);
+  const auto queries = gen.Generate(
+      "gene JW0014 shows increased expression under heat stress conditions "
+      "and further analysis suggests the involvement of grpC as well")
+                          .queries;
+  EXPECT_TRUE(HasQuery(queries, {"gene", "JW0014"}));
+  EXPECT_FALSE(HasQuery(queries, {"gene", "grpC"}));
+}
+
+TEST_F(QueryGenerationTest, OrphanValueWithNoConceptAnywhereIgnored) {
+  const auto queries = Generate("observed JW0014 readings");
+  EXPECT_TRUE(queries.empty());
+}
+
+TEST_F(QueryGenerationTest, ConceptWordAloneProducesNoQuery) {
+  EXPECT_TRUE(Generate("the gene was interesting").empty());
+  EXPECT_TRUE(Generate("protein analysis methods").empty());
+}
+
+TEST_F(QueryGenerationTest, DuplicateReferencesDeduplicated) {
+  const auto queries =
+      Generate("gene JW0014 and again gene JW0014 measured twice");
+  size_t count = 0;
+  for (const auto& q : queries) {
+    if (HasQuery({q}, {"gene", "JW0014"})) ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(QueryGenerationTest, WeightsNormalizedToUnitInterval) {
+  const auto queries = Generate(
+      "gene id JW0018 and also gene yaaB plus protein P00042 kinase");
+  ASSERT_FALSE(queries.empty());
+  double max_w = 0.0;
+  for (const auto& q : queries) {
+    EXPECT_GT(q.weight, 0.0);
+    EXPECT_LE(q.weight, 1.0);
+    max_w = std::max(max_w, q.weight);
+  }
+  EXPECT_DOUBLE_EQ(max_w, 1.0);
+}
+
+TEST_F(QueryGenerationTest, StrongerMatchTypeGetsHigherWeight) {
+  const auto queries =
+      Generate("first gene id JW0018 then another gene yaaB later");
+  double type1_w = -1, type2_w = -1;
+  for (const auto& q : queries) {
+    if (q.keywords.size() == 3) type1_w = q.weight;
+    if (q.keywords.size() == 2) type2_w = q.weight;
+  }
+  ASSERT_GE(type1_w, 0.0);
+  ASSERT_GE(type2_w, 0.0);
+  EXPECT_GT(type1_w, type2_w);
+}
+
+TEST_F(QueryGenerationTest, EpsilonControlsQueryCount) {
+  const std::string text =
+      "gene JW0014 expression with locus grpC analysis near protein P00042";
+  const auto q04 = Generate(text, 0.4);
+  const auto q06 = Generate(text, 0.6);
+  const auto q08 = Generate(text, 0.8);
+  EXPECT_GE(q04.size(), q06.size());
+  EXPECT_GE(q06.size(), q08.size());
+}
+
+TEST_F(QueryGenerationTest, TimingPhasesPopulated) {
+  QueryGenerator gen(&meta_);
+  const auto result = gen.Generate(
+      "gene JW0014 correlated with gene grpC in repeated measurements");
+  EXPECT_GT(result.timing.total_us(), 0u);
+  EXPECT_FALSE(result.queries.empty());
+  EXPECT_FALSE(result.context_map.words.empty());
+}
+
+TEST_F(QueryGenerationTest, LabelsMatchKeywords) {
+  const auto queries = Generate("gene JW0014 here");
+  ASSERT_EQ(queries.size(), 1u);
+  EXPECT_EQ(queries[0].label, queries[0].ToString());
+}
+
+TEST_F(QueryGenerationTest, EmptyAnnotation) {
+  EXPECT_TRUE(Generate("").empty());
+  EXPECT_TRUE(Generate("the of and is").empty());
+}
+
+TEST_F(QueryGenerationTest, ProteinComboReferencesGenerateQueries) {
+  const auto queries = Generate("the protein P00042 kinase assay");
+  // P00042 pairs with "protein" (Type-2); "kinase" is both a hyponym
+  // concept and a ptype value - at minimum the pid query must exist.
+  EXPECT_TRUE(HasQuery(queries, {"protein", "P00042"}) ||
+              HasQuery(queries, {"protein", "P00042", "kinase"}));
+}
+
+}  // namespace
+}  // namespace nebula

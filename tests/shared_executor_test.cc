@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "keyword/shared_executor.h"
+
+namespace nebula {
+namespace {
+
+class SharedExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gene_ = *catalog_.CreateTable(
+        "gene", Schema({{"gid", DataType::kString, true},
+                        {"name", DataType::kString, true}}));
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(gene_
+                      ->Insert({Value(StrFormat("JW%04d", i)),
+                                Value(StrFormat("ab%cX", 'a' + i))})
+                      .ok());
+    }
+    ASSERT_TRUE(meta_.AddConcept("Gene", "gene", {{"gid"}, {"name"}}).ok());
+    ASSERT_TRUE(meta_.SetColumnPattern("gene", "gid", "JW[0-9]{4}").ok());
+    ASSERT_TRUE(meta_.SetColumnPattern("gene", "name", "[a-z]{3}[A-Z]").ok());
+    engine_ = std::make_unique<KeywordSearchEngine>(&catalog_, &meta_);
+  }
+
+  Catalog catalog_;
+  NebulaMeta meta_;
+  Table* gene_ = nullptr;
+  std::unique_ptr<KeywordSearchEngine> engine_;
+};
+
+std::vector<KeywordQuery> MakeGroup() {
+  return {
+      {{"gene", "JW0003"}, 1.0, "q0"},
+      {{"gene", "JW0003"}, 0.8, "q1"},  // duplicate content, lower weight
+      {{"gene", "abcX"}, 0.9, "q2"},
+      {{"JW0007"}, 0.7, "q3"},
+  };
+}
+
+TEST_F(SharedExecutorTest, ResultsIdenticalToIsolatedExecution) {
+  const auto queries = MakeGroup();
+  std::vector<std::vector<SearchHit>> shared_results;
+  SharedKeywordExecutor shared(engine_.get());
+  ASSERT_TRUE(shared.ExecuteGroup(queries, &shared_results).ok());
+  ASSERT_EQ(shared_results.size(), queries.size());
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto isolated = *engine_->Search(queries[qi]);
+    ASSERT_EQ(shared_results[qi].size(), isolated.size()) << "query " << qi;
+    for (size_t h = 0; h < isolated.size(); ++h) {
+      EXPECT_EQ(shared_results[qi][h].tuple, isolated[h].tuple);
+      EXPECT_NEAR(shared_results[qi][h].confidence, isolated[h].confidence,
+                  1e-12);
+    }
+  }
+}
+
+TEST_F(SharedExecutorTest, SharingReducesDistinctStatements) {
+  SharedKeywordExecutor shared(engine_.get());
+  std::vector<std::vector<SearchHit>> results;
+  ASSERT_TRUE(shared.ExecuteGroup(MakeGroup(), &results).ok());
+  EXPECT_GT(shared.stats().total_sql, shared.stats().distinct_sql);
+  EXPECT_GT(shared.stats().sharing_ratio(), 0.0);
+  EXPECT_LT(shared.stats().sharing_ratio(), 1.0);
+}
+
+TEST_F(SharedExecutorTest, EmptyGroup) {
+  SharedKeywordExecutor shared(engine_.get());
+  std::vector<std::vector<SearchHit>> results;
+  ASSERT_TRUE(shared.ExecuteGroup({}, &results).ok());
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(shared.stats().total_sql, 0u);
+  EXPECT_DOUBLE_EQ(shared.stats().sharing_ratio(), 0.0);
+}
+
+TEST_F(SharedExecutorTest, RespectsMiniDb) {
+  MiniDb mini;
+  mini.Add({gene_->id(), 3});
+  SharedKeywordExecutor shared(engine_.get());
+  std::vector<std::vector<SearchHit>> results;
+  ASSERT_TRUE(shared.ExecuteGroup(MakeGroup(), &results, &mini).ok());
+  for (const auto& hits : results) {
+    for (const auto& h : hits) EXPECT_TRUE(mini.Contains(h.tuple));
+  }
+}
+
+TEST_F(SharedExecutorTest, IdenticalQueriesShareFully) {
+  const std::vector<KeywordQuery> queries = {
+      {{"gene", "JW0001"}, 1.0, "a"},
+      {{"gene", "JW0001"}, 1.0, "b"},
+      {{"gene", "JW0001"}, 1.0, "c"},
+  };
+  SharedKeywordExecutor shared(engine_.get());
+  std::vector<std::vector<SearchHit>> results;
+  ASSERT_TRUE(shared.ExecuteGroup(queries, &results).ok());
+  // 3 queries compile to the same statements: sharing ratio = 2/3.
+  EXPECT_NEAR(shared.stats().sharing_ratio(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(MiniDbTest, AddContainsSize) {
+  MiniDb mini;
+  EXPECT_TRUE(mini.empty());
+  mini.Add({0, 1});
+  mini.Add({0, 1});  // idempotent
+  mini.Add({1, 2});
+  EXPECT_EQ(mini.size(), 2u);
+  EXPECT_TRUE(mini.Contains({0, 1}));
+  EXPECT_FALSE(mini.Contains({0, 2}));
+  ASSERT_NE(mini.ForTable(0), nullptr);
+  EXPECT_EQ(mini.ForTable(0)->size(), 1u);
+  EXPECT_EQ(mini.ForTable(9), nullptr);
+}
+
+}  // namespace
+}  // namespace nebula

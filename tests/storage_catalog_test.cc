@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+
+namespace nebula {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_
+                    .CreateTable("gene",
+                                 Schema({{"gid", DataType::kString, true},
+                                         {"name", DataType::kString}}))
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .CreateTable("protein",
+                                 Schema({{"pid", DataType::kString, true},
+                                         {"gene_gid", DataType::kString}}))
+                    .ok());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, CreateAndGet) {
+  EXPECT_EQ(catalog_.num_tables(), 2u);
+  ASSERT_TRUE(catalog_.GetTable("gene").ok());
+  ASSERT_TRUE(catalog_.GetTable("GENE").ok());  // case-insensitive
+  EXPECT_TRUE(catalog_.HasTable("protein"));
+  EXPECT_FALSE(catalog_.HasTable("publication"));
+  EXPECT_EQ(catalog_.GetTable("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, DuplicateTableRejected) {
+  auto r = catalog_.CreateTable("Gene", Schema({{"x", DataType::kInt64}}));
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, GetTableById) {
+  const Table* gene = *catalog_.GetTable("gene");
+  EXPECT_EQ(catalog_.GetTableById(gene->id()), gene);
+}
+
+TEST_F(CatalogTest, ForeignKeyValidation) {
+  EXPECT_TRUE(
+      catalog_.AddForeignKey("protein", "gene_gid", "gene", "gid").ok());
+  EXPECT_EQ(catalog_.AddForeignKey("protein", "nope", "gene", "gid").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(catalog_.AddForeignKey("protein", "gene_gid", "nope", "gid")
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(catalog_.foreign_keys().size(), 1u);
+}
+
+TEST_F(CatalogTest, ForeignKeysOf) {
+  ASSERT_TRUE(
+      catalog_.AddForeignKey("protein", "gene_gid", "gene", "gid").ok());
+  EXPECT_EQ(catalog_.ForeignKeysOf("gene").size(), 1u);
+  EXPECT_EQ(catalog_.ForeignKeysOf("protein").size(), 1u);
+  EXPECT_TRUE(catalog_.ForeignKeysOf("other").empty());
+}
+
+TEST_F(CatalogTest, FkNeighborsBothDirections) {
+  Table* gene = *catalog_.GetTable("gene");
+  Table* protein = *catalog_.GetTable("protein");
+  ASSERT_TRUE(
+      catalog_.AddForeignKey("protein", "gene_gid", "gene", "gid").ok());
+  ASSERT_TRUE(gene->Insert({Value("JW0001"), Value("aaaA")}).ok());
+  ASSERT_TRUE(gene->Insert({Value("JW0002"), Value("bbbB")}).ok());
+  ASSERT_TRUE(protein->Insert({Value("P1"), Value("JW0001")}).ok());
+  ASSERT_TRUE(protein->Insert({Value("P2"), Value("JW0001")}).ok());
+
+  // child -> parent.
+  const auto parents = catalog_.FkNeighbors({protein->id(), 0});
+  ASSERT_EQ(parents.size(), 1u);
+  EXPECT_EQ(parents[0].table_id, gene->id());
+  EXPECT_EQ(parents[0].row, 0u);
+
+  // parent -> children.
+  const auto children = catalog_.FkNeighbors({gene->id(), 0});
+  EXPECT_EQ(children.size(), 2u);
+
+  // Unreferenced parent has no neighbors.
+  EXPECT_TRUE(catalog_.FkNeighbors({gene->id(), 1}).empty());
+}
+
+TEST_F(CatalogTest, TotalRows) {
+  Table* gene = *catalog_.GetTable("gene");
+  ASSERT_TRUE(gene->Insert({Value("JW0001"), Value("aaaA")}).ok());
+  EXPECT_EQ(catalog_.TotalRows(), 1u);
+}
+
+}  // namespace
+}  // namespace nebula

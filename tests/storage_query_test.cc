@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include "storage/query.h"
+
+namespace nebula {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table* gene =
+        *catalog_.CreateTable("gene",
+                              Schema({{"gid", DataType::kString, true},
+                                      {"name", DataType::kString},
+                                      {"length", DataType::kInt64},
+                                      {"notes", DataType::kString}}));
+    auto add = [&](const char* gid, const char* name, int64_t len,
+                   const char* notes) {
+      ASSERT_TRUE(
+          gene->Insert({Value(gid), Value(name), Value(len), Value(notes)})
+              .ok());
+    };
+    add("JW0001", "grpC", 100, "heat shock related gene");
+    add("JW0002", "groP", 200, "binds grpC under stress");
+    add("JW0003", "insL", 300, "insertion element");
+    add("JW0004", "nhaA", 400, "sodium transport");
+    add("JW0005", "grpC2", 150, "paralog of grpC");
+    ASSERT_TRUE(gene->BuildTextIndex(3).ok());
+  }
+
+  std::vector<Table::RowId> Run(const SelectQuery& q,
+                                const std::unordered_set<Table::RowId>*
+                                    restrict = nullptr) {
+    QueryExecutor exec(&catalog_);
+    auto r = exec.Execute(q, restrict);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : std::vector<Table::RowId>{};
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(QueryTest, EqualityUsesIndex) {
+  QueryExecutor exec(&catalog_);
+  SelectQuery q{"gene", {{"gid", CompareOp::kEq, Value("JW0003")}}};
+  auto rows = *exec.Execute(q);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 2u);
+  EXPECT_EQ(exec.stats().index_lookups, 1u);
+  // Index probe examines only the candidate row, not the whole table.
+  EXPECT_EQ(exec.stats().rows_examined, 1u);
+}
+
+TEST_F(QueryTest, EmptyPredicateListReturnsAll) {
+  EXPECT_EQ(Run({"gene", {}}).size(), 5u);
+}
+
+TEST_F(QueryTest, UnknownTableErrors) {
+  QueryExecutor exec(&catalog_);
+  EXPECT_EQ(exec.Execute({"nope", {}}).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(QueryTest, UnknownColumnErrors) {
+  QueryExecutor exec(&catalog_);
+  SelectQuery q{"gene", {{"bogus", CompareOp::kEq, Value("x")}}};
+  EXPECT_EQ(exec.Execute(q).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(QueryTest, ComparisonOperatorsOnInts) {
+  EXPECT_EQ(Run({"gene", {{"length", CompareOp::kLt, Value(int64_t{200})}}})
+                .size(),
+            2u);  // 100, 150
+  EXPECT_EQ(Run({"gene", {{"length", CompareOp::kLe, Value(int64_t{200})}}})
+                .size(),
+            3u);
+  EXPECT_EQ(Run({"gene", {{"length", CompareOp::kGt, Value(int64_t{300})}}})
+                .size(),
+            1u);
+  EXPECT_EQ(Run({"gene", {{"length", CompareOp::kGe, Value(int64_t{300})}}})
+                .size(),
+            2u);
+  EXPECT_EQ(Run({"gene", {{"length", CompareOp::kNe, Value(int64_t{100})}}})
+                .size(),
+            4u);
+}
+
+TEST_F(QueryTest, StringOrderingComparison) {
+  EXPECT_EQ(Run({"gene", {{"gid", CompareOp::kLt, Value("JW0003")}}}).size(),
+            2u);
+}
+
+TEST_F(QueryTest, MixedTypeOrderedComparisonNeverMatches) {
+  EXPECT_TRUE(
+      Run({"gene", {{"length", CompareOp::kLt, Value("200")}}}).empty());
+}
+
+TEST_F(QueryTest, ConjunctionOfPredicates) {
+  SelectQuery q{"gene",
+                {{"name", CompareOp::kEq, Value("grpC")},
+                 {"length", CompareOp::kGe, Value(int64_t{100})}}};
+  ASSERT_EQ(Run(q).size(), 1u);
+  SelectQuery none{"gene",
+                   {{"name", CompareOp::kEq, Value("grpC")},
+                    {"length", CompareOp::kGt, Value(int64_t{100})}}};
+  EXPECT_TRUE(Run(none).empty());
+}
+
+TEST_F(QueryTest, ContainsTokenViaTextIndex) {
+  QueryExecutor exec(&catalog_);
+  SelectQuery q{"gene", {{"notes", CompareOp::kContainsToken, Value("grpC")}}};
+  auto rows = *exec.Execute(q);
+  ASSERT_EQ(rows.size(), 2u);  // rows 1 and 4 mention grpC in notes
+  EXPECT_EQ(exec.stats().index_lookups, 1u);
+}
+
+TEST_F(QueryTest, ContainsTokenScanModeBypassesIndex) {
+  // allow_text_index = false: the indexed column must fall back to a
+  // full scan (same answers, all rows examined).
+  QueryExecutor exec(&catalog_);
+  SelectQuery q{"gene", {{"notes", CompareOp::kContainsToken, Value("grpc")}}};
+  auto rows = *exec.Execute(q, nullptr, /*allow_text_index=*/false);
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(exec.stats().index_lookups, 0u);
+  EXPECT_EQ(exec.stats().rows_examined, 5u);  // whole table scanned
+}
+
+TEST_F(QueryTest, ContainsTokenWithoutIndexScans) {
+  // Column 'name' has no text index -> fallback scan still finds matches.
+  SelectQuery q{"gene", {{"name", CompareOp::kContainsToken, Value("grpc")}}};
+  auto rows = Run(q);
+  // "grpC" tokenizes to {grpc}; "grpC2" to {grpc2}: only exact token match.
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 0u);
+}
+
+TEST_F(QueryTest, ContainsTokenOnNonStringNeverMatches) {
+  SelectQuery q{"gene",
+                {{"length", CompareOp::kContainsToken, Value("100")}}};
+  EXPECT_TRUE(Run(q).empty());
+}
+
+TEST_F(QueryTest, RestrictionLimitsRows) {
+  const std::unordered_set<Table::RowId> allowed{0, 4};
+  SelectQuery q{"gene", {{"notes", CompareOp::kContainsToken, Value("grpc")}}};
+  auto rows = Run(q, &allowed);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 4u);  // row 1 matches too but is outside the miniDB
+}
+
+TEST_F(QueryTest, RestrictionWithScanPath) {
+  const std::unordered_set<Table::RowId> allowed{1, 2};
+  SelectQuery q{"gene", {{"length", CompareOp::kGe, Value(int64_t{100})}}};
+  auto rows = Run(q, &allowed);
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(QueryTest, RestrictionWithEqualityPath) {
+  const std::unordered_set<Table::RowId> allowed{1};
+  SelectQuery q{"gene", {{"gid", CompareOp::kEq, Value("JW0001")}}};
+  EXPECT_TRUE(Run(q, &allowed).empty());
+}
+
+TEST_F(QueryTest, StatsAccumulateAcrossQueries) {
+  QueryExecutor exec(&catalog_);
+  ASSERT_TRUE(exec.Execute({"gene", {}}).ok());
+  ASSERT_TRUE(exec.Execute({"gene", {}}).ok());
+  EXPECT_EQ(exec.stats().rows_examined, 10u);
+  EXPECT_EQ(exec.stats().matches, 10u);
+  exec.ResetStats();
+  EXPECT_EQ(exec.stats().rows_examined, 0u);
+}
+
+TEST(QueryToStringTest, SqlRendering) {
+  SelectQuery q{"gene",
+                {{"gid", CompareOp::kEq, Value("JW0001")},
+                 {"length", CompareOp::kGt, Value(int64_t{5})}}};
+  EXPECT_EQ(q.ToSqlString(),
+            "SELECT * FROM gene WHERE gid = 'JW0001' AND length > '5'");
+  EXPECT_EQ(SelectQuery{"gene"}.ToSqlString(), "SELECT * FROM gene");
+}
+
+// ------------------------------- joins ---------------------------------
+
+class JoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table* gene = *catalog_.CreateTable(
+        "gene", Schema({{"gid", DataType::kString, true},
+                        {"family", DataType::kString}}));
+    Table* protein = *catalog_.CreateTable(
+        "protein", Schema({{"pid", DataType::kString, true},
+                           {"gene_gid", DataType::kString},
+                           {"ptype", DataType::kString}}));
+    ASSERT_TRUE(catalog_.CreateTable("island",
+                                     Schema({{"x", DataType::kInt64}}))
+                    .ok());
+    ASSERT_TRUE(gene->Insert({Value("JW0001"), Value("F1")}).ok());
+    ASSERT_TRUE(gene->Insert({Value("JW0002"), Value("F2")}).ok());
+    ASSERT_TRUE(
+        protein->Insert({Value("P1"), Value("JW0001"), Value("kinase")})
+            .ok());
+    ASSERT_TRUE(
+        protein->Insert({Value("P2"), Value("JW0001"), Value("receptor")})
+            .ok());
+    ASSERT_TRUE(
+        protein->Insert({Value("P3"), Value("JW0002"), Value("kinase")})
+            .ok());
+    ASSERT_TRUE(
+        catalog_.AddForeignKey("protein", "gene_gid", "gene", "gid").ok());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(JoinTest, ChildToParentJoin) {
+  QueryExecutor exec(&catalog_);
+  JoinQuery join{"protein", "gene", {}, {}};
+  auto pairs = exec.ExecuteJoin(join);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->size(), 3u);  // every protein matches its gene
+}
+
+TEST_F(JoinTest, ParentToChildJoin) {
+  QueryExecutor exec(&catalog_);
+  JoinQuery join{"gene", "protein", {}, {}};
+  auto pairs = exec.ExecuteJoin(join);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->size(), 3u);
+  // Gene JW0001 (row 0) pairs with two proteins.
+  size_t for_gene0 = 0;
+  for (const auto& [l, r] : *pairs) {
+    if (l == 0) ++for_gene0;
+  }
+  EXPECT_EQ(for_gene0, 2u);
+}
+
+TEST_F(JoinTest, PredicatesOnBothSides) {
+  QueryExecutor exec(&catalog_);
+  JoinQuery join{"gene",
+                 "protein",
+                 {{"family", CompareOp::kEq, Value("F1")}},
+                 {{"ptype", CompareOp::kEq, Value("kinase")}}};
+  auto pairs = exec.ExecuteJoin(join);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ((*pairs)[0].first, 0u);   // gene JW0001
+  EXPECT_EQ((*pairs)[0].second, 0u);  // protein P1
+}
+
+TEST_F(JoinTest, NoLinkingForeignKeyFails) {
+  QueryExecutor exec(&catalog_);
+  JoinQuery join{"gene", "island", {}, {}};
+  EXPECT_EQ(exec.ExecuteJoin(join).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(JoinTest, UnknownTableOrColumnFails) {
+  QueryExecutor exec(&catalog_);
+  EXPECT_FALSE(exec.ExecuteJoin({"gene", "missing", {}, {}}).ok());
+  JoinQuery bad_col{"gene", "protein", {}, {{"bogus", CompareOp::kEq,
+                                             Value("x")}}};
+  EXPECT_EQ(exec.ExecuteJoin(bad_col).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(JoinTest, EmptyResultWhenNoMatch) {
+  QueryExecutor exec(&catalog_);
+  JoinQuery join{"gene",
+                 "protein",
+                 {{"family", CompareOp::kEq, Value("F9")}},
+                 {}};
+  auto pairs = exec.ExecuteJoin(join);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+}
+
+TEST(CompareOpTest, Names) {
+  EXPECT_STREQ(CompareOpName(CompareOp::kEq), "=");
+  EXPECT_STREQ(CompareOpName(CompareOp::kContainsToken), "CONTAINS");
+}
+
+}  // namespace
+}  // namespace nebula

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "storage/value.h"
+
+namespace nebula {
+namespace {
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value(int64_t{5}).type(), DataType::kInt64);
+  EXPECT_EQ(Value(2.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value("x").type(), DataType::kString);
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(1.0).is_double());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(int64_t{-3}).AsInt(), -3);
+  EXPECT_DOUBLE_EQ(Value(2.25).AsDouble(), 2.25);
+  EXPECT_EQ(Value(std::string("grpC")).AsString(), "grpC");
+}
+
+TEST(ValueTest, NumericValueWidensInt) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{7}).NumericValue(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(0.5).NumericValue(), 0.5);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("JW0014").ToString(), "JW0014");
+  EXPECT_EQ(Value(1.5).ToString(), "1.5");
+}
+
+TEST(ValueTest, EqualityWithinType) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, CrossTypeNeverEqual) {
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));
+  EXPECT_NE(Value(int64_t{1}), Value("1"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value("gene").Hash(), Value("gene").Hash());
+  EXPECT_EQ(Value(int64_t{9}).Hash(), Value(int64_t{9}).Hash());
+  EXPECT_NE(Value("gene").Hash(), Value("gen").Hash());
+  // Cross-type values with the same digits must not collide.
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value("1").Hash());
+}
+
+TEST(ValueTest, NegativeZeroHashesLikeZero) {
+  EXPECT_EQ(Value(-0.0).Hash(), Value(0.0).Hash());
+  EXPECT_EQ(Value(-0.0), Value(0.0));
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_FALSE(Value("b") < Value("a"));
+}
+
+TEST(ValueTest, OrderingAcrossTypesIsByTypeIndex) {
+  // Deterministic, int < double < string.
+  EXPECT_LT(Value(int64_t{99}), Value(0.0));
+  EXPECT_LT(Value(5.0), Value("a"));
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "INT64");
+  EXPECT_STREQ(DataTypeName(DataType::kDouble), "DOUBLE");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "STRING");
+}
+
+}  // namespace
+}  // namespace nebula

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_shared_execution.dir/bench_fig13_shared_execution.cc.o"
+  "CMakeFiles/bench_fig13_shared_execution.dir/bench_fig13_shared_execution.cc.o.d"
+  "bench_fig13_shared_execution"
+  "bench_fig13_shared_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_shared_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_focal_spreading.dir/bench_fig14_focal_spreading.cc.o"
+  "CMakeFiles/bench_fig14_focal_spreading.dir/bench_fig14_focal_spreading.cc.o.d"
+  "bench_fig14_focal_spreading"
+  "bench_fig14_focal_spreading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_focal_spreading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

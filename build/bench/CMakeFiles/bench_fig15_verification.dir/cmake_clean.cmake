@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_verification.dir/bench_fig15_verification.cc.o"
+  "CMakeFiles/bench_fig15_verification.dir/bench_fig15_verification.cc.o.d"
+  "bench_fig15_verification"
+  "bench_fig15_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

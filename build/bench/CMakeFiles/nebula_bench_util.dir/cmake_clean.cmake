@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nebula_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/nebula_bench_util.dir/bench_util.cc.o.d"
+  "libnebula_bench_util.a"
+  "libnebula_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nebula_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnebula_bench_util.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/biocuration.cpp" "examples/CMakeFiles/biocuration.dir/biocuration.cpp.o" "gcc" "examples/CMakeFiles/biocuration.dir/biocuration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nebula_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nebula_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/keyword/CMakeFiles/nebula_keyword.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/nebula_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/nebula_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/annotation/CMakeFiles/nebula_annotation.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/nebula_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nebula_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biocuration.dir/biocuration.cpp.o"
+  "CMakeFiles/biocuration.dir/biocuration.cpp.o.d"
+  "biocuration"
+  "biocuration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biocuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curation_pipeline.dir/curation_pipeline.cpp.o"
+  "CMakeFiles/curation_pipeline.dir/curation_pipeline.cpp.o.d"
+  "curation_pipeline"
+  "curation_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curation_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nebula_shell.dir/nebula_shell.cpp.o"
+  "CMakeFiles/nebula_shell.dir/nebula_shell.cpp.o.d"
+  "nebula_shell"
+  "nebula_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nebula_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

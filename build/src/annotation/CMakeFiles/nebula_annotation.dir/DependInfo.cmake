@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/annotation/annotation_store.cc" "src/annotation/CMakeFiles/nebula_annotation.dir/annotation_store.cc.o" "gcc" "src/annotation/CMakeFiles/nebula_annotation.dir/annotation_store.cc.o.d"
+  "/root/repo/src/annotation/auto_attach.cc" "src/annotation/CMakeFiles/nebula_annotation.dir/auto_attach.cc.o" "gcc" "src/annotation/CMakeFiles/nebula_annotation.dir/auto_attach.cc.o.d"
+  "/root/repo/src/annotation/quality.cc" "src/annotation/CMakeFiles/nebula_annotation.dir/quality.cc.o" "gcc" "src/annotation/CMakeFiles/nebula_annotation.dir/quality.cc.o.d"
+  "/root/repo/src/annotation/serialize.cc" "src/annotation/CMakeFiles/nebula_annotation.dir/serialize.cc.o" "gcc" "src/annotation/CMakeFiles/nebula_annotation.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nebula_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/nebula_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

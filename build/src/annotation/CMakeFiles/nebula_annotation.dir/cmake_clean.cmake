@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nebula_annotation.dir/annotation_store.cc.o"
+  "CMakeFiles/nebula_annotation.dir/annotation_store.cc.o.d"
+  "CMakeFiles/nebula_annotation.dir/auto_attach.cc.o"
+  "CMakeFiles/nebula_annotation.dir/auto_attach.cc.o.d"
+  "CMakeFiles/nebula_annotation.dir/quality.cc.o"
+  "CMakeFiles/nebula_annotation.dir/quality.cc.o.d"
+  "CMakeFiles/nebula_annotation.dir/serialize.cc.o"
+  "CMakeFiles/nebula_annotation.dir/serialize.cc.o.d"
+  "libnebula_annotation.a"
+  "libnebula_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nebula_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

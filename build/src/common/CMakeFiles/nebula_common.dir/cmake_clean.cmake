@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nebula_common.dir/logging.cc.o"
+  "CMakeFiles/nebula_common.dir/logging.cc.o.d"
+  "CMakeFiles/nebula_common.dir/random.cc.o"
+  "CMakeFiles/nebula_common.dir/random.cc.o.d"
+  "CMakeFiles/nebula_common.dir/status.cc.o"
+  "CMakeFiles/nebula_common.dir/status.cc.o.d"
+  "CMakeFiles/nebula_common.dir/string_util.cc.o"
+  "CMakeFiles/nebula_common.dir/string_util.cc.o.d"
+  "libnebula_common.a"
+  "libnebula_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nebula_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

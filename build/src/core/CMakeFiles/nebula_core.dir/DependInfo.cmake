@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acg.cc" "src/core/CMakeFiles/nebula_core.dir/acg.cc.o" "gcc" "src/core/CMakeFiles/nebula_core.dir/acg.cc.o.d"
+  "/root/repo/src/core/assessment.cc" "src/core/CMakeFiles/nebula_core.dir/assessment.cc.o" "gcc" "src/core/CMakeFiles/nebula_core.dir/assessment.cc.o.d"
+  "/root/repo/src/core/bounds_setting.cc" "src/core/CMakeFiles/nebula_core.dir/bounds_setting.cc.o" "gcc" "src/core/CMakeFiles/nebula_core.dir/bounds_setting.cc.o.d"
+  "/root/repo/src/core/context_adjust.cc" "src/core/CMakeFiles/nebula_core.dir/context_adjust.cc.o" "gcc" "src/core/CMakeFiles/nebula_core.dir/context_adjust.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/nebula_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/nebula_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/focal_spreading.cc" "src/core/CMakeFiles/nebula_core.dir/focal_spreading.cc.o" "gcc" "src/core/CMakeFiles/nebula_core.dir/focal_spreading.cc.o.d"
+  "/root/repo/src/core/identify.cc" "src/core/CMakeFiles/nebula_core.dir/identify.cc.o" "gcc" "src/core/CMakeFiles/nebula_core.dir/identify.cc.o.d"
+  "/root/repo/src/core/query_generation.cc" "src/core/CMakeFiles/nebula_core.dir/query_generation.cc.o" "gcc" "src/core/CMakeFiles/nebula_core.dir/query_generation.cc.o.d"
+  "/root/repo/src/core/signature_maps.cc" "src/core/CMakeFiles/nebula_core.dir/signature_maps.cc.o" "gcc" "src/core/CMakeFiles/nebula_core.dir/signature_maps.cc.o.d"
+  "/root/repo/src/core/spam.cc" "src/core/CMakeFiles/nebula_core.dir/spam.cc.o" "gcc" "src/core/CMakeFiles/nebula_core.dir/spam.cc.o.d"
+  "/root/repo/src/core/verification.cc" "src/core/CMakeFiles/nebula_core.dir/verification.cc.o" "gcc" "src/core/CMakeFiles/nebula_core.dir/verification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nebula_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/nebula_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/nebula_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/nebula_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/annotation/CMakeFiles/nebula_annotation.dir/DependInfo.cmake"
+  "/root/repo/build/src/keyword/CMakeFiles/nebula_keyword.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

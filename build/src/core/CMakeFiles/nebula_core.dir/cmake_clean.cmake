@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nebula_core.dir/acg.cc.o"
+  "CMakeFiles/nebula_core.dir/acg.cc.o.d"
+  "CMakeFiles/nebula_core.dir/assessment.cc.o"
+  "CMakeFiles/nebula_core.dir/assessment.cc.o.d"
+  "CMakeFiles/nebula_core.dir/bounds_setting.cc.o"
+  "CMakeFiles/nebula_core.dir/bounds_setting.cc.o.d"
+  "CMakeFiles/nebula_core.dir/context_adjust.cc.o"
+  "CMakeFiles/nebula_core.dir/context_adjust.cc.o.d"
+  "CMakeFiles/nebula_core.dir/engine.cc.o"
+  "CMakeFiles/nebula_core.dir/engine.cc.o.d"
+  "CMakeFiles/nebula_core.dir/focal_spreading.cc.o"
+  "CMakeFiles/nebula_core.dir/focal_spreading.cc.o.d"
+  "CMakeFiles/nebula_core.dir/identify.cc.o"
+  "CMakeFiles/nebula_core.dir/identify.cc.o.d"
+  "CMakeFiles/nebula_core.dir/query_generation.cc.o"
+  "CMakeFiles/nebula_core.dir/query_generation.cc.o.d"
+  "CMakeFiles/nebula_core.dir/signature_maps.cc.o"
+  "CMakeFiles/nebula_core.dir/signature_maps.cc.o.d"
+  "CMakeFiles/nebula_core.dir/spam.cc.o"
+  "CMakeFiles/nebula_core.dir/spam.cc.o.d"
+  "CMakeFiles/nebula_core.dir/verification.cc.o"
+  "CMakeFiles/nebula_core.dir/verification.cc.o.d"
+  "libnebula_core.a"
+  "libnebula_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nebula_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

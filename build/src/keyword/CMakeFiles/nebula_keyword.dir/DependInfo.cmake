@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/keyword/engine.cc" "src/keyword/CMakeFiles/nebula_keyword.dir/engine.cc.o" "gcc" "src/keyword/CMakeFiles/nebula_keyword.dir/engine.cc.o.d"
+  "/root/repo/src/keyword/shared_executor.cc" "src/keyword/CMakeFiles/nebula_keyword.dir/shared_executor.cc.o" "gcc" "src/keyword/CMakeFiles/nebula_keyword.dir/shared_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nebula_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/nebula_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/nebula_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/nebula_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nebula_keyword.dir/engine.cc.o"
+  "CMakeFiles/nebula_keyword.dir/engine.cc.o.d"
+  "CMakeFiles/nebula_keyword.dir/shared_executor.cc.o"
+  "CMakeFiles/nebula_keyword.dir/shared_executor.cc.o.d"
+  "libnebula_keyword.a"
+  "libnebula_keyword.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nebula_keyword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnebula_keyword.a"
+)

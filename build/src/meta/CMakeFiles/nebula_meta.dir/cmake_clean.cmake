@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nebula_meta.dir/concept_learning.cc.o"
+  "CMakeFiles/nebula_meta.dir/concept_learning.cc.o.d"
+  "CMakeFiles/nebula_meta.dir/nebula_meta.cc.o"
+  "CMakeFiles/nebula_meta.dir/nebula_meta.cc.o.d"
+  "libnebula_meta.a"
+  "libnebula_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nebula_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nebula_sql.dir/lexer.cc.o"
+  "CMakeFiles/nebula_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/nebula_sql.dir/parser.cc.o"
+  "CMakeFiles/nebula_sql.dir/parser.cc.o.d"
+  "CMakeFiles/nebula_sql.dir/session.cc.o"
+  "CMakeFiles/nebula_sql.dir/session.cc.o.d"
+  "libnebula_sql.a"
+  "libnebula_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nebula_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

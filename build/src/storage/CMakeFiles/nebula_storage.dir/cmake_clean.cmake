@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nebula_storage.dir/catalog.cc.o"
+  "CMakeFiles/nebula_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/nebula_storage.dir/query.cc.o"
+  "CMakeFiles/nebula_storage.dir/query.cc.o.d"
+  "CMakeFiles/nebula_storage.dir/schema.cc.o"
+  "CMakeFiles/nebula_storage.dir/schema.cc.o.d"
+  "CMakeFiles/nebula_storage.dir/table.cc.o"
+  "CMakeFiles/nebula_storage.dir/table.cc.o.d"
+  "CMakeFiles/nebula_storage.dir/value.cc.o"
+  "CMakeFiles/nebula_storage.dir/value.cc.o.d"
+  "libnebula_storage.a"
+  "libnebula_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nebula_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

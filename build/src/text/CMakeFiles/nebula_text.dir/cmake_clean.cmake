@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nebula_text.dir/lexicon.cc.o"
+  "CMakeFiles/nebula_text.dir/lexicon.cc.o.d"
+  "CMakeFiles/nebula_text.dir/pattern.cc.o"
+  "CMakeFiles/nebula_text.dir/pattern.cc.o.d"
+  "CMakeFiles/nebula_text.dir/similarity.cc.o"
+  "CMakeFiles/nebula_text.dir/similarity.cc.o.d"
+  "CMakeFiles/nebula_text.dir/stopwords.cc.o"
+  "CMakeFiles/nebula_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/nebula_text.dir/tokenizer.cc.o"
+  "CMakeFiles/nebula_text.dir/tokenizer.cc.o.d"
+  "libnebula_text.a"
+  "libnebula_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nebula_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

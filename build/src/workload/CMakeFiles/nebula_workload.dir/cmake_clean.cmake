@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nebula_workload.dir/generator.cc.o"
+  "CMakeFiles/nebula_workload.dir/generator.cc.o.d"
+  "CMakeFiles/nebula_workload.dir/oracle.cc.o"
+  "CMakeFiles/nebula_workload.dir/oracle.cc.o.d"
+  "CMakeFiles/nebula_workload.dir/vocab.cc.o"
+  "CMakeFiles/nebula_workload.dir/vocab.cc.o.d"
+  "libnebula_workload.a"
+  "libnebula_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nebula_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acg_test.dir/acg_test.cc.o"
+  "CMakeFiles/acg_test.dir/acg_test.cc.o.d"
+  "acg_test"
+  "acg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

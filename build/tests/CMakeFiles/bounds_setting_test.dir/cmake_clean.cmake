@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_setting_test.dir/bounds_setting_test.cc.o"
+  "CMakeFiles/bounds_setting_test.dir/bounds_setting_test.cc.o.d"
+  "bounds_setting_test"
+  "bounds_setting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_setting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

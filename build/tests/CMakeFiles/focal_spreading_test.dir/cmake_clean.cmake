@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focal_spreading_test.dir/focal_spreading_test.cc.o"
+  "CMakeFiles/focal_spreading_test.dir/focal_spreading_test.cc.o.d"
+  "focal_spreading_test"
+  "focal_spreading_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focal_spreading_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identify_test.dir/identify_test.cc.o"
+  "CMakeFiles/identify_test.dir/identify_test.cc.o.d"
+  "identify_test"
+  "identify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

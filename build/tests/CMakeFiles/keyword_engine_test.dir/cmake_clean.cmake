@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyword_engine_test.dir/keyword_engine_test.cc.o"
+  "CMakeFiles/keyword_engine_test.dir/keyword_engine_test.cc.o.d"
+  "keyword_engine_test"
+  "keyword_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyword_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

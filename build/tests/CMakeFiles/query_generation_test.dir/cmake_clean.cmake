@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_generation_test.dir/query_generation_test.cc.o"
+  "CMakeFiles/query_generation_test.dir/query_generation_test.cc.o.d"
+  "query_generation_test"
+  "query_generation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_generation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

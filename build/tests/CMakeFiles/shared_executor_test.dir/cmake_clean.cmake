@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_executor_test.dir/shared_executor_test.cc.o"
+  "CMakeFiles/shared_executor_test.dir/shared_executor_test.cc.o.d"
+  "shared_executor_test"
+  "shared_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

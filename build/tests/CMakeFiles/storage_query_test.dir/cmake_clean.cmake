@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_query_test.dir/storage_query_test.cc.o"
+  "CMakeFiles/storage_query_test.dir/storage_query_test.cc.o.d"
+  "storage_query_test"
+  "storage_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

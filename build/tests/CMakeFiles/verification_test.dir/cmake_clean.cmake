@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verification_test.dir/verification_test.cc.o"
+  "CMakeFiles/verification_test.dir/verification_test.cc.o.d"
+  "verification_test"
+  "verification_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nebula_datagen.dir/nebula_datagen.cpp.o"
+  "CMakeFiles/nebula_datagen.dir/nebula_datagen.cpp.o.d"
+  "nebula_datagen"
+  "nebula_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nebula_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

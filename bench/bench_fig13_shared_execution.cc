@@ -27,7 +27,8 @@ int main() {
   };
 
   TablePrinter table({"dataset", "set", "eps", "isolated_ms", "shared_ms",
-                      "speedup", "sql_dedup", "outputs_equal"});
+                      "speedup", "sql_dedup", "rows_examined",
+                      "outputs_equal"});
 
   for (const auto& sized : sizes) {
     auto ds = LoadDataset(sized.label, sized.spec);
@@ -38,6 +39,10 @@ int main() {
         QueryGenerationParams params;
         params.epsilon = eps;
         QueryGenerator generator(&ds->meta, params);
+
+        // The engine's ExecStats accumulate across calls; reset so the
+        // reported row count is per (set, eps) round, not a running total.
+        engine.ResetStats();
 
         double isolated_ms = 0;
         double shared_ms = 0;
@@ -91,6 +96,8 @@ int main() {
                                     isolated_ms)
                           : "-",
                       Fmt("%.0f%%", 100.0 * sharing_sum / groups),
+                      Fmt("%llu", static_cast<unsigned long long>(
+                                      engine.stats().rows_examined)),
                       all_equal ? "yes" : "NO"});
       }
     }

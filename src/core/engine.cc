@@ -1,5 +1,8 @@
 #include "core/engine.h"
 
+#include <future>
+#include <utility>
+
 #include "common/stopwatch.h"
 
 namespace nebula {
@@ -16,22 +19,30 @@ NebulaEngine::NebulaEngine(Catalog* catalog, AnnotationStore* store,
 
 void NebulaEngine::RebuildAcg() { acg_.BuildFromStore(*store_); }
 
-Result<AnnotationReport> NebulaEngine::Discover(
-    AnnotationId annotation, const std::vector<TupleId>& focal) {
+ThreadPool* NebulaEngine::pool() {
+  const size_t n = config_.num_threads;
+  if (n == 0) {
+    pool_.reset();
+    return nullptr;
+  }
+  if (pool_ == nullptr || pool_->num_threads() != n) {
+    pool_ = std::make_unique<ThreadPool>(n);
+  }
+  return pool_.get();
+}
+
+Result<AnnotationReport> NebulaEngine::DiscoverWithQueries(
+    AnnotationId annotation, const std::vector<TupleId>& focal,
+    QueryGenerationResult generated) {
   AnnotationReport report;
   report.annotation = annotation;
-  NEBULA_ASSIGN_OR_RETURN(const Annotation* ann,
-                          store_->GetAnnotation(annotation));
-
-  // Stage 1: annotation text -> weighted keyword queries.
-  QueryGenerator generator(meta_, config_.generation);
-  QueryGenerationResult generated = generator.Generate(ann->text);
   report.queries = std::move(generated.queries);
   report.generation_timing = generated.timing;
 
   // Stage 2: execute the queries, full-database or focal-spreading.
   search_engine_.params() = config_.search;
-  TupleIdentifier identifier(&search_engine_, &acg_, config_.identify);
+  TupleIdentifier identifier(&search_engine_, &acg_, config_.identify,
+                             pool());
   FocalSpreading spreading(&acg_, config_.spreading);
 
   Stopwatch watch;
@@ -52,7 +63,17 @@ Result<AnnotationReport> NebulaEngine::Discover(
   return report;
 }
 
-Result<AnnotationReport> NebulaEngine::InsertAnnotation(
+Result<AnnotationReport> NebulaEngine::Discover(
+    AnnotationId annotation, const std::vector<TupleId>& focal) {
+  NEBULA_ASSIGN_OR_RETURN(const Annotation* ann,
+                          store_->GetAnnotation(annotation));
+
+  // Stage 1: annotation text -> weighted keyword queries.
+  QueryGenerator generator(meta_, config_.generation);
+  return DiscoverWithQueries(annotation, focal, generator.Generate(ann->text));
+}
+
+Result<AnnotationId> NebulaEngine::StoreWithFocal(
     const std::string& text, const std::vector<TupleId>& focal,
     const std::string& author) {
   // Stage 0: store the annotation and its focal (True) attachments.
@@ -63,24 +84,86 @@ Result<AnnotationReport> NebulaEngine::InsertAnnotation(
     std::vector<TupleId> siblings(focal.begin(), focal.begin() + i);
     acg_.AddAttachment(id, focal[i], siblings);
   }
+  return id;
+}
 
-  // Stages 1-2.
-  NEBULA_ASSIGN_OR_RETURN(AnnotationReport report, Discover(id, focal));
-
+void NebulaEngine::SubmitCandidates(AnnotationReport* report) {
   // Footnote-1 spam guard: an annotation whose prediction covers an
   // excessive share of the database must not flood the verification
   // queue.
   if (config_.enable_spam_guard) {
-    report.spam = DetectSpam(report.candidates, catalog_->TotalRows(),
-                             config_.spam_guard);
-    if (report.spam.spam_suspected) return report;
+    report->spam = DetectSpam(report->candidates, catalog_->TotalRows(),
+                              config_.spam_guard);
+    if (report->spam.spam_suspected) return;
   }
 
   // Stage 3: submit the candidates for verification; auto-accepts apply
   // their side effects (True attachment, ACG update, profile update).
   verification_.set_bounds(config_.bounds);
-  report.verification = verification_.Submit(id, report.candidates);
+  report->verification = verification_.Submit(report->annotation,
+                                              report->candidates);
+}
+
+Result<AnnotationReport> NebulaEngine::InsertAnnotation(
+    const std::string& text, const std::vector<TupleId>& focal,
+    const std::string& author) {
+  NEBULA_ASSIGN_OR_RETURN(const AnnotationId id,
+                          StoreWithFocal(text, focal, author));
+
+  // Stages 1-2.
+  NEBULA_ASSIGN_OR_RETURN(AnnotationReport report, Discover(id, focal));
+
+  // Spam guard + Stage 3.
+  SubmitCandidates(&report);
   return report;
+}
+
+Result<std::vector<AnnotationReport>> NebulaEngine::InsertAnnotations(
+    std::span<const AnnotationRequest> requests) {
+  std::vector<AnnotationReport> reports;
+  reports.reserve(requests.size());
+
+  ThreadPool* p = pool();
+  if (p == nullptr) {
+    // num_threads == 0: exactly the one-at-a-time path, preserving the
+    // historical behavior (and determinism) of every existing caller.
+    for (const AnnotationRequest& r : requests) {
+      NEBULA_ASSIGN_OR_RETURN(AnnotationReport report,
+                              InsertAnnotation(r.text, r.focal, r.author));
+      reports.push_back(std::move(report));
+    }
+    return reports;
+  }
+
+  // Pipelined ingest. Stage 1 is a pure function of (metadata, generation
+  // params, text) — it reads neither the store nor the ACG — so the whole
+  // batch's query generation runs ahead on the pool while the stateful
+  // stages (0: store+ACG, 2: execution, 3: verification) proceed strictly
+  // in request order below. Per-annotation results are therefore
+  // identical to one-at-a-time ingestion.
+  //
+  // The generator is shared-owned by every task so an early error return
+  // from the sequential loop can never dangle a still-running worker.
+  auto generator =
+      std::make_shared<QueryGenerator>(meta_, config_.generation);
+  std::vector<std::future<QueryGenerationResult>> generated;
+  generated.reserve(requests.size());
+  for (const AnnotationRequest& r : requests) {
+    generated.push_back(p->Submit(
+        [generator, text = r.text] { return generator->Generate(text); }));
+  }
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const AnnotationRequest& r = requests[i];
+    NEBULA_ASSIGN_OR_RETURN(const AnnotationId id,
+                            StoreWithFocal(r.text, r.focal, r.author));
+    NEBULA_ASSIGN_OR_RETURN(
+        AnnotationReport report,
+        DiscoverWithQueries(id, r.focal, generated[i].get()));
+    SubmitCandidates(&report);
+    reports.push_back(std::move(report));
+  }
+  return reports;
 }
 
 }  // namespace nebula

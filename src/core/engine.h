@@ -2,11 +2,14 @@
 #define NEBULA_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "annotation/annotation_store.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/acg.h"
 #include "core/focal_spreading.h"
 #include "core/identify.h"
@@ -38,6 +41,21 @@ struct NebulaConfig {
   /// excessive share of the database, skip verification submission.
   bool enable_spam_guard = true;
   SpamGuardParams spam_guard;
+  /// Size of the engine-owned worker pool for parallel Stage-2 execution
+  /// and batch ingest. 0 keeps everything sequential — bit-for-bit the
+  /// historical behavior. N >= 1 executes each query group's distinct SQL
+  /// (and the batch's Stage-1 generation) on N workers; results and stats
+  /// stay identical to the sequential path (see DESIGN.md "Concurrency
+  /// model").
+  size_t num_threads = 0;
+};
+
+/// One annotation of a batch-ingest request: the free text, its focal
+/// (True) attachments, and the author.
+struct AnnotationRequest {
+  std::string text;
+  std::vector<TupleId> focal;
+  std::string author;
 };
 
 /// Everything Nebula did for one inserted annotation (stages 1-3).
@@ -73,6 +91,15 @@ class NebulaEngine {
       const std::string& text, const std::vector<TupleId>& focal,
       const std::string& author = "");
 
+  /// Batch ingest: semantically identical to calling InsertAnnotation on
+  /// each request in order (reports come back in request order), but with
+  /// config().num_threads > 0 the batch's Stage-1 query generation — a
+  /// pure function of the metadata and the text — runs ahead on the worker
+  /// pool while the stateful stages (0, 2, 3) proceed in request order,
+  /// and each annotation's Stage 2 executes its SQL on the same pool.
+  Result<std::vector<AnnotationReport>> InsertAnnotations(
+      std::span<const AnnotationRequest> requests);
+
   /// Discovery only (stages 1-2) for an already-stored annotation: used by
   /// the BoundsSetting trainer and the benchmarks. Does not create
   /// verification tasks or modify any state.
@@ -93,7 +120,23 @@ class NebulaEngine {
   NebulaConfig& config() { return config_; }
   const NebulaConfig& config() const { return config_; }
 
+  /// The engine-owned worker pool sized per config().num_threads; nullptr
+  /// when sequential (num_threads == 0). Lazily (re)built when the knob
+  /// changes.
+  ThreadPool* pool();
+
  private:
+  /// Stage 0: stores the annotation and its focal (True) attachments.
+  Result<AnnotationId> StoreWithFocal(const std::string& text,
+                                      const std::vector<TupleId>& focal,
+                                      const std::string& author);
+  /// Stage 2 for an already-generated query group.
+  Result<AnnotationReport> DiscoverWithQueries(
+      AnnotationId annotation, const std::vector<TupleId>& focal,
+      QueryGenerationResult generated);
+  /// Spam guard + Stage 3 on a discovery report.
+  void SubmitCandidates(AnnotationReport* report);
+
   Catalog* catalog_;
   AnnotationStore* store_;
   NebulaMeta* meta_;
@@ -101,6 +144,9 @@ class NebulaEngine {
   Acg acg_;
   KeywordSearchEngine search_engine_;
   VerificationManager verification_;
+  // Declared last: destroyed first, joining any in-flight workers while
+  // the rest of the engine is still alive.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace nebula

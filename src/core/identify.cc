@@ -1,6 +1,7 @@
 #include "core/identify.h"
 
 #include <algorithm>
+#include <future>
 #include <unordered_map>
 
 namespace nebula {
@@ -12,8 +13,38 @@ Result<std::vector<CandidateTuple>> TupleIdentifier::Identify(
   // scaled by its query's generation weight.
   std::vector<std::vector<SearchHit>> per_query;
   if (params_.shared_execution) {
-    SharedKeywordExecutor shared(engine_);
+    SharedKeywordExecutor shared(engine_, pool_);
     NEBULA_RETURN_NOT_OK(shared.ExecuteGroup(queries, &per_query, mini_db));
+  } else if (pool_ != nullptr && queries.size() > 1) {
+    // Isolated queries are independent of each other: run each whole
+    // query on the pool; collect answers and fold stats in query order so
+    // the outcome matches sequential execution exactly.
+    struct QueryOutcome {
+      Result<std::vector<SearchHit>> hits = std::vector<SearchHit>{};
+      ExecStats stats;
+    };
+    std::vector<std::future<QueryOutcome>> outcomes;
+    outcomes.reserve(queries.size());
+    for (const KeywordQuery& q : queries) {
+      outcomes.push_back(pool_->Submit([this, &q, mini_db] {
+        QueryOutcome out;
+        out.hits = engine_->Search(q, mini_db, &out.stats);
+        return out;
+      }));
+    }
+    per_query.resize(queries.size());
+    // Join all tasks before any early return: workers reference `queries`.
+    Status status = Status::OK();
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      QueryOutcome out = outcomes[qi].get();
+      engine_->AccumulateStats(out.stats);
+      if (!out.hits.ok()) {
+        if (status.ok()) status = out.hits.status();
+        continue;
+      }
+      per_query[qi] = std::move(out.hits).value();
+    }
+    NEBULA_RETURN_NOT_OK(status);
   } else {
     per_query.reserve(queries.size());
     for (const auto& q : queries) {

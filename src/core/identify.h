@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/acg.h"
 #include "keyword/engine.h"
 #include "keyword/shared_executor.h"
@@ -54,9 +55,13 @@ struct IdentifyParams {
 /// §6.2 focal-based confidence adjustment).
 class TupleIdentifier {
  public:
+  /// `pool`, when given, parallelizes query execution: the shared executor
+  /// runs its distinct statements on the pool, and the isolated path runs
+  /// whole queries on it. Candidates (order and confidences) and engine
+  /// ExecStats totals are identical to the sequential path.
   TupleIdentifier(KeywordSearchEngine* engine, const Acg* acg,
-                  IdentifyParams params = {})
-      : engine_(engine), acg_(acg), params_(params) {}
+                  IdentifyParams params = {}, ThreadPool* pool = nullptr)
+      : engine_(engine), acg_(acg), params_(params), pool_(pool) {}
 
   /// Runs the algorithm. `focal` is Foc(a); `mini_db`, when given,
   /// restricts the search (focal-spreading mode). Candidates are returned
@@ -72,6 +77,7 @@ class TupleIdentifier {
   KeywordSearchEngine* engine_;
   const Acg* acg_;
   IdentifyParams params_;
+  ThreadPool* pool_;
 };
 
 }  // namespace nebula

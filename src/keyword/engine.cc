@@ -291,6 +291,14 @@ std::vector<GeneratedSql> KeywordSearchEngine::CompileToSql(
 
 Result<std::vector<SearchHit>> KeywordSearchEngine::ExecuteSql(
     const GeneratedSql& sql, const MiniDb* mini_db) {
+  ExecStats local;
+  Result<std::vector<SearchHit>> hits = ExecuteSql(sql, mini_db, &local);
+  executor_.AccumulateStats(local);
+  return hits;
+}
+
+Result<std::vector<SearchHit>> KeywordSearchEngine::ExecuteSql(
+    const GeneratedSql& sql, const MiniDb* mini_db, ExecStats* stats) const {
   NEBULA_ASSIGN_OR_RETURN(const Table* table,
                           catalog_->GetTable(sql.query.table));
   const std::unordered_set<Table::RowId>* restrict = nullptr;
@@ -301,10 +309,15 @@ Result<std::vector<SearchHit>> KeywordSearchEngine::ExecuteSql(
       return std::vector<SearchHit>{};
     }
   }
-  NEBULA_ASSIGN_OR_RETURN(
-      std::vector<Table::RowId> rows,
-      executor_.Execute(sql.query, restrict,
-                        /*allow_text_index=*/!params_.scan_containment));
+  // A per-call executor keeps this path free of shared mutable state, so
+  // pool workers can run statements of the same group concurrently.
+  QueryExecutor executor(catalog_);
+  Result<std::vector<Table::RowId>> rows_result =
+      executor.Execute(sql.query, restrict,
+                       /*allow_text_index=*/!params_.scan_containment);
+  if (stats != nullptr) *stats += executor.stats();
+  NEBULA_ASSIGN_OR_RETURN(std::vector<Table::RowId> rows,
+                          std::move(rows_result));
   std::vector<SearchHit> hits;
   hits.reserve(rows.size());
   for (Table::RowId r : rows) {
@@ -350,12 +363,21 @@ std::vector<SearchHit> KeywordSearchEngine::MergeHits(
 
 Result<std::vector<SearchHit>> KeywordSearchEngine::Search(
     const KeywordQuery& query, const MiniDb* mini_db) {
+  ExecStats local;
+  Result<std::vector<SearchHit>> hits = Search(query, mini_db, &local);
+  executor_.AccumulateStats(local);
+  return hits;
+}
+
+Result<std::vector<SearchHit>> KeywordSearchEngine::Search(
+    const KeywordQuery& query, const MiniDb* mini_db,
+    ExecStats* stats) const {
   const std::vector<GeneratedSql> plan = CompileToSql(query);
   std::vector<std::vector<SearchHit>> per_sql;
   per_sql.reserve(plan.size());
   for (const auto& sql : plan) {
     NEBULA_ASSIGN_OR_RETURN(std::vector<SearchHit> hits,
-                            ExecuteSql(sql, mini_db));
+                            ExecuteSql(sql, mini_db, stats));
     per_sql.push_back(std::move(hits));
   }
   return MergeHits(per_sql);

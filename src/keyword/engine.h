@@ -42,6 +42,14 @@ class KeywordSearchEngine {
   Result<std::vector<SearchHit>> Search(const KeywordQuery& query,
                                         const MiniDb* mini_db = nullptr);
 
+  /// Thread-safe variant of Search: touches only shared-immutable engine
+  /// state and reports execution counters into `stats` (may be null)
+  /// instead of the engine's accumulator. Safe to call concurrently from
+  /// worker threads; fold the counters back with AccumulateStats.
+  Result<std::vector<SearchHit>> Search(const KeywordQuery& query,
+                                        const MiniDb* mini_db,
+                                        ExecStats* stats) const;
+
   /// Step 1 — candidate mappings for a single keyword, best-first,
   /// thresholded and truncated per params.
   std::vector<KeywordMapping> MapKeyword(const std::string& word) const;
@@ -64,6 +72,12 @@ class KeywordSearchEngine {
   Result<std::vector<SearchHit>> ExecuteSql(const GeneratedSql& sql,
                                             const MiniDb* mini_db = nullptr);
 
+  /// Thread-safe variant of ExecuteSql (same contract as the thread-safe
+  /// Search): per-call executor, counters into `stats` (may be null).
+  Result<std::vector<SearchHit>> ExecuteSql(const GeneratedSql& sql,
+                                            const MiniDb* mini_db,
+                                            ExecStats* stats) const;
+
   /// Merges hits from many statements of the *same* keyword query:
   /// per-tuple max confidence (cross-query aggregation is the caller's
   /// job — see IdentifyRelatedTuples).
@@ -72,6 +86,12 @@ class KeywordSearchEngine {
 
   const ExecStats& stats() const { return executor_.stats(); }
   void ResetStats() { executor_.ResetStats(); }
+  /// Folds per-worker counters into the engine's accumulator. The parallel
+  /// executor calls this after joining its tasks, in plan order, so the
+  /// totals match sequential execution exactly.
+  void AccumulateStats(const ExecStats& stats) {
+    executor_.AccumulateStats(stats);
+  }
   const KeywordSearchParams& params() const { return params_; }
   KeywordSearchParams& params() { return params_; }
 

@@ -1,23 +1,47 @@
 #include "keyword/shared_executor.h"
 
+#include <future>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 namespace nebula {
+
+namespace {
+
+/// One canonical statement plus every (query, confidence) pair consuming
+/// its row set.
+struct PlannedSql {
+  GeneratedSql sql;
+  // (query index, confidence under that query's plan).
+  std::vector<std::pair<size_t, double>> consumers;
+};
+
+/// Hands one executed statement's row set to all consuming queries with
+/// their own confidences. Called in plan order on both execution paths so
+/// the per-query hit sequences are identical.
+void Distribute(const PlannedSql& planned, const std::vector<SearchHit>& hits,
+                std::vector<std::vector<std::vector<SearchHit>>>* per_query) {
+  for (const auto& [qi, conf] : planned.consumers) {
+    std::vector<SearchHit> scaled;
+    scaled.reserve(hits.size());
+    for (const auto& h : hits) {
+      scaled.push_back({h.tuple, h.confidence * conf});
+    }
+    (*per_query)[qi].push_back(std::move(scaled));
+  }
+}
+
+}  // namespace
 
 Status SharedKeywordExecutor::ExecuteGroup(
     const std::vector<KeywordQuery>& queries,
     std::vector<std::vector<SearchHit>>* results, const MiniDb* mini_db) {
   results->clear();
   results->resize(queries.size());
-  stats_ = SharedExecutionStats();
+  stats_.Reset();
 
   // Phase 1: compile every query, canonicalize statements group-wide.
-  struct PlannedSql {
-    GeneratedSql sql;
-    // (query index, confidence under that query's plan).
-    std::vector<std::pair<size_t, double>> consumers;
-  };
   std::unordered_map<std::string, size_t> index_by_key;
   std::vector<PlannedSql> plan;
   KeywordSearchEngine::MappingCache mapping_cache;
@@ -40,22 +64,51 @@ Status SharedKeywordExecutor::ExecuteGroup(
   stats_.distinct_sql = plan.size();
 
   // Phase 2: execute each distinct statement once; hand the row set to all
-  // consumers with their own confidences.
+  // consumers with their own confidences. The statements are independent
+  // after compilation, so with a pool they run concurrently; distribution
+  // and stats folding happen in plan order after the join, making the
+  // output bit-identical to sequential execution.
   std::vector<std::vector<std::vector<SearchHit>>> per_query_hits(
       queries.size());
-  for (auto& planned : plan) {
-    // Execute with confidence 1; scale per consumer below.
-    GeneratedSql unit = planned.sql;
-    unit.confidence = 1.0;
-    NEBULA_ASSIGN_OR_RETURN(std::vector<SearchHit> hits,
-                            engine_->ExecuteSql(unit, mini_db));
-    for (const auto& [qi, conf] : planned.consumers) {
-      std::vector<SearchHit> scaled;
-      scaled.reserve(hits.size());
-      for (const auto& h : hits) {
-        scaled.push_back({h.tuple, h.confidence * conf});
+  if (pool_ != nullptr && plan.size() > 1) {
+    struct SqlOutcome {
+      Result<std::vector<SearchHit>> hits = std::vector<SearchHit>{};
+      ExecStats stats;
+    };
+    std::vector<std::future<SqlOutcome>> outcomes;
+    outcomes.reserve(plan.size());
+    for (const PlannedSql& planned : plan) {
+      outcomes.push_back(pool_->Submit([this, &planned, mini_db] {
+        SqlOutcome out;
+        // Execute with confidence 1; scale per consumer on distribution.
+        GeneratedSql unit = planned.sql;
+        unit.confidence = 1.0;
+        out.hits = engine_->ExecuteSql(unit, mini_db, &out.stats);
+        return out;
+      }));
+    }
+    // Join every task before acting on any result: an early return while
+    // workers still reference `plan` would dangle. The first (plan-order)
+    // error wins, matching the sequential abort-on-first-error contract.
+    Status status = Status::OK();
+    for (size_t pi = 0; pi < plan.size(); ++pi) {
+      SqlOutcome out = outcomes[pi].get();
+      engine_->AccumulateStats(out.stats);
+      if (!out.hits.ok()) {
+        if (status.ok()) status = out.hits.status();
+        continue;
       }
-      per_query_hits[qi].push_back(std::move(scaled));
+      if (status.ok()) Distribute(plan[pi], *out.hits, &per_query_hits);
+    }
+    NEBULA_RETURN_NOT_OK(status);
+  } else {
+    for (const PlannedSql& planned : plan) {
+      // Execute with confidence 1; scale per consumer below.
+      GeneratedSql unit = planned.sql;
+      unit.confidence = 1.0;
+      NEBULA_ASSIGN_OR_RETURN(std::vector<SearchHit> hits,
+                              engine_->ExecuteSql(unit, mini_db));
+      Distribute(planned, hits, &per_query_hits);
     }
   }
 

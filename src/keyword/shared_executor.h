@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "keyword/engine.h"
 
 namespace nebula {
@@ -19,6 +20,11 @@ struct SharedExecutionStats {
                : 1.0 - static_cast<double>(distinct_sql) /
                            static_cast<double>(total_sql);
   }
+
+  /// Zeroes the counters. ExecuteGroup calls this on entry, so the
+  /// reported sharing ratio is always per-group, never accumulated across
+  /// rounds.
+  void Reset() { *this = SharedExecutionStats(); }
 };
 
 /// Shared execution of the keyword-query group generated from a single
@@ -31,10 +37,17 @@ struct SharedExecutionStats {
 /// every generated statement across the whole group, executes each
 /// distinct statement exactly once, and distributes the cached result to
 /// every (query, statement) pair.
+///
+/// When constructed with a ThreadPool, the distinct statements — which are
+/// independent after compilation — execute concurrently on the pool.
+/// Results, per-query hit order, and all statistics are identical to the
+/// sequential path: hits are distributed and counters folded in plan
+/// order after the join (see DESIGN.md "Concurrency model").
 class SharedKeywordExecutor {
  public:
-  explicit SharedKeywordExecutor(KeywordSearchEngine* engine)
-      : engine_(engine) {}
+  explicit SharedKeywordExecutor(KeywordSearchEngine* engine,
+                                 ThreadPool* pool = nullptr)
+      : engine_(engine), pool_(pool) {}
 
   /// Executes all queries; `results[i]` are the merged hits of queries[i]
   /// (identical to what engine->Search(queries[i]) would return).
@@ -46,6 +59,7 @@ class SharedKeywordExecutor {
 
  private:
   KeywordSearchEngine* engine_;
+  ThreadPool* pool_;
   SharedExecutionStats stats_;
 };
 

@@ -57,6 +57,11 @@ struct ExecStats {
     matches += other.matches;
     return *this;
   }
+
+  /// Zeroes all counters. Counters otherwise accumulate across calls, so
+  /// per-round measurements (e.g. the Fig. 13 bench) must Reset between
+  /// rounds.
+  void Reset() { *this = ExecStats(); }
 };
 
 /// A two-table join along a declared FK-PK relationship, with optional
@@ -100,7 +105,13 @@ class QueryExecutor {
   /// Counters accumulated across all Execute calls since construction or
   /// the last ResetStats().
   const ExecStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ExecStats(); }
+  void ResetStats() { stats_.Reset(); }
+
+  /// Folds counters measured by a detached (per-task) executor into this
+  /// one. The parallel Stage-2 path gives every worker task its own
+  /// executor and merges after the join, keeping the shared accumulator
+  /// race-free and the totals identical to sequential execution.
+  void AccumulateStats(const ExecStats& other) { stats_ += other; }
 
  private:
   bool RowMatches(const Table& table, Table::RowId row,

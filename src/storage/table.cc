@@ -27,7 +27,7 @@ Table::Table(uint32_t id, std::string name, Schema schema)
       name_(std::move(name)),
       schema_(std::move(schema)),
       indexes_(schema_.num_columns()),
-      index_built_(schema_.num_columns(), false),
+      index_built_(schema_.num_columns()),
       text_indexes_(schema_.num_columns()),
       text_index_built_(schema_.num_columns(), false) {}
 
@@ -46,7 +46,7 @@ Result<Table::RowId> Table::Insert(std::vector<Value> row) {
   const RowId row_id = rows_.size();
   // Maintain any already-built indexes incrementally.
   for (size_t c = 0; c < schema_.num_columns(); ++c) {
-    if (index_built_[c]) {
+    if (index_built_[c].load(std::memory_order_relaxed)) {
       indexes_[c][row[c]].push_back(row_id);
     }
     if (text_index_built_[c] && row[c].is_string()) {
@@ -74,14 +74,20 @@ const Value& Table::GetCell(RowId row_id, size_t column) const {
 
 const Table::HashIndex& Table::GetOrBuildIndex(size_t column) const {
   assert(column < schema_.num_columns());
-  if (!index_built_[column]) {
-    HashIndex index;
-    index.reserve(rows_.size());
-    for (RowId r = 0; r < rows_.size(); ++r) {
-      index[rows_[r][column]].push_back(r);
+  // Double-checked locking: parallel Stage-2 workers may race to trigger
+  // the same lazy build, so the build is serialized and completion is
+  // published through the acquire/release flag.
+  if (!index_built_[column].load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(index_build_mutex_);
+    if (!index_built_[column].load(std::memory_order_relaxed)) {
+      HashIndex index;
+      index.reserve(rows_.size());
+      for (RowId r = 0; r < rows_.size(); ++r) {
+        index[rows_[r][column]].push_back(r);
+      }
+      indexes_[column] = std::move(index);
+      index_built_[column].store(true, std::memory_order_release);
     }
-    indexes_[column] = std::move(index);
-    index_built_[column] = true;
   }
   return indexes_[column];
 }

@@ -1,8 +1,10 @@
 #ifndef NEBULA_STORAGE_TABLE_H_
 #define NEBULA_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +27,13 @@ struct ValueHash {
 /// Rows are identified by their insertion ordinal (RowId); rows are never
 /// physically deleted in this engine (the Nebula workloads are
 /// insert/annotate-only), which keeps TupleIds stable.
+///
+/// Thread safety: all const accessors (GetRow/GetCell/Lookup/LookupToken/
+/// Scan/DistinctCount) are safe to call concurrently — including the lazy
+/// hash-index build, which is serialized internally. Mutations (Insert,
+/// BuildTextIndex) require exclusive access: no reader may run while a
+/// writer does. The Nebula pipeline satisfies this by construction: the
+/// catalog is fully loaded and text-indexed before Stage 2 executes.
 class Table {
  public:
   using RowId = uint64_t;
@@ -78,9 +87,13 @@ class Table {
   Schema schema_;
   std::vector<std::vector<Value>> rows_;
   // Lazily built per-column hash indexes; mutable because building an index
-  // is a logically-const read optimization.
+  // is a logically-const read optimization. Concurrent readers may race to
+  // trigger the same build, so the build itself runs under
+  // `index_build_mutex_` and completion is published through the per-column
+  // atomic flag (acquire/release).
   mutable std::vector<HashIndex> indexes_;
-  mutable std::vector<bool> index_built_;
+  mutable std::vector<std::atomic<bool>> index_built_;
+  mutable std::mutex index_build_mutex_;
   std::vector<TextIndex> text_indexes_;
   std::vector<bool> text_index_built_;
 };

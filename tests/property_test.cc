@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <memory>
 
@@ -101,6 +102,72 @@ TEST_P(SharedExecutionEquivalence, IdenticalCandidates) {
 
 INSTANTIATE_TEST_SUITE_P(WorkloadAnnotations, SharedExecutionEquivalence,
                          ::testing::Values(0, 9, 21, 33, 45, 57));
+
+// ------------- Property: batch ingest == one-at-a-time ingest ----------
+// InsertAnnotations pipelines Stage-1 generation on the worker pool, but
+// per-annotation candidates must stay identical to inserting the same
+// requests one at a time.
+
+class BatchIngestEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchIngestEquivalence, SameCandidatesPerAnnotation) {
+  // Ingestion mutates the store and the ACG, so each engine gets its own
+  // freshly generated (deterministic) dataset — never the shared one.
+  auto seq_ds = GenerateBioDataset(DatasetSpec::Tiny());
+  auto batch_ds = GenerateBioDataset(DatasetSpec::Tiny());
+  ASSERT_TRUE(seq_ds.ok());
+  ASSERT_TRUE(batch_ds.ok());
+
+  Rng rng(GetParam());
+  const auto& annotations = (*seq_ds)->workload.annotations;
+  std::vector<AnnotationRequest> requests;
+  for (uint64_t idx : rng.SampleWithoutReplacement(annotations.size(), 5)) {
+    const WorkloadAnnotation& wa = annotations[idx];
+    if (wa.ideal_tuples.empty()) continue;
+    requests.push_back({wa.text, {wa.ideal_tuples.front()}, "prop"});
+  }
+  ASSERT_FALSE(requests.empty());
+
+  NebulaConfig config;
+  NebulaEngine sequential(&(*seq_ds)->catalog, &(*seq_ds)->store,
+                          &(*seq_ds)->meta, config);
+  sequential.RebuildAcg();
+  config.num_threads = 2;
+  NebulaEngine batch(&(*batch_ds)->catalog, &(*batch_ds)->store,
+                     &(*batch_ds)->meta, config);
+  batch.RebuildAcg();
+
+  std::vector<AnnotationReport> expected;
+  for (const AnnotationRequest& r : requests) {
+    auto report = sequential.InsertAnnotation(r.text, r.focal, r.author);
+    ASSERT_TRUE(report.ok());
+    expected.push_back(std::move(report).value());
+  }
+  auto reports = batch.InsertAnnotations(requests);
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports->size(), expected.size());
+
+  // Order-normalized comparison of the candidate sets.
+  const auto normalized = [](std::vector<CandidateTuple> c) {
+    std::sort(c.begin(), c.end(),
+              [](const CandidateTuple& a, const CandidateTuple& b) {
+                return a.tuple < b.tuple;
+              });
+    return c;
+  };
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const auto e = normalized(expected[i].candidates);
+    const auto a = normalized((*reports)[i].candidates);
+    ASSERT_EQ(a.size(), e.size()) << "request " << i;
+    for (size_t c = 0; c < e.size(); ++c) {
+      EXPECT_EQ(a[c].tuple, e[c].tuple);
+      EXPECT_NEAR(a[c].confidence, e[c].confidence, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchIngestEquivalence,
+                         ::testing::Values(3u, 17u, 2026u));
 
 // -------- Property: focal-spreading results nest in full results -------
 

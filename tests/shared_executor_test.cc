@@ -99,6 +99,34 @@ TEST_F(SharedExecutorTest, IdenticalQueriesShareFully) {
   EXPECT_NEAR(shared.stats().sharing_ratio(), 2.0 / 3.0, 1e-9);
 }
 
+TEST_F(SharedExecutorTest, StatsAreReportedPerGroupNotAccumulated) {
+  SharedKeywordExecutor shared(engine_.get());
+  std::vector<std::vector<SearchHit>> results;
+  ASSERT_TRUE(shared.ExecuteGroup(MakeGroup(), &results).ok());
+  const size_t total = shared.stats().total_sql;
+  const size_t distinct = shared.stats().distinct_sql;
+  const double ratio = shared.stats().sharing_ratio();
+  ASSERT_GT(total, 0u);
+
+  // A second round through the same executor reports the same per-group
+  // numbers — not twice them: ExecuteGroup resets on entry.
+  ASSERT_TRUE(shared.ExecuteGroup(MakeGroup(), &results).ok());
+  EXPECT_EQ(shared.stats().total_sql, total);
+  EXPECT_EQ(shared.stats().distinct_sql, distinct);
+  EXPECT_DOUBLE_EQ(shared.stats().sharing_ratio(), ratio);
+}
+
+TEST(SharedExecutionStatsTest, ResetZeroesCounters) {
+  SharedExecutionStats stats;
+  stats.total_sql = 10;
+  stats.distinct_sql = 4;
+  EXPECT_GT(stats.sharing_ratio(), 0.0);
+  stats.Reset();
+  EXPECT_EQ(stats.total_sql, 0u);
+  EXPECT_EQ(stats.distinct_sql, 0u);
+  EXPECT_DOUBLE_EQ(stats.sharing_ratio(), 0.0);
+}
+
 TEST(MiniDbTest, AddContainsSize) {
   MiniDb mini;
   EXPECT_TRUE(mini.empty());

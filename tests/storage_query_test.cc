@@ -170,6 +170,34 @@ TEST_F(QueryTest, StatsAccumulateAcrossQueries) {
   EXPECT_EQ(exec.stats().rows_examined, 0u);
 }
 
+TEST(ExecStatsTest, ResetZeroesAllCounters) {
+  ExecStats stats;
+  stats.rows_examined = 7;
+  stats.index_lookups = 3;
+  stats.matches = 2;
+  stats.Reset();
+  EXPECT_EQ(stats.rows_examined, 0u);
+  EXPECT_EQ(stats.index_lookups, 0u);
+  EXPECT_EQ(stats.matches, 0u);
+}
+
+TEST_F(QueryTest, AccumulateStatsFoldsWorkerCounters) {
+  // Worker threads execute with a private ExecStats and fold it back into
+  // the engine's accumulator after the join.
+  QueryExecutor exec(&catalog_);
+  ASSERT_TRUE(exec.Execute({"gene", {}}).ok());
+  const ExecStats base = exec.stats();
+
+  ExecStats worker;
+  worker.rows_examined = 11;
+  worker.index_lookups = 5;
+  worker.matches = 4;
+  exec.AccumulateStats(worker);
+  EXPECT_EQ(exec.stats().rows_examined, base.rows_examined + 11);
+  EXPECT_EQ(exec.stats().index_lookups, base.index_lookups + 5);
+  EXPECT_EQ(exec.stats().matches, base.matches + 4);
+}
+
 TEST(QueryToStringTest, SqlRendering) {
   SelectQuery q{"gene",
                 {{"gid", CompareOp::kEq, Value("JW0001")},

@@ -1,8 +1,12 @@
 #include "bench/bench_util.h"
 
+#include <cinttypes>
 #include <cstdarg>
 #include <cstdlib>
 #include <cstring>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace nebula {
 namespace bench {
@@ -74,6 +78,49 @@ std::string Fmt(const char* fmt, ...) {
   std::vsnprintf(buf, sizeof(buf), fmt, args);
   va_end(args);
   return buf;
+}
+
+std::string EmitBenchJson(const std::string& bench,
+                          const std::vector<BenchRecord>& records) {
+  const char* dir = std::getenv("NEBULA_BENCH_JSON_DIR");
+  std::string path;
+  if (dir != nullptr && dir[0] != '\0') {
+    path = dir;
+    if (path.back() != '/') path += '/';
+  }
+  path += "BENCH_" + bench + ".json";
+
+  std::string out = "{\n  \"bench\": \"" + obs::JsonEscape(bench) + "\",\n";
+  out += std::string("  \"quick_mode\": ") +
+         (QuickMode() ? "true" : "false") + ",\n";
+  out += "  \"records\": [";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"" + obs::JsonEscape(r.name) + "\", \"params\": {";
+    for (size_t p = 0; p < r.params.size(); ++p) {
+      if (p != 0) out += ", ";
+      out += "\"" + obs::JsonEscape(r.params[p].first) + "\": \"" +
+             obs::JsonEscape(r.params[p].second) + "\"";
+    }
+    out += Fmt("}, \"wall_us\": %" PRIu64 ", \"rows_examined\": %" PRIu64 "}",
+               r.wall_us, r.rows_examined);
+  }
+  out += records.empty() ? "],\n" : "\n  ],\n";
+  // The full registry snapshot makes the sidecar self-describing: every
+  // counter/histogram the run touched rides along for offline analysis.
+  out += "  \"metrics\": " + obs::ExportJson(obs::MetricsRegistry::Global());
+  out += "\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return "";
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("[bench] wrote %s\n", path.c_str());
+  return path;
 }
 
 QueryClassification ClassifyQueries(const WorkloadAnnotation& wa,

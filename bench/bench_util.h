@@ -1,9 +1,11 @@
 #ifndef NEBULA_BENCH_BENCH_UTIL_H_
 #define NEBULA_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stopwatch.h"
@@ -55,6 +57,23 @@ struct QueryClassification {
 };
 QueryClassification ClassifyQueries(const WorkloadAnnotation& wa,
                                     const std::vector<KeywordQuery>& queries);
+
+/// One measured configuration of a benchmark, for the machine-readable
+/// sidecar file (the printed tables stay the human-facing output).
+struct BenchRecord {
+  std::string name;  ///< e.g. "shared_execution/threads=4"
+  /// Free-form configuration (epsilon, dataset, thread count, ...).
+  std::vector<std::pair<std::string, std::string>> params;
+  uint64_t wall_us = 0;
+  uint64_t rows_examined = 0;
+};
+
+/// Writes `BENCH_<bench>.json` — the records plus a snapshot of the
+/// process-global obs metrics registry — into $NEBULA_BENCH_JSON_DIR (or
+/// the working directory). Returns the path written, or "" on failure
+/// (failure only warns: the sidecar must never fail a bench run).
+std::string EmitBenchJson(const std::string& bench,
+                          const std::vector<BenchRecord>& records);
 
 }  // namespace bench
 }  // namespace nebula

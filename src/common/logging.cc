@@ -1,15 +1,19 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
 
 namespace nebula {
 
-namespace {
-
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
-
-const char* LevelName(LogLevel level) {
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -23,6 +27,23 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("NEBULA_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') return LogLevel::kWarn;
+  return Logger::ParseLevel(env, LogLevel::kWarn);
+}
+
+std::atomic<LogLevel> g_level{InitialLevel()};
+
+// The sink is swapped under a mutex but invoked outside it is not safe
+// (a test sink may be destroyed mid-call); keep invocation under the
+// same lock — logging is not a hot path, and this also serializes
+// stderr writes from concurrent workers.
+std::mutex g_sink_mutex;
+Logger::Sink g_sink;  // empty = stderr
+
 }  // namespace
 
 LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
@@ -31,8 +52,53 @@ void Logger::set_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
 }
 
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+LogLevel Logger::ParseLevel(const std::string& name, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return fallback;
+}
+
+std::string Logger::FormatRecord(LogLevel level, const std::string& message) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000;
+  std::tm utc{};
+  gmtime_r(&secs, &utc);
+  char header[80];
+  std::snprintf(header, sizeof(header),
+                "[%04d-%02d-%02dT%02d:%02d:%02d.%03dZ t%02u %s] ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(millis),
+                obs::CurrentThreadId(), LogLevelName(level));
+  return header + message;
+}
+
 void Logger::Log(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[nebula %s] %s\n", LevelName(level), message.c_str());
+  const std::string line = FormatRecord(level, message);
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, line);
+    return;
+  }
+  // One fprintf per record: pool workers cannot interleave lines.
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace nebula

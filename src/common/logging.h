@@ -1,6 +1,7 @@
 #ifndef NEBULA_COMMON_LOGGING_H_
 #define NEBULA_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -8,15 +9,39 @@ namespace nebula {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Minimal leveled logger writing to stderr. Global level defaults to
+/// Minimal leveled logger writing to stderr. The global level defaults to
 /// kWarn so library consumers (tests, benchmarks) stay quiet unless they
-/// opt in.
+/// opt in; the NEBULA_LOG_LEVEL environment variable (debug | info |
+/// warn | error, case-insensitive) overrides the default at startup.
+///
+/// Each record is rendered as a single line —
+///   [2026-08-07T12:34:56.789Z t03 WARN] message
+/// (ISO-8601 UTC timestamp, per-process thread ordinal, level) — and
+/// emitted with one fprintf call, so lines from concurrent pool workers
+/// never interleave.
 class Logger {
  public:
   static LogLevel level();
   static void set_level(LogLevel level);
+
+  /// Receives (level, formatted line without trailing newline). Replaces
+  /// stderr output until reset with nullptr; tests use this to capture
+  /// log records.
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+  static void set_sink(Sink sink);
+
   static void Log(LogLevel level, const std::string& message);
+
+  /// Formats a record the way Log emits it (exposed for tests).
+  static std::string FormatRecord(LogLevel level, const std::string& message);
+
+  /// Parses "debug" / "info" / "warn" / "error" (case-insensitive;
+  /// "warning" accepted). Returns `fallback` for anything else.
+  static LogLevel ParseLevel(const std::string& name,
+                             LogLevel fallback = LogLevel::kWarn);
 };
+
+const char* LogLevelName(LogLevel level);
 
 namespace internal {
 

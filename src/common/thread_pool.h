@@ -1,6 +1,7 @@
 #ifndef NEBULA_COMMON_THREAD_POOL_H_
 #define NEBULA_COMMON_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -10,6 +11,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace nebula {
 
@@ -61,15 +64,29 @@ class ThreadPool {
   void Shutdown();
 
  private:
+  /// A queued task plus its submission time (for the queue-wait
+  /// histogram; unused when observability is compiled out).
+  struct QueueItem {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   /// Returns false when the pool is already stopped.
   bool Enqueue(std::function<void()> task);
   void WorkerLoop();
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueueItem> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  // Process-wide pool metrics (all ThreadPool instances share them),
+  // resolved once at construction; nullptr when NEBULA_OBS is off.
+  obs::Counter* tasks_submitted_ = nullptr;
+  obs::Counter* tasks_executed_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* queue_wait_us_ = nullptr;
 };
 
 }  // namespace nebula

@@ -2,12 +2,59 @@
 
 #include <algorithm>
 #include <deque>
+#include <string>
+
+#include "obs/metrics.h"
 
 namespace nebula {
 
 namespace {
 constexpr size_t kProfileBuckets = 16;  // last bucket is overflow
+
+/// Process-wide ACG instruments, resolved once. All engines share them:
+/// the gauges reflect the last-updated graph, the counters accumulate.
+struct AcgMetrics {
+  obs::Gauge* nodes;
+  obs::Gauge* edges;
+  obs::Counter* attachments;
+  obs::Counter* batches_stable;
+  obs::Counter* batches_unstable;
+  obs::Counter* profile[kProfileBuckets];
+};
+
+const AcgMetrics& Metrics() {
+  static const AcgMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    AcgMetrics out;
+    out.nodes = r.GetGauge("nebula_acg_nodes", {},
+                           "Tuples currently in the annotation co-location "
+                           "graph");
+    out.edges = r.GetGauge("nebula_acg_edges", {},
+                           "Undirected edges currently in the ACG");
+    out.attachments =
+        r.GetCounter("nebula_acg_attachments_total", {},
+                     "True attachments folded into the ACG incrementally");
+    const std::string batch_help =
+        "Closed Def-6.1 stability batches, by verdict";
+    out.batches_stable = r.GetCounter("nebula_acg_stability_batches_total",
+                                      {{"stable", "true"}}, batch_help);
+    out.batches_unstable = r.GetCounter("nebula_acg_stability_batches_total",
+                                        {{"stable", "false"}}, "");
+    const std::string profile_help =
+        "Hop-profile points: focal-to-accepted-tuple distances (last "
+        "bucket = unreachable or overflow)";
+    for (size_t i = 0; i < kProfileBuckets; ++i) {
+      out.profile[i] = r.GetCounter(
+          "nebula_acg_profile_points_total",
+          {{"hops", i + 1 == kProfileBuckets ? std::string("overflow")
+                                             : std::to_string(i)}},
+          i == 0 ? profile_help : std::string());
+    }
+    return out;
+  }();
+  return m;
 }
+}  // namespace
 
 Acg::Acg(AcgStabilityConfig stability)
     : stability_(stability), profile_(kProfileBuckets, 0) {}
@@ -39,6 +86,10 @@ void Acg::BuildFromStore(const AnnotationStore& store) {
       }
     }
   }
+  if constexpr (obs::kEnabled) {
+    Metrics().nodes->Set(static_cast<int64_t>(nodes_.size()));
+    Metrics().edges->Set(static_cast<int64_t>(num_edges_));
+  }
 }
 
 void Acg::AddAttachment(AnnotationId annotation, const TupleId& tuple,
@@ -56,6 +107,10 @@ void Acg::AddAttachment(AnnotationId annotation, const TupleId& tuple,
             : static_cast<double>(batch_new_edges_) /
                   static_cast<double>(batch_attachments_);
     stable_ = ratio < stability_.mu;
+    if constexpr (obs::kEnabled) {
+      (stable_ ? Metrics().batches_stable : Metrics().batches_unstable)
+          ->Increment();
+    }
     batch_annotations_.clear();
     batch_attachments_ = 0;
     batch_new_edges_ = 0;
@@ -69,6 +124,11 @@ void Acg::AddAttachment(AnnotationId annotation, const TupleId& tuple,
     bool created = false;
     AddEdgeCount(tuple, s, &created);
     if (created) ++batch_new_edges_;
+  }
+  if constexpr (obs::kEnabled) {
+    Metrics().attachments->Increment();
+    Metrics().nodes->Set(static_cast<int64_t>(nodes_.size()));
+    Metrics().edges->Set(static_cast<int64_t>(num_edges_));
   }
 }
 
@@ -196,6 +256,7 @@ void Acg::RecordProfilePoint(int hops) {
     bucket = static_cast<size_t>(hops);
   }
   ++profile_[bucket];
+  if constexpr (obs::kEnabled) Metrics().profile[bucket]->Increment();
 }
 
 size_t Acg::SelectK(double desired_recall, size_t fallback) const {

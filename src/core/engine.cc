@@ -4,8 +4,84 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace nebula {
+
+namespace {
+
+/// Process-wide engine instruments, resolved once.
+struct EngineMetrics {
+  obs::Counter* inserted;
+  obs::Counter* queries_generated;
+  obs::Counter* candidates;
+  obs::Counter* mode_full;
+  obs::Counter* mode_focal;
+  obs::Counter* spam_suspected;
+  obs::Histogram* stage_store;
+  obs::Histogram* stage_generation;
+  obs::Histogram* stage_execution;
+  obs::Histogram* stage_verification;
+};
+
+const EngineMetrics& Metrics() {
+  static const EngineMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    EngineMetrics out;
+    out.inserted =
+        r.GetCounter("nebula_annotations_inserted_total", {},
+                     "Annotations run through the full insert pipeline");
+    out.queries_generated =
+        r.GetCounter("nebula_queries_generated_total", {},
+                     "Keyword queries produced by Stage 1");
+    out.candidates =
+        r.GetCounter("nebula_candidates_discovered_total", {},
+                     "Candidate tuples produced by Stage 2");
+    const std::string mode_help =
+        "Stage-2 execution mode decisions (focal spreading vs full search)";
+    out.mode_full = r.GetCounter("nebula_search_mode_total",
+                                 {{"mode", "full_database"}}, mode_help);
+    out.mode_focal = r.GetCounter("nebula_search_mode_total",
+                                  {{"mode", "focal_spreading"}}, "");
+    out.spam_suspected =
+        r.GetCounter("nebula_spam_suspected_total", {},
+                     "Annotations the footnote-1 guard kept out of "
+                     "verification");
+    const std::string stage_help =
+        "Wall time per pipeline stage of one annotation insert";
+    out.stage_store = r.GetHistogram("nebula_stage_duration_us",
+                                     {{"stage", "store"}}, stage_help);
+    out.stage_generation = r.GetHistogram("nebula_stage_duration_us",
+                                          {{"stage", "generation"}}, "");
+    out.stage_execution = r.GetHistogram("nebula_stage_duration_us",
+                                         {{"stage", "execution"}}, "");
+    out.stage_verification = r.GetHistogram("nebula_stage_duration_us",
+                                            {{"stage", "verification"}}, "");
+    return out;
+  }();
+  return m;
+}
+
+/// Synthesizes the Stage-1 span with its three phase children from the
+/// generator's timing breakdown, laid out sequentially from `start_us`
+/// (the phases ran back-to-back inside Generate).
+void AddGenerationSpans(obs::TraceBuilder* tracer, uint32_t parent,
+                        uint64_t start_us, uint64_t wall_us,
+                        const QueryGenerationTiming& timing) {
+  const uint32_t stage = tracer->AddCompleteSpan("stage1_generation", parent,
+                                                 start_us, wall_us);
+  uint64_t offset = start_us;
+  tracer->AddCompleteSpan("map_generation", stage, offset,
+                          timing.map_generation_us);
+  offset += timing.map_generation_us;
+  tracer->AddCompleteSpan("context_adjust", stage, offset,
+                          timing.context_adjust_us);
+  offset += timing.context_adjust_us;
+  tracer->AddCompleteSpan("query_formation", stage, offset,
+                          timing.query_formation_us);
+}
+
+}  // namespace
 
 NebulaEngine::NebulaEngine(Catalog* catalog, AnnotationStore* store,
                            NebulaMeta* meta, NebulaConfig config)
@@ -15,7 +91,8 @@ NebulaEngine::NebulaEngine(Catalog* catalog, AnnotationStore* store,
       config_(config),
       acg_(config.acg_stability),
       search_engine_(catalog, meta, config.search),
-      verification_(store, &acg_, config.bounds) {}
+      verification_(store, &acg_, config.bounds),
+      trace_recorder_(config.trace_capacity) {}
 
 void NebulaEngine::RebuildAcg() { acg_.BuildFromStore(*store_); }
 
@@ -31,9 +108,20 @@ ThreadPool* NebulaEngine::pool() {
   return pool_.get();
 }
 
+std::string NebulaEngine::DumpMetrics(obs::ExportFormat format) {
+  return format == obs::ExportFormat::kPrometheus
+             ? obs::ExportPrometheus(obs::MetricsRegistry::Global())
+             : obs::ExportJson(obs::MetricsRegistry::Global());
+}
+
+std::string NebulaEngine::DumpTraces() const {
+  return obs::TracesToJson(trace_recorder_);
+}
+
 Result<AnnotationReport> NebulaEngine::DiscoverWithQueries(
     AnnotationId annotation, const std::vector<TupleId>& focal,
-    QueryGenerationResult generated) {
+    QueryGenerationResult generated, obs::TraceBuilder* tracer,
+    uint32_t parent_span) {
   AnnotationReport report;
   report.annotation = annotation;
   report.queries = std::move(generated.queries);
@@ -42,13 +130,21 @@ Result<AnnotationReport> NebulaEngine::DiscoverWithQueries(
   // Stage 2: execute the queries, full-database or focal-spreading.
   search_engine_.params() = config_.search;
   TupleIdentifier identifier(&search_engine_, &acg_, config_.identify,
-                             pool());
+                             pool(), tracer, parent_span);
   FocalSpreading spreading(&acg_, config_.spreading);
 
   Stopwatch watch;
   MiniDb mini;
   const MiniDb* mini_ptr = nullptr;
-  if (config_.enable_focal_spreading && spreading.ShouldApproximate(focal)) {
+  const bool spread =
+      config_.enable_focal_spreading && spreading.ShouldApproximate(focal);
+  if (tracer != nullptr) {
+    tracer->AddCompleteSpan("spreading_decision", parent_span,
+                            tracer->ElapsedMicros(), 0,
+                            spread ? "focal_spreading" : "full_database");
+  }
+  if (spread) {
+    obs::ScopedSpan mini_span(tracer, "build_mini_db", parent_span);
     mini = spreading.BuildMiniDb(focal);
     mini_ptr = &mini;
     report.mode = SearchMode::kFocalSpreading;
@@ -59,7 +155,16 @@ Result<AnnotationReport> NebulaEngine::DiscoverWithQueries(
   NEBULA_ASSIGN_OR_RETURN(
       report.candidates,
       identifier.Identify(report.queries, focal, mini_ptr));
-  report.search_us = watch.ElapsedMicros();
+  report.timings.search_us = watch.ElapsedMicros();
+
+  if constexpr (obs::kEnabled) {
+    const EngineMetrics& m = Metrics();
+    (report.mode == SearchMode::kFocalSpreading ? m.mode_focal : m.mode_full)
+        ->Increment();
+    m.queries_generated->Increment(report.queries.size());
+    m.candidates->Increment(report.candidates.size());
+    m.stage_execution->Observe(report.timings.search_us);
+  }
   return report;
 }
 
@@ -75,9 +180,11 @@ Result<AnnotationReport> NebulaEngine::Discover(
 
 Result<AnnotationId> NebulaEngine::StoreWithFocal(
     const std::string& text, const std::vector<TupleId>& focal,
-    const std::string& author) {
+    const std::string& author, obs::TraceBuilder* tracer,
+    uint32_t parent_span) {
   // Stage 0: store the annotation and its focal (True) attachments.
   const AnnotationId id = store_->AddAnnotation(text, author);
+  obs::ScopedSpan acg_span(tracer, "acg_update", parent_span);
   for (size_t i = 0; i < focal.size(); ++i) {
     NEBULA_RETURN_NOT_OK(store_->Attach(id, focal[i], AttachmentType::kTrue));
     // The focal attachments themselves also enter the ACG incrementally.
@@ -87,35 +194,107 @@ Result<AnnotationId> NebulaEngine::StoreWithFocal(
   return id;
 }
 
-void NebulaEngine::SubmitCandidates(AnnotationReport* report) {
+void NebulaEngine::SubmitCandidates(AnnotationReport* report,
+                                    obs::TraceBuilder* tracer,
+                                    uint32_t parent_span) {
   // Footnote-1 spam guard: an annotation whose prediction covers an
   // excessive share of the database must not flood the verification
   // queue.
   if (config_.enable_spam_guard) {
+    obs::ScopedSpan spam_span(tracer, "spam_guard", parent_span);
     report->spam = DetectSpam(report->candidates, catalog_->TotalRows(),
                               config_.spam_guard);
-    if (report->spam.spam_suspected) return;
+    if (report->spam.spam_suspected) {
+      if constexpr (obs::kEnabled) Metrics().spam_suspected->Increment();
+      return;
+    }
   }
 
   // Stage 3: submit the candidates for verification; auto-accepts apply
   // their side effects (True attachment, ACG update, profile update).
+  obs::ScopedSpan submit_span(tracer, "verification_submit", parent_span);
   verification_.set_bounds(config_.bounds);
   report->verification = verification_.Submit(report->annotation,
                                               report->candidates);
 }
 
+Result<AnnotationReport> NebulaEngine::InsertOne(
+    const std::string& text, const std::vector<TupleId>& focal,
+    const std::string& author, QueryGenerationResult* pregenerated) {
+  // One span tree per inserted annotation. The builder is cheap but not
+  // free; when observability is compiled out no spans are recorded and
+  // the recorder stays empty.
+  obs::TraceBuilder builder;
+  obs::TraceBuilder* tracer = obs::kEnabled ? &builder : nullptr;
+  const uint32_t root =
+      tracer != nullptr ? tracer->BeginSpan("insert_annotation") : 0;
+
+  StageTimings timings;
+  Stopwatch stage;
+
+  // Stage 0.
+  Result<AnnotationId> id_result = [&] {
+    obs::ScopedSpan span(tracer, "stage0_store", root);
+    return StoreWithFocal(text, focal, author, tracer, span.id());
+  }();
+  NEBULA_RETURN_NOT_OK(id_result.status());
+  const AnnotationId id = *id_result;
+  timings.store_us = stage.ElapsedMicros();
+
+  // Stage 1 (already ran on a pool worker under batch ingest; the span is
+  // then synthesized from the generator's own phase timings).
+  stage.Restart();
+  const uint64_t stage1_start =
+      tracer != nullptr ? tracer->ElapsedMicros() : 0;
+  QueryGenerationResult generated;
+  if (pregenerated != nullptr) {
+    generated = std::move(*pregenerated);
+    timings.generation_us = generated.timing.total_us();
+  } else {
+    QueryGenerator generator(meta_, config_.generation);
+    generated = generator.Generate(text);
+    timings.generation_us = stage.ElapsedMicros();
+  }
+  if (tracer != nullptr) {
+    AddGenerationSpans(tracer, root, stage1_start, timings.generation_us,
+                       generated.timing);
+  }
+
+  // Stage 2.
+  Result<AnnotationReport> report_result = [&] {
+    obs::ScopedSpan span(tracer, "stage2_execution", root);
+    return DiscoverWithQueries(id, focal, std::move(generated), tracer,
+                               span.id());
+  }();
+  NEBULA_RETURN_NOT_OK(report_result.status());
+  AnnotationReport report = std::move(*report_result);
+  report.timings.store_us = timings.store_us;
+  report.timings.generation_us = timings.generation_us;
+
+  // Spam guard + Stage 3.
+  stage.Restart();
+  {
+    obs::ScopedSpan span(tracer, "stage3_verification", root);
+    SubmitCandidates(&report, tracer, span.id());
+  }
+  report.timings.verification_us = stage.ElapsedMicros();
+
+  if constexpr (obs::kEnabled) {
+    const EngineMetrics& m = Metrics();
+    m.inserted->Increment();
+    m.stage_store->Observe(report.timings.store_us);
+    m.stage_generation->Observe(report.timings.generation_us);
+    m.stage_verification->Observe(report.timings.verification_us);
+    builder.EndSpan(root);
+    trace_recorder_.Record(builder.Finish(id));
+  }
+  return report;
+}
+
 Result<AnnotationReport> NebulaEngine::InsertAnnotation(
     const std::string& text, const std::vector<TupleId>& focal,
     const std::string& author) {
-  NEBULA_ASSIGN_OR_RETURN(const AnnotationId id,
-                          StoreWithFocal(text, focal, author));
-
-  // Stages 1-2.
-  NEBULA_ASSIGN_OR_RETURN(AnnotationReport report, Discover(id, focal));
-
-  // Spam guard + Stage 3.
-  SubmitCandidates(&report);
-  return report;
+  return InsertOne(text, focal, author, /*pregenerated=*/nullptr);
 }
 
 Result<std::vector<AnnotationReport>> NebulaEngine::InsertAnnotations(
@@ -155,12 +334,10 @@ Result<std::vector<AnnotationReport>> NebulaEngine::InsertAnnotations(
 
   for (size_t i = 0; i < requests.size(); ++i) {
     const AnnotationRequest& r = requests[i];
-    NEBULA_ASSIGN_OR_RETURN(const AnnotationId id,
-                            StoreWithFocal(r.text, r.focal, r.author));
+    QueryGenerationResult pregenerated = generated[i].get();
     NEBULA_ASSIGN_OR_RETURN(
         AnnotationReport report,
-        DiscoverWithQueries(id, r.focal, generated[i].get()));
-    SubmitCandidates(&report);
+        InsertOne(r.text, r.focal, r.author, &pregenerated));
     reports.push_back(std::move(report));
   }
   return reports;

@@ -18,6 +18,8 @@
 #include "core/verification.h"
 #include "keyword/engine.h"
 #include "meta/nebula_meta.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "storage/catalog.h"
 
 namespace nebula {
@@ -48,6 +50,9 @@ struct NebulaConfig {
   /// stay identical to the sequential path (see DESIGN.md "Concurrency
   /// model").
   size_t num_threads = 0;
+  /// Ring-buffer capacity of the engine's TraceRecorder: how many of the
+  /// most recent per-annotation span trees DumpTraces() can return.
+  size_t trace_capacity = 128;
 };
 
 /// One annotation of a batch-ingest request: the free text, its focal
@@ -56,6 +61,18 @@ struct AnnotationRequest {
   std::string text;
   std::vector<TupleId> focal;
   std::string author;
+};
+
+/// Per-stage wall-time breakdown of one InsertAnnotation call. Discovery-
+/// only paths (Discover / the benchmarks) fill search_us alone.
+struct StageTimings {
+  uint64_t store_us = 0;         ///< Stage 0: store + focal ACG update
+  uint64_t generation_us = 0;    ///< Stage 1: text -> keyword queries
+  uint64_t search_us = 0;        ///< Stage 2: execution + identification
+  uint64_t verification_us = 0;  ///< Stage 3: spam guard + task submission
+  uint64_t total_us() const {
+    return store_us + generation_us + search_us + verification_us;
+  }
 };
 
 /// Everything Nebula did for one inserted annotation (stages 1-3).
@@ -69,8 +86,8 @@ struct AnnotationReport {
   /// Footnote-1 guard verdict; when spam is suspected, no verification
   /// tasks were created for this annotation.
   SpamVerdict spam;
-  QueryGenerationTiming generation_timing;
-  uint64_t search_us = 0;  ///< Stage 2 wall time
+  QueryGenerationTiming generation_timing;  ///< Stage-1 phase breakdown
+  StageTimings timings;                     ///< full stage 0-3 breakdown
 };
 
 /// The Nebula proactive annotation-management engine: wires the passive
@@ -125,17 +142,46 @@ class NebulaEngine {
   /// changes.
   ThreadPool* pool();
 
+  // --- Observability surface ---
+
+  /// Serializes the process-global metrics registry (every engine, pool,
+  /// executor, ACG, and verification instrument) in Prometheus text
+  /// exposition format or as JSON.
+  static std::string DumpMetrics(
+      obs::ExportFormat format = obs::ExportFormat::kPrometheus);
+
+  /// Serializes this engine's recent per-annotation span trees as JSON
+  /// (bounded by config().trace_capacity; oldest evicted first).
+  std::string DumpTraces() const;
+
+  obs::TraceRecorder& trace_recorder() { return trace_recorder_; }
+  const obs::TraceRecorder& trace_recorder() const { return trace_recorder_; }
+
  private:
   /// Stage 0: stores the annotation and its focal (True) attachments.
+  /// When traced, records an "acg_update" span under `parent_span`.
   Result<AnnotationId> StoreWithFocal(const std::string& text,
                                       const std::vector<TupleId>& focal,
-                                      const std::string& author);
-  /// Stage 2 for an already-generated query group.
+                                      const std::string& author,
+                                      obs::TraceBuilder* tracer = nullptr,
+                                      uint32_t parent_span = 0);
+  /// Stage 2 for an already-generated query group. When traced, the
+  /// spreading decision, mini-db build, and per-statement executions are
+  /// recorded as children of `parent_span`.
   Result<AnnotationReport> DiscoverWithQueries(
       AnnotationId annotation, const std::vector<TupleId>& focal,
-      QueryGenerationResult generated);
+      QueryGenerationResult generated, obs::TraceBuilder* tracer = nullptr,
+      uint32_t parent_span = 0);
   /// Spam guard + Stage 3 on a discovery report.
-  void SubmitCandidates(AnnotationReport* report);
+  void SubmitCandidates(AnnotationReport* report,
+                        obs::TraceBuilder* tracer = nullptr,
+                        uint32_t parent_span = 0);
+  /// The full stage 0-3 pipeline for one annotation, traced and metered;
+  /// `pregenerated`, when given, short-circuits Stage 1 (batch ingest).
+  Result<AnnotationReport> InsertOne(const std::string& text,
+                                     const std::vector<TupleId>& focal,
+                                     const std::string& author,
+                                     QueryGenerationResult* pregenerated);
 
   Catalog* catalog_;
   AnnotationStore* store_;
@@ -144,6 +190,7 @@ class NebulaEngine {
   Acg acg_;
   KeywordSearchEngine search_engine_;
   VerificationManager verification_;
+  obs::TraceRecorder trace_recorder_;
   // Declared last: destroyed first, joining any in-flight workers while
   // the rest of the engine is still alive.
   std::unique_ptr<ThreadPool> pool_;

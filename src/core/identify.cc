@@ -4,6 +4,8 @@
 #include <future>
 #include <unordered_map>
 
+#include "common/stopwatch.h"
+
 namespace nebula {
 
 Result<std::vector<CandidateTuple>> TupleIdentifier::Identify(
@@ -12,8 +14,15 @@ Result<std::vector<CandidateTuple>> TupleIdentifier::Identify(
   // Step 1: execute every keyword query; each answer tuple's confidence is
   // scaled by its query's generation weight.
   std::vector<std::vector<SearchHit>> per_query;
+  // Records one "query" span for an isolated-path query execution.
+  auto trace_query = [this](const KeywordQuery& q, uint64_t start_us,
+                            uint64_t duration_us) {
+    if (tracer_ == nullptr) return;
+    tracer_->AddCompleteSpan("query", trace_parent_, start_us, duration_us,
+                             q.label.empty() ? q.ToString() : q.label);
+  };
   if (params_.shared_execution) {
-    SharedKeywordExecutor shared(engine_, pool_);
+    SharedKeywordExecutor shared(engine_, pool_, tracer_, trace_parent_);
     NEBULA_RETURN_NOT_OK(shared.ExecuteGroup(queries, &per_query, mini_db));
   } else if (pool_ != nullptr && queries.size() > 1) {
     // Isolated queries are independent of each other: run each whole
@@ -26,9 +35,13 @@ Result<std::vector<CandidateTuple>> TupleIdentifier::Identify(
     std::vector<std::future<QueryOutcome>> outcomes;
     outcomes.reserve(queries.size());
     for (const KeywordQuery& q : queries) {
-      outcomes.push_back(pool_->Submit([this, &q, mini_db] {
+      outcomes.push_back(pool_->Submit([this, &q, mini_db, &trace_query] {
         QueryOutcome out;
+        const uint64_t start_us =
+            tracer_ != nullptr ? tracer_->ElapsedMicros() : 0;
+        Stopwatch watch;
         out.hits = engine_->Search(q, mini_db, &out.stats);
+        trace_query(q, start_us, watch.ElapsedMicros());
         return out;
       }));
     }
@@ -48,8 +61,12 @@ Result<std::vector<CandidateTuple>> TupleIdentifier::Identify(
   } else {
     per_query.reserve(queries.size());
     for (const auto& q : queries) {
+      const uint64_t start_us =
+          tracer_ != nullptr ? tracer_->ElapsedMicros() : 0;
+      Stopwatch watch;
       NEBULA_ASSIGN_OR_RETURN(std::vector<SearchHit> hits,
                               engine_->Search(q, mini_db));
+      trace_query(q, start_us, watch.ElapsedMicros());
       per_query.push_back(std::move(hits));
     }
   }

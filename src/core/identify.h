@@ -9,6 +9,7 @@
 #include "core/acg.h"
 #include "keyword/engine.h"
 #include "keyword/shared_executor.h"
+#include "obs/trace.h"
 
 namespace nebula {
 
@@ -59,9 +60,19 @@ class TupleIdentifier {
   /// runs its distinct statements on the pool, and the isolated path runs
   /// whole queries on it. Candidates (order and confidences) and engine
   /// ExecStats totals are identical to the sequential path.
+  ///
+  /// `tracer`, when given, records the per-statement ("sql") or per-query
+  /// ("query") execution spans as children of `trace_parent`.
   TupleIdentifier(KeywordSearchEngine* engine, const Acg* acg,
-                  IdentifyParams params = {}, ThreadPool* pool = nullptr)
-      : engine_(engine), acg_(acg), params_(params), pool_(pool) {}
+                  IdentifyParams params = {}, ThreadPool* pool = nullptr,
+                  obs::TraceBuilder* tracer = nullptr,
+                  uint32_t trace_parent = 0)
+      : engine_(engine),
+        acg_(acg),
+        params_(params),
+        pool_(pool),
+        tracer_(tracer),
+        trace_parent_(trace_parent) {}
 
   /// Runs the algorithm. `focal` is Foc(a); `mini_db`, when given,
   /// restricts the search (focal-spreading mode). Candidates are returned
@@ -78,6 +89,8 @@ class TupleIdentifier {
   const Acg* acg_;
   IdentifyParams params_;
   ThreadPool* pool_;
+  obs::TraceBuilder* tracer_;
+  uint32_t trace_parent_;
 };
 
 }  // namespace nebula

@@ -3,8 +3,50 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace nebula {
+
+namespace {
+
+/// Process-wide verification instruments, resolved once.
+struct VerificationMetrics {
+  obs::Counter* created_pending;
+  obs::Counter* created_auto_accepted;
+  obs::Counter* created_auto_rejected;
+  obs::Counter* already_attached;
+  obs::Counter* resolved_accepted;
+  obs::Counter* resolved_rejected;
+};
+
+const VerificationMetrics& Metrics() {
+  static const VerificationMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    VerificationMetrics out;
+    const std::string created_help =
+        "Verification tasks created by Submit, by initial state";
+    out.created_pending = r.GetCounter("nebula_verification_tasks_total",
+                                       {{"state", "pending"}}, created_help);
+    out.created_auto_accepted = r.GetCounter(
+        "nebula_verification_tasks_total", {{"state", "auto_accepted"}}, "");
+    out.created_auto_rejected = r.GetCounter(
+        "nebula_verification_tasks_total", {{"state", "auto_rejected"}}, "");
+    out.already_attached =
+        r.GetCounter("nebula_verification_already_attached_total", {},
+                     "Candidates skipped because the attachment existed");
+    const std::string resolved_help =
+        "Pending tasks resolved by an expert, by decision";
+    out.resolved_accepted =
+        r.GetCounter("nebula_verification_resolved_total",
+                     {{"decision", "accepted"}}, resolved_help);
+    out.resolved_rejected = r.GetCounter("nebula_verification_resolved_total",
+                                         {{"decision", "rejected"}}, "");
+    return out;
+  }();
+  return m;
+}
+
+}  // namespace
 
 const char* TaskStateName(TaskState state) {
   switch (state) {
@@ -49,6 +91,7 @@ SubmitOutcome VerificationManager::Submit(
   for (const auto& c : candidates) {
     if (store_->HasAttachment(annotation, c.tuple)) {
       ++outcome.already_attached;
+      if constexpr (obs::kEnabled) Metrics().already_attached->Increment();
       continue;
     }
     VerificationTask task;
@@ -61,15 +104,18 @@ SubmitOutcome VerificationManager::Submit(
       task.state = TaskState::kAutoRejected;
       ++outcome.auto_rejected;
       tasks_.push_back(std::move(task));
+      if constexpr (obs::kEnabled) Metrics().created_auto_rejected->Increment();
     } else if (c.confidence > bounds_.upper) {
       task.state = TaskState::kAutoAccepted;
       tasks_.push_back(std::move(task));
       ApplyAccept(&tasks_.back());
       ++outcome.auto_accepted;
+      if constexpr (obs::kEnabled) Metrics().created_auto_accepted->Increment();
     } else {
       task.state = TaskState::kPending;
       tasks_.push_back(std::move(task));
       ++outcome.pending;
+      if constexpr (obs::kEnabled) Metrics().created_pending->Increment();
     }
   }
   return outcome;
@@ -89,6 +135,7 @@ Status VerificationManager::Verify(uint64_t vid) {
   }
   task.state = TaskState::kExpertAccepted;
   ApplyAccept(&task);
+  if constexpr (obs::kEnabled) Metrics().resolved_accepted->Increment();
   return Status::OK();
 }
 
@@ -105,6 +152,7 @@ Status VerificationManager::Reject(uint64_t vid) {
                   TaskStateName(task.state)));
   }
   task.state = TaskState::kExpertRejected;
+  if constexpr (obs::kEnabled) Metrics().resolved_rejected->Increment();
   return Status::OK();
 }
 

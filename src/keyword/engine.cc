@@ -306,6 +306,7 @@ Result<std::vector<SearchHit>> KeywordSearchEngine::ExecuteSql(
     restrict = mini_db->ForTable(table->id());
     if (restrict == nullptr) {
       // No rows of this table inside the mini database.
+      if (stats != nullptr) stats->Reset();
       return std::vector<SearchHit>{};
     }
   }
@@ -315,7 +316,9 @@ Result<std::vector<SearchHit>> KeywordSearchEngine::ExecuteSql(
   Result<std::vector<Table::RowId>> rows_result =
       executor.Execute(sql.query, restrict,
                        /*allow_text_index=*/!params_.scan_containment);
-  if (stats != nullptr) *stats += executor.stats();
+  // Overwrite, never +=: a stale out-param must not survive into the
+  // caller's AccumulateStats fold (see the header contract).
+  if (stats != nullptr) *stats = executor.stats();
   NEBULA_ASSIGN_OR_RETURN(std::vector<Table::RowId> rows,
                           std::move(rows_result));
   std::vector<SearchHit> hits;
@@ -375,11 +378,18 @@ Result<std::vector<SearchHit>> KeywordSearchEngine::Search(
   const std::vector<GeneratedSql> plan = CompileToSql(query);
   std::vector<std::vector<SearchHit>> per_sql;
   per_sql.reserve(plan.size());
+  // Aggregate the per-statement counters locally and assign once at the
+  // end: the out-param is overwrite-semantics (see header), and an error
+  // return must leave it untouched.
+  ExecStats total;
   for (const auto& sql : plan) {
+    ExecStats one;
     NEBULA_ASSIGN_OR_RETURN(std::vector<SearchHit> hits,
-                            ExecuteSql(sql, mini_db, stats));
+                            ExecuteSql(sql, mini_db, &one));
+    total += one;
     per_sql.push_back(std::move(hits));
   }
+  if (stats != nullptr) *stats = total;
   return MergeHits(per_sql);
 }
 

@@ -46,6 +46,12 @@ class KeywordSearchEngine {
   /// state and reports execution counters into `stats` (may be null)
   /// instead of the engine's accumulator. Safe to call concurrently from
   /// worker threads; fold the counters back with AccumulateStats.
+  ///
+  /// `*stats` is OVERWRITTEN with this call's counters, never
+  /// accumulated into: a caller that reuses one ExecStats across calls
+  /// and folds each result with AccumulateStats would otherwise fold
+  /// call 1's counters again with call 2's (double counting). On an
+  /// error return `*stats` is left untouched.
   Result<std::vector<SearchHit>> Search(const KeywordQuery& query,
                                         const MiniDb* mini_db,
                                         ExecStats* stats) const;
@@ -74,6 +80,7 @@ class KeywordSearchEngine {
 
   /// Thread-safe variant of ExecuteSql (same contract as the thread-safe
   /// Search): per-call executor, counters into `stats` (may be null).
+  /// Like Search, `*stats` is overwritten, not accumulated into.
   Result<std::vector<SearchHit>> ExecuteSql(const GeneratedSql& sql,
                                             const MiniDb* mini_db,
                                             ExecStats* stats) const;

@@ -5,6 +5,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
 namespace nebula {
 
 namespace {
@@ -13,6 +16,7 @@ namespace {
 /// its row set.
 struct PlannedSql {
   GeneratedSql sql;
+  std::string key;  ///< canonical form (metrics label / span detail)
   // (query index, confidence under that query's plan).
   std::vector<std::pair<size_t, double>> consumers;
 };
@@ -32,6 +36,39 @@ void Distribute(const PlannedSql& planned, const std::vector<SearchHit>& hits,
   }
 }
 
+/// Process-wide instruments, resolved once (the registry hands out
+/// stable pointers).
+struct SharedExecMetrics {
+  obs::Counter* groups;
+  obs::Counter* sql_executed;
+  obs::Counter* sql_shared;
+  obs::Counter* rows_examined;
+  obs::Histogram* sql_duration_us;
+};
+
+const SharedExecMetrics& Metrics() {
+  static const SharedExecMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    SharedExecMetrics out;
+    out.groups = r.GetCounter("nebula_shared_exec_groups_total", {},
+                              "Query groups run through the shared executor");
+    out.sql_executed = r.GetCounter(
+        "nebula_shared_exec_sql_total", {{"outcome", "executed"}},
+        "Canonical-SQL cache outcomes: executed = distinct statements run, "
+        "shared = duplicates served from the group cache");
+    out.sql_shared = r.GetCounter("nebula_shared_exec_sql_total",
+                                  {{"outcome", "shared"}}, "");
+    out.rows_examined =
+        r.GetCounter("nebula_shared_exec_rows_examined_total", {},
+                     "Rows examined executing distinct statements");
+    out.sql_duration_us =
+        r.GetHistogram("nebula_sql_duration_us", {},
+                       "Wall time of one distinct SQL statement execution");
+    return out;
+  }();
+  return m;
+}
+
 }  // namespace
 
 Status SharedKeywordExecutor::ExecuteGroup(
@@ -48,13 +85,14 @@ Status SharedKeywordExecutor::ExecuteGroup(
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     for (auto& sql : engine_->CompileToSql(queries[qi], &mapping_cache)) {
       ++stats_.total_sql;
-      const std::string key = sql.CanonicalKey();
+      std::string key = sql.CanonicalKey();
       auto it = index_by_key.find(key);
       if (it == index_by_key.end()) {
         index_by_key.emplace(key, plan.size());
         PlannedSql planned;
         planned.consumers.push_back({qi, sql.confidence});
         planned.sql = std::move(sql);
+        planned.key = std::move(key);
         plan.push_back(std::move(planned));
       } else {
         plan[it->second].consumers.push_back({qi, sql.confidence});
@@ -62,6 +100,47 @@ Status SharedKeywordExecutor::ExecuteGroup(
     }
   }
   stats_.distinct_sql = plan.size();
+
+  if constexpr (obs::kEnabled) {
+    const SharedExecMetrics& m = Metrics();
+    m.groups->Increment();
+    m.sql_executed->Increment(stats_.distinct_sql);
+    m.sql_shared->Increment(stats_.total_sql - stats_.distinct_sql);
+    // Per-table breakdown of the planned statements (counted at planning
+    // time, off the worker hot path).
+    auto& registry = obs::MetricsRegistry::Global();
+    for (const PlannedSql& planned : plan) {
+      registry
+          .GetCounter("nebula_sql_statements_total",
+                      {{"table", planned.sql.query.table}},
+                      "Distinct statements executed, by target table")
+          ->Increment();
+    }
+  }
+
+  // Runs one planned statement (on the caller's thread or a pool
+  // worker), timing it for the duration histogram and, when a tracer is
+  // attached, recording a "sql" span under trace_parent_.
+  auto run_planned = [this, mini_db](const PlannedSql& planned,
+                                     ExecStats* stats) {
+    // Execute with confidence 1; scale per consumer on distribution.
+    GeneratedSql unit = planned.sql;
+    unit.confidence = 1.0;
+    const uint64_t span_start =
+        tracer_ != nullptr ? tracer_->ElapsedMicros() : 0;
+    Stopwatch watch;
+    Result<std::vector<SearchHit>> hits =
+        engine_->ExecuteSql(unit, mini_db, stats);
+    const uint64_t elapsed = watch.ElapsedMicros();
+    if constexpr (obs::kEnabled) {
+      Metrics().sql_duration_us->Observe(elapsed);
+      if (tracer_ != nullptr) {
+        tracer_->AddCompleteSpan("sql", trace_parent_, span_start, elapsed,
+                                 planned.key);
+      }
+    }
+    return hits;
+  };
 
   // Phase 2: execute each distinct statement once; hand the row set to all
   // consumers with their own confidences. The statements are independent
@@ -78,12 +157,9 @@ Status SharedKeywordExecutor::ExecuteGroup(
     std::vector<std::future<SqlOutcome>> outcomes;
     outcomes.reserve(plan.size());
     for (const PlannedSql& planned : plan) {
-      outcomes.push_back(pool_->Submit([this, &planned, mini_db] {
+      outcomes.push_back(pool_->Submit([&run_planned, &planned] {
         SqlOutcome out;
-        // Execute with confidence 1; scale per consumer on distribution.
-        GeneratedSql unit = planned.sql;
-        unit.confidence = 1.0;
-        out.hits = engine_->ExecuteSql(unit, mini_db, &out.stats);
+        out.hits = run_planned(planned, &out.stats);
         return out;
       }));
     }
@@ -94,6 +170,7 @@ Status SharedKeywordExecutor::ExecuteGroup(
     for (size_t pi = 0; pi < plan.size(); ++pi) {
       SqlOutcome out = outcomes[pi].get();
       engine_->AccumulateStats(out.stats);
+      stats_.exec += out.stats;
       if (!out.hits.ok()) {
         if (status.ok()) status = out.hits.status();
         continue;
@@ -103,13 +180,19 @@ Status SharedKeywordExecutor::ExecuteGroup(
     NEBULA_RETURN_NOT_OK(status);
   } else {
     for (const PlannedSql& planned : plan) {
-      // Execute with confidence 1; scale per consumer below.
-      GeneratedSql unit = planned.sql;
-      unit.confidence = 1.0;
-      NEBULA_ASSIGN_OR_RETURN(std::vector<SearchHit> hits,
-                              engine_->ExecuteSql(unit, mini_db));
-      Distribute(planned, hits, &per_query_hits);
+      ExecStats one;
+      Result<std::vector<SearchHit>> hits = run_planned(planned, &one);
+      // Fold before the error check: a failing statement's partial
+      // counters still count (same as the historical in-engine path).
+      engine_->AccumulateStats(one);
+      stats_.exec += one;
+      NEBULA_RETURN_NOT_OK(hits.status());
+      Distribute(planned, *hits, &per_query_hits);
     }
+  }
+
+  if constexpr (obs::kEnabled) {
+    Metrics().rows_examined->Increment(stats_.exec.rows_examined);
   }
 
   // Phase 3: per-query merge, identical to the isolated path.

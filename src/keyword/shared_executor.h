@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "keyword/engine.h"
+#include "obs/trace.h"
 
 namespace nebula {
 
@@ -14,6 +15,9 @@ namespace nebula {
 struct SharedExecutionStats {
   size_t total_sql = 0;     ///< SQL statements across all queries.
   size_t distinct_sql = 0;  ///< Statements actually executed.
+  /// Execution counters of this group only (the engine accumulator keeps
+  /// the running total across groups).
+  ExecStats exec;
   double sharing_ratio() const {
     return total_sql == 0
                ? 0.0
@@ -43,11 +47,21 @@ struct SharedExecutionStats {
 /// Results, per-query hit order, and all statistics are identical to the
 /// sequential path: hits are distributed and counters folded in plan
 /// order after the join (see DESIGN.md "Concurrency model").
+///
+/// Observability: every group feeds the nebula_shared_exec_* counters and
+/// the nebula_sql_duration_us histogram; with a TraceBuilder attached,
+/// each distinct statement's execution becomes a "sql" span (child of
+/// `trace_parent`) carrying the canonical statement and worker thread id.
 class SharedKeywordExecutor {
  public:
   explicit SharedKeywordExecutor(KeywordSearchEngine* engine,
-                                 ThreadPool* pool = nullptr)
-      : engine_(engine), pool_(pool) {}
+                                 ThreadPool* pool = nullptr,
+                                 obs::TraceBuilder* tracer = nullptr,
+                                 uint32_t trace_parent = 0)
+      : engine_(engine),
+        pool_(pool),
+        tracer_(tracer),
+        trace_parent_(trace_parent) {}
 
   /// Executes all queries; `results[i]` are the merged hits of queries[i]
   /// (identical to what engine->Search(queries[i]) would return).
@@ -60,6 +74,8 @@ class SharedKeywordExecutor {
  private:
   KeywordSearchEngine* engine_;
   ThreadPool* pool_;
+  obs::TraceBuilder* tracer_;
+  uint32_t trace_parent_;
   SharedExecutionStats stats_;
 };
 

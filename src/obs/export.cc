@@ -1,0 +1,262 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace nebula {
+namespace obs {
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string PromEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// `{a="x",b="y"}` (or empty), with `le` appended for histogram buckets.
+std::string PromLabels(const Labels& labels, const std::string& le = "") {
+  if (labels.empty() && le.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += name;
+    out += "=\"";
+    out += PromEscape(value);
+    out += '"';
+  }
+  if (!le.empty()) {
+    if (!first) out += ',';
+    out += "le=\"";
+    out += le;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void AppendJsonLabels(std::string* out, const Labels& labels) {
+  *out += "\"labels\":{";
+  bool first = true;
+  for (const auto& [name, value] : labels) {
+    if (!first) *out += ',';
+    first = false;
+    *out += '"';
+    *out += JsonEscape(name);
+    *out += "\":\"";
+    *out += JsonEscape(value);
+    *out += '"';
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ExportPrometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& family : registry.Snapshot()) {
+    if (!family.help.empty()) {
+      out += "# HELP " + family.name + " " + family.help + "\n";
+    }
+    out += "# TYPE " + family.name + " ";
+    out += MetricTypeName(family.type);
+    out += '\n';
+    for (const auto& sample : family.samples) {
+      switch (family.type) {
+        case MetricType::kCounter:
+          out += family.name + PromLabels(sample.labels) + " ";
+          AppendU64(&out, sample.counter_value);
+          out += '\n';
+          break;
+        case MetricType::kGauge:
+          out += family.name + PromLabels(sample.labels) + " ";
+          AppendI64(&out, sample.gauge_value);
+          out += '\n';
+          break;
+        case MetricType::kHistogram: {
+          uint64_t cumulative = 0;
+          for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+            cumulative += sample.histogram.buckets[b];
+            std::string le = "+Inf";
+            if (b < Histogram::kNumFinite) {
+              le.clear();
+              AppendU64(&le, Histogram::BucketUpperBound(b));
+            }
+            out += family.name + "_bucket" + PromLabels(sample.labels, le) +
+                   " ";
+            AppendU64(&out, cumulative);
+            out += '\n';
+          }
+          out += family.name + "_sum" + PromLabels(sample.labels) + " ";
+          AppendU64(&out, sample.histogram.sum);
+          out += '\n';
+          out += family.name + "_count" + PromLabels(sample.labels) + " ";
+          AppendU64(&out, sample.histogram.count);
+          out += '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string ExportJson(const MetricsRegistry& registry) {
+  std::string out = "{\"metrics\":[";
+  bool first_family = true;
+  for (const auto& family : registry.Snapshot()) {
+    if (!first_family) out += ',';
+    first_family = false;
+    out += "{\"name\":\"" + JsonEscape(family.name) + "\",\"type\":\"";
+    out += MetricTypeName(family.type);
+    out += "\",\"help\":\"" + JsonEscape(family.help) + "\",\"samples\":[";
+    bool first_sample = true;
+    for (const auto& sample : family.samples) {
+      if (!first_sample) out += ',';
+      first_sample = false;
+      out += '{';
+      AppendJsonLabels(&out, sample.labels);
+      switch (family.type) {
+        case MetricType::kCounter:
+          out += ",\"value\":";
+          AppendU64(&out, sample.counter_value);
+          break;
+        case MetricType::kGauge:
+          out += ",\"value\":";
+          AppendI64(&out, sample.gauge_value);
+          break;
+        case MetricType::kHistogram:
+          out += ",\"count\":";
+          AppendU64(&out, sample.histogram.count);
+          out += ",\"sum\":";
+          AppendU64(&out, sample.histogram.sum);
+          out += ",\"buckets\":[";
+          for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+            if (b > 0) out += ',';
+            out += "{\"le\":";
+            if (b < Histogram::kNumFinite) {
+              AppendU64(&out, Histogram::BucketUpperBound(b));
+            } else {
+              out += "null";
+            }
+            out += ",\"count\":";
+            AppendU64(&out, sample.histogram.buckets[b]);
+            out += '}';
+          }
+          out += ']';
+          break;
+      }
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TracesToJson(const std::vector<Trace>& traces, uint64_t dropped) {
+  std::string out = "{\"dropped\":";
+  AppendU64(&out, dropped);
+  out += ",\"traces\":[";
+  bool first_trace = true;
+  for (const auto& trace : traces) {
+    if (!first_trace) out += ',';
+    first_trace = false;
+    out += "{\"annotation\":";
+    AppendU64(&out, trace.annotation);
+    out += ",\"spans\":[";
+    bool first_span = true;
+    for (const auto& span : trace.spans) {
+      if (!first_span) out += ',';
+      first_span = false;
+      out += "{\"id\":";
+      AppendU64(&out, span.id);
+      out += ",\"parent\":";
+      AppendU64(&out, span.parent);
+      out += ",\"name\":\"" + JsonEscape(span.name) + "\"";
+      if (!span.detail.empty()) {
+        out += ",\"detail\":\"" + JsonEscape(span.detail) + "\"";
+      }
+      out += ",\"start_us\":";
+      AppendU64(&out, span.start_us);
+      out += ",\"duration_us\":";
+      AppendU64(&out, span.duration_us);
+      out += ",\"thread\":";
+      AppendU64(&out, span.thread_id);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TracesToJson(const TraceRecorder& recorder) {
+  return TracesToJson(recorder.Snapshot(), recorder.dropped());
+}
+
+}  // namespace obs
+}  // namespace nebula

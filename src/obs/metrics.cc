@@ -1,0 +1,186 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace nebula {
+namespace obs {
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
+
+size_t Histogram::BucketIndex(uint64_t value_us) {
+  if (value_us <= 1) return 0;
+  const size_t idx = static_cast<size_t>(std::bit_width(value_us - 1));
+  return std::min(idx, kNumBuckets - 1);
+}
+
+void Histogram::Observe(uint64_t value_us) {
+  // Stripe by thread so concurrent pool workers land on distinct shards
+  // (and distinct cache lines — Shard is alignas(64)).
+  Shard& shard = shards_[CurrentThreadId() % kNumShards];
+  shard.buckets[BucketIndex(value_us)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+  shard.sum.fetch_add(value_us, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot snap;
+  for (const Shard& shard : shards_) {
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      const uint64_t n = shard.buckets[b].load(std::memory_order_relaxed);
+      snap.buckets[b] += n;
+      snap.count += n;
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Serialized sorted label set — the instrument key within a family.
+std::string LabelKey(const Labels& labels) {
+  std::string key;
+  for (const auto& [name, value] : labels) {
+    key += name;
+    key += '=';
+    key += value;
+    key += '\x1f';
+  }
+  return key;
+}
+
+/// Detached instruments returned on family-type misuse: never exported,
+/// but always safe to poke.
+Counter* DummyCounter() {
+  static Counter* c = new Counter();
+  return c;
+}
+Gauge* DummyGauge() {
+  static Gauge* g = new Gauge();
+  return g;
+}
+Histogram* DummyHistogram() {
+  static Histogram* h = new Histogram();
+  return h;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instruments cached across the process (including
+  // by thread-pool workers running at static-destruction time) must stay
+  // valid forever.
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::GetInstrument(
+    const std::string& name, MetricType type, Labels labels,
+    const std::string& help) {
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [fit, family_created] = families_.try_emplace(name);
+  FamilyImpl& family = fit->second;
+  if (family_created) {
+    family.type = type;
+    family.help = help;
+  } else if (family.type != type) {
+    return nullptr;  // type misuse: caller hands out a dummy
+  }
+  auto [iit, created] = family.instruments.try_emplace(LabelKey(labels));
+  Instrument& inst = iit->second;
+  if (created) {
+    inst.labels = std::move(labels);
+    switch (type) {
+      case MetricType::kCounter:
+        inst.counter = std::make_unique<Counter>();
+        break;
+      case MetricType::kGauge:
+        inst.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricType::kHistogram:
+        inst.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  }
+  return &inst;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, Labels labels,
+                                     const std::string& help) {
+  Instrument* inst =
+      GetInstrument(name, MetricType::kCounter, std::move(labels), help);
+  return inst == nullptr ? DummyCounter() : inst->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, Labels labels,
+                                 const std::string& help) {
+  Instrument* inst =
+      GetInstrument(name, MetricType::kGauge, std::move(labels), help);
+  return inst == nullptr ? DummyGauge() : inst->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         Labels labels,
+                                         const std::string& help) {
+  Instrument* inst =
+      GetInstrument(name, MetricType::kHistogram, std::move(labels), help);
+  return inst == nullptr ? DummyHistogram() : inst->histogram.get();
+}
+
+std::vector<MetricsRegistry::Family> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Family> out;
+  out.reserve(families_.size());
+  for (const auto& [name, impl] : families_) {
+    Family family;
+    family.name = name;
+    family.help = impl.help;
+    family.type = impl.type;
+    family.samples.reserve(impl.instruments.size());
+    for (const auto& [key, inst] : impl.instruments) {
+      Sample sample;
+      sample.labels = inst.labels;
+      switch (impl.type) {
+        case MetricType::kCounter:
+          sample.counter_value = inst.counter->Value();
+          break;
+        case MetricType::kGauge:
+          sample.gauge_value = inst.gauge->Value();
+          break;
+        case MetricType::kHistogram:
+          sample.histogram = inst.histogram->GetSnapshot();
+          break;
+      }
+      family.samples.push_back(std::move(sample));
+    }
+    out.push_back(std::move(family));
+  }
+  return out;
+}
+
+size_t MetricsRegistry::num_families() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return families_.size();
+}
+
+}  // namespace obs
+}  // namespace nebula

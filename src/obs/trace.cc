@@ -1,0 +1,104 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace nebula {
+namespace obs {
+
+namespace {
+
+uint64_t MicrosBetween(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+uint64_t TraceBuilder::ElapsedMicros() const {
+  return MicrosBetween(start_, Clock::now());
+}
+
+uint32_t TraceBuilder::BeginSpan(const std::string& name, uint32_t parent) {
+  const uint64_t start_us = ElapsedMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceSpan span;
+  span.id = static_cast<uint32_t>(spans_.size()) + 1;
+  span.parent = parent;
+  span.name = name;
+  span.start_us = start_us;
+  span.thread_id = CurrentThreadId();
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void TraceBuilder::EndSpan(uint32_t id) {
+  const uint64_t now_us = ElapsedMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id == 0 || id > spans_.size()) return;
+  TraceSpan& span = spans_[id - 1];
+  span.duration_us = now_us >= span.start_us ? now_us - span.start_us : 0;
+}
+
+void TraceBuilder::SetDetail(uint32_t id, const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].detail = detail;
+}
+
+uint32_t TraceBuilder::AddCompleteSpan(const std::string& name,
+                                       uint32_t parent, uint64_t start_us,
+                                       uint64_t duration_us,
+                                       const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceSpan span;
+  span.id = static_cast<uint32_t>(spans_.size()) + 1;
+  span.parent = parent;
+  span.name = name;
+  span.detail = detail;
+  span.start_us = start_us;
+  span.duration_us = duration_us;
+  span.thread_id = CurrentThreadId();
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+Trace TraceBuilder::Finish(uint64_t annotation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Trace trace;
+  trace.annotation = annotation;
+  trace.spans = std::move(spans_);
+  spans_.clear();
+  return trace;
+}
+
+void TraceRecorder::Record(Trace trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (traces_.size() >= capacity_) traces_.pop_front();
+  traces_.push_back(std::move(trace));
+}
+
+std::vector<Trace> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {traces_.begin(), traces_.end()};
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return traces_.size();
+}
+
+uint64_t TraceRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ > traces_.size() ? total_ - traces_.size() : 0;
+}
+
+}  // namespace obs
+}  // namespace nebula

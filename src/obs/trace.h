@@ -1,0 +1,118 @@
+#ifndef NEBULA_OBS_TRACE_H_
+#define NEBULA_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace nebula {
+namespace obs {
+
+/// One timed node of an annotation's span tree. Times are microseconds
+/// relative to the trace's start, so a trace is self-contained.
+struct TraceSpan {
+  uint32_t id = 0;      ///< 1-based within the trace
+  uint32_t parent = 0;  ///< 0 = root span
+  std::string name;
+  std::string detail;  ///< optional payload (canonical SQL, mode, ...)
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  uint32_t thread_id = 0;  ///< CurrentThreadId() of the recording thread
+};
+
+/// The span tree captured for one inserted annotation (stages 0-3).
+struct Trace {
+  uint64_t annotation = 0;
+  std::vector<TraceSpan> spans;  ///< ids ascending; parent precedes child
+};
+
+/// Builds one trace. Span starts/ends may interleave and arrive from pool
+/// workers concurrently (the per-SQL spans of Stage 2), so every mutation
+/// takes the builder's mutex — the builder lives only for one annotation
+/// insert, far off any per-row hot path.
+class TraceBuilder {
+ public:
+  TraceBuilder() : start_(Clock::now()) {}
+
+  /// Microseconds since the builder was constructed (workers use this to
+  /// timestamp the spans they record).
+  uint64_t ElapsedMicros() const;
+
+  /// Opens a span now; returns its id for EndSpan / child parenting.
+  uint32_t BeginSpan(const std::string& name, uint32_t parent = 0);
+  /// Closes the span: duration = now - its start. Unknown ids are ignored.
+  void EndSpan(uint32_t id);
+  /// Attaches a free-form payload to an open or closed span.
+  void SetDetail(uint32_t id, const std::string& detail);
+
+  /// Records a fully-formed span (used by pool workers, and to synthesize
+  /// phase spans from an externally measured timing breakdown).
+  uint32_t AddCompleteSpan(const std::string& name, uint32_t parent,
+                           uint64_t start_us, uint64_t duration_us,
+                           const std::string& detail = "");
+
+  /// Moves the accumulated spans out as the final trace.
+  Trace Finish(uint64_t annotation);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  mutable std::mutex mutex_;
+  Clock::time_point start_;
+  std::vector<TraceSpan> spans_;
+};
+
+/// RAII helper: opens a span on construction, closes it on destruction.
+class ScopedSpan {
+ public:
+  /// A null builder makes the scope a no-op (untraced call paths).
+  ScopedSpan(TraceBuilder* builder, const std::string& name,
+             uint32_t parent = 0)
+      : builder_(builder),
+        id_(builder == nullptr ? 0 : builder->BeginSpan(name, parent)) {}
+  ~ScopedSpan() {
+    if (builder_ != nullptr) builder_->EndSpan(id_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  uint32_t id() const { return id_; }
+
+ private:
+  TraceBuilder* builder_;
+  uint32_t id_;
+};
+
+/// Bounded ring buffer of the most recent traces. Recording a trace when
+/// the buffer is full evicts the oldest one; `dropped()` counts
+/// evictions so a dump can state its own completeness.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = 128)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void Record(Trace trace);
+
+  /// Copies the buffered traces, oldest first.
+  std::vector<Trace> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  uint64_t total_recorded() const;
+  uint64_t dropped() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<Trace> traces_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace obs
+}  // namespace nebula
+
+#endif  // NEBULA_OBS_TRACE_H_

@@ -3,8 +3,11 @@
 #include <cmath>
 #include <set>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -291,6 +294,57 @@ TEST(StopwatchTest, RestartResets) {
   const uint64_t before = sw.ElapsedMicros();
   sw.Restart();
   EXPECT_LE(sw.ElapsedMicros(), before + 1000);
+}
+
+TEST(LoggingTest, ParseLevel) {
+  EXPECT_EQ(Logger::ParseLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(Logger::ParseLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(Logger::ParseLevel("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(Logger::ParseLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(Logger::ParseLevel("error"), LogLevel::kError);
+  EXPECT_EQ(Logger::ParseLevel("bogus", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(Logger::ParseLevel(""), LogLevel::kWarn);
+}
+
+TEST(LoggingTest, FormatRecordShape) {
+  const std::string line = Logger::FormatRecord(LogLevel::kWarn, "hello");
+  // [2026-08-07T12:34:56.789Z t03 WARN] hello
+  ASSERT_GE(line.size(), sizeof("[2026-08-07T12:34:56.789Z t0 WARN] ") - 1);
+  EXPECT_EQ(line.front(), '[');
+  EXPECT_EQ(line[5], '-');
+  EXPECT_EQ(line[11], 'T');
+  EXPECT_EQ(line[20], '.');
+  EXPECT_EQ(line[24], 'Z');
+  EXPECT_EQ(line[26], 't');
+  EXPECT_NE(line.find(" WARN] hello"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(LoggingTest, SinkCapturesRecordsAboveLevel) {
+  const LogLevel saved = Logger::level();
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  Logger::set_sink([&captured](LogLevel level, const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+  Logger::set_level(LogLevel::kWarn);
+  NEBULA_LOG(kInfo) << "filtered out";
+  NEBULA_LOG(kWarn) << "kept " << 42;
+  NEBULA_LOG(kError) << "also kept";
+  Logger::set_sink(nullptr);
+  Logger::set_level(saved);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWarn);
+  EXPECT_NE(captured[0].second.find("WARN] kept 42"), std::string::npos);
+  EXPECT_EQ(captured[1].first, LogLevel::kError);
+  EXPECT_NE(captured[1].second.find("ERROR] also kept"), std::string::npos);
+}
+
+TEST(LoggingTest, LogLevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
 }
 
 }  // namespace

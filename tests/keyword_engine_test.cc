@@ -299,6 +299,46 @@ TEST_F(KeywordEngineTest, StatsAccumulate) {
   EXPECT_GT(engine_->stats().index_lookups, 0u);
 }
 
+TEST_F(KeywordEngineTest, ConstSearchOverwritesReusedStats) {
+  // Regression: the const out-param paths must OVERWRITE `*stats`. When
+  // they accumulated instead, a caller reusing one ExecStats across calls
+  // and folding each result with AccumulateStats double-folded every
+  // earlier call's counters.
+  const KeywordQuery query{{"gene", "JW0014"}, 1.0, ""};
+
+  ExecStats once;
+  ASSERT_TRUE(engine_->Search(query, nullptr, &once).ok());
+  ASSERT_GT(once.index_lookups, 0u);
+
+  // Same query twice through the same (never Reset) ExecStats, folding
+  // after each call — exactly the usage the overwrite contract protects.
+  engine_->ResetStats();
+  ExecStats reused;
+  ASSERT_TRUE(engine_->Search(query, nullptr, &reused).ok());
+  engine_->AccumulateStats(reused);
+  ASSERT_TRUE(engine_->Search(query, nullptr, &reused).ok());
+  engine_->AccumulateStats(reused);
+  EXPECT_EQ(reused.index_lookups, once.index_lookups);
+  EXPECT_EQ(reused.rows_examined, once.rows_examined);
+  EXPECT_EQ(engine_->stats().index_lookups, 2 * once.index_lookups);
+  EXPECT_EQ(engine_->stats().rows_examined, 2 * once.rows_examined);
+}
+
+TEST_F(KeywordEngineTest, ConstExecuteSqlOverwritesReusedStats) {
+  const KeywordQuery query{{"gene", "JW0014"}, 1.0, ""};
+  const auto plan = engine_->CompileToSql(query);
+  ASSERT_FALSE(plan.empty());
+
+  ExecStats once;
+  ASSERT_TRUE(engine_->ExecuteSql(plan[0], nullptr, &once).ok());
+
+  ExecStats reused;
+  ASSERT_TRUE(engine_->ExecuteSql(plan[0], nullptr, &reused).ok());
+  ASSERT_TRUE(engine_->ExecuteSql(plan[0], nullptr, &reused).ok());
+  EXPECT_EQ(reused.rows_examined, once.rows_examined);
+  EXPECT_EQ(reused.index_lookups, once.index_lookups);
+}
+
 TEST_F(KeywordEngineTest, MappingCacheYieldsIdenticalPlans) {
   const KeywordQuery q1{{"gene", "JW0013"}, 1.0, ""};
   const KeywordQuery q2{{"gene", "grpC"}, 1.0, ""};

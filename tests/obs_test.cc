@@ -1,0 +1,430 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/generator.h"
+
+namespace nebula {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------
+
+TEST(CounterTest, IncrementAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  Gauge g;
+  g.Set(10);
+  g.Add(5);
+  g.Sub(20);
+  EXPECT_EQ(g.Value(), -5);
+}
+
+TEST(HistogramTest, BucketIndexBoundaries) {
+  // Bucket i holds observations <= 2^i us.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(5), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1025), 11u);
+  // The largest finite bucket covers 2^25; everything above overflows.
+  EXPECT_EQ(Histogram::BucketIndex(uint64_t{1} << 25),
+            Histogram::kNumFinite - 1);
+  EXPECT_EQ(Histogram::BucketIndex((uint64_t{1} << 25) + 1),
+            Histogram::kNumFinite);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), Histogram::kNumFinite);
+}
+
+TEST(HistogramTest, ObserveCountsSumAndBuckets) {
+  Histogram h;
+  h.Observe(1);     // bucket 0
+  h.Observe(2);     // bucket 1
+  h.Observe(3);     // bucket 2
+  h.Observe(1000);  // bucket 10 (<= 1024)
+  const Histogram::Snapshot snap = h.GetSnapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 1006u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[10], 1u);
+  uint64_t total = 0;
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    total += snap.buckets[b];
+  }
+  EXPECT_EQ(total, snap.count);
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, SameNameAndLabelsReturnSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("events_total", {{"kind", "x"}});
+  Counter* b = registry.GetCounter("events_total", {{"kind", "x"}});
+  Counter* other = registry.GetCounter("events_total", {{"kind", "y"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+  a->Increment();
+  b->Increment();
+  EXPECT_EQ(a->Value(), 2u);
+  EXPECT_EQ(other->Value(), 0u);
+}
+
+TEST(MetricsRegistryTest, TypeMismatchReturnsDetachedDummy) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("thing_total");
+  counter->Increment();
+  // Asking for the same family with a different type must not crash nor
+  // alias the counter — and the dummy must not be exported.
+  Gauge* dummy = registry.GetGauge("thing_total");
+  ASSERT_NE(dummy, nullptr);
+  dummy->Set(123);
+  const auto families = registry.Snapshot();
+  ASSERT_EQ(families.size(), 1u);
+  EXPECT_EQ(families[0].type, MetricType::kCounter);
+  ASSERT_EQ(families[0].samples.size(), 1u);
+  EXPECT_EQ(families[0].samples[0].counter_value, 1u);
+}
+
+TEST(MetricsRegistryTest, FirstHelpWins) {
+  MetricsRegistry registry;
+  registry.GetCounter("x_total", {}, "first");
+  registry.GetCounter("x_total", {{"l", "v"}}, "second");
+  const auto families = registry.Snapshot();
+  ASSERT_EQ(families.size(), 1u);
+  EXPECT_EQ(families[0].help, "first");
+  EXPECT_EQ(families[0].samples.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, GlobalIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+// ---------------------------------------------------------------------
+// Exporters (golden outputs on a controlled local registry)
+// ---------------------------------------------------------------------
+
+TEST(ExportTest, PrometheusGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("nebula_events_total", {{"kind", "a"}}, "Event count")
+      ->Increment(3);
+  registry.GetCounter("nebula_events_total", {{"kind", "b"}})->Increment(7);
+  registry.GetGauge("nebula_depth", {}, "Queue depth")->Set(-2);
+
+  const std::string expected =
+      "# HELP nebula_depth Queue depth\n"
+      "# TYPE nebula_depth gauge\n"
+      "nebula_depth -2\n"
+      "# HELP nebula_events_total Event count\n"
+      "# TYPE nebula_events_total counter\n"
+      "nebula_events_total{kind=\"a\"} 3\n"
+      "nebula_events_total{kind=\"b\"} 7\n";
+  EXPECT_EQ(ExportPrometheus(registry), expected);
+}
+
+TEST(ExportTest, PrometheusHistogramIsCumulativeWithInf) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("nebula_lat_us", {}, "Latency");
+  h->Observe(1);
+  h->Observe(2);
+  h->Observe(100);  // bucket 7 (<= 128)
+
+  const std::string text = ExportPrometheus(registry);
+  EXPECT_NE(text.find("nebula_lat_us_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("nebula_lat_us_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("nebula_lat_us_bucket{le=\"64\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("nebula_lat_us_bucket{le=\"128\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("nebula_lat_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("nebula_lat_us_sum 103\n"), std::string::npos);
+  EXPECT_NE(text.find("nebula_lat_us_count 3\n"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("nebula_sql_total", {{"stmt", "a\"b\\c\nd"}})
+      ->Increment();
+  const std::string text = ExportPrometheus(registry);
+  EXPECT_NE(text.find("nebula_sql_total{stmt=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+/// Minimal Prometheus text-format validator: every non-comment line must
+/// be `name{labels} value` with a parseable number and balanced quotes.
+void ValidatePrometheusText(const std::string& text) {
+  size_t pos = 0;
+  size_t lines = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "missing trailing newline";
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lines;
+    if (line.empty()) {
+      FAIL() << "empty line in exposition output";
+    }
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    // name[{labels}] value
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "unparseable sample value in: " << line;
+    const std::string series = line.substr(0, space);
+    const size_t brace = series.find('{');
+    const std::string name =
+        brace == std::string::npos ? series : series.substr(0, brace);
+    ASSERT_FALSE(name.empty()) << line;
+    for (char c : name) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == ':')
+          << "bad metric-name char in: " << line;
+    }
+    if (brace != std::string::npos) {
+      EXPECT_EQ(series.back(), '}') << line;
+      // Quotes must balance (escaped quotes come in pairs with their
+      // backslash, so a simple count of unescaped quotes suffices).
+      size_t quotes = 0;
+      for (size_t i = brace; i < series.size(); ++i) {
+        if (series[i] == '"' && series[i - 1] != '\\') ++quotes;
+      }
+      EXPECT_EQ(quotes % 2, 0u) << line;
+    }
+  }
+  EXPECT_GT(lines, 0u);
+}
+
+TEST(ExportTest, GlobalRegistryOutputIsScrapeParseable) {
+  // Touch a few global instruments so the export is non-trivial, then
+  // validate every line of the full global dump (whatever other tests or
+  // engine code already registered).
+  auto& global = MetricsRegistry::Global();
+  global.GetCounter("nebula_obs_test_events_total", {{"case", "golden"}})
+      ->Increment();
+  global.GetHistogram("nebula_obs_test_lat_us")->Observe(77);
+  ValidatePrometheusText(ExportPrometheus(global));
+}
+
+TEST(ExportTest, JsonGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", {{"k", "v"}}, "help me")->Increment(5);
+  const std::string expected =
+      "{\"metrics\":[{\"name\":\"c_total\",\"type\":\"counter\","
+      "\"help\":\"help me\",\"samples\":[{\"labels\":{\"k\":\"v\"},"
+      "\"value\":5}]}]}";
+  EXPECT_EQ(ExportJson(registry), expected);
+}
+
+TEST(ExportTest, JsonHistogramKeepsNonCumulativeBucketsWithNullInf) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h_us");
+  h->Observe(1);
+  h->Observe(2);
+  const std::string json = ExportJson(registry);
+  EXPECT_NE(json.find("\"count\":2,\"sum\":3"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":1,\"count\":1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":2,\"count\":1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":4,\"count\":0}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":null,\"count\":0}"), std::string::npos);
+}
+
+TEST(ExportTest, JsonEscapeControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd\te\rf"), "a\\\"b\\\\c\\nd\\te\\rf");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// ---------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------
+
+TEST(TraceBuilderTest, SpanTreeStructure) {
+  TraceBuilder builder;
+  const uint32_t root = builder.BeginSpan("root");
+  const uint32_t child = builder.BeginSpan("child", root);
+  builder.SetDetail(child, "payload");
+  builder.EndSpan(child);
+  const uint32_t synthetic =
+      builder.AddCompleteSpan("phase", root, 10, 5, "detail");
+  builder.EndSpan(root);
+  const Trace trace = builder.Finish(/*annotation=*/7);
+
+  EXPECT_EQ(trace.annotation, 7u);
+  ASSERT_EQ(trace.spans.size(), 3u);
+  EXPECT_EQ(trace.spans[0].name, "root");
+  EXPECT_EQ(trace.spans[0].parent, 0u);
+  EXPECT_EQ(trace.spans[1].name, "child");
+  EXPECT_EQ(trace.spans[1].parent, root);
+  EXPECT_EQ(trace.spans[1].detail, "payload");
+  EXPECT_EQ(trace.spans[2].id, synthetic);
+  EXPECT_EQ(trace.spans[2].start_us, 10u);
+  EXPECT_EQ(trace.spans[2].duration_us, 5u);
+  // Parents always precede children; ids are 1-based and ascending.
+  for (size_t i = 0; i < trace.spans.size(); ++i) {
+    EXPECT_EQ(trace.spans[i].id, i + 1);
+    EXPECT_LT(trace.spans[i].parent, trace.spans[i].id);
+  }
+  // Every span carries the recording thread's ordinal.
+  EXPECT_EQ(trace.spans[0].thread_id, CurrentThreadId());
+}
+
+TEST(TraceRecorderTest, RingEvictsOldestAndCountsDrops) {
+  TraceRecorder recorder(/*capacity=*/2);
+  for (uint64_t a = 1; a <= 5; ++a) {
+    TraceBuilder b;
+    b.EndSpan(b.BeginSpan("root"));
+    recorder.Record(b.Finish(a));
+  }
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.total_recorded(), 5u);
+  EXPECT_EQ(recorder.dropped(), 3u);
+  const auto traces = recorder.Snapshot();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].annotation, 4u);
+  EXPECT_EQ(traces[1].annotation, 5u);
+}
+
+TEST(TraceRecorderTest, JsonShape) {
+  TraceRecorder recorder(4);
+  TraceBuilder b;
+  const uint32_t root = b.BeginSpan("insert_annotation");
+  b.AddCompleteSpan("sql", root, 3, 9, "SELECT x");
+  b.EndSpan(root);
+  recorder.Record(b.Finish(11));
+
+  const std::string json = TracesToJson(recorder);
+  EXPECT_EQ(json.find("{\"dropped\":0,\"traces\":[{\"annotation\":11,"),
+            0u);
+  EXPECT_NE(json.find("\"name\":\"insert_annotation\""), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"SELECT x\""), std::string::npos);
+}
+
+TEST(ScopedSpanTest, NullBuilderIsNoop) {
+  ScopedSpan span(nullptr, "nothing");
+  EXPECT_EQ(span.id(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Engine integration: one insert produces a complete stage 0-3 tree.
+// ---------------------------------------------------------------------
+
+TEST(EngineObsTest, InsertAnnotationRecordsStageSpansAndTimings) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  auto dataset = GenerateBioDataset(DatasetSpec::Tiny());
+  ASSERT_TRUE(dataset.ok());
+  NebulaConfig config;
+  config.bounds = {0.2, 0.9};
+  NebulaEngine engine(&(*dataset)->catalog, &(*dataset)->store,
+                      &(*dataset)->meta, config);
+  engine.RebuildAcg();
+
+  const WorkloadAnnotation& wa = (*dataset)->workload.annotations.front();
+  auto report = engine.InsertAnnotation(wa.text, {wa.ideal_tuples.front()},
+                                        "obs_test");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // StageTimings replaces the old lone search_us: total folds all stages.
+  EXPECT_GE(report->timings.total_us(), report->timings.search_us);
+  EXPECT_EQ(report->timings.total_us(),
+            report->timings.store_us + report->timings.generation_us +
+                report->timings.search_us + report->timings.verification_us);
+
+  const auto traces = engine.trace_recorder().Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  const Trace& trace = traces.back();
+  EXPECT_EQ(trace.annotation, report->annotation);
+
+  std::map<std::string, const TraceSpan*> by_name;
+  for (const TraceSpan& s : trace.spans) {
+    if (by_name.count(s.name) == 0) by_name[s.name] = &s;
+  }
+  ASSERT_TRUE(by_name.count("insert_annotation"));
+  const uint32_t root = by_name["insert_annotation"]->id;
+  for (const char* stage :
+       {"stage0_store", "stage1_generation", "stage2_execution",
+        "stage3_verification"}) {
+    ASSERT_TRUE(by_name.count(stage)) << stage << " span missing";
+    EXPECT_EQ(by_name[stage]->parent, root) << stage;
+  }
+  // Stage internals hang under their stage span.
+  ASSERT_TRUE(by_name.count("acg_update"));
+  EXPECT_EQ(by_name["acg_update"]->parent, by_name["stage0_store"]->id);
+  for (const char* phase :
+       {"map_generation", "context_adjust", "query_formation"}) {
+    ASSERT_TRUE(by_name.count(phase)) << phase;
+    EXPECT_EQ(by_name[phase]->parent, by_name["stage1_generation"]->id);
+  }
+  ASSERT_TRUE(by_name.count("spreading_decision"));
+  EXPECT_EQ(by_name["spreading_decision"]->parent,
+            by_name["stage2_execution"]->id);
+  EXPECT_EQ(by_name["spreading_decision"]->detail, "full_database");
+  if (!report->queries.empty()) {
+    EXPECT_TRUE(by_name.count("query") || by_name.count("sql"));
+  }
+  ASSERT_TRUE(by_name.count("spam_guard"));
+  EXPECT_EQ(by_name["spam_guard"]->parent, by_name["stage3_verification"]->id);
+  ASSERT_TRUE(by_name.count("verification_submit"));
+  EXPECT_EQ(by_name["verification_submit"]->parent,
+            by_name["stage3_verification"]->id);
+
+  // The engine counters moved.
+  auto& global = MetricsRegistry::Global();
+  EXPECT_GE(global.GetCounter("nebula_annotations_inserted_total")->Value(),
+            1u);
+}
+
+TEST(EngineObsTest, TraceCapacityIsHonored) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  auto dataset = GenerateBioDataset(DatasetSpec::Tiny());
+  ASSERT_TRUE(dataset.ok());
+  NebulaConfig config;
+  config.trace_capacity = 2;
+  NebulaEngine engine(&(*dataset)->catalog, &(*dataset)->store,
+                      &(*dataset)->meta, config);
+  engine.RebuildAcg();
+  for (int i = 0; i < 4; ++i) {
+    const WorkloadAnnotation& wa = (*dataset)->workload.annotations[i];
+    ASSERT_TRUE(engine
+                    .InsertAnnotation(wa.text, {wa.ideal_tuples.front()},
+                                      "obs_test")
+                    .ok());
+  }
+  EXPECT_EQ(engine.trace_recorder().size(), 2u);
+  EXPECT_EQ(engine.trace_recorder().dropped(), 2u);
+  // DumpTraces is valid JSON with the drop count up front.
+  EXPECT_EQ(engine.DumpTraces().find("{\"dropped\":2,"), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace nebula

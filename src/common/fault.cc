@@ -1,0 +1,81 @@
+#include "common/fault.h"
+
+namespace nebula {
+
+std::atomic<size_t> FaultRegistry::armed_points_{0};
+
+FaultRegistry& FaultRegistry::Global() {
+  // Leaked singleton: fault points may be consulted during static
+  // destruction of other objects.
+  static FaultRegistry* const registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = points_.try_emplace(point);
+  if (inserted) {
+    armed_points_.fetch_add(1, std::memory_order_relaxed);
+  }
+  it->second = PointState();
+  it->second.rng.Seed(spec.seed);
+  it->second.spec = std::move(spec);
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (points_.erase(point) > 0) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_points_.fetch_sub(points_.size(), std::memory_order_relaxed);
+  points_.clear();
+}
+
+bool FaultRegistry::Evaluate(PointState* state) {
+  ++state->calls;
+  const FaultSpec& spec = state->spec;
+  if (state->calls <= spec.skip_calls) return false;
+  if (spec.max_fires >= 0 &&
+      state->fires >= static_cast<uint64_t>(spec.max_fires)) {
+    return false;
+  }
+  if (spec.probability < 1.0 && !state->rng.Bernoulli(spec.probability)) {
+    return false;
+  }
+  ++state->fires;
+  return true;
+}
+
+Status FaultRegistry::Check(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return Status::OK();
+  if (!Evaluate(&it->second)) return Status::OK();
+  return Status(it->second.spec.code,
+                it->second.spec.message + " [fault:" + point + "]");
+}
+
+bool FaultRegistry::ShouldFail(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  return Evaluate(&it->second);
+}
+
+uint64_t FaultRegistry::CallCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.calls;
+}
+
+uint64_t FaultRegistry::FireCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace nebula

@@ -1,0 +1,143 @@
+#ifndef NEBULA_COMMON_FAULT_H_
+#define NEBULA_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace nebula {
+
+/// How an armed fault point decides to fire.
+///
+/// A fault fires on a Check() call when all of the following hold:
+///  - the point's call ordinal (1-based, counted from arming) exceeds
+///    `skip_calls` (0 = eligible from the first call);
+///  - a Bernoulli draw with `probability` succeeds (1.0 = always; the draw
+///    stream is seeded from `seed`, so probabilistic faults are
+///    bit-reproducible);
+///  - the point has fired fewer than `max_fires` times (< 0 = unlimited).
+struct FaultSpec {
+  StatusCode code = StatusCode::kInternal;
+  std::string message = "injected fault";
+  uint64_t skip_calls = 0;
+  double probability = 1.0;
+  uint64_t seed = 0;
+  int64_t max_fires = -1;
+};
+
+/// Process-global registry of named fault points (NebulaCheck's
+/// fault-injection layer; see DESIGN.md "Testing strategy").
+///
+/// Production code observes fault points via NEBULA_INJECT_FAULT("name") /
+/// NEBULA_FAULT_SHOULD_FAIL("name"); tests arm faults (usually through the
+/// RAII ScopedFault) to force clean error paths through storage, SQL, the
+/// shared executor, and the thread pool. When nothing is armed the check
+/// is a single relaxed atomic load — cheap enough to leave compiled into
+/// release builds.
+///
+/// Registered fault points (kept in one place so tests don't chase string
+/// literals):
+///  - "storage.query.execute"    QueryExecutor::Execute entry
+///  - "storage.query.join"      QueryExecutor::ExecuteJoin entry
+///  - "storage.table.insert"    Table::Insert entry
+///  - "sql.session.execute"     SqlSession::Execute entry
+///  - "keyword.shared.statement" per distinct statement in the shared
+///                               executor (fires on pool workers too)
+///  - "threadpool.submit"        ThreadPool enqueue; a fired fault makes
+///                               the pool degrade that submission to
+///                               inline execution on the caller's thread
+///
+/// Thread safety: Arm/Disarm/Check/counters are mutex-protected; Enabled()
+/// is lock-free. Probabilistic draws consume a per-point Rng under the
+/// lock, so concurrent callers see a consistent (if interleaving-
+/// dependent) draw sequence.
+class FaultRegistry {
+ public:
+  static FaultRegistry& Global();
+
+  /// True when at least one fault point is armed anywhere in the process.
+  static bool Enabled() {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Arms (or re-arms, resetting counters) the named point.
+  void Arm(const std::string& point, FaultSpec spec = {});
+  /// Disarms the named point; no-op when not armed.
+  void Disarm(const std::string& point);
+  /// Disarms everything.
+  void Clear();
+
+  /// Evaluates the point: OK when unarmed or the trigger does not fire,
+  /// otherwise the armed Status. Increments the call counter of an armed
+  /// point (unarmed points are not tracked).
+  Status Check(const std::string& point);
+
+  /// Boolean form for sites that cannot return a Status (e.g. the thread
+  /// pool's enqueue). True when the fault fires.
+  bool ShouldFail(const std::string& point);
+
+  /// Calls observed / faults fired since the point was (re-)armed; 0 when
+  /// the point is not currently armed.
+  uint64_t CallCount(const std::string& point) const;
+  uint64_t FireCount(const std::string& point) const;
+
+ private:
+  struct PointState {
+    FaultSpec spec;
+    uint64_t calls = 0;
+    uint64_t fires = 0;
+    Rng rng{0};
+  };
+
+  FaultRegistry() = default;
+
+  /// Returns whether the armed point fires on this call (caller holds the
+  /// lock); nullptr-safe via the map lookup in the public entry points.
+  bool Evaluate(PointState* state);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, PointState> points_;
+  static std::atomic<size_t> armed_points_;
+};
+
+/// RAII arming: the fault exists for the scope's lifetime.
+class ScopedFault {
+ public:
+  explicit ScopedFault(std::string point, FaultSpec spec = {})
+      : point_(std::move(point)) {
+    FaultRegistry::Global().Arm(point_, std::move(spec));
+  }
+  ~ScopedFault() { FaultRegistry::Global().Disarm(point_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+/// Observes a fault point inside a function returning Status or Result<T>:
+/// returns the injected error when the fault fires, no-op otherwise.
+#define NEBULA_INJECT_FAULT(point)                              \
+  do {                                                          \
+    if (::nebula::FaultRegistry::Enabled()) {                   \
+      ::nebula::Status _fault_status =                          \
+          ::nebula::FaultRegistry::Global().Check(point);       \
+      if (!_fault_status.ok()) return _fault_status;            \
+    }                                                           \
+  } while (0)
+
+/// Boolean fault probe for non-Status call sites.
+#define NEBULA_FAULT_SHOULD_FAIL(point)     \
+  (::nebula::FaultRegistry::Enabled() &&    \
+   ::nebula::FaultRegistry::Global().ShouldFail(point))
+
+}  // namespace nebula
+
+#endif  // NEBULA_COMMON_FAULT_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fault.h"
+
 namespace nebula {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -35,6 +37,9 @@ size_t ThreadPool::QueueDepth() const {
 }
 
 bool ThreadPool::Enqueue(std::function<void()> task) {
+  // Fault injection: a fired "threadpool.submit" fault rejects the
+  // enqueue, exercising Submit's degrade-to-inline-execution path.
+  if (NEBULA_FAULT_SHOULD_FAIL("threadpool.submit")) return false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) return false;

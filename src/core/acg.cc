@@ -274,4 +274,55 @@ size_t Acg::SelectK(double desired_recall, size_t fallback) const {
   return profile_.size() - 1;
 }
 
+uint64_t Acg::Fingerprint() const {
+  // FNV-1a over the sorted (node, count) and (edge, count) streams, so the
+  // digest is independent of hash-map iteration order.
+  constexpr uint64_t kOffset = 1469598103934665603ULL;
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  auto mix = [](uint64_t h, uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xFF;
+      h *= kPrime;
+    }
+    return h;
+  };
+
+  std::vector<std::pair<TupleId, size_t>> nodes;
+  nodes.reserve(nodes_.size());
+  for (const auto& [t, info] : nodes_) nodes.emplace_back(t, info.annotation_count);
+  std::sort(nodes.begin(), nodes.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  struct EdgeRec {
+    TupleId a, b;
+    size_t common;
+    bool operator<(const EdgeRec& o) const {
+      if (!(a == o.a)) return a < o.a;
+      if (!(b == o.b)) return b < o.b;
+      return common < o.common;
+    }
+  };
+  std::vector<EdgeRec> edges;
+  edges.reserve(num_edges_);
+  for (const auto& [t, info] : nodes_) {
+    for (const auto& [nb, common] : info.common) {
+      if (nb < t) continue;  // count each undirected edge once
+      edges.push_back({t, nb, common});
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+
+  uint64_t h = kOffset;
+  for (const auto& [t, count] : nodes) {
+    h = mix(h, (static_cast<uint64_t>(t.table_id) << 48) ^ t.row);
+    h = mix(h, count);
+  }
+  for (const auto& e : edges) {
+    h = mix(h, (static_cast<uint64_t>(e.a.table_id) << 48) ^ e.a.row);
+    h = mix(h, (static_cast<uint64_t>(e.b.table_id) << 48) ^ e.b.row);
+    h = mix(h, e.common);
+  }
+  return h;
+}
+
 }  // namespace nebula

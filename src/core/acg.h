@@ -96,6 +96,14 @@ class Acg {
   /// profile is empty.
   size_t SelectK(double desired_recall, size_t fallback = 3) const;
 
+  /// Order-independent structural digest of the graph: nodes with their
+  /// annotation counts plus edges with their shared-annotation counts.
+  /// Two graphs with equal fingerprints hold the same structure, however
+  /// they were built — the consistency check NebulaCheck and the fault
+  /// tests use to prove incremental maintenance never corrupts the ACG
+  /// (fingerprint(incremental) == fingerprint(BuildFromStore)).
+  uint64_t Fingerprint() const;
+
  private:
   struct NodeInfo {
     size_t annotation_count = 0;  // annotations attached to this tuple

@@ -136,13 +136,17 @@ Result<std::vector<CandidateTuple>> TupleIdentifier::Identify(
     }
     out.push_back(std::move(c));
   }
-  std::sort(out.begin(), out.end(),
-            [](const CandidateTuple& a, const CandidateTuple& b) {
-              if (a.confidence != b.confidence) {
-                return a.confidence > b.confidence;
-              }
-              return a.tuple < b.tuple;
-            });
+  // Stable sort on (confidence desc, tuple id asc): the tuple-id tie-break
+  // makes the ranking a total order, so equal-confidence candidates can
+  // never flake across runs or configurations (the differential harness
+  // compares rankings bit-for-bit).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CandidateTuple& a, const CandidateTuple& b) {
+                     if (a.confidence != b.confidence) {
+                       return a.confidence > b.confidence;
+                     }
+                     return a.tuple < b.tuple;
+                   });
   return out;
 }
 

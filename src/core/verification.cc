@@ -205,13 +205,15 @@ std::vector<const VerificationTask*> VerificationManager::PendingTasks()
   for (const auto& t : tasks_) {
     if (t.state == TaskState::kPending) out.push_back(&t);
   }
-  std::sort(out.begin(), out.end(),
-            [](const VerificationTask* a, const VerificationTask* b) {
-              if (a->confidence != b->confidence) {
-                return a->confidence > b->confidence;
-              }
-              return a->vid < b->vid;
-            });
+  // (confidence desc, vid asc) — total order, same rationale as the
+  // candidate ranking in TupleIdentifier::Identify.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const VerificationTask* a, const VerificationTask* b) {
+                     if (a->confidence != b->confidence) {
+                       return a->confidence > b->confidence;
+                     }
+                     return a->vid < b->vid;
+                   });
   return out;
 }
 

@@ -105,12 +105,17 @@ std::vector<KeywordMapping> KeywordSearchEngine::MapKeyword(
     }
   }
 
-  std::sort(mappings.begin(), mappings.end(),
-            [](const KeywordMapping& a, const KeywordMapping& b) {
-              if (a.score != b.score) return a.score > b.score;
-              if (a.table != b.table) return a.table < b.table;
-              return a.column < b.column;
-            });
+  // Total order: the (table, column) tie-break alone is not enough — a
+  // table-name mapping and a value mapping can land on the same key with
+  // the same score, and truncation below must then be deterministic.
+  std::stable_sort(mappings.begin(), mappings.end(),
+                   [](const KeywordMapping& a, const KeywordMapping& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     if (a.table != b.table) return a.table < b.table;
+                     if (a.column != b.column) return a.column < b.column;
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     return a.exact_value < b.exact_value;
+                   });
   if (mappings.size() > params_.max_mappings_per_keyword) {
     mappings.resize(params_.max_mappings_per_keyword);
   }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 
@@ -122,7 +123,11 @@ Status SharedKeywordExecutor::ExecuteGroup(
   // worker), timing it for the duration histogram and, when a tracer is
   // attached, recording a "sql" span under trace_parent_.
   auto run_planned = [this, mini_db](const PlannedSql& planned,
-                                     ExecStats* stats) {
+                                     ExecStats* stats)
+      -> Result<std::vector<SearchHit>> {
+    // Fault injection: lets tests fail an individual distinct statement
+    // (possibly on a pool worker) mid-group.
+    NEBULA_INJECT_FAULT("keyword.shared.statement");
     // Execute with confidence 1; scale per consumer on distribution.
     GeneratedSql unit = planned.sql;
     unit.confidence = 1.0;

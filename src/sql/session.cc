@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 
 namespace nebula {
@@ -43,6 +44,7 @@ std::string QueryResult::ToString() const {
 }
 
 Result<QueryResult> SqlSession::Execute(const std::string& statement) {
+  NEBULA_INJECT_FAULT("sql.session.execute");
   NEBULA_ASSIGN_OR_RETURN(Statement parsed, ParseStatement(statement));
   if (auto* select = std::get_if<SelectStatement>(&parsed)) {
     return ExecuteSelect(*select);

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cctype>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 
 namespace nebula {
@@ -32,6 +33,7 @@ Table::Table(uint32_t id, std::string name, Schema schema)
       text_index_built_(schema_.num_columns(), false) {}
 
 Result<Table::RowId> Table::Insert(std::vector<Value> row) {
+  NEBULA_INJECT_FAULT("storage.table.insert");
   NEBULA_RETURN_NOT_OK(schema_.ValidateRow(row));
   // Unique-constraint check through the (lazily built) hash index.
   for (size_t c = 0; c < schema_.num_columns(); ++c) {

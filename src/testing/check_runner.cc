@@ -1,0 +1,118 @@
+#include "testing/check_runner.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace nebula::check {
+
+Result<CheckSummary> RunCheckSweep(const CheckOptions& options,
+                                   std::ostream& out) {
+  CheckSummary summary;
+  std::vector<ConfigPair> pairs = options.pairs;
+  if (pairs.empty()) {
+    pairs.assign(std::begin(kAllConfigPairs), std::end(kAllConfigPairs));
+  }
+  DiffOptions diff_options;
+  diff_options.num_threads = options.num_threads;
+  diff_options.inject_bug = options.inject_bug;
+  diff_options.workload = options.workload;
+  const DifferentialRunner runner(diff_options);
+
+  for (uint64_t seed = options.start_seed;
+       seed < options.start_seed + options.num_seeds; ++seed) {
+    NEBULA_ASSIGN_OR_RETURN(std::unique_ptr<CheckUniverse> universe,
+                            BuildCheckUniverse(seed, options.workload));
+    const CheckWorkload workload =
+        GenerateCheckWorkload(seed, *universe, options.workload);
+    ++summary.seeds_run;
+
+    if (options.print_digests) {
+      NebulaConfig config = runner.BaseConfig(seed);
+      config.num_threads = 0;
+      NEBULA_ASSIGN_OR_RETURN(
+          RunOutcome outcome,
+          runner.Run(workload, config, /*batch_mode=*/false,
+                     /*exercise_obs=*/false));
+      out << StrFormat("seed %llu digest %016llx",
+                       static_cast<unsigned long long>(seed),
+                       static_cast<unsigned long long>(outcome.Digest()))
+          << "\n";
+    }
+
+    for (ConfigPair pair : pairs) {
+      ++summary.pair_runs;
+      Result<Divergence> verdict = runner.RunPair(pair, workload);
+      if (!verdict.ok()) {
+        ++summary.run_errors;
+        out << StrFormat("ERROR seed=%llu pair=%s: ",
+                         static_cast<unsigned long long>(seed),
+                         ConfigPairName(pair))
+            << verdict.status().ToString() << "\n";
+        continue;
+      }
+      if (!verdict.value().diverged) continue;
+      ++summary.divergences;
+      out << StrFormat("DIVERGENCE seed=%llu pair=%s\n  ",
+                       static_cast<unsigned long long>(seed),
+                       ConfigPairName(pair))
+          << verdict.value().detail << "\n";
+      if (!options.shrink) continue;
+
+      // Minimize: a candidate stream "still fails" when the pair still
+      // diverges on it. Run errors during shrinking count as failures
+      // too — a shrink must never turn a divergence into a crash that
+      // then gets discarded.
+      auto still_fails = [&](const std::vector<CheckAnnotation>& stream) {
+        CheckWorkload candidate;
+        candidate.seed = seed;
+        candidate.annotations = stream;
+        Result<Divergence> r = runner.RunPair(pair, candidate);
+        return !r.ok() || r.value().diverged;
+      };
+      ShrinkStats stats;
+      ReproCase repro;
+      repro.seed = seed;
+      repro.pair = pair;
+      repro.num_threads = options.num_threads;
+      repro.inject_bug = options.inject_bug;
+      repro.annotations =
+          ShrinkAnnotations(workload.annotations, still_fails,
+                            /*max_evaluations=*/200, &stats);
+      const std::string path =
+          options.repro_dir + "/nebula_check_repro_" + std::to_string(seed) +
+          "_" + ConfigPairName(pair) + ".txt";
+      NEBULA_RETURN_NOT_OK(SaveRepro(path, repro));
+      summary.repro_files.push_back(path);
+      out << StrFormat(
+          "  shrunk %zu -> %zu annotations (%zu words removed, %zu "
+          "evaluations); repro: %s\n",
+          workload.annotations.size(), repro.annotations.size(),
+          stats.removed_words, stats.evaluations, path.c_str());
+    }
+  }
+  out << StrFormat(
+      "nebula_check: %zu seeds x %zu pairs -> %zu runs, %zu divergences, "
+      "%zu errors\n",
+      summary.seeds_run, pairs.size(), summary.pair_runs,
+      summary.divergences, summary.run_errors);
+  return summary;
+}
+
+Result<Divergence> ReplayReproFile(const std::string& path,
+                                   std::ostream& out) {
+  NEBULA_ASSIGN_OR_RETURN(ReproCase repro, LoadRepro(path));
+  out << StrFormat("replaying %s: seed=%llu pair=%s annotations=%zu\n",
+                   path.c_str(),
+                   static_cast<unsigned long long>(repro.seed),
+                   ConfigPairName(repro.pair), repro.annotations.size());
+  NEBULA_ASSIGN_OR_RETURN(Divergence verdict, ReplayRepro(repro));
+  if (verdict.diverged) {
+    out << "still diverges:\n  " << verdict.detail << "\n";
+  } else {
+    out << "no longer diverges (fixed, or environment differs)\n";
+  }
+  return verdict;
+}
+
+}  // namespace nebula::check

@@ -1,0 +1,57 @@
+#ifndef NEBULA_TESTING_CHECK_RUNNER_H_
+#define NEBULA_TESTING_CHECK_RUNNER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "testing/differential.h"
+#include "testing/shrink.h"
+
+namespace nebula::check {
+
+/// One NebulaCheck sweep: seeds [start_seed, start_seed + num_seeds),
+/// each expanded to a workload and run through every requested pair.
+struct CheckOptions {
+  uint64_t start_seed = 1;
+  size_t num_seeds = 20;
+  /// Empty means all pairs.
+  std::vector<ConfigPair> pairs;
+  size_t num_threads = 3;
+  /// Minimize diverging workloads and write repro files.
+  bool shrink = true;
+  /// Forward to DiffOptions::inject_bug (harness self-test hook).
+  bool inject_bug = false;
+  /// Print the canonical digest of each seed's sequential baseline run —
+  /// what CI diffs across OBS=ON / OBS=OFF binaries.
+  bool print_digests = false;
+  /// Directory repro files are written into.
+  std::string repro_dir = ".";
+  CheckWorkloadParams workload;
+};
+
+struct CheckSummary {
+  size_t seeds_run = 0;
+  size_t pair_runs = 0;
+  size_t divergences = 0;
+  size_t run_errors = 0;
+  std::vector<std::string> repro_files;
+  bool clean() const { return divergences == 0 && run_errors == 0; }
+};
+
+/// Runs the sweep, reporting progress and divergences to `out`. The
+/// returned summary is the machine-readable verdict; a non-OK status
+/// means the sweep itself could not run (not that a divergence was
+/// found — divergences are data, not errors).
+Result<CheckSummary> RunCheckSweep(const CheckOptions& options,
+                                   std::ostream& out);
+
+/// Loads and replays a repro file, reporting to `out`.
+Result<Divergence> ReplayReproFile(const std::string& path,
+                                   std::ostream& out);
+
+}  // namespace nebula::check
+
+#endif  // NEBULA_TESTING_CHECK_RUNNER_H_

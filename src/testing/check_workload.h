@@ -1,0 +1,88 @@
+#ifndef NEBULA_TESTING_CHECK_WORKLOAD_H_
+#define NEBULA_TESTING_CHECK_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "annotation/annotation_store.h"
+#include "common/status.h"
+#include "meta/nebula_meta.h"
+#include "storage/catalog.h"
+
+namespace nebula::check {
+
+/// One annotation of a NebulaCheck stream: everything InsertAnnotation
+/// needs. Plain data so the shrinker can delete/edit entries and a repro
+/// file can round-trip them.
+struct CheckAnnotation {
+  std::string text;
+  std::vector<TupleId> focal;
+  std::string author;
+};
+
+/// Size/shape knobs of the synthesized universe and stream. The defaults
+/// are deliberately small: one differential run must be cheap enough to
+/// sweep hundreds of seeds in a CI smoke job.
+struct CheckWorkloadParams {
+  size_t min_tables = 2;
+  size_t max_tables = 3;
+  size_t min_rows = 24;
+  size_t max_rows = 40;
+  /// Pre-seeded "curated" annotations that give the ACG its structure.
+  size_t corpus_annotations = 28;
+  /// Annotations the differential runner streams through the engine.
+  size_t stream_annotations = 6;
+  /// Max tuples a stream annotation references in its text.
+  size_t max_refs = 3;
+  /// Probability that a stream reference targets an already-annotated
+  /// tuple (so focal adjustment and spreading have edges to work with).
+  double corpus_focal_bias = 0.7;
+  /// Probability of appending a decoy word (id-shaped but nonexistent).
+  double noise_rate = 0.2;
+  /// NebulaMeta value samples per referenced column. Kept below the row
+  /// count on purpose: unsampled values exercise the fuzzy-match band.
+  size_t samples_per_column = 16;
+};
+
+/// The deterministic mini-world a check seed expands into: a catalog of
+/// 2-3 FK-linked tables, a NebulaMeta describing them (concepts, aliases,
+/// patterns, ontologies, drawn samples), and an annotation store
+/// pre-seeded with a curated corpus. Every byte is a pure function of
+/// (seed, params) — two processes building the same seed get identical
+/// universes, which is what makes cross-configuration (and cross-binary)
+/// differential comparison sound.
+struct CheckUniverse {
+  Catalog catalog;
+  AnnotationStore store;
+  NebulaMeta meta;
+  /// Every tuple of every table, in (table, row) order.
+  std::vector<TupleId> all_tuples;
+  /// Distinct tuples carrying at least one corpus annotation (sorted).
+  std::vector<TupleId> corpus_tuples;
+};
+
+/// Builds the universe for `seed`. Fails only on internal inconsistency
+/// (e.g. a generated row violating its own schema) — never on user input.
+Result<std::unique_ptr<CheckUniverse>> BuildCheckUniverse(
+    uint64_t seed, const CheckWorkloadParams& params = {});
+
+/// A seed plus the annotation stream it expanded into. The stream is kept
+/// materialized (not regenerated on demand) so the shrinker can minimize
+/// it and a repro file can carry the minimized form.
+struct CheckWorkload {
+  uint64_t seed = 0;
+  std::vector<CheckAnnotation> annotations;
+};
+
+/// Derives the annotation stream for `seed` against its universe. Uses an
+/// RNG stream independent from BuildCheckUniverse's, so the universe is
+/// not perturbed by changes to stream generation (and vice versa).
+CheckWorkload GenerateCheckWorkload(uint64_t seed,
+                                    const CheckUniverse& universe,
+                                    const CheckWorkloadParams& params = {});
+
+}  // namespace nebula::check
+
+#endif  // NEBULA_TESTING_CHECK_WORKLOAD_H_

@@ -1,0 +1,108 @@
+#ifndef NEBULA_TESTING_DIFFERENTIAL_H_
+#define NEBULA_TESTING_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "testing/check_workload.h"
+
+namespace nebula::check {
+
+/// The configuration pairs NebulaCheck runs differentially. Each pair
+/// fixes the workload and varies exactly one engine knob; the two runs
+/// must agree on everything the knob promises not to change.
+enum class ConfigPair {
+  /// Sequential (num_threads=0) vs pooled (num_threads=N) batch ingest.
+  /// Exact equivalence: reports, final attachments, verification tasks,
+  /// and the ACG fingerprint must match bit for bit.
+  kThreads,
+  /// One InsertAnnotation call per annotation vs a single
+  /// InsertAnnotations batch, both pooled. Exact equivalence.
+  kBatch,
+  /// Observability quiet (trace_capacity=0, no dumps) vs exercised
+  /// (tracing on, DumpMetrics/DumpTraces called mid-run). Observation
+  /// must never perturb results: exact equivalence. NEBULA_OBS is a
+  /// compile-time switch, so a single binary can only vary the runtime
+  /// surface; CI completes the argument by comparing canonical digests
+  /// across an OBS=ON and an OBS=OFF binary (see --digest).
+  kObs,
+  /// Full-database search vs focal spreading. Spreading is an
+  /// approximation, so exact equality is the wrong spec: the check is
+  /// one-sided — every candidate discovered under spreading must also be
+  /// discovered by the exact run (per annotation), and spreading must
+  /// never crash or corrupt state. Soundness: Stage 1 is a pure function
+  /// of text+meta, and the mini-db only *restricts* where Stage 2 looks.
+  kSpreading,
+};
+
+inline constexpr ConfigPair kAllConfigPairs[] = {
+    ConfigPair::kThreads, ConfigPair::kBatch, ConfigPair::kObs,
+    ConfigPair::kSpreading};
+
+const char* ConfigPairName(ConfigPair pair);
+Result<ConfigPair> ParseConfigPair(std::string_view name);
+
+struct DiffOptions {
+  /// Pool size of the parallel side of kThreads / both sides of kBatch.
+  size_t num_threads = 3;
+  /// Test hook: deliberately mis-configures the B side (different epsilon
+  /// and grouping) so the harness's own divergence detection, shrinking,
+  /// and replay can be exercised end to end. Only meaningful for the
+  /// exact-equivalence pairs.
+  bool inject_bug = false;
+  CheckWorkloadParams workload;
+};
+
+/// Canonical outcome of one engine run over one workload: a list of
+/// stable text records (per-annotation report + final store/verification/
+/// ACG state) that two equivalent runs must reproduce byte for byte.
+/// Deliberately excludes timings and anything else wall-clock dependent.
+struct RunOutcome {
+  std::vector<std::string> lines;
+  /// Candidate tuples per stream annotation, in report order — the
+  /// subset check of the kSpreading pair consumes these.
+  std::vector<std::vector<TupleId>> candidates;
+  /// Order-independent digest of `lines`; what the CI cross-binary
+  /// OBS comparison and the repro files key on.
+  uint64_t Digest() const;
+};
+
+struct Divergence {
+  bool diverged = false;
+  std::string detail;  ///< first differing record / violated subset
+};
+
+/// Executes workloads under explicit configurations and compares the
+/// outcomes per the pair's equivalence class.
+class DifferentialRunner {
+ public:
+  explicit DifferentialRunner(DiffOptions options = {});
+
+  /// Engine configuration both sides share, varied deterministically by
+  /// seed so a sweep covers the config space (epsilon, shared execution,
+  /// spreading K) instead of one fixed point.
+  NebulaConfig BaseConfig(uint64_t seed) const;
+
+  /// One side: builds the universe for workload.seed, streams the
+  /// annotations through a fresh engine, returns the canonical outcome.
+  Result<RunOutcome> Run(const CheckWorkload& workload,
+                         const NebulaConfig& config, bool batch_mode,
+                         bool exercise_obs) const;
+
+  /// Both sides of `pair` plus the comparison.
+  Result<Divergence> RunPair(ConfigPair pair,
+                             const CheckWorkload& workload) const;
+
+  const DiffOptions& options() const { return options_; }
+
+ private:
+  DiffOptions options_;
+};
+
+}  // namespace nebula::check
+
+#endif  // NEBULA_TESTING_DIFFERENTIAL_H_

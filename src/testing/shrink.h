@@ -1,0 +1,58 @@
+#ifndef NEBULA_TESTING_SHRINK_H_
+#define NEBULA_TESTING_SHRINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "testing/check_workload.h"
+#include "testing/differential.h"
+
+namespace nebula::check {
+
+/// A self-contained, replayable divergence: the seed (which regenerates
+/// the whole universe), the pair and its options, and the (usually
+/// shrunk) annotation stream that still triggers the divergence.
+struct ReproCase {
+  uint64_t seed = 0;
+  ConfigPair pair = ConfigPair::kThreads;
+  size_t num_threads = 3;
+  bool inject_bug = false;
+  std::vector<CheckAnnotation> annotations;
+};
+
+/// True when the given stream still reproduces the failure under test.
+using FailurePredicate =
+    std::function<bool(const std::vector<CheckAnnotation>&)>;
+
+struct ShrinkStats {
+  size_t evaluations = 0;
+  size_t removed_annotations = 0;
+  size_t removed_words = 0;
+};
+
+/// Greedy delta-debugging minimization of a failing stream: drop whole
+/// annotations to a fixpoint, then drop words within each surviving
+/// annotation, then truncate focal lists — re-validating with
+/// `still_fails` after every candidate edit. The result is guaranteed to
+/// still satisfy the predicate. `max_evaluations` bounds total predicate
+/// calls (each one is two engine runs).
+std::vector<CheckAnnotation> ShrinkAnnotations(
+    std::vector<CheckAnnotation> annotations,
+    const FailurePredicate& still_fails, size_t max_evaluations = 200,
+    ShrinkStats* stats = nullptr);
+
+/// Plain-text round-trip of a ReproCase (format documented in the file
+/// header SaveRepro writes).
+Status SaveRepro(const std::string& path, const ReproCase& repro);
+Result<ReproCase> LoadRepro(const std::string& path);
+
+/// Re-runs a repro. `diverged == true` means it still reproduces.
+Result<Divergence> ReplayRepro(const ReproCase& repro,
+                               const CheckWorkloadParams& params = {});
+
+}  // namespace nebula::check
+
+#endif  // NEBULA_TESTING_SHRINK_H_

@@ -183,6 +183,33 @@ TEST_F(IdentifyTest, EmptyQuerySetYieldsNoCandidates) {
   EXPECT_TRUE(identifier.Identify({}, {Tid(0)})->empty());
 }
 
+TEST_F(IdentifyTest, EqualConfidenceTieBreaksByTupleId) {
+  TupleIdentifier identifier(engine_.get(), &acg_);
+  // Four tuples at identical confidence, queried in shuffled order: the
+  // ranking must fall back to ascending tuple id. Regression guard for
+  // the differential harness — equal-confidence candidates must never
+  // reorder across runs or configurations.
+  const std::vector<KeywordQuery> queries = {
+      {{"gene", "JW0005"}, 1.0, "q1"},
+      {{"gene", "JW0003"}, 1.0, "q2"},
+      {{"gene", "JW0008"}, 1.0, "q3"},
+      {{"gene", "JW0002"}, 1.0, "q4"},
+  };
+  const auto first = *identifier.Identify(queries, {});
+  ASSERT_EQ(first.size(), 4u);
+  for (const auto& c : first) EXPECT_DOUBLE_EQ(c.confidence, 1.0);
+  EXPECT_EQ(first[0].tuple, Tid(2));
+  EXPECT_EQ(first[1].tuple, Tid(3));
+  EXPECT_EQ(first[2].tuple, Tid(5));
+  EXPECT_EQ(first[3].tuple, Tid(8));
+  // And the whole ranking is reproducible call over call.
+  const auto second = *identifier.Identify(queries, {});
+  ASSERT_EQ(second.size(), first.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(second[i].tuple, first[i].tuple);
+  }
+}
+
 TEST_F(IdentifyTest, ConfidencesAlwaysNormalized) {
   TupleIdentifier identifier(engine_.get(), &acg_);
   const std::vector<KeywordQuery> queries = {

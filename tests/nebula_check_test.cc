@@ -1,0 +1,190 @@
+// NebulaCheck harness tests: the generator is deterministic, a sweep over
+// all four config pairs is divergence-free, and the harness catches,
+// shrinks, and replays a deliberately injected bug. Labeled "check".
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "testing/check_runner.h"
+#include "testing/check_workload.h"
+#include "testing/differential.h"
+#include "testing/shrink.h"
+
+namespace nebula {
+namespace {
+
+using check::CheckAnnotation;
+using check::CheckOptions;
+using check::CheckUniverse;
+using check::CheckWorkload;
+using check::ConfigPair;
+using check::DifferentialRunner;
+using check::DiffOptions;
+using check::Divergence;
+using check::ReproCase;
+using check::RunOutcome;
+
+TEST(CheckWorkloadTest, UniverseIsDeterministic) {
+  auto a = check::BuildCheckUniverse(11);
+  auto b = check::BuildCheckUniverse(11);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ((*a)->catalog.num_tables(), (*b)->catalog.num_tables());
+  for (size_t t = 0; t < (*a)->catalog.num_tables(); ++t) {
+    const Table* ta = (*a)->catalog.GetTableById(static_cast<uint32_t>(t));
+    const Table* tb = (*b)->catalog.GetTableById(static_cast<uint32_t>(t));
+    ASSERT_EQ(ta->num_rows(), tb->num_rows());
+    for (uint64_t r = 0; r < ta->num_rows(); ++r) {
+      for (size_t c = 0; c < ta->schema().num_columns(); ++c) {
+        ASSERT_EQ(ta->GetCell(r, c), tb->GetCell(r, c));
+      }
+    }
+  }
+  EXPECT_EQ((*a)->store.num_annotations(), (*b)->store.num_annotations());
+  EXPECT_EQ((*a)->store.num_attachments(), (*b)->store.num_attachments());
+  EXPECT_EQ((*a)->corpus_tuples, (*b)->corpus_tuples);
+
+  const CheckWorkload wa = check::GenerateCheckWorkload(11, **a);
+  const CheckWorkload wb = check::GenerateCheckWorkload(11, **b);
+  ASSERT_EQ(wa.annotations.size(), wb.annotations.size());
+  for (size_t i = 0; i < wa.annotations.size(); ++i) {
+    EXPECT_EQ(wa.annotations[i].text, wb.annotations[i].text);
+    EXPECT_EQ(wa.annotations[i].focal, wb.annotations[i].focal);
+  }
+  // Different seeds give different universes (sanity, not certainty —
+  // but these two do differ).
+  auto c = check::BuildCheckUniverse(12);
+  ASSERT_TRUE(c.ok());
+  const CheckWorkload wc = check::GenerateCheckWorkload(12, **c);
+  EXPECT_NE(wa.annotations.front().text, wc.annotations.front().text);
+}
+
+TEST(CheckWorkloadTest, StreamReferencesRealTuplesWithFocal) {
+  auto universe = check::BuildCheckUniverse(3);
+  ASSERT_TRUE(universe.ok());
+  const CheckWorkload workload = check::GenerateCheckWorkload(3, **universe);
+  ASSERT_FALSE(workload.annotations.empty());
+  for (const CheckAnnotation& a : workload.annotations) {
+    EXPECT_FALSE(a.text.empty());
+    ASSERT_FALSE(a.focal.empty());
+    for (const TupleId& t : a.focal) {
+      const Table* table = (*universe)->catalog.GetTableById(t.table_id);
+      ASSERT_NE(table, nullptr);
+      EXPECT_LT(t.row, table->num_rows());
+    }
+  }
+}
+
+TEST(DifferentialTest, RunIsReproducible) {
+  const DifferentialRunner runner;
+  auto universe = check::BuildCheckUniverse(5);
+  ASSERT_TRUE(universe.ok());
+  const CheckWorkload workload = check::GenerateCheckWorkload(5, **universe);
+  const NebulaConfig config = runner.BaseConfig(5);
+  auto a = runner.Run(workload, config, /*batch_mode=*/false,
+                      /*exercise_obs=*/false);
+  auto b = runner.Run(workload, config, /*batch_mode=*/false,
+                      /*exercise_obs=*/false);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->lines, b->lines);
+  EXPECT_EQ(a->Digest(), b->Digest());
+}
+
+TEST(DifferentialTest, SweepAllPairsDivergenceFree) {
+  CheckOptions options;
+  options.start_seed = 1;
+  options.num_seeds = 8;
+  options.shrink = false;
+  std::ostringstream log;
+  const auto summary = check::RunCheckSweep(options, log);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->pair_runs, 8u * 4u);
+  EXPECT_EQ(summary->divergences, 0u) << log.str();
+  EXPECT_EQ(summary->run_errors, 0u) << log.str();
+}
+
+/// End-to-end harness self-test: an injected config bug must be caught,
+/// shrunk to a smaller stream that still reproduces, saved to a repro
+/// file, loaded back, and replayed to the same verdict.
+TEST(DifferentialTest, InjectedBugIsCaughtShrunkAndReplayable) {
+  DiffOptions options;
+  options.inject_bug = true;
+  const DifferentialRunner runner(options);
+
+  uint64_t bug_seed = 0;
+  CheckWorkload failing;
+  for (uint64_t seed = 1; seed <= 10 && bug_seed == 0; ++seed) {
+    auto universe = check::BuildCheckUniverse(seed);
+    ASSERT_TRUE(universe.ok());
+    CheckWorkload workload = check::GenerateCheckWorkload(seed, **universe);
+    const auto verdict = runner.RunPair(ConfigPair::kThreads, workload);
+    ASSERT_TRUE(verdict.ok());
+    if (verdict->diverged) {
+      bug_seed = seed;
+      failing = std::move(workload);
+    }
+  }
+  ASSERT_NE(bug_seed, 0u)
+      << "the injected bug diverged on none of 10 seeds";
+
+  auto still_fails = [&](const std::vector<CheckAnnotation>& stream) {
+    CheckWorkload candidate;
+    candidate.seed = bug_seed;
+    candidate.annotations = stream;
+    const auto verdict = runner.RunPair(ConfigPair::kThreads, candidate);
+    return verdict.ok() && verdict->diverged;
+  };
+  check::ShrinkStats stats;
+  const std::vector<CheckAnnotation> shrunk = check::ShrinkAnnotations(
+      failing.annotations, still_fails, /*max_evaluations=*/150, &stats);
+  ASSERT_FALSE(shrunk.empty());
+  EXPECT_LE(shrunk.size(), failing.annotations.size());
+  EXPECT_TRUE(still_fails(shrunk));
+  EXPECT_GT(stats.evaluations, 0u);
+
+  ReproCase repro;
+  repro.seed = bug_seed;
+  repro.pair = ConfigPair::kThreads;
+  repro.inject_bug = true;
+  repro.annotations = shrunk;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "nebula_check_repro_ut.txt")
+          .string();
+  ASSERT_TRUE(check::SaveRepro(path, repro).ok());
+  auto loaded = check::LoadRepro(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->seed, repro.seed);
+  EXPECT_EQ(loaded->pair, repro.pair);
+  EXPECT_EQ(loaded->inject_bug, true);
+  ASSERT_EQ(loaded->annotations.size(), shrunk.size());
+  for (size_t i = 0; i < shrunk.size(); ++i) {
+    EXPECT_EQ(loaded->annotations[i].text, shrunk[i].text);
+    EXPECT_EQ(loaded->annotations[i].focal, shrunk[i].focal);
+    EXPECT_EQ(loaded->annotations[i].author, shrunk[i].author);
+  }
+  const auto replay = check::ReplayRepro(*loaded);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->diverged);
+  std::remove(path.c_str());
+
+  // Without the bug the same workload is clean — the divergence really
+  // came from the injected mis-configuration.
+  const DifferentialRunner clean;
+  const auto verdict = clean.RunPair(ConfigPair::kThreads, failing);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_FALSE(verdict->diverged) << verdict->detail;
+}
+
+TEST(DifferentialTest, ParseConfigPairRoundTrips) {
+  for (ConfigPair pair : check::kAllConfigPairs) {
+    const auto parsed = check::ParseConfigPair(check::ConfigPairName(pair));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), pair);
+  }
+  EXPECT_FALSE(check::ParseConfigPair("bogus").ok());
+}
+
+}  // namespace
+}  // namespace nebula

@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "annotation/serialize.h"
+#include "common/string_util.h"
+#include "core/context_adjust.h"
 #include "core/engine.h"
 #include "sql/parser.h"
 #include "core/query_generation.h"
@@ -459,6 +461,100 @@ TEST_P(SerializeRoundTrip, RandomDatabaseSurvives) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRoundTrip,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+// ------------------ Property: Stage-1 invariants -----------------------
+// Query generation is a pure function of (text, meta): weights stay in
+// [0,1], repeated generation is bit-identical, and no two emitted queries
+// carry the same keyword multiset (deduplication is idempotent).
+
+class StageOneInvariants : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(StageOneInvariants, QueryWeightsInUnitInterval) {
+  BioDataset* ds = SharedDataset();
+  ASSERT_NE(ds, nullptr);
+  const WorkloadAnnotation& wa = ds->workload.annotations[GetParam()];
+  QueryGenerator gen(&ds->meta);
+  for (const KeywordQuery& q : gen.Generate(wa.text).queries) {
+    EXPECT_GT(q.weight, 0.0) << q.ToString();
+    EXPECT_LE(q.weight, 1.0) << q.ToString();
+  }
+}
+
+TEST_P(StageOneInvariants, GenerationDeterministicAndDeduplicated) {
+  BioDataset* ds = SharedDataset();
+  ASSERT_NE(ds, nullptr);
+  const WorkloadAnnotation& wa = ds->workload.annotations[GetParam()];
+  QueryGenerator first(&ds->meta);
+  QueryGenerator second(&ds->meta);
+  const auto a = first.Generate(wa.text).queries;
+  const auto b = second.Generate(wa.text).queries;
+  ASSERT_EQ(a.size(), b.size());
+  std::vector<std::vector<std::string>> keyword_sets;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].keywords, b[i].keywords);
+    EXPECT_DOUBLE_EQ(a[i].weight, b[i].weight);
+    EXPECT_EQ(a[i].label, b[i].label);
+    std::vector<std::string> sorted = a[i].keywords;
+    std::sort(sorted.begin(), sorted.end());
+    keyword_sets.push_back(std::move(sorted));
+  }
+  // Dedup idempotence: generating again must not re-introduce a keyword
+  // multiset that deduplication already folded.
+  std::sort(keyword_sets.begin(), keyword_sets.end());
+  EXPECT_EQ(std::adjacent_find(keyword_sets.begin(), keyword_sets.end()),
+            keyword_sets.end())
+      << "duplicate keyword multiset in: " << wa.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkloadAnnotations, StageOneInvariants,
+                         ::testing::Range<size_t>(0, 60, 6));
+
+// §5.2.2: a full {table, column, value} context (Type-1) must reward a
+// value mapping more than {table, value} (Type-2), which must reward it
+// more than {column, value} (Type-3) — because beta1 > beta2 > beta3.
+TEST(ContextRewardOrdering, TypeOneBeatsTypeTwoBeatsTypeThree) {
+  const ContextAdjustParams params;  // defaults: 0.30 / 0.20 / 0.10
+  ASSERT_GT(params.beta1, params.beta2);
+  ASSERT_GT(params.beta2, params.beta3);
+  const double base = 0.5;  // below 1/(1+beta1): the clamp never hides order
+
+  auto word = [](const std::string& text, size_t pos,
+                 std::vector<WordMapping> mappings) {
+    SigWord w;
+    w.token = Token{text, ToLower(text), pos, 0};
+    w.mappings = std::move(mappings);
+    return w;
+  };
+  const WordMapping table_map{WordMapping::Kind::kTable, "gene", "", 0.9};
+  const WordMapping column_map{WordMapping::Kind::kColumn, "gene", "gid",
+                               0.8};
+  const WordMapping value_map{WordMapping::Kind::kValue, "gene", "gid",
+                              base};
+
+  SignatureMap type1;  // gene gid JW0001
+  type1.words = {word("gene", 0, {table_map}), word("gid", 1, {column_map}),
+                 word("JW0001", 2, {value_map})};
+  SignatureMap type2;  // gene .. JW0001
+  type2.words = {word("gene", 0, {table_map}), word("the", 1, {}),
+                 word("JW0001", 2, {value_map})};
+  SignatureMap type3;  // .. gid JW0001
+  type3.words = {word("the", 0, {}), word("gid", 1, {column_map}),
+                 word("JW0001", 2, {value_map})};
+
+  ContextBasedAdjustment(&type1, params);
+  ContextBasedAdjustment(&type2, params);
+  ContextBasedAdjustment(&type3, params);
+
+  const double w1 = type1.words[2].mappings[0].weight;
+  const double w2 = type2.words[2].mappings[0].weight;
+  const double w3 = type3.words[2].mappings[0].weight;
+  EXPECT_NEAR(w1, base * (1 + params.beta1), 1e-12);
+  EXPECT_NEAR(w2, base * (1 + params.beta2), 1e-12);
+  EXPECT_NEAR(w3, base * (1 + params.beta3), 1e-12);
+  EXPECT_GT(w1, w2);
+  EXPECT_GT(w2, w3);
+  EXPECT_GT(w3, base);
+}
 
 }  // namespace
 }  // namespace nebula

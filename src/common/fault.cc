@@ -12,7 +12,7 @@ FaultRegistry& FaultRegistry::Global() {
 }
 
 void FaultRegistry::Arm(const std::string& point, FaultSpec spec) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] = points_.try_emplace(point);
   if (inserted) {
     armed_points_.fetch_add(1, std::memory_order_relaxed);
@@ -23,14 +23,14 @@ void FaultRegistry::Arm(const std::string& point, FaultSpec spec) {
 }
 
 void FaultRegistry::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (points_.erase(point) > 0) {
     armed_points_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FaultRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   armed_points_.fetch_sub(points_.size(), std::memory_order_relaxed);
   points_.clear();
 }
@@ -51,7 +51,7 @@ bool FaultRegistry::Evaluate(PointState* state) {
 }
 
 Status FaultRegistry::Check(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = points_.find(point);
   if (it == points_.end()) return Status::OK();
   if (!Evaluate(&it->second)) return Status::OK();
@@ -60,20 +60,20 @@ Status FaultRegistry::Check(const std::string& point) {
 }
 
 bool FaultRegistry::ShouldFail(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = points_.find(point);
   if (it == points_.end()) return false;
   return Evaluate(&it->second);
 }
 
 uint64_t FaultRegistry::CallCount(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.calls;
 }
 
 uint64_t FaultRegistry::FireCount(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.fires;
 }

@@ -3,12 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace nebula {
 
@@ -40,17 +40,9 @@ struct FaultSpec {
 /// is a single relaxed atomic load — cheap enough to leave compiled into
 /// release builds.
 ///
-/// Registered fault points (kept in one place so tests don't chase string
-/// literals):
-///  - "storage.query.execute"    QueryExecutor::Execute entry
-///  - "storage.query.join"      QueryExecutor::ExecuteJoin entry
-///  - "storage.table.insert"    Table::Insert entry
-///  - "sql.session.execute"     SqlSession::Execute entry
-///  - "keyword.shared.statement" per distinct statement in the shared
-///                               executor (fires on pool workers too)
-///  - "threadpool.submit"        ThreadPool enqueue; a fired fault makes
-///                               the pool degrade that submission to
-///                               inline execution on the caller's thread
+/// Every point name is declared in common/fault_points.h — the canonical
+/// registry, enforced by tools/nebula_lint — so tests don't chase string
+/// literals scattered through the tree.
 ///
 /// Thread safety: Arm/Disarm/Check/counters are mutex-protected; Enabled()
 /// is lock-free. Probabilistic draws consume a per-point Rng under the
@@ -96,12 +88,12 @@ class FaultRegistry {
 
   FaultRegistry() = default;
 
-  /// Returns whether the armed point fires on this call (caller holds the
-  /// lock); nullptr-safe via the map lookup in the public entry points.
-  bool Evaluate(PointState* state);
+  /// Returns whether the armed point fires on this call; nullptr-safe via
+  /// the map lookup in the public entry points.
+  bool Evaluate(PointState* state) REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, PointState> points_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, PointState> points_ GUARDED_BY(mutex_);
   static std::atomic<size_t> armed_points_;
 };
 

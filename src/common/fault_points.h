@@ -1,0 +1,41 @@
+#ifndef NEBULA_COMMON_FAULT_POINTS_H_
+#define NEBULA_COMMON_FAULT_POINTS_H_
+
+/// Canonical registry of every FaultRegistry point name in the engine.
+///
+/// tools/nebula_lint enforces that any name passed to
+/// NEBULA_INJECT_FAULT / NEBULA_FAULT_SHOULD_FAIL under src/ appears in
+/// this header, so tests never chase string literals scattered through the
+/// tree and a typo'd point name fails `ctest -L lint` instead of silently
+/// never firing.
+///
+/// Adding a fault point: add the constant here (keep the list sorted by
+/// name), use the same literal at the injection site, and cover the fired
+/// path in a fault-labeled test.
+
+namespace nebula {
+
+/// Per distinct statement in the shared keyword executor; fires on pool
+/// workers too.
+inline constexpr char kFaultKeywordSharedStatement[] =
+    "keyword.shared.statement";
+
+/// SqlSession::Execute entry.
+inline constexpr char kFaultSqlSessionExecute[] = "sql.session.execute";
+
+/// QueryExecutor::Execute entry.
+inline constexpr char kFaultStorageQueryExecute[] = "storage.query.execute";
+
+/// QueryExecutor::ExecuteJoin entry.
+inline constexpr char kFaultStorageQueryJoin[] = "storage.query.join";
+
+/// Table::Insert entry.
+inline constexpr char kFaultStorageTableInsert[] = "storage.table.insert";
+
+/// ThreadPool enqueue; a fired fault makes the pool degrade that
+/// submission to inline execution on the caller's thread.
+inline constexpr char kFaultThreadPoolSubmit[] = "threadpool.submit";
+
+}  // namespace nebula
+
+#endif  // NEBULA_COMMON_FAULT_POINTS_H_

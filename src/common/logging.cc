@@ -7,8 +7,8 @@
 #include <cstdlib>
 #include <ctime>
 #include <memory>
-#include <mutex>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 namespace nebula {
@@ -41,8 +41,8 @@ std::atomic<LogLevel> g_level{InitialLevel()};
 // (a test sink may be destroyed mid-call); keep invocation under the
 // same lock — logging is not a hot path, and this also serializes
 // stderr writes from concurrent workers.
-std::mutex g_sink_mutex;
-Logger::Sink g_sink;  // empty = stderr
+Mutex g_sink_mutex;
+Logger::Sink g_sink GUARDED_BY(g_sink_mutex);  // empty = stderr
 
 }  // namespace
 
@@ -53,7 +53,7 @@ void Logger::set_level(LogLevel level) {
 }
 
 void Logger::set_sink(Sink sink) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   g_sink = std::move(sink);
 }
 
@@ -92,7 +92,7 @@ std::string Logger::FormatRecord(LogLevel level, const std::string& message) {
 
 void Logger::Log(LogLevel level, const std::string& message) {
   const std::string line = FormatRecord(level, message);
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   if (g_sink) {
     g_sink(level, line);
     return;

@@ -2,16 +2,15 @@
 #define NEBULA_COMMON_THREAD_POOL_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 namespace nebula {
@@ -75,10 +74,10 @@ class ThreadPool {
   bool Enqueue(std::function<void()> task);
   void WorkerLoop();
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<QueueItem> queue_;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<QueueItem> queue_ GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 
   // Process-wide pool metrics (all ThreadPool instances share them),

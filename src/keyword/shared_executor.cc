@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/fault.h"
+#include "common/fault_points.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 
@@ -127,7 +128,7 @@ Status SharedKeywordExecutor::ExecuteGroup(
       -> Result<std::vector<SearchHit>> {
     // Fault injection: lets tests fail an individual distinct statement
     // (possibly on a pool worker) mid-group.
-    NEBULA_INJECT_FAULT("keyword.shared.statement");
+    NEBULA_INJECT_FAULT(kFaultKeywordSharedStatement);
     // Execute with confidence 1; scale per consumer on distribution.
     GeneratedSql unit = planned.sql;
     unit.confidence = 1.0;

@@ -96,7 +96,7 @@ MetricsRegistry::Instrument* MetricsRegistry::GetInstrument(
     const std::string& name, MetricType type, Labels labels,
     const std::string& help) {
   std::sort(labels.begin(), labels.end());
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto [fit, family_created] = families_.try_emplace(name);
   FamilyImpl& family = fit->second;
   if (family_created) {
@@ -147,7 +147,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::vector<MetricsRegistry::Family> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<Family> out;
   out.reserve(families_.size());
   for (const auto& [name, impl] : families_) {
@@ -178,7 +178,7 @@ std::vector<MetricsRegistry::Family> MetricsRegistry::Snapshot() const {
 }
 
 size_t MetricsRegistry::num_families() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return families_.size();
 }
 

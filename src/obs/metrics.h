@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 /// Compile-time master switch for the observability layer. The build
 /// defines NEBULA_OBS_ENABLED=0 under -DNEBULA_OBS=OFF; instrumentation
@@ -160,10 +161,11 @@ class MetricsRegistry {
   };
 
   Instrument* GetInstrument(const std::string& name, MetricType type,
-                            Labels labels, const std::string& help);
+                            Labels labels, const std::string& help)
+      EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, FamilyImpl> families_;
+  mutable Mutex mutex_;
+  std::map<std::string, FamilyImpl> families_ GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

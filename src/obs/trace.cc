@@ -22,7 +22,7 @@ uint64_t TraceBuilder::ElapsedMicros() const {
 
 uint32_t TraceBuilder::BeginSpan(const std::string& name, uint32_t parent) {
   const uint64_t start_us = ElapsedMicros();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TraceSpan span;
   span.id = static_cast<uint32_t>(spans_.size()) + 1;
   span.parent = parent;
@@ -35,14 +35,14 @@ uint32_t TraceBuilder::BeginSpan(const std::string& name, uint32_t parent) {
 
 void TraceBuilder::EndSpan(uint32_t id) {
   const uint64_t now_us = ElapsedMicros();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (id == 0 || id > spans_.size()) return;
   TraceSpan& span = spans_[id - 1];
   span.duration_us = now_us >= span.start_us ? now_us - span.start_us : 0;
 }
 
 void TraceBuilder::SetDetail(uint32_t id, const std::string& detail) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (id == 0 || id > spans_.size()) return;
   spans_[id - 1].detail = detail;
 }
@@ -51,7 +51,7 @@ uint32_t TraceBuilder::AddCompleteSpan(const std::string& name,
                                        uint32_t parent, uint64_t start_us,
                                        uint64_t duration_us,
                                        const std::string& detail) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TraceSpan span;
   span.id = static_cast<uint32_t>(spans_.size()) + 1;
   span.parent = parent;
@@ -65,7 +65,7 @@ uint32_t TraceBuilder::AddCompleteSpan(const std::string& name,
 }
 
 Trace TraceBuilder::Finish(uint64_t annotation) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Trace trace;
   trace.annotation = annotation;
   trace.spans = std::move(spans_);
@@ -74,29 +74,29 @@ Trace TraceBuilder::Finish(uint64_t annotation) {
 }
 
 void TraceRecorder::Record(Trace trace) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++total_;
   if (traces_.size() >= capacity_) traces_.pop_front();
   traces_.push_back(std::move(trace));
 }
 
 std::vector<Trace> TraceRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return {traces_.begin(), traces_.end()};
 }
 
 size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return traces_.size();
 }
 
 uint64_t TraceRecorder::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_;
 }
 
 uint64_t TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_ > traces_.size() ? total_ - traces_.size() : 0;
 }
 

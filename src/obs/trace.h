@@ -4,10 +4,10 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 namespace nebula {
@@ -61,9 +61,9 @@ class TraceBuilder {
 
  private:
   using Clock = std::chrono::steady_clock;
-  mutable std::mutex mutex_;
-  Clock::time_point start_;
-  std::vector<TraceSpan> spans_;
+  mutable Mutex mutex_;
+  const Clock::time_point start_;  ///< immutable after construction
+  std::vector<TraceSpan> spans_ GUARDED_BY(mutex_);
 };
 
 /// RAII helper: opens a span on construction, closes it on destruction.
@@ -107,9 +107,9 @@ class TraceRecorder {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::deque<Trace> traces_;
-  uint64_t total_ = 0;
+  mutable Mutex mutex_;
+  std::deque<Trace> traces_ GUARDED_BY(mutex_);
+  uint64_t total_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace obs

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/fault.h"
+#include "common/fault_points.h"
 #include "common/string_util.h"
 
 namespace nebula {
@@ -44,7 +45,7 @@ std::string QueryResult::ToString() const {
 }
 
 Result<QueryResult> SqlSession::Execute(const std::string& statement) {
-  NEBULA_INJECT_FAULT("sql.session.execute");
+  NEBULA_INJECT_FAULT(kFaultSqlSessionExecute);
   NEBULA_ASSIGN_OR_RETURN(Statement parsed, ParseStatement(statement));
   if (auto* select = std::get_if<SelectStatement>(&parsed)) {
     return ExecuteSelect(*select);

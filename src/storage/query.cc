@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/fault.h"
+#include "common/fault_points.h"
 #include "common/string_util.h"
 
 namespace nebula {
@@ -107,7 +108,7 @@ Result<std::vector<Table::RowId>> QueryExecutor::Execute(
     const SelectQuery& query,
     const std::unordered_set<Table::RowId>* restrict,
     bool allow_text_index) {
-  NEBULA_INJECT_FAULT("storage.query.execute");
+  NEBULA_INJECT_FAULT(kFaultStorageQueryExecute);
   NEBULA_ASSIGN_OR_RETURN(const Table* table, catalog_->GetTable(query.table));
 
   std::vector<int> ordinals;
@@ -180,7 +181,7 @@ Result<std::vector<Table::RowId>> QueryExecutor::Execute(
 
 Result<std::vector<std::pair<Table::RowId, Table::RowId>>>
 QueryExecutor::ExecuteJoin(const JoinQuery& query) {
-  NEBULA_INJECT_FAULT("storage.query.join");
+  NEBULA_INJECT_FAULT(kFaultStorageQueryJoin);
   NEBULA_ASSIGN_OR_RETURN(const Table* left,
                           catalog_->GetTable(query.left_table));
   NEBULA_ASSIGN_OR_RETURN(const Table* right,

@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "common/fault.h"
+#include "common/fault_points.h"
 #include "common/string_util.h"
 
 namespace nebula {
@@ -33,7 +34,7 @@ Table::Table(uint32_t id, std::string name, Schema schema)
       text_index_built_(schema_.num_columns(), false) {}
 
 Result<Table::RowId> Table::Insert(std::vector<Value> row) {
-  NEBULA_INJECT_FAULT("storage.table.insert");
+  NEBULA_INJECT_FAULT(kFaultStorageTableInsert);
   NEBULA_RETURN_NOT_OK(schema_.ValidateRow(row));
   // Unique-constraint check through the (lazily built) hash index.
   for (size_t c = 0; c < schema_.num_columns(); ++c) {
@@ -46,11 +47,22 @@ Result<Table::RowId> Table::Insert(std::vector<Value> row) {
     }
   }
   const RowId row_id = rows_.size();
-  // Maintain any already-built indexes incrementally.
-  for (size_t c = 0; c < schema_.num_columns(); ++c) {
-    if (index_built_[c].load(std::memory_order_relaxed)) {
-      indexes_[c][row[c]].push_back(row_id);
+  // Maintain any already-built hash indexes incrementally. Writers are
+  // exclusive by contract, but the hash indexes are also touched by the
+  // lazy build path, so their maintenance takes the build mutex (it is
+  // uncontended here — never held across Lookup above, which locks it
+  // internally on an unbuilt column).
+  {
+    MutexLock lock(index_build_mutex_);
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      if (index_built_[c].load(std::memory_order_relaxed)) {
+        indexes_[c][row[c]].push_back(row_id);
+      }
     }
+  }
+  // Text indexes are mutated only under the exclusive-writer contract
+  // (BuildTextIndex / Insert never run concurrently with readers).
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
     if (text_index_built_[c] && row[c].is_string()) {
       for (const auto& tok : TokenizeForIndex(row[c].AsString())) {
         auto& postings = text_indexes_[c][tok];
@@ -80,7 +92,7 @@ const Table::HashIndex& Table::GetOrBuildIndex(size_t column) const {
   // the same lazy build, so the build is serialized and completion is
   // published through the acquire/release flag.
   if (!index_built_[column].load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(index_build_mutex_);
+    MutexLock lock(index_build_mutex_);
     if (!index_built_[column].load(std::memory_order_relaxed)) {
       HashIndex index;
       index.reserve(rows_.size());
@@ -91,7 +103,7 @@ const Table::HashIndex& Table::GetOrBuildIndex(size_t column) const {
       index_built_[column].store(true, std::memory_order_release);
     }
   }
-  return indexes_[column];
+  return PublishedIndex(column);
 }
 
 std::vector<Table::RowId> Table::Lookup(size_t column,

@@ -1,0 +1,32 @@
+// Positive control for the -DNEBULA_ANALYZE gate: correctly disciplined
+// code must compile warning-clean under -Werror=thread-safety. Compiled
+// only via try_compile at configure time (see tests/CMakeLists.txt).
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    nebula::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int Value() const {
+    nebula::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable nebula::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Value() == 1 ? 0 : 1;
+}

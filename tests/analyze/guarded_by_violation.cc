@@ -1,0 +1,31 @@
+// Negative control for the -DNEBULA_ANALYZE gate: this TU reads a
+// GUARDED_BY field without holding its mutex and MUST FAIL to compile
+// under -Werror=thread-safety. If it ever compiles, the analysis is not
+// active and the configure step aborts (see tests/CMakeLists.txt).
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    nebula::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  // Deliberate lock-discipline violation: unlocked read of value_.
+  int ValueUnlocked() const { return value_; }
+
+ private:
+  mutable nebula::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.ValueUnlocked() == 1 ? 0 : 1;
+}

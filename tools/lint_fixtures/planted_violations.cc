@@ -1,0 +1,33 @@
+// Planted violations for `nebula_lint --self-test` — every rule must flag
+// this file, proving the checker detects what it claims to. Never compiled
+// or linked; deliberately not part of any CMake target.
+
+#include <mutex>
+#include <random>
+
+// [naked-sync] plant 1: a naked std::mutex member.
+struct BadLockDiscipline {
+  std::mutex mu;
+  int value = 0;
+};
+
+// [naked-sync] plant 2: a naked std::lock_guard use.
+inline int ReadBad(BadLockDiscipline& b) {
+  std::lock_guard<std::mutex> lock(b.mu);
+  return b.value;
+}
+
+// [fault-name] plant 1: raw string literal passed to a fault probe.
+inline void ProbeBad() { NEBULA_INJECT_FAULT("not.a.registered.point"); }
+
+// [fault-name] plant 2: kFault constant that no canonical header declares.
+inline const char* BadPoint() { return kFaultTotallyMadeUp; }
+
+// [nondeterminism] plant 1: bare rand() call.
+inline int RollBad() { return rand() % 6; }
+
+// [nondeterminism] plant 2: std::random_device.
+inline unsigned SeedBad() {
+  std::random_device rd;
+  return rd();
+}

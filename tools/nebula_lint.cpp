@@ -1,0 +1,310 @@
+// nebula_lint — project-specific static checks that clang-tidy cannot
+// express (see DESIGN.md "Static analysis & lock discipline").
+//
+// Rules:
+//   [naked-sync]     std::mutex / std::shared_mutex / std::lock_guard /
+//                    std::unique_lock / std::scoped_lock / std::shared_lock /
+//                    std::condition_variable anywhere but common/sync.h.
+//                    All synchronization goes through the annotated
+//                    nebula::Mutex family so -DNEBULA_ANALYZE can see it.
+//   [fault-name]     fault points must come from the canonical registry:
+//                    no raw string literal passed to NEBULA_INJECT_FAULT /
+//                    NEBULA_FAULT_SHOULD_FAIL, and any kFault* identifier
+//                    used must be declared in common/fault_points.h.
+//   [nondeterminism] no rand() / srand() / std::random_device outside
+//                    src/testing/ — everything flows through the seeded
+//                    nebula::Rng so runs stay bit-reproducible.
+//
+// Usage:
+//   nebula_lint --src <src-dir>           scan a source tree (exit 1 on
+//                                         any violation)
+//   nebula_lint --self-test <fixture-dir> scan the planted-violation
+//                                         fixtures and verify every rule
+//                                         fires (exit 1 if any rule
+//                                         missed its plant)
+//
+// Standalone by design: no nebula libraries, std only, line-based
+// scanning. It is deliberately conservative — full-line comments are
+// skipped, everything else is matched textually.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// True when the trimmed line is a comment (// or a block-comment
+/// continuation starting with '*').
+bool IsCommentLine(const std::string& line) {
+  size_t i = line.find_first_not_of(" \t");
+  if (i == std::string::npos) return true;
+  if (line.compare(i, 2, "//") == 0) return true;
+  if (line[i] == '*') return true;
+  if (line.compare(i, 2, "/*") == 0) return true;
+  return false;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Finds `token` in `line` with identifier boundaries on both sides.
+bool ContainsToken(const std::string& line, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    // ':' on the left means we matched the tail of a qualified name
+    // (e.g. "std::random_device" when searching "random_device"): still a
+    // hit, so only reject alphanumeric/underscore neighbours.
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+/// True when the path has `part` as one of its directory components.
+bool HasPathComponent(const fs::path& path, const std::string& part) {
+  for (const auto& component : path) {
+    if (component.string() == part) return true;
+  }
+  return false;
+}
+
+const char* const kNakedSyncTokens[] = {
+    "std::mutex",          "std::shared_mutex", "std::recursive_mutex",
+    "std::timed_mutex",    "std::lock_guard",   "std::unique_lock",
+    "std::scoped_lock",    "std::shared_lock",  "std::condition_variable",
+    "std::condition_variable_any",
+};
+
+const char* const kNondeterminismTokens[] = {
+    "rand",
+    "srand",
+    "random_device",
+};
+
+/// Extracts kFault* constant names declared in fault_points.h.
+std::set<std::string> LoadCanonicalFaultNames(const fs::path& header) {
+  std::set<std::string> names;
+  std::ifstream in(header);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t pos = line.find("kFault");
+    if (pos == std::string::npos) continue;
+    size_t end = pos;
+    while (end < line.size() && IsIdentChar(line[end])) ++end;
+    names.insert(line.substr(pos, end - pos));
+  }
+  return names;
+}
+
+class Linter {
+ public:
+  explicit Linter(std::set<std::string> canonical_fault_names)
+      : canonical_fault_names_(std::move(canonical_fault_names)) {}
+
+  void ScanFile(const fs::path& path) {
+    const std::string generic = path.generic_string();
+    const bool is_sync_header = EndsWith(generic, "common/sync.h");
+    const bool is_fault_points = EndsWith(generic, "common/fault_points.h");
+    const bool is_testing = HasPathComponent(path, "testing");
+
+    std::ifstream in(path);
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (IsCommentLine(line)) continue;
+      if (!is_sync_header) CheckNakedSync(generic, lineno, line);
+      if (!is_fault_points) CheckFaultNames(generic, lineno, line);
+      if (!is_testing) CheckNondeterminism(generic, lineno, line);
+    }
+  }
+
+  void ScanTree(const fs::path& root) {
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files) ScanFile(file);
+  }
+
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  size_t CountByRule(const std::string& rule) const {
+    size_t n = 0;
+    for (const auto& v : violations_) {
+      if (v.rule == rule) ++n;
+    }
+    return n;
+  }
+
+ private:
+  void Report(const std::string& file, size_t line, const std::string& rule,
+              const std::string& message) {
+    violations_.push_back({file, line, rule, message});
+  }
+
+  void CheckNakedSync(const std::string& file, size_t lineno,
+                      const std::string& line) {
+    for (const char* token : kNakedSyncTokens) {
+      if (ContainsToken(line, token)) {
+        Report(file, lineno, "naked-sync",
+               std::string(token) +
+                   " outside common/sync.h; use the annotated "
+                   "nebula::Mutex family");
+        return;  // one report per line is enough
+      }
+    }
+  }
+
+  void CheckFaultNames(const std::string& file, size_t lineno,
+                       const std::string& line) {
+    const bool is_macro_definition = line.find("#define") != std::string::npos;
+    if (is_macro_definition) return;
+    const bool has_probe = line.find("NEBULA_INJECT_FAULT") !=
+                               std::string::npos ||
+                           line.find("NEBULA_FAULT_SHOULD_FAIL") !=
+                               std::string::npos;
+    if (has_probe && line.find('"') != std::string::npos) {
+      Report(file, lineno, "fault-name",
+             "raw string literal passed to a fault probe; use a kFault* "
+             "constant from common/fault_points.h");
+      return;
+    }
+    // Any kFault* identifier used anywhere in src must be canonical.
+    size_t pos = 0;
+    while ((pos = line.find("kFault", pos)) != std::string::npos) {
+      if (pos > 0 && IsIdentChar(line[pos - 1])) {
+        ++pos;
+        continue;
+      }
+      size_t end = pos;
+      while (end < line.size() && IsIdentChar(line[end])) ++end;
+      const std::string name = line.substr(pos, end - pos);
+      if (name.size() > 6 &&
+          canonical_fault_names_.find(name) == canonical_fault_names_.end()) {
+        Report(file, lineno, "fault-name",
+               name + " is not declared in common/fault_points.h");
+      }
+      pos = end;
+    }
+  }
+
+  void CheckNondeterminism(const std::string& file, size_t lineno,
+                           const std::string& line) {
+    for (const char* token : kNondeterminismTokens) {
+      if (!ContainsToken(line, token)) continue;
+      // rand/srand must be a call to count (plain identifier hits things
+      // like "operand"); random_device counts wherever it appears.
+      if (std::string(token) != "random_device") {
+        const size_t pos = line.find(token);
+        size_t after = pos + std::string(token).size();
+        while (after < line.size() && line[after] == ' ') ++after;
+        if (after >= line.size() || line[after] != '(') continue;
+      }
+      Report(file, lineno, "nondeterminism",
+             std::string(token) +
+                 " outside src/testing/; use the seeded nebula::Rng");
+      return;
+    }
+  }
+
+  std::set<std::string> canonical_fault_names_;
+  std::vector<Violation> violations_;
+};
+
+void PrintViolations(const std::vector<Violation>& violations) {
+  for (const auto& v : violations) {
+    std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+}
+
+int RunScan(const fs::path& src_dir) {
+  const fs::path fault_points = src_dir / "common" / "fault_points.h";
+  if (!fs::exists(fault_points)) {
+    std::cerr << "nebula_lint: missing canonical fault-point header "
+              << fault_points << "\n";
+    return 2;
+  }
+  Linter linter(LoadCanonicalFaultNames(fault_points));
+  linter.ScanTree(src_dir);
+  PrintViolations(linter.violations());
+  if (!linter.violations().empty()) {
+    std::cerr << "nebula_lint: " << linter.violations().size()
+              << " violation(s)\n";
+    return 1;
+  }
+  std::cout << "nebula_lint: clean\n";
+  return 0;
+}
+
+/// Scans the planted-violation fixtures and verifies each rule fires at
+/// least once — proving the checker actually detects what it claims to.
+int RunSelfTest(const fs::path& fixture_dir) {
+  // Self-test uses an empty canonical set so every fixture kFault name and
+  // literal counts as a violation.
+  Linter linter(std::set<std::string>{});
+  linter.ScanTree(fixture_dir);
+  PrintViolations(linter.violations());
+  const std::map<std::string, size_t> expected = {
+      {"naked-sync", 2}, {"fault-name", 2}, {"nondeterminism", 2}};
+  bool ok = true;
+  for (const auto& [rule, min_count] : expected) {
+    const size_t got = linter.CountByRule(rule);
+    std::cout << "self-test [" << rule << "]: planted >= " << min_count
+              << ", flagged " << got
+              << (got >= min_count ? " (ok)" : " (MISSED)") << "\n";
+    if (got < min_count) ok = false;
+  }
+  if (!ok) {
+    std::cerr << "nebula_lint self-test FAILED: a rule missed its planted "
+                 "violation\n";
+    return 1;
+  }
+  std::cout << "nebula_lint self-test ok\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() == 2 && args[0] == "--src") {
+    return RunScan(args[1]);
+  }
+  if (args.size() == 2 && args[0] == "--self-test") {
+    return RunSelfTest(args[1]);
+  }
+  std::cerr << "usage: nebula_lint --src <src-dir> | --self-test "
+               "<fixture-dir>\n";
+  return 2;
+}

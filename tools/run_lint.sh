@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# run_lint.sh — clang-tidy over src/ with a committed-baseline diff.
+#
+# Runs clang-tidy (checks from the repo-root .clang-tidy) over every
+# translation unit under src/, normalizes the findings, and diffs them
+# against tools/lint_baseline.txt. Pre-existing debt recorded in the
+# baseline never blocks; any finding NOT in the baseline fails the run.
+#
+# Usage:
+#   tools/run_lint.sh [build-dir]     # default build dir: build
+#
+# Environment:
+#   NEBULA_LINT_STRICT=1   fail (exit 3) when clang-tidy is unavailable
+#                          instead of skipping — CI sets this.
+#   CLANG_TIDY=<binary>    clang-tidy executable to use.
+#
+# Shrinking the baseline: fix findings, then regenerate with
+#   tools/run_lint.sh build --update-baseline
+# and commit the smaller file. Never regenerate to *add* entries for new
+# code — fix the code instead.
+
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-build}"
+UPDATE_BASELINE=0
+if [ "${2:-}" = "--update-baseline" ]; then
+  UPDATE_BASELINE=1
+fi
+BASELINE="${REPO_ROOT}/tools/lint_baseline.txt"
+
+# --- locate clang-tidy ------------------------------------------------------
+TIDY="${CLANG_TIDY:-}"
+if [ -z "${TIDY}" ]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      TIDY="${candidate}"
+      break
+    fi
+  done
+fi
+if [ -z "${TIDY}" ]; then
+  if [ "${NEBULA_LINT_STRICT:-0}" = "1" ]; then
+    echo "run_lint.sh: clang-tidy not found and NEBULA_LINT_STRICT=1" >&2
+    exit 3
+  fi
+  echo "run_lint.sh: clang-tidy not found; skipping (set" \
+       "NEBULA_LINT_STRICT=1 to make this an error)" >&2
+  exit 0
+fi
+
+# --- locate compile_commands.json -------------------------------------------
+CDB="${BUILD_DIR}/compile_commands.json"
+if [ ! -f "${CDB}" ]; then
+  echo "run_lint.sh: ${CDB} not found — configure first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S ${REPO_ROOT}" >&2
+  echo "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)" >&2
+  exit 2
+fi
+
+# --- run clang-tidy over src/ ------------------------------------------------
+mapfile -t SOURCES < <(find "${REPO_ROOT}/src" -name '*.cc' | sort)
+echo "run_lint.sh: ${TIDY} over ${#SOURCES[@]} files (this can take a" \
+     "few minutes)..."
+
+RAW="$(mktemp)"
+trap 'rm -f "${RAW}"' EXIT
+"${TIDY}" -p "${BUILD_DIR}" --quiet "${SOURCES[@]}" >"${RAW}" 2>/dev/null
+
+# Normalize: keep only finding lines, make paths repo-relative, and drop
+# line:column (so unrelated edits above a finding don't churn the
+# baseline). One finding = "path: severity: message [check]".
+normalize() {
+  grep -E '(warning|error):' "$1" |
+    sed -E -e "s#${REPO_ROOT}/##g" -e 's/:[0-9]+:[0-9]+:/:/' |
+    sort -u
+}
+
+ACTUAL="$(mktemp)"
+trap 'rm -f "${RAW}" "${ACTUAL}"' EXIT
+normalize "${RAW}" >"${ACTUAL}"
+
+if [ "${UPDATE_BASELINE}" = "1" ]; then
+  cp "${ACTUAL}" "${BASELINE}"
+  echo "run_lint.sh: baseline updated ($(wc -l <"${BASELINE}") entries)"
+  exit 0
+fi
+
+touch "${BASELINE}"
+NEW_FINDINGS="$(comm -13 <(sort -u "${BASELINE}") "${ACTUAL}")"
+FIXED="$(comm -23 <(sort -u "${BASELINE}") "${ACTUAL}" | wc -l)"
+
+if [ -n "${NEW_FINDINGS}" ]; then
+  echo "run_lint.sh: NEW clang-tidy findings (not in tools/lint_baseline.txt):"
+  echo "${NEW_FINDINGS}"
+  echo
+  echo "Fix them, or (for genuinely pre-existing debt only) regenerate the"
+  echo "baseline with: tools/run_lint.sh ${BUILD_DIR} --update-baseline"
+  exit 1
+fi
+
+echo "run_lint.sh: clean ($(wc -l <"${ACTUAL}") finding(s), all in baseline;" \
+     "${FIXED} baseline entr(ies) no longer fire — consider shrinking it)"
+exit 0

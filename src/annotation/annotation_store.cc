@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/status.h"
 #include "common/string_util.h"
+#include "storage/schema.h"
 
 namespace nebula {
 

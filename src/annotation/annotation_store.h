@@ -51,21 +51,21 @@ class AnnotationStore {
   /// Registers a new annotation and returns its id.
   AnnotationId AddAnnotation(std::string text, std::string author = "");
 
-  Result<const Annotation*> GetAnnotation(AnnotationId id) const;
+  [[nodiscard]] Result<const Annotation*> GetAnnotation(AnnotationId id) const;
   size_t num_annotations() const { return annotations_.size(); }
   size_t num_attachments() const { return num_edges_; }
 
   /// Creates an edge. Fails on duplicates or out-of-range weights.
-  Status Attach(AnnotationId annotation, const TupleId& tuple,
+  [[nodiscard]] Status Attach(AnnotationId annotation, const TupleId& tuple,
                 AttachmentType type = AttachmentType::kTrue,
                 double weight = 1.0);
 
   /// Removes an edge. Fails when absent.
-  Status Detach(AnnotationId annotation, const TupleId& tuple);
+  [[nodiscard]] Status Detach(AnnotationId annotation, const TupleId& tuple);
 
   /// Converts a Predicted edge into a True edge with weight 1 (the action
   /// taken when a verification task is accepted, §7).
-  Status PromoteToTrue(AnnotationId annotation, const TupleId& tuple);
+  [[nodiscard]] Status PromoteToTrue(AnnotationId annotation, const TupleId& tuple);
 
   bool HasAttachment(AnnotationId annotation, const TupleId& tuple) const;
   /// Returns the edge when present (nullptr otherwise).

@@ -1,6 +1,11 @@
 #include "annotation/auto_attach.h"
 
+#include "annotation/annotation_store.h"
+#include "common/status.h"
 #include "common/string_util.h"
+#include "storage/query.h"
+#include "storage/schema.h"
+#include "storage/table.h"
 
 namespace nebula {
 

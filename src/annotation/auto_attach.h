@@ -5,7 +5,9 @@
 
 #include "annotation/annotation_store.h"
 #include "common/status.h"
+#include "storage/catalog.h"
 #include "storage/query.h"
+#include "storage/schema.h"
 
 namespace nebula {
 
@@ -30,17 +32,17 @@ class AutoAttachRegistry {
 
   /// Registers a rule and immediately attaches the annotation to every
   /// currently matching tuple. Returns the number of new attachments.
-  Result<size_t> AddRule(AnnotationId annotation, SelectQuery predicate);
+  [[nodiscard]] Result<size_t> AddRule(AnnotationId annotation, SelectQuery predicate);
 
   /// Applies all rules of the tuple's table to a newly inserted tuple.
   /// Returns the number of annotations attached.
-  Result<size_t> OnInsert(const TupleId& tuple);
+  [[nodiscard]] Result<size_t> OnInsert(const TupleId& tuple);
 
   const std::vector<AutoAttachRule>& rules() const { return rules_; }
 
  private:
   /// Attaches `annotation` to `tuple` unless already attached.
-  Status AttachIfNew(AnnotationId annotation, const TupleId& tuple,
+  [[nodiscard]] Status AttachIfNew(AnnotationId annotation, const TupleId& tuple,
                      size_t* attached);
 
   Catalog* catalog_;

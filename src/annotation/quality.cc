@@ -2,7 +2,8 @@
 
 #include <algorithm>
 
-#include "common/hash.h"
+#include "annotation/annotation_store.h"
+#include "storage/schema.h"
 
 namespace nebula {
 

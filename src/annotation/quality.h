@@ -6,6 +6,7 @@
 
 #include "annotation/annotation_store.h"
 #include "common/hash.h"
+#include "storage/schema.h"
 
 namespace nebula {
 

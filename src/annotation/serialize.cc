@@ -5,7 +5,13 @@
 #include <fstream>
 #include <sstream>
 
+#include "annotation/annotation_store.h"
+#include "common/status.h"
 #include "common/string_util.h"
+#include "storage/catalog.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/value.h"
 
 namespace nebula {
 

@@ -28,12 +28,12 @@ class DatabaseSerializer {
  public:
   /// Writes the catalog (and optionally the annotation store) to `dir`,
   /// creating it if needed. Existing files are overwritten.
-  static Status Save(const std::string& dir, const Catalog& catalog,
+  [[nodiscard]] static Status Save(const std::string& dir, const Catalog& catalog,
                      const AnnotationStore* store = nullptr);
 
   /// Loads a database previously written by Save. `catalog` and `store`
   /// must be empty.
-  static Status Load(const std::string& dir, Catalog* catalog,
+  [[nodiscard]] static Status Load(const std::string& dir, Catalog* catalog,
                      AnnotationStore* store = nullptr);
 };
 

@@ -67,7 +67,7 @@ class FaultRegistry {
   /// Evaluates the point: OK when unarmed or the trigger does not fire,
   /// otherwise the armed Status. Increments the call counter of an armed
   /// point (unarmed points are not tracked).
-  Status Check(const std::string& point);
+  [[nodiscard]] Status Check(const std::string& point);
 
   /// Boolean form for sites that cannot return a Status (e.g. the thread
   /// pool's enqueue). True when the fault fires.

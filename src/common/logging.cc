@@ -8,8 +8,8 @@
 #include <ctime>
 #include <memory>
 
+#include "common/obs_hooks.h"
 #include "common/sync.h"
-#include "obs/metrics.h"
 
 namespace nebula {
 
@@ -86,7 +86,7 @@ std::string Logger::FormatRecord(LogLevel level, const std::string& message) {
                 "[%04d-%02d-%02dT%02d:%02d:%02d.%03dZ t%02u %s] ",
                 utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
                 utc.tm_min, utc.tm_sec, static_cast<int>(millis),
-                obs::CurrentThreadId(), LogLevelName(level));
+                hooks::CurrentThreadOrdinal(), LogLevelName(level));
   return header + message;
 }
 

@@ -24,7 +24,13 @@ enum class StatusCode {
 
 /// A lightweight success/error carrier. All fallible public APIs in Nebula
 /// return `Status` (or `Result<T>` when they produce a value).
-class Status {
+///
+/// The class itself is `[[nodiscard]]`: any call site that drops a
+/// returned `Status` on the floor is a compiler warning (an error under
+/// -DNEBULA_WERROR=ON, which CI builds with) — the nebula_lint
+/// error-discipline pass is the textual backstop. Call sites that
+/// genuinely do not care must say so by checking `.ok()` or logging.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -32,32 +38,45 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status NotSupported(std::string msg) {
+  [[nodiscard]] static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
   }
-  static Status Corruption(std::string msg) {
+  [[nodiscard]] static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Returns this status with `prefix` prepended to the message
+  /// ("prefix: message"), preserving the code; OK stays OK untouched.
+  /// The idiom for adding call-path context while propagating:
+  ///   NEBULA_RETURN_NOT_OK(LoadTable(name).WithContext("restoring " + name));
+  [[nodiscard]] Status WithContext(const std::string& prefix) const& {
+    if (ok()) return *this;
+    return Status(code_, prefix + ": " + message_);
+  }
+  [[nodiscard]] Status WithContext(const std::string& prefix) && {
+    if (ok()) return std::move(*this);
+    return Status(code_, prefix + ": " + std::move(message_));
+  }
 
   /// Human-readable rendering, e.g. "NotFound: table gene".
   std::string ToString() const;
@@ -73,7 +92,7 @@ class Status {
 /// Accessing the value of an errored result is a programming error and
 /// asserts in debug builds.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
@@ -103,9 +122,15 @@ class Result {
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
-  /// Returns the held value, or `fallback` when errored.
-  T value_or(T fallback) const {
+  /// Returns the held value, or `fallback` when errored. The lvalue
+  /// overload copies the held value; the rvalue-qualified overload moves
+  /// it out, so `std::move(result).value_or(fb)` (and calling straight on
+  /// a temporary) never copies — required for move-only payloads.
+  T value_or(T fallback) const& {
     return ok() ? *value_ : std::move(fallback);
+  }
+  T value_or(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
   }
 
  private:

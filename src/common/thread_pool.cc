@@ -7,22 +7,8 @@
 
 namespace nebula {
 
-ThreadPool::ThreadPool(size_t num_threads) {
-  if constexpr (obs::kEnabled) {
-    auto& registry = obs::MetricsRegistry::Global();
-    tasks_submitted_ = registry.GetCounter(
-        "nebula_pool_tasks_submitted_total", {},
-        "Tasks enqueued on any ThreadPool instance");
-    tasks_executed_ = registry.GetCounter(
-        "nebula_pool_tasks_executed_total", {},
-        "Tasks whose callable finished executing");
-    queue_depth_ = registry.GetGauge(
-        "nebula_pool_queue_depth", {},
-        "Tasks queued but not yet claimed by a worker");
-    queue_wait_us_ = registry.GetHistogram(
-        "nebula_pool_queue_wait_us", {},
-        "Time a task spent queued before a worker picked it up");
-  }
+ThreadPool::ThreadPool(size_t num_threads)
+    : sink_(hooks::GetPoolEventSink()) {
   const size_t n = std::max<size_t>(1, num_threads);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -46,13 +32,12 @@ bool ThreadPool::Enqueue(std::function<void()> task) {
     if (stopping_) return false;
     QueueItem item;
     item.fn = std::move(task);
-    if constexpr (obs::kEnabled) {
+    if (sink_ != nullptr) {
       item.enqueued = std::chrono::steady_clock::now();
     }
     queue_.push_back(std::move(item));
-    if constexpr (obs::kEnabled) {
-      tasks_submitted_->Increment();
-      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    if (sink_ != nullptr) {
+      sink_->task_submitted(queue_.size());
     }
   }
   cv_.NotifyOne();
@@ -84,20 +69,19 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;
       item = std::move(queue_.front());
       queue_.pop_front();
-      if constexpr (obs::kEnabled) {
-        queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+      if (sink_ != nullptr) {
+        const auto waited =
+            std::chrono::steady_clock::now() - item.enqueued;
+        sink_->task_dequeued(
+            queue_.size(),
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(waited)
+                    .count()));
       }
     }
-    if constexpr (obs::kEnabled) {
-      const auto waited =
-          std::chrono::steady_clock::now() - item.enqueued;
-      queue_wait_us_->Observe(static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(waited)
-              .count()));
-    }
     item.fn();  // packaged_task captures exceptions into the future
-    if constexpr (obs::kEnabled) {
-      tasks_executed_->Increment();
+    if (sink_ != nullptr) {
+      sink_->task_executed();
     }
   }
 }

@@ -10,8 +10,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/obs_hooks.h"
 #include "common/sync.h"
-#include "obs/metrics.h"
 
 namespace nebula {
 
@@ -80,12 +80,10 @@ class ThreadPool {
   bool stopping_ GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 
-  // Process-wide pool metrics (all ThreadPool instances share them),
-  // resolved once at construction; nullptr when NEBULA_OBS is off.
-  obs::Counter* tasks_submitted_ = nullptr;
-  obs::Counter* tasks_executed_ = nullptr;
-  obs::Gauge* queue_depth_ = nullptr;
-  obs::Histogram* queue_wait_us_ = nullptr;
+  // Process-wide instrumentation sink (hooks::GetPoolEventSink), resolved
+  // once at construction; nullptr when obs is not linked or NEBULA_OBS is
+  // off — every event site then reduces to a null-check.
+  const hooks::PoolEventSink* sink_ = nullptr;
 };
 
 }  // namespace nebula

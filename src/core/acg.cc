@@ -4,7 +4,9 @@
 #include <deque>
 #include <string>
 
+#include "annotation/annotation_store.h"
 #include "obs/metrics.h"
+#include "storage/schema.h"
 
 namespace nebula {
 

@@ -2,6 +2,12 @@
 
 #include <algorithm>
 
+#include "annotation/annotation_store.h"
+#include "annotation/quality.h"
+#include "core/identify.h"
+#include "core/verification.h"
+#include "storage/schema.h"
+
 namespace nebula {
 
 AssessmentResult ComputeAssessment(const AssessmentCounts& c) {

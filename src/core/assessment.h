@@ -4,9 +4,11 @@
 #include <cstddef>
 #include <vector>
 
+#include "annotation/annotation_store.h"
 #include "annotation/quality.h"
 #include "core/identify.h"
 #include "core/verification.h"
+#include "storage/schema.h"
 
 namespace nebula {
 

@@ -2,6 +2,13 @@
 
 #include <algorithm>
 
+#include "annotation/annotation_store.h"
+#include "annotation/quality.h"
+#include "core/assessment.h"
+#include "core/identify.h"
+#include "core/verification.h"
+#include "storage/schema.h"
+
 namespace nebula {
 
 BoundsSettingResult BoundsSetting(

@@ -4,9 +4,11 @@
 #include <functional>
 #include <vector>
 
-#include "annotation/quality.h"
+#include "annotation/annotation_store.h"
 #include "core/assessment.h"
+#include "core/identify.h"
 #include "core/verification.h"
+#include "storage/schema.h"
 
 namespace nebula {
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/signature_maps.h"
+
 namespace nebula {
 
 namespace {

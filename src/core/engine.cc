@@ -3,8 +3,20 @@
 #include <future>
 #include <utility>
 
+#include "annotation/annotation_store.h"
+#include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/focal_spreading.h"
+#include "core/identify.h"
+#include "core/query_generation.h"
+#include "keyword/mini_db.h"
+#include "meta/nebula_meta.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/catalog.h"
+#include "storage/schema.h"
 
 namespace nebula {
 

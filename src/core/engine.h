@@ -17,10 +17,12 @@
 #include "core/spam.h"
 #include "core/verification.h"
 #include "keyword/engine.h"
+#include "keyword/query_types.h"
 #include "meta/nebula_meta.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "storage/catalog.h"
+#include "storage/schema.h"
 
 namespace nebula {
 
@@ -104,7 +106,7 @@ class NebulaEngine {
   /// Stage 0: inserts a new annotation with its initial (focal)
   /// attachments, then runs discovery (stages 1-2) and verification
   /// submission (stage 3). Returns the full report.
-  Result<AnnotationReport> InsertAnnotation(
+  [[nodiscard]] Result<AnnotationReport> InsertAnnotation(
       const std::string& text, const std::vector<TupleId>& focal,
       const std::string& author = "");
 
@@ -114,13 +116,13 @@ class NebulaEngine {
   /// pure function of the metadata and the text — runs ahead on the worker
   /// pool while the stateful stages (0, 2, 3) proceed in request order,
   /// and each annotation's Stage 2 executes its SQL on the same pool.
-  Result<std::vector<AnnotationReport>> InsertAnnotations(
+  [[nodiscard]] Result<std::vector<AnnotationReport>> InsertAnnotations(
       std::span<const AnnotationRequest> requests);
 
   /// Discovery only (stages 1-2) for an already-stored annotation: used by
   /// the BoundsSetting trainer and the benchmarks. Does not create
   /// verification tasks or modify any state.
-  Result<AnnotationReport> Discover(AnnotationId annotation,
+  [[nodiscard]] Result<AnnotationReport> Discover(AnnotationId annotation,
                                     const std::vector<TupleId>& focal);
 
   /// Rebuilds the ACG from the store's current True attachments (the
@@ -160,7 +162,7 @@ class NebulaEngine {
  private:
   /// Stage 0: stores the annotation and its focal (True) attachments.
   /// When traced, records an "acg_update" span under `parent_span`.
-  Result<AnnotationId> StoreWithFocal(const std::string& text,
+  [[nodiscard]] Result<AnnotationId> StoreWithFocal(const std::string& text,
                                       const std::vector<TupleId>& focal,
                                       const std::string& author,
                                       obs::TraceBuilder* tracer = nullptr,
@@ -168,7 +170,7 @@ class NebulaEngine {
   /// Stage 2 for an already-generated query group. When traced, the
   /// spreading decision, mini-db build, and per-statement executions are
   /// recorded as children of `parent_span`.
-  Result<AnnotationReport> DiscoverWithQueries(
+  [[nodiscard]] Result<AnnotationReport> DiscoverWithQueries(
       AnnotationId annotation, const std::vector<TupleId>& focal,
       QueryGenerationResult generated, obs::TraceBuilder* tracer = nullptr,
       uint32_t parent_span = 0);
@@ -178,7 +180,7 @@ class NebulaEngine {
                         uint32_t parent_span = 0);
   /// The full stage 0-3 pipeline for one annotation, traced and metered;
   /// `pregenerated`, when given, short-circuits Stage 1 (batch ingest).
-  Result<AnnotationReport> InsertOne(const std::string& text,
+  [[nodiscard]] Result<AnnotationReport> InsertOne(const std::string& text,
                                      const std::vector<TupleId>& focal,
                                      const std::string& author,
                                      QueryGenerationResult* pregenerated);

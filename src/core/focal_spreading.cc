@@ -1,5 +1,8 @@
 #include "core/focal_spreading.h"
 
+#include "keyword/mini_db.h"
+#include "storage/schema.h"
+
 namespace nebula {
 
 bool FocalSpreading::ShouldApproximate(

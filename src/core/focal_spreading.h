@@ -6,6 +6,7 @@
 
 #include "core/acg.h"
 #include "keyword/mini_db.h"
+#include "storage/schema.h"
 
 namespace nebula {
 

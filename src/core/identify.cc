@@ -4,7 +4,13 @@
 #include <future>
 #include <unordered_map>
 
+#include "common/status.h"
 #include "common/stopwatch.h"
+#include "keyword/mini_db.h"
+#include "keyword/query_types.h"
+#include "keyword/shared_executor.h"
+#include "storage/query.h"
+#include "storage/schema.h"
 
 namespace nebula {
 

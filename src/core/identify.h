@@ -8,8 +8,11 @@
 #include "common/thread_pool.h"
 #include "core/acg.h"
 #include "keyword/engine.h"
+#include "keyword/mini_db.h"
+#include "keyword/query_types.h"
 #include "keyword/shared_executor.h"
 #include "obs/trace.h"
+#include "storage/schema.h"
 
 namespace nebula {
 
@@ -77,7 +80,7 @@ class TupleIdentifier {
   /// Runs the algorithm. `focal` is Foc(a); `mini_db`, when given,
   /// restricts the search (focal-spreading mode). Candidates are returned
   /// sorted by confidence (descending), confidences normalized to (0,1].
-  Result<std::vector<CandidateTuple>> Identify(
+  [[nodiscard]] Result<std::vector<CandidateTuple>> Identify(
       const std::vector<KeywordQuery>& queries,
       const std::vector<TupleId>& focal, const MiniDb* mini_db = nullptr);
 

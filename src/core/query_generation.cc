@@ -4,6 +4,9 @@
 #include <unordered_map>
 
 #include "common/stopwatch.h"
+#include "core/context_adjust.h"
+#include "core/signature_maps.h"
+#include "keyword/query_types.h"
 #include "text/tokenizer.h"
 
 namespace nebula {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "meta/nebula_meta.h"
 #include "text/stopwords.h"
+#include "text/tokenizer.h"
 
 namespace nebula {
 

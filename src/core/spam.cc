@@ -1,5 +1,7 @@
 #include "core/spam.h"
 
+#include "core/identify.h"
+
 namespace nebula {
 
 SpamVerdict DetectSpam(const std::vector<CandidateTuple>& candidates,

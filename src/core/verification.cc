@@ -2,8 +2,12 @@
 
 #include <algorithm>
 
+#include "annotation/annotation_store.h"
+#include "common/status.h"
 #include "common/string_util.h"
+#include "core/identify.h"
 #include "obs/metrics.h"
+#include "storage/schema.h"
 
 namespace nebula {
 

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/acg.h"
 #include "core/identify.h"
+#include "storage/schema.h"
 
 namespace nebula {
 
@@ -66,14 +67,14 @@ class VerificationManager {
                        const std::vector<CandidateTuple>& candidates);
 
   /// Expert accepts the pending task (the VERIFY ATTACHMENT command).
-  Status Verify(uint64_t vid);
+  [[nodiscard]] Status Verify(uint64_t vid);
   /// Expert rejects the pending task (the REJECT ATTACHMENT command).
-  Status Reject(uint64_t vid);
+  [[nodiscard]] Status Reject(uint64_t vid);
 
   /// Parses and executes the paper's extended SQL command:
   ///   [VERIFY | REJECT] ATTACHMENT <vid>;
   /// (case-insensitive; trailing semicolon optional).
-  Status ExecuteCommand(const std::string& command);
+  [[nodiscard]] Status ExecuteCommand(const std::string& command);
 
   /// Aggregate counts per task state — the admin dashboard numbers.
   struct Stats {
@@ -101,7 +102,7 @@ class VerificationManager {
   std::vector<const VerificationTask*> PendingTasks() const;
   /// All tasks ever created (for assessment).
   const std::vector<VerificationTask>& tasks() const { return tasks_; }
-  Result<const VerificationTask*> GetTask(uint64_t vid) const;
+  [[nodiscard]] Result<const VerificationTask*> GetTask(uint64_t vid) const;
 
   const VerificationBounds& bounds() const { return bounds_; }
   void set_bounds(VerificationBounds bounds) { bounds_ = bounds; }

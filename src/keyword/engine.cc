@@ -5,8 +5,16 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/status.h"
 #include "common/string_util.h"
+#include "keyword/mini_db.h"
+#include "keyword/query_types.h"
+#include "meta/nebula_meta.h"
+#include "storage/catalog.h"
+#include "storage/query.h"
+#include "storage/schema.h"
 #include "storage/table.h"
+#include "storage/value.h"
 
 namespace nebula {
 

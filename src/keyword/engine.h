@@ -10,6 +10,7 @@
 #include "meta/nebula_meta.h"
 #include "storage/catalog.h"
 #include "storage/query.h"
+#include "storage/table.h"
 
 namespace nebula {
 
@@ -39,7 +40,7 @@ class KeywordSearchEngine {
                       KeywordSearchParams params = {});
 
   /// Full search: mapping + compilation + execution.
-  Result<std::vector<SearchHit>> Search(const KeywordQuery& query,
+  [[nodiscard]] Result<std::vector<SearchHit>> Search(const KeywordQuery& query,
                                         const MiniDb* mini_db = nullptr);
 
   /// Thread-safe variant of Search: touches only shared-immutable engine
@@ -52,7 +53,7 @@ class KeywordSearchEngine {
   /// and folds each result with AccumulateStats would otherwise fold
   /// call 1's counters again with call 2's (double counting). On an
   /// error return `*stats` is left untouched.
-  Result<std::vector<SearchHit>> Search(const KeywordQuery& query,
+  [[nodiscard]] Result<std::vector<SearchHit>> Search(const KeywordQuery& query,
                                         const MiniDb* mini_db,
                                         ExecStats* stats) const;
 
@@ -75,13 +76,13 @@ class KeywordSearchEngine {
 
   /// Step 3 — executes one generated statement; hits carry
   /// `sql.confidence`, FK-expanded when params.fk_expansion is set.
-  Result<std::vector<SearchHit>> ExecuteSql(const GeneratedSql& sql,
+  [[nodiscard]] Result<std::vector<SearchHit>> ExecuteSql(const GeneratedSql& sql,
                                             const MiniDb* mini_db = nullptr);
 
   /// Thread-safe variant of ExecuteSql (same contract as the thread-safe
   /// Search): per-call executor, counters into `stats` (may be null).
   /// Like Search, `*stats` is overwritten, not accumulated into.
-  Result<std::vector<SearchHit>> ExecuteSql(const GeneratedSql& sql,
+  [[nodiscard]] Result<std::vector<SearchHit>> ExecuteSql(const GeneratedSql& sql,
                                             const MiniDb* mini_db,
                                             ExecStats* stats) const;
 

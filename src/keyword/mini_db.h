@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "storage/schema.h"
 #include "storage/table.h"
 
 namespace nebula {

@@ -7,8 +7,13 @@
 
 #include "common/fault.h"
 #include "common/fault_points.h"
+#include "common/status.h"
 #include "common/stopwatch.h"
+#include "keyword/engine.h"
+#include "keyword/mini_db.h"
+#include "keyword/query_types.h"
 #include "obs/metrics.h"
+#include "storage/query.h"
 
 namespace nebula {
 

@@ -6,7 +6,10 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "keyword/engine.h"
+#include "keyword/mini_db.h"
+#include "keyword/query_types.h"
 #include "obs/trace.h"
+#include "storage/query.h"
 
 namespace nebula {
 
@@ -65,7 +68,7 @@ class SharedKeywordExecutor {
 
   /// Executes all queries; `results[i]` are the merged hits of queries[i]
   /// (identical to what engine->Search(queries[i]) would return).
-  Status ExecuteGroup(const std::vector<KeywordQuery>& queries,
+  [[nodiscard]] Status ExecuteGroup(const std::vector<KeywordQuery>& queries,
                       std::vector<std::vector<SearchHit>>* results,
                       const MiniDb* mini_db = nullptr);
 

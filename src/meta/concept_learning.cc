@@ -4,7 +4,12 @@
 #include <map>
 #include <unordered_set>
 
+#include "annotation/annotation_store.h"
+#include "common/status.h"
+#include "meta/nebula_meta.h"
+#include "storage/catalog.h"
 #include "storage/table.h"
+#include "storage/value.h"
 
 namespace nebula {
 

@@ -51,7 +51,7 @@ std::vector<LearnedConcept> LearnConceptRefs(
 /// meta repository as one concept per table (named "<Table> (learned)"),
 /// each qualifying column a single-column referencing alternative.
 /// Tables whose columns all fall below the threshold are skipped.
-Status ApplyLearnedConcepts(const std::vector<LearnedConcept>& learned,
+[[nodiscard]] Status ApplyLearnedConcepts(const std::vector<LearnedConcept>& learned,
                             double min_support, NebulaMeta* meta);
 
 }  // namespace nebula

@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "common/random.h"
+#include "common/status.h"
 #include "common/string_util.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "storage/value.h"
+#include "text/lexicon.h"
+#include "text/pattern.h"
 #include "text/similarity.h"
 
 namespace nebula {

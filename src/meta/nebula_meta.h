@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "storage/catalog.h"
+#include "storage/value.h"
 #include "text/lexicon.h"
 #include "text/pattern.h"
 
@@ -104,7 +105,7 @@ class NebulaMeta {
 
   /// Registers a concept row; also registers its table and referencing
   /// columns as schema items / value columns.
-  Status AddConcept(const std::string& concept_name,
+  [[nodiscard]] Status AddConcept(const std::string& concept_name,
                     const std::string& table_name,
                     std::vector<std::vector<std::string>> referenced_by);
 
@@ -116,16 +117,16 @@ class NebulaMeta {
                       const std::string& alias);
 
   /// Declares the syntactic pattern of a referencing column's values.
-  Status SetColumnPattern(const std::string& table, const std::string& column,
+  [[nodiscard]] Status SetColumnPattern(const std::string& table, const std::string& column,
                           const std::string& regex);
   /// Declares a controlled vocabulary for a referencing column.
-  Status SetColumnOntology(const std::string& table,
+  [[nodiscard]] Status SetColumnOntology(const std::string& table,
                            const std::string& column,
                            const std::vector<std::string>& terms);
 
   /// Draws up to `per_column` random sample values for every referencing
   /// column that has neither an ontology nor a pattern (paper §5.1 (5)).
-  Status DrawColumnSamples(const Catalog& catalog, size_t per_column,
+  [[nodiscard]] Status DrawColumnSamples(const Catalog& catalog, size_t per_column,
                            Rng* rng);
 
   const std::vector<ConceptRef>& concepts() const { return concepts_; }

@@ -3,6 +3,9 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace nebula {
 namespace obs {
 

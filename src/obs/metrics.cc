@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/obs_hooks.h"
+
 namespace nebula {
 namespace obs {
 
@@ -181,6 +183,68 @@ size_t MetricsRegistry::num_families() const {
   MutexLock lock(mutex_);
   return families_.size();
 }
+
+// ---------------------------------------------------------------------------
+// common-layer hook registration.
+//
+// `common` sits below `obs` in the layer DAG, so ThreadPool and Logger
+// cannot include obs headers; they emit through the function-pointer
+// hooks in common/obs_hooks.h instead. Linking obs into a binary pulls
+// in this translation unit (anything that touches MetricsRegistry or an
+// exporter references it), and this static registrar binds the hooks
+// before main() runs. Without obs the hooks stay null and the pool /
+// logger record nothing — exactly the old NEBULA_OBS=OFF behavior.
+
+namespace {
+
+/// Pool instruments bound once at registration; the sink callbacks are
+/// captureless lambdas (plain function pointers) reading these globals.
+struct PoolInstruments {
+  Counter* submitted = nullptr;
+  Counter* executed = nullptr;
+  Gauge* depth = nullptr;
+  Histogram* wait_us = nullptr;
+};
+PoolInstruments g_pool;
+hooks::PoolEventSink g_pool_sink;
+
+struct HookRegistrar {
+  HookRegistrar() {
+    // The thread ordinal is not gated on kEnabled: the NEBULA_OBS=OFF
+    // build also prints real ordinals in log headers (CurrentThreadId is
+    // a plain utility, not instrumentation).
+    hooks::SetThreadOrdinalProvider(&CurrentThreadId);
+    if constexpr (kEnabled) {
+      auto& registry = MetricsRegistry::Global();
+      g_pool.submitted = registry.GetCounter(
+          "nebula_pool_tasks_submitted_total", {},
+          "Tasks enqueued on any ThreadPool instance");
+      g_pool.executed = registry.GetCounter(
+          "nebula_pool_tasks_executed_total", {},
+          "Tasks whose callable finished executing");
+      g_pool.depth = registry.GetGauge(
+          "nebula_pool_queue_depth", {},
+          "Tasks queued but not yet claimed by a worker");
+      g_pool.wait_us = registry.GetHistogram(
+          "nebula_pool_queue_wait_us", {},
+          "Time a task spent queued before a worker picked it up");
+      g_pool_sink.task_submitted = [](size_t queue_depth) {
+        g_pool.submitted->Increment();
+        g_pool.depth->Set(static_cast<int64_t>(queue_depth));
+      };
+      g_pool_sink.task_dequeued = [](size_t queue_depth,
+                                     uint64_t queue_wait_us) {
+        g_pool.depth->Set(static_cast<int64_t>(queue_depth));
+        g_pool.wait_us->Observe(queue_wait_us);
+      };
+      g_pool_sink.task_executed = [] { g_pool.executed->Increment(); };
+      hooks::SetPoolEventSink(&g_pool_sink);
+    }
+  }
+};
+const HookRegistrar g_hook_registrar;
+
+}  // namespace
 
 }  // namespace obs
 }  // namespace nebula

@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "common/status.h"
 #include "common/string_util.h"
 
 namespace nebula {

@@ -26,7 +26,7 @@ struct SqlToken {
 /// Tokenizes one SQL statement. Identifiers keep their original case;
 /// comparisons are done case-insensitively by the parser. Returns
 /// InvalidArgument on unterminated strings or stray characters.
-Result<std::vector<SqlToken>> Lex(const std::string& statement);
+[[nodiscard]] Result<std::vector<SqlToken>> Lex(const std::string& statement);
 
 }  // namespace sql
 }  // namespace nebula

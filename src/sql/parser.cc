@@ -2,8 +2,10 @@
 
 #include <cstdlib>
 
+#include "common/status.h"
 #include "common/string_util.h"
 #include "sql/lexer.h"
+#include "storage/query.h"
 
 namespace nebula {
 namespace sql {

@@ -81,7 +81,7 @@ using Statement = std::variant<SelectStatement, InsertStatement,
                                VerifyStatement, ShowStatement>;
 
 /// Parses one statement (trailing semicolon optional).
-Result<Statement> ParseStatement(const std::string& sql);
+[[nodiscard]] Result<Statement> ParseStatement(const std::string& sql);
 
 }  // namespace sql
 }  // namespace nebula

@@ -3,9 +3,19 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "annotation/annotation_store.h"
 #include "common/fault.h"
 #include "common/fault_points.h"
+#include "common/status.h"
 #include "common/string_util.h"
+#include "core/engine.h"
+#include "core/verification.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+#include "storage/query.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/value.h"
 
 namespace nebula {
 namespace sql {

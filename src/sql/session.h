@@ -33,15 +33,15 @@ class SqlSession {
       : engine_(engine), rules_(engine->catalog(), engine->store()) {}
 
   /// Parses and executes one statement.
-  Result<QueryResult> Execute(const std::string& statement);
+  [[nodiscard]] Result<QueryResult> Execute(const std::string& statement);
 
  private:
-  Result<QueryResult> ExecuteSelect(const SelectStatement& stmt);
-  Result<QueryResult> ExecuteInsert(const InsertStatement& stmt);
-  Result<QueryResult> ExecuteAnnotate(const AnnotateStatement& stmt);
-  Result<QueryResult> ExecuteRule(const RuleStatement& stmt);
-  Result<QueryResult> ExecuteVerify(const VerifyStatement& stmt);
-  Result<QueryResult> ExecuteShow(const ShowStatement& stmt);
+  [[nodiscard]] Result<QueryResult> ExecuteSelect(const SelectStatement& stmt);
+  [[nodiscard]] Result<QueryResult> ExecuteInsert(const InsertStatement& stmt);
+  [[nodiscard]] Result<QueryResult> ExecuteAnnotate(const AnnotateStatement& stmt);
+  [[nodiscard]] Result<QueryResult> ExecuteRule(const RuleStatement& stmt);
+  [[nodiscard]] Result<QueryResult> ExecuteVerify(const VerifyStatement& stmt);
+  [[nodiscard]] Result<QueryResult> ExecuteShow(const ShowStatement& stmt);
 
   NebulaEngine* engine_;
   /// Predicate-based auto-attachment rules registered via RULE

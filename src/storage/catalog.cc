@@ -2,7 +2,11 @@
 
 #include <cassert>
 
+#include "common/status.h"
 #include "common/string_util.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/value.h"
 
 namespace nebula {
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/schema.h"
 #include "storage/table.h"
 
 namespace nebula {
@@ -29,11 +30,11 @@ class Catalog {
   Catalog& operator=(const Catalog&) = delete;
 
   /// Creates a table; fails with AlreadyExists when the name is taken.
-  Result<Table*> CreateTable(const std::string& name, Schema schema);
+  [[nodiscard]] Result<Table*> CreateTable(const std::string& name, Schema schema);
 
   /// Name lookup (case-insensitive).
-  Result<Table*> GetTable(const std::string& name);
-  Result<const Table*> GetTable(const std::string& name) const;
+  [[nodiscard]] Result<Table*> GetTable(const std::string& name);
+  [[nodiscard]] Result<const Table*> GetTable(const std::string& name) const;
   /// Id lookup; asserts the id is valid.
   Table* GetTableById(uint32_t id);
   const Table* GetTableById(uint32_t id) const;
@@ -43,7 +44,7 @@ class Catalog {
   const std::vector<std::unique_ptr<Table>>& tables() const { return tables_; }
 
   /// Declares a FK edge; validates that both endpoints exist.
-  Status AddForeignKey(const std::string& child_table,
+  [[nodiscard]] Status AddForeignKey(const std::string& child_table,
                        const std::string& child_column,
                        const std::string& parent_table,
                        const std::string& parent_column);

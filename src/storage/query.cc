@@ -4,7 +4,11 @@
 
 #include "common/fault.h"
 #include "common/fault_points.h"
+#include "common/status.h"
 #include "common/string_util.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "storage/value.h"
 
 namespace nebula {
 

@@ -8,6 +8,8 @@
 
 #include "common/status.h"
 #include "storage/catalog.h"
+#include "storage/table.h"
+#include "storage/value.h"
 
 namespace nebula {
 
@@ -89,7 +91,7 @@ class QueryExecutor {
   /// `allow_text_index = false` forces kContainsToken predicates onto the
   /// scan path even when an inverted index exists — modeling an RDBMS
   /// that must evaluate LIKE-style predicates by scanning.
-  Result<std::vector<Table::RowId>> Execute(
+  [[nodiscard]] Result<std::vector<Table::RowId>> Execute(
       const SelectQuery& query,
       const std::unordered_set<Table::RowId>* restrict = nullptr,
       bool allow_text_index = true);
@@ -99,7 +101,7 @@ class QueryExecutor {
   /// the two tables (either direction). Fails with NotFound when no FK
   /// links them. Strategy: evaluate the side with the cheaper access
   /// path first, then probe the other side through the key's hash index.
-  Result<std::vector<std::pair<Table::RowId, Table::RowId>>> ExecuteJoin(
+  [[nodiscard]] Result<std::vector<std::pair<Table::RowId, Table::RowId>>> ExecuteJoin(
       const JoinQuery& query);
 
   /// Counters accumulated across all Execute calls since construction or

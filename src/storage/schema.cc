@@ -1,6 +1,8 @@
 #include "storage/schema.h"
 
+#include "common/status.h"
 #include "common/string_util.h"
+#include "storage/value.h"
 
 namespace nebula {
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/status.h"
 #include "storage/value.h"
 
@@ -41,7 +42,7 @@ class Schema {
   }
 
   /// Validates that `row` matches the schema arity and column types.
-  Status ValidateRow(const std::vector<Value>& row) const;
+  [[nodiscard]] Status ValidateRow(const std::vector<Value>& row) const;
 
  private:
   std::vector<ColumnDef> columns_;

@@ -5,7 +5,10 @@
 
 #include "common/fault.h"
 #include "common/fault_points.h"
+#include "common/status.h"
 #include "common/string_util.h"
+#include "storage/schema.h"
+#include "storage/value.h"
 
 namespace nebula {
 

@@ -46,7 +46,7 @@ class Table {
   uint64_t num_rows() const { return rows_.size(); }
 
   /// Inserts a row; validates arity/types and unique constraints.
-  Result<RowId> Insert(std::vector<Value> row);
+  [[nodiscard]] Result<RowId> Insert(std::vector<Value> row);
 
   /// Returns the row at `row_id`; asserts in-range.
   const std::vector<Value>& GetRow(RowId row_id) const;
@@ -61,7 +61,7 @@ class Table {
 
   /// Builds (or rebuilds) the inverted token index for a string column.
   /// Tokens are lower-cased alphanumeric runs.
-  Status BuildTextIndex(size_t column);
+  [[nodiscard]] Status BuildTextIndex(size_t column);
   bool HasTextIndex(size_t column) const;
 
   /// Rows whose indexed text column contains `token` (lower-cased exact

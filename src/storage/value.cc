@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/hash.h"
+
 namespace nebula {
 
 const char* DataTypeName(DataType type) {

@@ -5,8 +5,6 @@
 #include <string>
 #include <variant>
 
-#include "common/hash.h"
-
 namespace nebula {
 
 /// Column data types supported by the mini relational engine. This is the

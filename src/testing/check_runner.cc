@@ -2,7 +2,12 @@
 
 #include <utility>
 
+#include "common/status.h"
 #include "common/string_util.h"
+#include "core/engine.h"
+#include "testing/check_workload.h"
+#include "testing/differential.h"
+#include "testing/shrink.h"
 
 namespace nebula::check {
 

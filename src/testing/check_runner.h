@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "testing/check_workload.h"
 #include "testing/differential.h"
 #include "testing/shrink.h"
 
@@ -45,11 +46,11 @@ struct CheckSummary {
 /// returned summary is the machine-readable verdict; a non-OK status
 /// means the sweep itself could not run (not that a divergence was
 /// found — divergences are data, not errors).
-Result<CheckSummary> RunCheckSweep(const CheckOptions& options,
+[[nodiscard]] Result<CheckSummary> RunCheckSweep(const CheckOptions& options,
                                    std::ostream& out);
 
 /// Loads and replays a repro file, reporting to `out`.
-Result<Divergence> ReplayReproFile(const std::string& path,
+[[nodiscard]] Result<Divergence> ReplayReproFile(const std::string& path,
                                    std::ostream& out);
 
 }  // namespace nebula::check

@@ -3,8 +3,14 @@
 #include <algorithm>
 #include <set>
 
+#include "annotation/annotation_store.h"
 #include "common/random.h"
+#include "common/status.h"
 #include "common/string_util.h"
+#include "meta/nebula_meta.h"
+#include "storage/catalog.h"
+#include "storage/schema.h"
+#include "storage/table.h"
 #include "storage/value.h"
 
 namespace nebula::check {

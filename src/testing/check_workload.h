@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "meta/nebula_meta.h"
 #include "storage/catalog.h"
+#include "storage/schema.h"
 
 namespace nebula::check {
 
@@ -65,7 +66,7 @@ struct CheckUniverse {
 
 /// Builds the universe for `seed`. Fails only on internal inconsistency
 /// (e.g. a generated row violating its own schema) — never on user input.
-Result<std::unique_ptr<CheckUniverse>> BuildCheckUniverse(
+[[nodiscard]] Result<std::unique_ptr<CheckUniverse>> BuildCheckUniverse(
     uint64_t seed, const CheckWorkloadParams& params = {});
 
 /// A seed plus the annotation stream it expanded into. The stream is kept

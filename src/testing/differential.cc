@@ -4,8 +4,15 @@
 #include <set>
 #include <utility>
 
+#include "annotation/annotation_store.h"
+#include "common/status.h"
 #include "common/string_util.h"
+#include "core/engine.h"
+#include "core/identify.h"
 #include "core/verification.h"
+#include "keyword/query_types.h"
+#include "storage/schema.h"
+#include "testing/check_workload.h"
 
 namespace nebula::check {
 

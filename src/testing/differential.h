@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "core/engine.h"
+#include "storage/schema.h"
 #include "testing/check_workload.h"
 
 namespace nebula::check {
@@ -44,7 +45,7 @@ inline constexpr ConfigPair kAllConfigPairs[] = {
     ConfigPair::kSpreading};
 
 const char* ConfigPairName(ConfigPair pair);
-Result<ConfigPair> ParseConfigPair(std::string_view name);
+[[nodiscard]] Result<ConfigPair> ParseConfigPair(std::string_view name);
 
 struct DiffOptions {
   /// Pool size of the parallel side of kThreads / both sides of kBatch.
@@ -89,12 +90,12 @@ class DifferentialRunner {
 
   /// One side: builds the universe for workload.seed, streams the
   /// annotations through a fresh engine, returns the canonical outcome.
-  Result<RunOutcome> Run(const CheckWorkload& workload,
+  [[nodiscard]] Result<RunOutcome> Run(const CheckWorkload& workload,
                          const NebulaConfig& config, bool batch_mode,
                          bool exercise_obs) const;
 
   /// Both sides of `pair` plus the comparison.
-  Result<Divergence> RunPair(ConfigPair pair,
+  [[nodiscard]] Result<Divergence> RunPair(ConfigPair pair,
                              const CheckWorkload& workload) const;
 
   const DiffOptions& options() const { return options_; }

@@ -4,7 +4,11 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/status.h"
 #include "common/string_util.h"
+#include "storage/schema.h"
+#include "testing/check_workload.h"
+#include "testing/differential.h"
 
 namespace nebula::check {
 

@@ -46,11 +46,11 @@ std::vector<CheckAnnotation> ShrinkAnnotations(
 
 /// Plain-text round-trip of a ReproCase (format documented in the file
 /// header SaveRepro writes).
-Status SaveRepro(const std::string& path, const ReproCase& repro);
-Result<ReproCase> LoadRepro(const std::string& path);
+[[nodiscard]] Status SaveRepro(const std::string& path, const ReproCase& repro);
+[[nodiscard]] Result<ReproCase> LoadRepro(const std::string& path);
 
 /// Re-runs a repro. `diverged == true` means it still reproduces.
-Result<Divergence> ReplayRepro(const ReproCase& repro,
+[[nodiscard]] Result<Divergence> ReplayRepro(const ReproCase& repro,
                                const CheckWorkloadParams& params = {});
 
 }  // namespace nebula::check

@@ -1,5 +1,7 @@
 #include "text/pattern.h"
 
+#include "common/status.h"
+
 namespace nebula {
 
 Result<ValuePattern> ValuePattern::Compile(const std::string& regex) {

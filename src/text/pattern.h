@@ -17,7 +17,7 @@ namespace nebula {
 class ValuePattern {
  public:
   /// Compiles `regex` (ECMAScript syntax, case-sensitive, full match).
-  static Result<ValuePattern> Compile(const std::string& regex);
+  [[nodiscard]] static Result<ValuePattern> Compile(const std::string& regex);
 
   /// True when the entire string matches the pattern.
   bool Matches(const std::string& s) const;

@@ -4,8 +4,17 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "annotation/annotation_store.h"
 #include "common/logging.h"
+#include "common/random.h"
+#include "common/status.h"
 #include "common/string_util.h"
+#include "core/bounds_setting.h"
+#include "meta/nebula_meta.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/value.h"
+#include "workload/spec.h"
 #include "workload/vocab.h"
 
 namespace nebula {

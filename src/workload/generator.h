@@ -12,6 +12,7 @@
 #include "core/bounds_setting.h"
 #include "meta/nebula_meta.h"
 #include "storage/catalog.h"
+#include "storage/schema.h"
 #include "workload/spec.h"
 
 namespace nebula {
@@ -59,7 +60,7 @@ class BioDataset {
 };
 
 /// Generates the dataset deterministically from `spec.seed`.
-Result<std::unique_ptr<BioDataset>> GenerateBioDataset(const DatasetSpec& spec);
+[[nodiscard]] Result<std::unique_ptr<BioDataset>> GenerateBioDataset(const DatasetSpec& spec);
 
 }  // namespace nebula
 

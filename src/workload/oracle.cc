@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "core/verification.h"
 
 namespace nebula {
 

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <unordered_set>
 
+#include "common/random.h"
+
 namespace nebula {
 
 const std::vector<std::string>& Vocab::Filler() {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "annotation/annotation_store.h"
 #include "core/acg.h"
+#include "storage/schema.h"
 
 namespace nebula {
 namespace {

@@ -2,6 +2,8 @@
 
 #include "annotation/annotation_store.h"
 #include "annotation/quality.h"
+#include "common/status.h"
+#include "storage/schema.h"
 
 namespace nebula {
 namespace {

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "annotation/quality.h"
 #include "core/assessment.h"
+#include "core/identify.h"
+#include "core/verification.h"
+#include "storage/schema.h"
 
 namespace nebula {
 namespace {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "annotation/annotation_store.h"
 #include "core/bounds_setting.h"
+#include "core/identify.h"
+#include "storage/schema.h"
 
 namespace nebula {
 namespace {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
 #include <unordered_set>
 #include <utility>
@@ -83,6 +84,161 @@ Status Wrapper() {
 
 TEST(ResultTest, ReturnNotOkPropagates) {
   EXPECT_EQ(Wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, WithContextPrefixesMessageAndKeepsCode) {
+  const Status s =
+      Status::NotFound("table gene").WithContext("loading catalog");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "loading catalog: table gene");
+  EXPECT_EQ(s.ToString(), "NotFound: loading catalog: table gene");
+}
+
+TEST(StatusTest, WithContextStacksAcrossPropagationLevels) {
+  const Status s = Status::Corruption("bad page")
+                       .WithContext("reading table gene")
+                       .WithContext("restoring snapshot");
+  EXPECT_EQ(s.message(), "restoring snapshot: reading table gene: bad page");
+}
+
+TEST(StatusTest, WithContextLeavesOkUntouched) {
+  const Status ok = Status::OK().WithContext("never applied");
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.message(), "");
+}
+
+TEST(StatusTest, WithContextLvalueDoesNotMutateOriginal) {
+  const Status original = Status::Internal("boom");
+  const Status wrapped = original.WithContext("stage-2");
+  EXPECT_EQ(original.message(), "boom");
+  EXPECT_EQ(wrapped.message(), "stage-2: boom");
+}
+
+/// Instrumented payload counting copies and moves, for the value_or
+/// rvalue-overload regression tests.
+struct CopyCounter {
+  int copies = 0;
+  int moves = 0;
+  CopyCounter() = default;
+  CopyCounter(const CopyCounter& o) : copies(o.copies + 1), moves(o.moves) {}
+  CopyCounter(CopyCounter&& o) noexcept
+      : copies(o.copies), moves(o.moves + 1) {}
+  CopyCounter& operator=(const CopyCounter&) = default;
+  CopyCounter& operator=(CopyCounter&&) noexcept = default;
+};
+
+TEST(ResultTest, ValueOrOnLvalueCopiesHeldValue) {
+  Result<CopyCounter> r{CopyCounter{}};
+  const CopyCounter got = r.value_or(CopyCounter{});
+  EXPECT_EQ(got.copies, 1);  // lvalue overload must leave `r` intact
+}
+
+TEST(ResultTest, ValueOrOnRvalueMovesHeldValueWithoutCopying) {
+  Result<CopyCounter> r{CopyCounter{}};
+  const CopyCounter got = std::move(r).value_or(CopyCounter{});
+  EXPECT_EQ(got.copies, 0);
+  EXPECT_GE(got.moves, 1);
+}
+
+TEST(ResultTest, ValueOrOnErroredRvalueMovesFallback) {
+  Result<CopyCounter> r{Status::NotFound("x")};
+  const CopyCounter got = std::move(r).value_or(CopyCounter{});
+  EXPECT_EQ(got.copies, 0);
+}
+
+TEST(ResultTest, ValueOrRvalueWorksForMoveOnlyPayloads) {
+  // Does not compile with the copying lvalue overload alone.
+  Result<std::unique_ptr<int>> r{std::make_unique<int>(42)};
+  std::unique_ptr<int> got = std::move(r).value_or(nullptr);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 42);
+
+  Result<std::unique_ptr<int>> err{Status::Internal("gone")};
+  EXPECT_EQ(std::move(err).value_or(nullptr), nullptr);
+}
+
+// ----------------- status-propagation macro coverage -------------------
+
+/// Move-only payload flowing through NEBULA_ASSIGN_OR_RETURN: the macro
+/// must move out of its temporary Result, never copy.
+Result<std::unique_ptr<std::string>> MakeBox(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return std::make_unique<std::string>(std::to_string(x));
+}
+
+Result<std::string> UnwrapBox(int x) {
+  NEBULA_ASSIGN_OR_RETURN(std::unique_ptr<std::string> box, MakeBox(x));
+  return *box + "!";
+}
+
+TEST(StatusMacroTest, AssignOrReturnHandlesMoveOnlyPayload) {
+  const Result<std::string> ok = UnwrapBox(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, "7!");
+}
+
+TEST(StatusMacroTest, AssignOrReturnPropagatesErrorForMoveOnlyPayload) {
+  const Result<std::string> err = UnwrapBox(-1);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(err.status().message(), "negative");
+}
+
+/// Three-deep call chain: the innermost error must surface unchanged
+/// through two NEBULA_RETURN_NOT_OK frames and one WithContext wrapper.
+Status Level3(bool fail) {
+  if (fail) return Status::Corruption("checksum mismatch");
+  return Status::OK();
+}
+Status Level2(bool fail) {
+  NEBULA_RETURN_NOT_OK(Level3(fail).WithContext("level3"));
+  return Status::OK();
+}
+Status Level1(bool fail) {
+  NEBULA_RETURN_NOT_OK(Level2(fail));
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnNotOkPropagatesThroughNestedCalls) {
+  EXPECT_TRUE(Level1(false).ok());
+  const Status s = Level1(true);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.message(), "level3: checksum mismatch");
+}
+
+/// Both macros in one function, with the error surfacing from either the
+/// Result expression or the trailing Status expression.
+Result<int> ParseThenValidate(int x) {
+  NEBULA_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  NEBULA_RETURN_NOT_OK(doubled > 100
+                           ? Status::OutOfRange("too large")
+                           : Status::OK());
+  return doubled;
+}
+
+TEST(StatusMacroTest, MixedMacrosPropagateEachFailureSource) {
+  ASSERT_TRUE(ParseThenValidate(5).ok());
+  EXPECT_EQ(*ParseThenValidate(5), 10);
+  EXPECT_EQ(ParseThenValidate(0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseThenValidate(80).status().code(), StatusCode::kOutOfRange);
+}
+
+/// NEBULA_ASSIGN_OR_RETURN evaluates its Result expression exactly once.
+Result<int> CountingProducer(int* calls) {
+  ++*calls;
+  return 1;
+}
+Status ConsumeOnce(int* calls) {
+  NEBULA_ASSIGN_OR_RETURN(int v, CountingProducer(calls));
+  (void)v;
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, AssignOrReturnEvaluatesExpressionOnce) {
+  int calls = 0;
+  ASSERT_TRUE(ConsumeOnce(&calls).ok());
+  EXPECT_EQ(calls, 1);
 }
 
 // ------------------------------- Rng -----------------------------------
@@ -290,7 +446,7 @@ TEST(StopwatchTest, MonotoneNonNegative) {
 TEST(StopwatchTest, RestartResets) {
   Stopwatch sw;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(i);
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(i);
   const uint64_t before = sw.ElapsedMicros();
   sw.Restart();
   EXPECT_LE(sw.ElapsedMicros(), before + 1000);

@@ -2,7 +2,6 @@
 
 #include "core/context_adjust.h"
 #include "core/signature_maps.h"
-#include "text/tokenizer.h"
 
 namespace nebula {
 namespace {

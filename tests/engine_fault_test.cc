@@ -7,9 +7,14 @@
 
 #include <memory>
 
+#include "annotation/annotation_store.h"
 #include "common/fault.h"
+#include "common/status.h"
+#include "core/acg.h"
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "sql/session.h"
+#include "storage/table.h"
 #include "testing/check_workload.h"
 
 namespace nebula {

@@ -1,8 +1,16 @@
 #include <gtest/gtest.h>
 
+#include "annotation/annotation_store.h"
+#include "annotation/quality.h"
+#include "common/random.h"
+#include "core/bounds_setting.h"
 #include "core/engine.h"
+#include "core/focal_spreading.h"
+#include "core/identify.h"
+#include "storage/schema.h"
 #include "workload/generator.h"
 #include "workload/oracle.h"
+#include "workload/spec.h"
 
 namespace nebula {
 namespace {

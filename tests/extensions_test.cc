@@ -1,10 +1,20 @@
 #include <gtest/gtest.h>
 
+#include "annotation/annotation_store.h"
 #include "annotation/auto_attach.h"
 #include "common/string_util.h"
+#include "core/acg.h"
 #include "core/identify.h"
 #include "core/spam.h"
+#include "keyword/engine.h"
+#include "keyword/query_types.h"
 #include "meta/concept_learning.h"
+#include "meta/nebula_meta.h"
+#include "storage/catalog.h"
+#include "storage/query.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/value.h"
 
 namespace nebula {
 namespace {

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 
 namespace nebula {

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "annotation/annotation_store.h"
+#include "core/acg.h"
 #include "core/focal_spreading.h"
+#include "keyword/mini_db.h"
+#include "storage/schema.h"
 
 namespace nebula {
 namespace {

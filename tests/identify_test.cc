@@ -1,7 +1,17 @@
 #include <gtest/gtest.h>
 
+#include "annotation/annotation_store.h"
 #include "common/string_util.h"
+#include "core/acg.h"
 #include "core/identify.h"
+#include "keyword/engine.h"
+#include "keyword/mini_db.h"
+#include "keyword/query_types.h"
+#include "meta/nebula_meta.h"
+#include "storage/catalog.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/value.h"
 
 namespace nebula {
 namespace {

@@ -1,6 +1,15 @@
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "keyword/engine.h"
+#include "keyword/mini_db.h"
+#include "keyword/query_types.h"
+#include "meta/nebula_meta.h"
+#include "storage/catalog.h"
+#include "storage/query.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/value.h"
 
 namespace nebula {
 namespace {
@@ -105,7 +114,9 @@ TEST_F(KeywordEngineTest, MapKeywordTextIndexContainment) {
   EXPECT_TRUE(HasMapping(ms, KeywordMapping::Kind::kValue, "publication",
                          "abstract"));
   for (const auto& m : ms) {
-    if (m.table == "publication") EXPECT_FALSE(m.exact_value);
+    if (m.table == "publication") {
+      EXPECT_FALSE(m.exact_value);
+    }
   }
 }
 

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include "common/random.h"
+#include "common/status.h"
 #include "meta/nebula_meta.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "storage/value.h"
 
 namespace nebula {
 namespace {

@@ -8,6 +8,9 @@
 #include <filesystem>
 #include <sstream>
 
+#include "core/engine.h"
+#include "storage/schema.h"
+#include "storage/table.h"
 #include "testing/check_runner.h"
 #include "testing/check_workload.h"
 #include "testing/differential.h"

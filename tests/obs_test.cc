@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "workload/generator.h"
+#include "workload/spec.h"
 
 namespace nebula {
 namespace obs {

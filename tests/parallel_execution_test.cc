@@ -5,9 +5,19 @@
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "core/acg.h"
 #include "core/engine.h"
+#include "core/identify.h"
+#include "keyword/engine.h"
+#include "keyword/query_types.h"
 #include "keyword/shared_executor.h"
+#include "meta/nebula_meta.h"
+#include "storage/catalog.h"
+#include "storage/query.h"
+#include "storage/table.h"
+#include "storage/value.h"
 #include "workload/generator.h"
+#include "workload/spec.h"
 
 namespace nebula {
 namespace {

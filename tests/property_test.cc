@@ -4,13 +4,30 @@
 #include <filesystem>
 #include <memory>
 
+#include "annotation/annotation_store.h"
+#include "annotation/quality.h"
 #include "annotation/serialize.h"
+#include "common/random.h"
 #include "common/string_util.h"
+#include "core/acg.h"
+#include "core/assessment.h"
 #include "core/context_adjust.h"
 #include "core/engine.h"
-#include "sql/parser.h"
+#include "core/focal_spreading.h"
+#include "core/identify.h"
 #include "core/query_generation.h"
+#include "core/signature_maps.h"
+#include "keyword/engine.h"
+#include "keyword/mini_db.h"
+#include "keyword/query_types.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/value.h"
+#include "text/tokenizer.h"
 #include "workload/generator.h"
+#include "workload/spec.h"
 
 namespace nebula {
 namespace {

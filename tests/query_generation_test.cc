@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/query_generation.h"
+#include "keyword/query_types.h"
+#include "meta/nebula_meta.h"
 
 namespace nebula {
 namespace {

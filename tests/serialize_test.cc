@@ -4,9 +4,17 @@
 #include <fstream>
 #include <filesystem>
 
+#include "annotation/annotation_store.h"
 #include "annotation/serialize.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "meta/nebula_meta.h"
 #include "sql/session.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "storage/value.h"
 #include "workload/generator.h"
+#include "workload/spec.h"
 
 namespace nebula {
 namespace {

@@ -1,7 +1,14 @@
 #include <gtest/gtest.h>
 
 #include "common/string_util.h"
+#include "keyword/engine.h"
+#include "keyword/mini_db.h"
+#include "keyword/query_types.h"
 #include "keyword/shared_executor.h"
+#include "meta/nebula_meta.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "storage/value.h"
 
 namespace nebula {
 namespace {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/signature_maps.h"
+#include "meta/nebula_meta.h"
 #include "text/tokenizer.h"
 
 namespace nebula {

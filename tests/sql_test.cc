@@ -1,7 +1,16 @@
 #include <gtest/gtest.h>
 
+#include "annotation/annotation_store.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "meta/nebula_meta.h"
 #include "sql/lexer.h"
+#include "sql/parser.h"
 #include "sql/session.h"
+#include "storage/catalog.h"
+#include "storage/query.h"
+#include "storage/table.h"
+#include "storage/value.h"
 
 namespace nebula {
 namespace sql {

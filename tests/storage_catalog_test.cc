@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "common/status.h"
 #include "storage/catalog.h"
+#include "storage/table.h"
+#include "storage/value.h"
 
 namespace nebula {
 namespace {

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "common/status.h"
+#include "storage/catalog.h"
 #include "storage/query.h"
+#include "storage/table.h"
+#include "storage/value.h"
 
 namespace nebula {
 namespace {
@@ -204,7 +208,7 @@ TEST(QueryToStringTest, SqlRendering) {
                  {"length", CompareOp::kGt, Value(int64_t{5})}}};
   EXPECT_EQ(q.ToSqlString(),
             "SELECT * FROM gene WHERE gid = 'JW0001' AND length > '5'");
-  EXPECT_EQ(SelectQuery{"gene"}.ToSqlString(), "SELECT * FROM gene");
+  EXPECT_EQ((SelectQuery{"gene", {}}.ToSqlString()), "SELECT * FROM gene");
 }
 
 // ------------------------------- joins ---------------------------------

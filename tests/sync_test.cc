@@ -13,11 +13,13 @@
 #include <thread>
 #include <vector>
 
-#include "common/sync.h"
 #include "common/string_util.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/schema.h"
 #include "storage/table.h"
+#include "storage/value.h"
 
 namespace nebula {
 namespace {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/status.h"
 #include "text/lexicon.h"
 #include "text/pattern.h"
 #include "text/similarity.h"

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include "annotation/annotation_store.h"
+#include "common/status.h"
+#include "core/acg.h"
+#include "core/identify.h"
 #include "core/verification.h"
+#include "storage/schema.h"
 
 namespace nebula {
 namespace {

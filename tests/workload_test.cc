@@ -2,10 +2,20 @@
 
 #include <unordered_set>
 
+#include "annotation/annotation_store.h"
+#include "annotation/quality.h"
+#include "common/random.h"
 #include "common/string_util.h"
+#include "core/acg.h"
+#include "core/identify.h"
+#include "core/verification.h"
+#include "meta/nebula_meta.h"
+#include "storage/schema.h"
+#include "storage/table.h"
 #include "text/pattern.h"
 #include "workload/generator.h"
 #include "workload/oracle.h"
+#include "workload/spec.h"
 #include "workload/vocab.h"
 
 namespace nebula {

@@ -1,0 +1,12 @@
+// Clean bottom-tier header. Also feeds the discipline registry: DoWork
+// is declared to return Status, so dropping its value is a violation.
+#ifndef NEBULA_ALPHA_ALPHA_H_
+#define NEBULA_ALPHA_ALPHA_H_
+
+struct AlphaThing {
+  int id = 0;
+};
+
+Status DoWork();
+
+#endif  // NEBULA_ALPHA_ALPHA_H_

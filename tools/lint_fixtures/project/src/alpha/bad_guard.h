@@ -1,0 +1,10 @@
+// [include-guard] plant: guard does not spell the canonical
+// NEBULA_ALPHA_BAD_GUARD_H_.
+#ifndef NEBULA_ALPHA_WRONG_H_
+#define NEBULA_ALPHA_WRONG_H_
+
+struct BadGuardThing {
+  int x = 0;
+};
+
+#endif  // NEBULA_ALPHA_WRONG_H_

@@ -1,0 +1,11 @@
+// [layer-dag] plant: alpha (tier 1) reaching up into beta (tier 2).
+#ifndef NEBULA_ALPHA_BAD_UPWARD_H_
+#define NEBULA_ALPHA_BAD_UPWARD_H_
+
+#include "beta/beta.h"
+
+struct UpwardReacher {
+  BetaThing* beta = nullptr;
+};
+
+#endif  // NEBULA_ALPHA_BAD_UPWARD_H_

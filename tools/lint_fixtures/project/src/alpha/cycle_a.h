@@ -1,0 +1,11 @@
+// [include-cycle] plant, half 1: cycle_a -> cycle_b -> cycle_a.
+#ifndef NEBULA_ALPHA_CYCLE_A_H_
+#define NEBULA_ALPHA_CYCLE_A_H_
+
+#include "alpha/cycle_b.h"
+
+struct CycleA {
+  CycleB* peer = nullptr;
+};
+
+#endif  // NEBULA_ALPHA_CYCLE_A_H_

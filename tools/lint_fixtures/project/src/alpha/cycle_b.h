@@ -1,0 +1,11 @@
+// [include-cycle] plant, half 2.
+#ifndef NEBULA_ALPHA_CYCLE_B_H_
+#define NEBULA_ALPHA_CYCLE_B_H_
+
+#include "alpha/cycle_a.h"
+
+struct CycleB {
+  CycleA* peer = nullptr;
+};
+
+#endif  // NEBULA_ALPHA_CYCLE_B_H_

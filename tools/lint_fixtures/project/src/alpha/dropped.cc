@@ -1,0 +1,7 @@
+// [dropped-status] plant: DoWork() returns Status (declared in alpha.h)
+// and the value evaporates.
+#include "alpha/alpha.h"
+
+void Caller() {
+  DoWork();
+}

@@ -1,0 +1,4 @@
+// [unused-include] plant: includes alpha.h, uses none of its symbols.
+#include "alpha/alpha.h"
+
+int LocalOnly() { return 42; }

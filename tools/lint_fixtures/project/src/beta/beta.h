@@ -1,0 +1,11 @@
+// Clean upper-tier header: beta -> alpha is a legal downward edge.
+#ifndef NEBULA_BETA_BETA_H_
+#define NEBULA_BETA_BETA_H_
+
+#include "alpha/alpha.h"
+
+struct BetaThing {
+  AlphaThing base;
+};
+
+#endif  // NEBULA_BETA_BETA_H_

@@ -1,0 +1,5 @@
+// [missing-include] plant: AlphaThing arrives only transitively through
+// beta/beta.h; alpha/alpha.h is never included directly.
+#include "beta/beta.h"
+
+int Sum(const BetaThing& b) { return b.base.id + AlphaThing{}.id; }

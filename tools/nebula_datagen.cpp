@@ -16,8 +16,10 @@
 #include <string>
 
 #include "annotation/serialize.h"
+#include "common/status.h"
 #include "common/stopwatch.h"
 #include "workload/generator.h"
+#include "workload/spec.h"
 
 using namespace nebula;
 

@@ -1,0 +1,211 @@
+// Error-handling discipline.
+//
+//   [dropped-status]  a statement that calls a function declared (in any
+//                     scanned header) to return Status or Result<T> and
+//                     discards the value.
+//
+// This is the textual backstop behind the [[nodiscard]] annotations on
+// Status/Result (src/common/status.h): the compiler enforces the rule
+// wherever the code compiles with -DNEBULA_WERROR=ON; this pass catches
+// the same drops in code paths a particular build config compiles out
+// (OBS=OFF sections, platform branches) and in fixture/self-test code
+// that never compiles at all.
+//
+// Heuristic: a registry of Status/Result-returning function names is
+// scraped from header declarations (`Status Foo(`, `Result<...> Foo(`).
+// A statement-position call chain ending in a registry name whose full
+// statement is just the call — not `return Foo()`, not `auto s = Foo()`,
+// not `NEBULA_RETURN_NOT_OK(Foo())`, not `(void)Foo()`, not
+// `Foo().IgnoreError()`-style chaining — is flagged. Intentional drops
+// use `(void)`.
+
+#include "lint.h"
+
+#include <cctype>
+
+namespace nebula_lint {
+
+namespace {
+
+std::string IdentAt(const std::string& line, size_t pos) {
+  if (pos >= line.size() || !IsIdentChar(line[pos]) ||
+      std::isdigit(static_cast<unsigned char>(line[pos])) != 0) {
+    return "";
+  }
+  size_t end = pos;
+  while (end < line.size() && IsIdentChar(line[end])) ++end;
+  return line.substr(pos, end - pos);
+}
+
+size_t SkipSpaces(const std::string& line, size_t pos) {
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  return pos;
+}
+
+/// Registers `name(` when it follows a Status / Result<...> return type
+/// spelled at `type_end` (one past the type token / closing '>').
+void RegisterIfFunction(const std::string& line, size_t type_end,
+                        std::set<std::string>* registry) {
+  size_t pos = SkipSpaces(line, type_end);
+  const std::string name = IdentAt(line, pos);
+  if (name.empty() || name == "Status" || name == "Result") return;
+  pos = SkipSpaces(line, pos + name.size());
+  if (pos < line.size() && line[pos] == '(') registry->insert(name);
+}
+
+/// Function names declared in any scanned header to return Status or
+/// Result<...>.
+std::set<std::string> BuildRegistry(const SourceTree& tree) {
+  std::set<std::string> registry;
+  for (const SourceFile& file : tree.files) {
+    if (!file.is_header) continue;
+    for (const std::string& line : file.code_lines) {
+      size_t pos = 0;
+      while ((pos = line.find("Status", pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+        const size_t end = pos + 6;
+        pos = end;
+        if (!left_ok || (end < line.size() && IsIdentChar(line[end]))) {
+          continue;
+        }
+        RegisterIfFunction(line, end, &registry);
+      }
+      pos = 0;
+      while ((pos = line.find("Result", pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+        size_t end = pos + 6;
+        pos = end;
+        if (!left_ok) continue;
+        // Template argument list: match the angle brackets.
+        end = SkipSpaces(line, end);
+        if (end >= line.size() || line[end] != '<') continue;
+        int depth = 0;
+        while (end < line.size()) {
+          if (line[end] == '<') ++depth;
+          if (line[end] == '>') {
+            --depth;
+            if (depth == 0) {
+              ++end;
+              break;
+            }
+          }
+          ++end;
+        }
+        if (depth != 0) continue;  // spans lines; skip (conservative)
+        RegisterIfFunction(line, end, &registry);
+      }
+    }
+  }
+  return registry;
+}
+
+/// Lines that belong to a preprocessor directive (including backslash
+/// continuations) — macro bodies are exempt from the statement heuristic.
+std::vector<bool> DirectiveLines(const SourceFile& file) {
+  std::vector<bool> directive(file.raw_lines.size(), false);
+  bool continued = false;
+  for (size_t i = 0; i < file.raw_lines.size(); ++i) {
+    const std::string& raw = file.raw_lines[i];
+    const size_t first = raw.find_first_not_of(" \t");
+    const bool starts_hash = first != std::string::npos && raw[first] == '#';
+    directive[i] = continued || starts_hash;
+    continued = directive[i] && !raw.empty() && raw.back() == '\\';
+  }
+  return directive;
+}
+
+/// True when the statement beginning on line `li` is in statement
+/// position: the previous non-blank code line ends a statement or opens a
+/// scope. Conservative — `else` bodies on the next line are missed rather
+/// than guessed at.
+bool AtStatementPosition(const SourceFile& file,
+                         const std::vector<bool>& directive, size_t li) {
+  for (size_t i = li; i > 0; --i) {
+    if (directive[i - 1]) continue;
+    const std::string& prev = file.code_lines[i - 1];
+    const size_t last = prev.find_last_not_of(" \t");
+    if (last == std::string::npos) continue;
+    const char c = prev[last];
+    return c == ';' || c == '{' || c == '}' || c == ':' || c == ')';
+  }
+  return true;  // first code line of the file
+}
+
+/// Parses a call chain `a::b.c->Name (` at `pos`; returns the final name
+/// and sets `*open_paren` to the '(' index, or returns "" on no match.
+std::string ParseCallChain(const std::string& line, size_t pos,
+                           size_t* open_paren) {
+  std::string last;
+  while (true) {
+    const std::string ident = IdentAt(line, pos);
+    if (ident.empty()) return "";
+    last = ident;
+    pos += ident.size();
+    if (pos + 1 < line.size() && line[pos] == ':' && line[pos + 1] == ':') {
+      pos += 2;
+      continue;
+    }
+    if (pos < line.size() && line[pos] == '.') {
+      ++pos;
+      continue;
+    }
+    if (pos + 1 < line.size() && line[pos] == '-' && line[pos + 1] == '>') {
+      pos += 2;
+      continue;
+    }
+    pos = SkipSpaces(line, pos);
+    if (pos < line.size() && line[pos] == '(') {
+      *open_paren = pos;
+      return last;
+    }
+    return "";
+  }
+}
+
+/// Whether the call whose '(' sits at (li, col) is the *entire* statement:
+/// parens balance back to zero and the next non-space character is ';'.
+bool CallIsWholeStatement(const SourceFile& file, size_t li, size_t col) {
+  int depth = 0;
+  const size_t limit = std::min(file.code_lines.size(), li + 30);
+  for (size_t i = li; i < limit; ++i) {
+    const std::string& line = file.code_lines[i];
+    for (size_t j = (i == li ? col : 0); j < line.size(); ++j) {
+      const char c = line[j];
+      if (depth == 0 && c != '(') {
+        if (c == ' ' || c == '\t') continue;
+        return c == ';';
+      }
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+    }
+  }
+  return false;  // ran off the end without closing — not a simple statement
+}
+
+}  // namespace
+
+void RunDisciplinePass(const SourceTree& tree, Report* report) {
+  const std::set<std::string> registry = BuildRegistry(tree);
+  if (registry.empty()) return;
+  for (const SourceFile& file : tree.files) {
+    const std::vector<bool> directive = DirectiveLines(file);
+    for (size_t li = 0; li < file.code_lines.size(); ++li) {
+      if (directive[li]) continue;
+      const std::string& line = file.code_lines[li];
+      const size_t start = line.find_first_not_of(" \t");
+      if (start == std::string::npos || !IsIdentChar(line[start])) continue;
+      size_t open_paren = 0;
+      const std::string name = ParseCallChain(line, start, &open_paren);
+      if (name.empty() || registry.count(name) == 0) continue;
+      if (!AtStatementPosition(file, directive, li)) continue;
+      if (!CallIsWholeStatement(file, li, open_paren)) continue;
+      report->Add(file.rel, li + 1, "dropped-status",
+                  name + "() returns Status/Result and the value is "
+                        "discarded; handle it, propagate it with "
+                        "NEBULA_RETURN_NOT_OK, or cast to (void) with a "
+                        "reason");
+    }
+  }
+}
+
+}  // namespace nebula_lint

@@ -1,0 +1,361 @@
+// Header hygiene.
+//
+//   [include-guard]   every header carries the canonical guard
+//                     NEBULA_<PATH>_H_ (path relative to the repo root,
+//                     with the leading src/ dropped: src/common/status.h
+//                     guards NEBULA_COMMON_STATUS_H_).
+//   [unused-include]  a direct project include none of whose exported
+//                     top-level symbols (types, aliases, macros,
+//                     constants, functions) appears in the including
+//                     file. Escape hatch for re-export umbrellas:
+//                     `// nebula-lint: keep` on the include line.
+//   [missing-include] a file uses a top-level type/alias/macro that
+//                     exactly one project header declares, without
+//                     including that header directly — it compiles only
+//                     through a transitive include, which the next
+//                     refactor of the middleman breaks.
+//
+// All matching runs on comment/literal-stripped text with identifier
+// boundaries; symbol extraction is textual and deliberately
+// over-approximates exports (member functions count, enumerators do
+// not), which can only make these checks more conservative.
+
+#include "lint.h"
+
+#include <cctype>
+
+namespace nebula_lint {
+
+namespace {
+
+/// Canonical guard for a root-relative header path.
+std::string ExpectedGuard(const std::string& rel) {
+  std::string body = rel.rfind("src/", 0) == 0 ? rel.substr(4) : rel;
+  std::string guard = "NEBULA_";
+  for (char c : body) {
+    guard += std::isalnum(static_cast<unsigned char>(c)) != 0
+                 ? static_cast<char>(
+                       std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  guard += '_';
+  return guard;
+}
+
+/// All identifier tokens in a stripped line, appended to `out`.
+void CollectIdentifiers(const std::string& line, std::set<std::string>* out) {
+  size_t i = 0;
+  while (i < line.size()) {
+    if (IsIdentChar(line[i]) &&
+        std::isdigit(static_cast<unsigned char>(line[i])) == 0) {
+      size_t j = i;
+      while (j < line.size() && IsIdentChar(line[j])) ++j;
+      out->insert(line.substr(i, j - i));
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+}
+
+/// Identifier token starting at `pos`, or "" when there is none.
+std::string TokenAt(const std::string& line, size_t pos) {
+  if (pos >= line.size() || !IsIdentChar(line[pos]) ||
+      std::isdigit(static_cast<unsigned char>(line[pos])) != 0) {
+    return "";
+  }
+  size_t end = pos;
+  while (end < line.size() && IsIdentChar(line[end])) ++end;
+  return line.substr(pos, end - pos);
+}
+
+bool IsKeywordLike(const std::string& token) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",      "while",        "switch",  "return",
+      "sizeof",   "assert",   "static_assert", "defined", "alignas",
+      "alignof",  "decltype", "noexcept",     "catch",   "new",
+      "delete",   "throw",    "static_cast",  "const_cast",
+      "dynamic_cast", "reinterpret_cast", "do", "else", "case",
+  };
+  return kKeywords.count(token) != 0;
+}
+
+/// Top-level symbols a header exports, extracted textually.
+struct HeaderExports {
+  /// Strong symbols: type/alias/macro names unique enough to drive the
+  /// missing-include check.
+  std::set<std::string> strong;
+  /// Everything (strong + constants + any called/declared function
+  /// name); drives the unused-include check, where over-approximation is
+  /// the safe direction.
+  std::set<std::string> all;
+};
+
+HeaderExports ExtractExports(const SourceFile& header) {
+  HeaderExports exports;
+  static const char* const kTypeKeywords[] = {"class", "struct", "enum",
+                                              "union"};
+  for (size_t li = 0; li < header.code_lines.size(); ++li) {
+    const std::string& line = header.code_lines[li];
+    // #define NAME — from the raw line (object- and function-like).
+    const std::string& raw = header.raw_lines[li];
+    const size_t def = raw.find("#define ");
+    if (def != std::string::npos) {
+      const std::string name = TokenAt(raw, def + 8);
+      if (!name.empty()) {
+        exports.strong.insert(name);
+        exports.all.insert(name);
+      }
+    }
+    // class/struct/enum [class]/union NAME
+    for (const char* keyword : kTypeKeywords) {
+      size_t pos = 0;
+      const std::string kw = keyword;
+      while ((pos = line.find(kw, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+        const size_t after = pos + kw.size();
+        const bool right_ok = after >= line.size() || !IsIdentChar(line[after]);
+        pos = after;
+        if (!left_ok || !right_ok) continue;
+        size_t i = after;
+        std::string name;
+        while (i < line.size()) {
+          while (i < line.size() && !IsIdentChar(line[i])) {
+            // Stop at punctuation that ends a declarator head.
+            if (line[i] == '{' || line[i] == ';' || line[i] == ':' ||
+                line[i] == '<') {
+              i = line.size();
+            } else {
+              ++i;
+            }
+          }
+          const std::string token = TokenAt(line, i);
+          if (token.empty()) break;
+          i += token.size();
+          if (token == "class" || token == "final" || token == "alignas" ||
+              token == "nodiscard") {
+            continue;
+          }
+          name = token;
+          break;
+        }
+        if (!name.empty()) {
+          exports.strong.insert(name);
+          exports.all.insert(name);
+        }
+      }
+    }
+    // using NAME =
+    size_t using_at = 0;
+    while ((using_at = line.find("using ", using_at)) != std::string::npos) {
+      if (using_at != 0 && IsIdentChar(line[using_at - 1])) {
+        ++using_at;
+        continue;
+      }
+      const std::string name = TokenAt(line, using_at + 6);
+      using_at += 6;
+      if (!name.empty() && line.find('=', using_at) != std::string::npos) {
+        exports.strong.insert(name);
+        exports.all.insert(name);
+      }
+    }
+    // constexpr constants: the identifier directly before '=' (skipping
+    // an array declarator, as in `constexpr char kFaultX[] = "x"`).
+    if (line.find("constexpr") != std::string::npos) {
+      const size_t eq = line.find('=');
+      if (eq != std::string::npos) {
+        size_t end = eq;
+        while (end > 0 && line[end - 1] == ' ') --end;
+        if (end > 0 && line[end - 1] == ']') {
+          while (end > 0 && line[end - 1] != '[') --end;
+          if (end > 0) --end;
+          while (end > 0 && line[end - 1] == ' ') --end;
+        }
+        size_t start = end;
+        while (start > 0 && IsIdentChar(line[start - 1])) --start;
+        const std::string name = line.substr(start, end - start);
+        if (!name.empty() && !std::isdigit(static_cast<unsigned char>(
+                                 name[0]))) {
+          exports.all.insert(name);
+        }
+      }
+    }
+    // Function-ish names: any identifier immediately followed by '('.
+    // Over-approximates (calls inside inline bodies count too) — fine
+    // for unused-include, never used for missing-include.
+    for (size_t i = 0; i + 1 < line.size(); ++i) {
+      if (!IsIdentChar(line[i])) continue;
+      const std::string token = TokenAt(line, i);
+      if (token.empty()) {
+        continue;
+      }
+      const size_t after = i + token.size();
+      i = after - 1;
+      if (after < line.size() && line[after] == '(' &&
+          !IsKeywordLike(token)) {
+        exports.all.insert(token);
+      }
+    }
+  }
+  return exports;
+}
+
+/// True when `rel_cc` is the implementation file of header `rel_h`
+/// (same directory, same stem).
+bool IsOwnHeader(const std::string& includer, const std::string& header) {
+  auto stem_of = [](const std::string& rel) {
+    const size_t slash = rel.rfind('/');
+    const size_t dot = rel.rfind('.');
+    return rel.substr(slash + 1, dot - slash - 1);
+  };
+  return stem_of(includer) == stem_of(header);
+}
+
+std::string ResolveInclude(const SourceTree& tree,
+                           const std::string& includer_rel,
+                           const std::string& target) {
+  if (tree.Find("src/" + target) != nullptr) return "src/" + target;
+  if (tree.Find(target) != nullptr) return target;
+  const size_t slash = includer_rel.rfind('/');
+  if (slash != std::string::npos) {
+    const std::string sibling = includer_rel.substr(0, slash + 1) + target;
+    if (tree.Find(sibling) != nullptr) return sibling;
+  }
+  return "";
+}
+
+void CheckGuards(const SourceTree& tree, Report* report) {
+  for (const SourceFile& file : tree.files) {
+    if (!file.is_header) continue;
+    const std::string expected = ExpectedGuard(file.rel);
+    size_t ifndef_line = 0;
+    std::string actual;
+    for (size_t i = 0; i < file.code_lines.size(); ++i) {
+      const std::string& line = file.code_lines[i];
+      const size_t at = line.find("#ifndef");
+      if (at == std::string::npos) continue;
+      size_t p = at + 7;
+      while (p < line.size() && line[p] == ' ') ++p;
+      actual = TokenAt(line, p);
+      ifndef_line = i + 1;
+      break;
+    }
+    if (ifndef_line == 0) {
+      report->Add(file.rel, 1, "include-guard",
+                  "missing include guard; expected #ifndef " + expected);
+      continue;
+    }
+    if (actual != expected) {
+      report->Add(file.rel, ifndef_line, "include-guard",
+                  "include guard " + actual + " should be " + expected);
+      continue;
+    }
+    // The matching #define must follow on the next code line.
+    bool define_ok = false;
+    for (size_t i = ifndef_line; i < file.code_lines.size(); ++i) {
+      const std::string& line = file.code_lines[i];
+      if (line.find_first_not_of(" \t") == std::string::npos) continue;
+      define_ok = line.find("#define " + expected) != std::string::npos;
+      break;
+    }
+    if (!define_ok) {
+      report->Add(file.rel, ifndef_line, "include-guard",
+                  "#ifndef " + expected +
+                      " is not followed by #define " + expected);
+    }
+  }
+}
+
+void CheckIncludeUse(const SourceTree& tree, Report* report) {
+  // Exports per header, extracted once.
+  std::map<std::string, HeaderExports> exports;
+  for (const SourceFile& file : tree.files) {
+    if (file.is_header) exports[file.rel] = ExtractExports(file);
+  }
+  // Strong symbols declared by exactly one header.
+  std::map<std::string, std::string> unique_owner;
+  {
+    std::map<std::string, int> owners;
+    for (const auto& [rel, ex] : exports) {
+      for (const std::string& sym : ex.strong) ++owners[sym];
+    }
+    for (const auto& [rel, ex] : exports) {
+      for (const std::string& sym : ex.strong) {
+        if (owners[sym] == 1) unique_owner[sym] = rel;
+      }
+    }
+  }
+
+  for (const SourceFile& file : tree.files) {
+    // Identifier universe of this file (include lines contribute nothing:
+    // their string contents are blanked).
+    std::set<std::string> used;
+    for (const std::string& line : file.code_lines) {
+      CollectIdentifiers(line, &used);
+    }
+    // Symbols this file declares itself (forward declarations, local
+    // types, macros) never demand an include.
+    const HeaderExports own = ExtractExports(file);
+
+    std::set<std::string> direct;  // directly included headers
+    for (const auto& inc : file.includes) {
+      const std::string resolved = ResolveInclude(tree, file.rel, inc.target);
+      if (!resolved.empty()) direct.insert(resolved);
+    }
+
+    // ---- unused-include ----
+    for (const auto& inc : file.includes) {
+      if (inc.keep) continue;
+      const std::string resolved = ResolveInclude(tree, file.rel, inc.target);
+      if (resolved.empty()) continue;
+      if (IsOwnHeader(file.rel, resolved)) continue;
+      auto it = exports.find(resolved);
+      if (it == exports.end() || it->second.all.empty()) continue;
+      bool uses_any = false;
+      for (const std::string& sym : it->second.all) {
+        if (used.count(sym) != 0) {
+          uses_any = true;
+          break;
+        }
+      }
+      if (!uses_any) {
+        report->Add(file.rel, inc.line, "unused-include",
+                    "#include \"" + inc.target +
+                        "\" is unused (none of its exported symbols appear "
+                        "in this file); remove it or mark it "
+                        "// nebula-lint: keep");
+      }
+    }
+
+    // ---- missing-include ----
+    std::set<std::string> reported_headers;
+    for (size_t li = 0; li < file.code_lines.size(); ++li) {
+      std::set<std::string> line_idents;
+      CollectIdentifiers(file.code_lines[li], &line_idents);
+      for (const std::string& sym : line_idents) {
+        auto owner_it = unique_owner.find(sym);
+        if (owner_it == unique_owner.end()) continue;
+        const std::string& header = owner_it->second;
+        if (header == file.rel || IsOwnHeader(file.rel, header)) continue;
+        if (direct.count(header) != 0) continue;
+        if (own.strong.count(sym) != 0 || own.all.count(sym) != 0) continue;
+        if (reported_headers.count(header) != 0) continue;
+        reported_headers.insert(header);
+        report->Add(file.rel, li + 1, "missing-include",
+                    "uses " + sym + " but does not directly include \"" +
+                        (header.rfind("src/", 0) == 0 ? header.substr(4)
+                                                      : header) +
+                        "\" (only transitively)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void RunHygienePass(const SourceTree& tree, Report* report) {
+  CheckGuards(tree, report);
+  CheckIncludeUse(tree, report);
+}
+
+}  // namespace nebula_lint

@@ -1,0 +1,193 @@
+// Layer-DAG enforcement.
+//
+// tools/layers.txt declares the architecture as tiers of src/ modules,
+// bottom to top. A file in module A may include headers from modules in
+// strictly lower tiers or from A itself; an edge that points up the DAG
+// — or sideways within a tier — is a [layer-dag] violation. Files
+// outside src/ (tools/, tests/) sit above every tier and may include
+// anything. Independently of tiers, any cycle among project files is an
+// [include-cycle] violation, reported with the full edge chain.
+
+#include "lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace nebula_lint {
+
+LayerManifest LayerManifest::Load(const fs::path& path, std::string* error) {
+  LayerManifest manifest;
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open layer manifest " + path.string();
+    return manifest;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::vector<std::string> tier;
+    std::string module;
+    while (fields >> module) tier.push_back(module);
+    if (tier.empty()) continue;
+    for (const std::string& m : tier) {
+      if (manifest.tier_of.count(m) != 0) {
+        *error = "module '" + m + "' appears twice in " + path.string();
+        return manifest;
+      }
+      manifest.tier_of[m] = manifest.tiers.size() + 1;
+    }
+    manifest.tiers.push_back(std::move(tier));
+  }
+  if (manifest.tiers.empty()) {
+    *error = "layer manifest " + path.string() + " declares no tiers";
+  }
+  return manifest;
+}
+
+namespace {
+
+/// src/ module of a root-relative path, or "" for files outside src/.
+std::string ModuleOf(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return "";
+  const size_t slash = rel.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return rel.substr(4, slash - 4);
+}
+
+/// Resolves an include target to a root-relative path in the tree, or ""
+/// when it is not a project file (system/library headers).
+std::string Resolve(const SourceTree& tree, const std::string& includer_rel,
+                    const std::string& target) {
+  if (tree.Find("src/" + target) != nullptr) return "src/" + target;
+  if (tree.Find(target) != nullptr) return target;
+  const size_t slash = includer_rel.rfind('/');
+  if (slash != std::string::npos) {
+    const std::string sibling = includer_rel.substr(0, slash + 1) + target;
+    if (tree.Find(sibling) != nullptr) return sibling;
+  }
+  return "";
+}
+
+/// Depth-first cycle search over the project include graph. Each cycle is
+/// reported once, anchored at its lexicographically smallest member.
+class CycleFinder {
+ public:
+  CycleFinder(const SourceTree& tree,
+              const std::map<std::string, std::vector<std::string>>& graph,
+              Report* report)
+      : tree_(tree), graph_(graph), report_(report) {}
+
+  void Run() {
+    for (const auto& [node, _] : graph_) Visit(node);
+  }
+
+ private:
+  void Visit(const std::string& node) {
+    if (done_.count(node) != 0) return;
+    if (on_stack_.count(node) != 0) {
+      // Found a cycle: stack_ from the first occurrence of `node` onward.
+      size_t start = 0;
+      while (start < stack_.size() && stack_[start] != node) ++start;
+      std::vector<std::string> cycle(stack_.begin() + start, stack_.end());
+      ReportCycle(cycle);
+      return;
+    }
+    on_stack_.insert(node);
+    stack_.push_back(node);
+    auto it = graph_.find(node);
+    if (it != graph_.end()) {
+      for (const std::string& next : it->second) Visit(next);
+    }
+    stack_.pop_back();
+    on_stack_.erase(node);
+    done_.insert(node);
+  }
+
+  void ReportCycle(std::vector<std::string> cycle) {
+    // Rotate so the smallest member leads; dedupe on that canonical form.
+    size_t min_at = 0;
+    for (size_t i = 1; i < cycle.size(); ++i) {
+      if (cycle[i] < cycle[min_at]) min_at = i;
+    }
+    std::rotate(cycle.begin(), cycle.begin() + min_at, cycle.end());
+    std::string chain;
+    for (const std::string& member : cycle) {
+      chain += member;
+      chain += " -> ";
+    }
+    chain += cycle.front();
+    if (!seen_.insert(chain).second) return;
+    size_t line = 1;
+    const SourceFile* anchor = tree_.Find(cycle.front());
+    if (anchor != nullptr) {
+      for (const auto& inc : anchor->includes) {
+        if (Resolve(tree_, anchor->rel, inc.target) == cycle[1 % cycle.size()]) {
+          line = inc.line;
+          break;
+        }
+      }
+    }
+    report_->Add(cycle.front(), line, "include-cycle",
+                 "include cycle: " + chain);
+  }
+
+  const SourceTree& tree_;
+  const std::map<std::string, std::vector<std::string>>& graph_;
+  Report* report_;
+  std::set<std::string> on_stack_;
+  std::set<std::string> done_;
+  std::vector<std::string> stack_;
+  std::set<std::string> seen_;
+};
+
+}  // namespace
+
+void RunLayerPass(const SourceTree& tree, const LayerManifest& manifest,
+                  Report* report) {
+  std::map<std::string, std::vector<std::string>> graph;
+  for (const SourceFile& file : tree.files) {
+    const std::string module = ModuleOf(file.rel);
+    size_t tier = 0;  // 0 = above every tier (tools/, tests/)
+    bool module_known = true;
+    if (!module.empty()) {
+      auto it = manifest.tier_of.find(module);
+      if (it == manifest.tier_of.end()) {
+        report->Add(file.rel, 1, "layer-dag",
+                    "module 'src/" + module +
+                        "' is not declared in the layer manifest "
+                        "(tools/layers.txt)");
+        module_known = false;
+      } else {
+        tier = it->second;
+      }
+    }
+    for (const auto& inc : file.includes) {
+      const std::string resolved = Resolve(tree, file.rel, inc.target);
+      if (resolved.empty()) continue;  // not a project file
+      graph[file.rel].push_back(resolved);
+      if (module.empty() || !module_known) continue;  // apps: anything goes
+      const std::string target_module = ModuleOf(resolved);
+      if (target_module.empty() || target_module == module) continue;
+      auto it = manifest.tier_of.find(target_module);
+      if (it == manifest.tier_of.end()) continue;  // reported at its source
+      const size_t target_tier = it->second;
+      if (target_tier >= tier) {
+        const bool same = target_tier == tier;
+        report->Add(
+            file.rel, inc.line, "layer-dag",
+            "illegal " + std::string(same ? "same-tier" : "upward") +
+                " include edge src/" + module + " -> src/" + target_module +
+                " (#include \"" + inc.target + "\"): '" + module +
+                "' is tier " + std::to_string(tier) + ", '" + target_module +
+                "' is tier " + std::to_string(target_tier) +
+                " of tools/layers.txt");
+      }
+    }
+  }
+  CycleFinder(tree, graph, report).Run();
+}
+
+}  // namespace nebula_lint

@@ -1,0 +1,129 @@
+// The v1 line rules, now running on comment- and literal-stripped text
+// (so a token in a doc comment or a string can no longer fire them):
+//
+//   [naked-sync]     std::mutex / std::lock_guard / ... anywhere but
+//                    common/sync.h. All synchronization goes through the
+//                    annotated nebula::Mutex family so -DNEBULA_ANALYZE
+//                    can see it.
+//   [fault-name]     fault points must come from the canonical registry:
+//                    no raw string literal passed to NEBULA_INJECT_FAULT /
+//                    NEBULA_FAULT_SHOULD_FAIL, and any kFault* identifier
+//                    used must be declared in common/fault_points.h.
+//   [nondeterminism] no rand() / srand() / std::random_device outside
+//                    src/testing/ — everything flows through the seeded
+//                    nebula::Rng so runs stay bit-reproducible.
+
+#include "lint.h"
+
+namespace nebula_lint {
+
+namespace {
+
+const char* const kNakedSyncTokens[] = {
+    "std::mutex",          "std::shared_mutex", "std::recursive_mutex",
+    "std::timed_mutex",    "std::lock_guard",   "std::unique_lock",
+    "std::scoped_lock",    "std::shared_lock",  "std::condition_variable",
+    "std::condition_variable_any",
+};
+
+const char* const kNondeterminismTokens[] = {
+    "rand",
+    "srand",
+    "random_device",
+};
+
+void CheckNakedSync(const SourceFile& file, size_t lineno,
+                    const std::string& line, Report* report) {
+  for (const char* token : kNakedSyncTokens) {
+    if (ContainsToken(line, token)) {
+      report->Add(file.rel, lineno, "naked-sync",
+                  std::string(token) +
+                      " outside common/sync.h; use the annotated "
+                      "nebula::Mutex family");
+      return;  // one report per line is enough
+    }
+  }
+}
+
+void CheckFaultNames(const SourceFile& file, size_t lineno,
+                     const std::string& code_line, const std::string& raw_line,
+                     const std::set<std::string>& canonical,
+                     bool allow_raw_literals, Report* report) {
+  if (code_line.find("#define") != std::string::npos) return;
+  const bool has_probe =
+      code_line.find("NEBULA_INJECT_FAULT") != std::string::npos ||
+      code_line.find("NEBULA_FAULT_SHOULD_FAIL") != std::string::npos;
+  // Literal contents are blanked in code_line, so consult the raw line
+  // for the quote — but only when the probe itself is real code.
+  if (!allow_raw_literals && has_probe &&
+      raw_line.find('"') != std::string::npos) {
+    report->Add(file.rel, lineno, "fault-name",
+                "raw string literal passed to a fault probe; use a kFault* "
+                "constant from common/fault_points.h");
+    return;
+  }
+  // Any kFault* identifier used anywhere must be canonical.
+  size_t pos = 0;
+  while ((pos = code_line.find("kFault", pos)) != std::string::npos) {
+    if (pos > 0 && IsIdentChar(code_line[pos - 1])) {
+      ++pos;
+      continue;
+    }
+    size_t end = pos;
+    while (end < code_line.size() && IsIdentChar(code_line[end])) ++end;
+    const std::string name = code_line.substr(pos, end - pos);
+    if (name.size() > 6 && canonical.find(name) == canonical.end()) {
+      report->Add(file.rel, lineno, "fault-name",
+                  name + " is not declared in common/fault_points.h");
+    }
+    pos = end;
+  }
+}
+
+void CheckNondeterminism(const SourceFile& file, size_t lineno,
+                         const std::string& line, Report* report) {
+  for (const char* token : kNondeterminismTokens) {
+    if (!ContainsToken(line, token)) continue;
+    // rand/srand must be a call to count (a plain identifier hits things
+    // like "operand"); random_device counts wherever it appears.
+    if (std::string(token) != "random_device") {
+      const size_t pos = line.find(token);
+      size_t after = pos + std::string(token).size();
+      while (after < line.size() && line[after] == ' ') ++after;
+      if (after >= line.size() || line[after] != '(') continue;
+    }
+    report->Add(file.rel, lineno, "nondeterminism",
+                std::string(token) +
+                    " outside src/testing/; use the seeded nebula::Rng");
+    return;
+  }
+}
+
+}  // namespace
+
+void RunTextualPass(const SourceTree& tree,
+                    const std::set<std::string>& canonical_fault_names,
+                    Report* report) {
+  for (const SourceFile& file : tree.files) {
+    const bool is_sync_header = EndsWith(file.rel, "common/sync.h");
+    const bool is_fault_points = EndsWith(file.rel, "common/fault_points.h");
+    // src/testing/ (the seeded harness) and tests/ (gtest, which owns its
+    // own shuffling seeds) are exempt from the nondeterminism rule.
+    const bool is_testing = HasPathComponent(file.rel, "testing") ||
+                            HasPathComponent(file.rel, "tests");
+    // tests/ exercise the fault machinery itself with ad-hoc point names;
+    // only unknown kFault* identifiers are checked there.
+    const bool allow_raw_fault_names = HasPathComponent(file.rel, "tests");
+    for (size_t i = 0; i < file.code_lines.size(); ++i) {
+      const std::string& line = file.code_lines[i];
+      if (!is_sync_header) CheckNakedSync(file, i + 1, line, report);
+      if (!is_fault_points) {
+        CheckFaultNames(file, i + 1, line, file.raw_lines[i],
+                        canonical_fault_names, allow_raw_fault_names, report);
+      }
+      if (!is_testing) CheckNondeterminism(file, i + 1, line, report);
+    }
+  }
+}
+
+}  // namespace nebula_lint

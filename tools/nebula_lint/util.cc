@@ -1,0 +1,224 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <utility>
+
+namespace nebula_lint {
+
+std::string Finding::BaselineKey() const {
+  return file + ": [" + rule + "] " + message;
+}
+
+const SourceFile* SourceTree::Find(const std::string& rel) const {
+  auto it = by_rel.find(rel);
+  return it == by_rel.end() ? nullptr : &files[it->second];
+}
+
+void Report::Add(const std::string& file, size_t line, const std::string& rule,
+                 const std::string& message) {
+  findings_.push_back({file, line, rule, message});
+}
+
+size_t Report::CountByRule(const std::string& rule) const {
+  size_t n = 0;
+  for (const auto& f : findings_) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ContainsToken(const std::string& line, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    // ':' on the left means we matched the tail of a qualified name
+    // (e.g. "std::random_device" when searching "random_device"): still a
+    // hit, so only reject alphanumeric/underscore neighbours.
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+bool HasPathComponent(const fs::path& path, const std::string& part) {
+  for (const auto& component : path) {
+    if (component.string() == part) return true;
+  }
+  return false;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+namespace {
+
+/// Comment/literal stripper state carried across lines.
+struct StripState {
+  bool in_block_comment = false;
+  bool in_raw_string = false;
+  std::string raw_delim;  ///< the )delim" closer of the active raw string
+};
+
+/// Blanks comments and string/char literal *contents* in `line` (lengths
+/// preserved, quote characters kept so tokenization stays sane).
+std::string StripLine(const std::string& line, StripState* state) {
+  std::string out(line.size(), ' ');
+  size_t i = 0;
+  while (i < line.size()) {
+    if (state->in_block_comment) {
+      const size_t close = line.find("*/", i);
+      if (close == std::string::npos) return out;
+      i = close + 2;
+      state->in_block_comment = false;
+      continue;
+    }
+    if (state->in_raw_string) {
+      const size_t close = line.find(state->raw_delim, i);
+      if (close == std::string::npos) return out;
+      i = close + state->raw_delim.size();
+      out[i - 1] = '"';
+      state->in_raw_string = false;
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      return out;  // line comment: rest of line stays blank
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      state->in_block_comment = true;
+      i += 2;
+      continue;
+    }
+    if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"' &&
+        (i == 0 || !IsIdentChar(line[i - 1]))) {
+      const size_t open_paren = line.find('(', i + 2);
+      if (open_paren != std::string::npos) {
+        // Built locally and move-assigned — GCC 12's -Wrestrict
+        // false-positives on copy-assigning string expressions here
+        // at -O2; a move assignment never touches the char buffer.
+        std::string delim;
+        delim.reserve(open_paren - i);
+        delim.push_back(')');
+        delim.append(line, i + 2, open_paren - i - 2);
+        delim.push_back('"');
+        state->raw_delim = std::move(delim);
+        out[i] = 'R';
+        out[i + 1] = '"';
+        const size_t close = line.find(state->raw_delim, open_paren);
+        if (close == std::string::npos) {
+          state->in_raw_string = true;
+          return out;
+        }
+        i = close + state->raw_delim.size();
+        out[i - 1] = '"';
+        continue;
+      }
+    }
+    if (c == '"' || c == '\'') {
+      out[i] = c;
+      size_t j = i + 1;
+      while (j < line.size()) {
+        if (line[j] == '\\') {
+          j += 2;
+          continue;
+        }
+        if (line[j] == c) break;
+        ++j;
+      }
+      if (j < line.size()) out[j] = c;
+      i = (j < line.size()) ? j + 1 : line.size();
+      continue;
+    }
+    out[i] = c;
+    ++i;
+  }
+  return out;
+}
+
+/// Parses a project include from a raw line: `#include "target"`.
+/// Returns true and fills target/keep on match.
+bool ParseInclude(const std::string& raw, std::string* target, bool* keep) {
+  size_t i = raw.find_first_not_of(" \t");
+  if (i == std::string::npos || raw[i] != '#') return false;
+  size_t h = raw.find("include", i);
+  if (h == std::string::npos) return false;
+  size_t open = raw.find('"', h);
+  if (open == std::string::npos) return false;
+  size_t close = raw.find('"', open + 1);
+  if (close == std::string::npos) return false;
+  *target = raw.substr(open + 1, close - open - 1);
+  *keep = raw.find("nebula-lint: keep", close) != std::string::npos ||
+          raw.find("IWYU pragma: keep", close) != std::string::npos;
+  return true;
+}
+
+}  // namespace
+
+SourceFile LoadSourceFile(const fs::path& path, const std::string& rel) {
+  SourceFile file;
+  file.path = path;
+  file.rel = rel;
+  file.is_header = path.extension() == ".h";
+  std::ifstream in(path);
+  std::string line;
+  StripState state;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    file.raw_lines.push_back(line);
+    file.code_lines.push_back(StripLine(line, &state));
+    std::string target;
+    bool keep = false;
+    if (!state.in_block_comment && ParseInclude(line, &target, &keep)) {
+      file.includes.push_back({target, lineno, keep});
+    }
+  }
+  return file;
+}
+
+SourceTree LoadTree(const fs::path& root, const std::vector<std::string>& roots,
+                    const std::set<std::string>& skip_dirs) {
+  SourceTree tree;
+  tree.root = root;
+  std::vector<fs::path> paths;
+  for (const std::string& sub : roots) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      const std::string name = it->path().filename().string();
+      if (it->is_directory() &&
+          (skip_dirs.count(name) != 0 ||
+           (!name.empty() && name[0] == '.'))) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+        paths.push_back(it->path());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) {
+    const std::string rel = fs::relative(p, root).generic_string();
+    tree.by_rel[rel] = tree.files.size();
+    tree.files.push_back(LoadSourceFile(p, rel));
+  }
+  return tree;
+}
+
+}  // namespace nebula_lint

@@ -17,10 +17,15 @@
 #include <vector>
 
 #include "annotation/annotation_store.h"
+#include "common/status.h"
 #include "core/engine.h"
+#include "core/verification.h"
 #include "meta/nebula_meta.h"
 #include "obs/export.h"
 #include "storage/catalog.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/value.h"
 
 using namespace nebula;
 

@@ -15,6 +15,16 @@
 
 namespace nebula {
 
+/// Plan-cache fill in TupleIdentifier's keyword->configuration cache; a
+/// fired fault skips caching the freshly compiled plans (the group still
+/// executes on the cold path).
+inline constexpr char kFaultCorePlanCacheFill[] = "core.plancache.fill";
+
+/// SQL result-cache fill in the keyword engine; a fired fault skips
+/// memoizing the executed statement (results are unaffected).
+inline constexpr char kFaultKeywordResultCacheFill[] =
+    "keyword.resultcache.fill";
+
 /// Per distinct statement in the shared keyword executor; fires on pool
 /// workers too.
 inline constexpr char kFaultKeywordSharedStatement[] =
@@ -31,6 +41,12 @@ inline constexpr char kFaultStorageQueryJoin[] = "storage.query.join";
 
 /// Table::Insert entry.
 inline constexpr char kFaultStorageTableInsert[] = "storage.table.insert";
+
+/// Lazy build of a table's unified inverted value index; a fired fault
+/// latches the table into permanent scan fallback (degrade, don't
+/// corrupt).
+inline constexpr char kFaultStorageValueIndexBuild[] =
+    "storage.valueindex.build";
 
 /// ThreadPool enqueue; a fired fault makes the pool degrade that
 /// submission to inline execution on the caller's thread.

@@ -17,6 +17,7 @@
 #include "obs/trace.h"
 #include "storage/catalog.h"
 #include "storage/schema.h"
+#include "storage/table.h"
 
 namespace nebula {
 
@@ -103,6 +104,7 @@ NebulaEngine::NebulaEngine(Catalog* catalog, AnnotationStore* store,
       config_(config),
       acg_(config.acg_stability),
       search_engine_(catalog, meta, config.search),
+      plan_cache_(meta),
       verification_(store, &acg_, config.bounds),
       trace_recorder_(config.trace_capacity) {}
 
@@ -141,8 +143,16 @@ Result<AnnotationReport> NebulaEngine::DiscoverWithQueries(
 
   // Stage 2: execute the queries, full-database or focal-spreading.
   search_engine_.params() = config_.search;
-  TupleIdentifier identifier(&search_engine_, &acg_, config_.identify,
-                             pool(), tracer, parent_span);
+  IdentifyParams identify_params = config_.identify;
+  if (!config_.use_value_index) {
+    // Master legacy switch: no index fast path, no statement-result memo,
+    // no plan cache — the bit-identical historical execution everywhere.
+    search_engine_.params().use_value_index = false;
+    search_engine_.params().memoize_sql_results = false;
+    identify_params.use_plan_cache = false;
+  }
+  TupleIdentifier identifier(&search_engine_, &acg_, identify_params, pool(),
+                             tracer, parent_span, &plan_cache_);
   FocalSpreading spreading(&acg_, config_.spreading);
 
   Stopwatch watch;
@@ -176,6 +186,21 @@ Result<AnnotationReport> NebulaEngine::DiscoverWithQueries(
     m.queries_generated->Increment(report.queries.size());
     m.candidates->Increment(report.candidates.size());
     m.stage_execution->Observe(report.timings.search_us);
+    // Refresh the per-table value-index size gauges (cheap: one mutex grab
+    // per table; unbuilt or degraded indexes report nothing).
+    auto& registry = obs::MetricsRegistry::Global();
+    for (const auto& table : catalog_->tables()) {
+      const Table::ValueIndexInfo info = table->value_index_info();
+      if (!info.built) continue;
+      registry
+          .GetGauge("nebula_value_index_tokens", {{"table", table->name()}},
+                    "Distinct tokens in the table's inverted value index")
+          ->Set(static_cast<double>(info.tokens));
+      registry
+          .GetGauge("nebula_value_index_postings", {{"table", table->name()}},
+                    "Posting-list entries in the table's inverted value index")
+          ->Set(static_cast<double>(info.postings));
+    }
   }
   return report;
 }

@@ -41,6 +41,13 @@ struct NebulaConfig {
   /// spreading params disable that requirement).
   bool enable_focal_spreading = false;
   AcgStabilityConfig acg_stability;
+  /// Master switch for the Stage-2 acceleration structures: the tables'
+  /// unified inverted value index, the keyword engine's statement-result
+  /// memo, and the keyword->configuration plan cache. Off forces the
+  /// legacy scan-and-recompile path everywhere; results, rankings, and
+  /// ExecStats are bit-identical either way (the differential harness's
+  /// "index" pair proves it).
+  bool use_value_index = true;
   /// Footnote-1 guard: when an annotation's prediction covers an
   /// excessive share of the database, skip verification submission.
   bool enable_spam_guard = true;
@@ -135,6 +142,7 @@ class NebulaEngine {
   Acg& acg() { return acg_; }
   const Acg& acg() const { return acg_; }
   KeywordSearchEngine& search_engine() { return search_engine_; }
+  PlanCache& plan_cache() { return plan_cache_; }
   VerificationManager& verification() { return verification_; }
   NebulaConfig& config() { return config_; }
   const NebulaConfig& config() const { return config_; }
@@ -191,6 +199,7 @@ class NebulaEngine {
   NebulaConfig config_;
   Acg acg_;
   KeywordSearchEngine search_engine_;
+  PlanCache plan_cache_;
   VerificationManager verification_;
   obs::TraceRecorder trace_recorder_;
   // Declared last: destroyed first, joining any in-flight workers while

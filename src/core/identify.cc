@@ -2,23 +2,122 @@
 
 #include <algorithm>
 #include <future>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
+#include "common/fault.h"
+#include "common/fault_points.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/sync.h"
+#include "keyword/engine.h"
 #include "keyword/mini_db.h"
 #include "keyword/query_types.h"
 #include "keyword/shared_executor.h"
+#include "obs/metrics.h"
 #include "storage/query.h"
 #include "storage/schema.h"
 
 namespace nebula {
+
+namespace {
+
+/// Process-wide plan-cache instruments, resolved once.
+struct PlanCacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Gauge* entries;
+};
+
+const PlanCacheMetrics& Metrics() {
+  static const PlanCacheMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    PlanCacheMetrics out;
+    out.hits = r.GetCounter("nebula_plan_cache_total", {{"outcome", "hit"}},
+                            "Keyword->configuration plan cache outcomes");
+    out.misses =
+        r.GetCounter("nebula_plan_cache_total", {{"outcome", "miss"}}, "");
+    out.entries = r.GetGauge("nebula_plan_cache_entries", {},
+                             "Resident keyword->configuration plans");
+    return out;
+  }();
+  return m;
+}
+
+}  // namespace
+
+std::string PlanCache::KeyOf(const KeywordQuery& query) {
+  std::string key;
+  for (const auto& w : query.keywords) {
+    key += w;
+    key += '\x1f';  // unit separator: cannot appear inside a keyword
+  }
+  return key;
+}
+
+std::vector<std::vector<GeneratedSql>> PlanCache::GetOrCompileGroup(
+    const KeywordSearchEngine& engine,
+    const std::vector<KeywordQuery>& queries) {
+  MutexLock lock(mutex_);
+  // Wholesale invalidation: any metadata mutation or search-knob change
+  // since the last fill makes every cached plan suspect.
+  const uint64_t version = meta_ != nullptr ? meta_->version() : 0;
+  if (version != seen_version_ || !(engine.params() == seen_params_)) {
+    plans_.clear();
+    seen_version_ = version;
+    seen_params_ = engine.params();
+  }
+  std::vector<std::vector<GeneratedSql>> out;
+  out.reserve(queries.size());
+  KeywordSearchEngine::MappingCache mapping_cache;
+  for (const KeywordQuery& q : queries) {
+    std::string key = KeyOf(q);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      if constexpr (obs::kEnabled) Metrics().hits->Increment();
+      out.push_back(it->second);
+      continue;
+    }
+    if constexpr (obs::kEnabled) Metrics().misses->Increment();
+    std::vector<GeneratedSql> compiled = engine.CompileToSql(q, &mapping_cache);
+    // Fault injection: a failed fill degrades to compile-every-time, it
+    // must never poison the cache or the returned plans.
+    if (!NEBULA_FAULT_SHOULD_FAIL(kFaultCorePlanCacheFill)) {
+      plans_.emplace(std::move(key), compiled);
+    }
+    out.push_back(std::move(compiled));
+  }
+  if constexpr (obs::kEnabled) {
+    Metrics().entries->Set(static_cast<double>(plans_.size()));
+  }
+  return out;
+}
+
+size_t PlanCache::size() const {
+  MutexLock lock(mutex_);
+  return plans_.size();
+}
+
+void PlanCache::Clear() {
+  MutexLock lock(mutex_);
+  plans_.clear();
+}
 
 Result<std::vector<CandidateTuple>> TupleIdentifier::Identify(
     const std::vector<KeywordQuery>& queries,
     const std::vector<TupleId>& focal, const MiniDb* mini_db) {
   // Step 1: execute every keyword query; each answer tuple's confidence is
   // scaled by its query's generation weight.
+  //
+  // With a plan cache attached, the whole group's compilation is resolved
+  // up front (cached or cold) and every execution path below consumes the
+  // precompiled plans; candidates are identical either way.
+  const bool use_plans = plan_cache_ != nullptr && params_.use_plan_cache;
+  std::vector<std::vector<GeneratedSql>> plans;
+  if (use_plans) {
+    plans = plan_cache_->GetOrCompileGroup(*engine_, queries);
+  }
   std::vector<std::vector<SearchHit>> per_query;
   // Records one "query" span for an isolated-path query execution.
   auto trace_query = [this](const KeywordQuery& q, uint64_t start_us,
@@ -29,7 +128,8 @@ Result<std::vector<CandidateTuple>> TupleIdentifier::Identify(
   };
   if (params_.shared_execution) {
     SharedKeywordExecutor shared(engine_, pool_, tracer_, trace_parent_);
-    NEBULA_RETURN_NOT_OK(shared.ExecuteGroup(queries, &per_query, mini_db));
+    NEBULA_RETURN_NOT_OK(shared.ExecuteGroup(queries, &per_query, mini_db,
+                                             use_plans ? &plans : nullptr));
   } else if (pool_ != nullptr && queries.size() > 1) {
     // Isolated queries are independent of each other: run each whole
     // query on the pool; collect answers and fold stats in query order so
@@ -40,16 +140,20 @@ Result<std::vector<CandidateTuple>> TupleIdentifier::Identify(
     };
     std::vector<std::future<QueryOutcome>> outcomes;
     outcomes.reserve(queries.size());
-    for (const KeywordQuery& q : queries) {
-      outcomes.push_back(pool_->Submit([this, &q, mini_db, &trace_query] {
-        QueryOutcome out;
-        const uint64_t start_us =
-            tracer_ != nullptr ? tracer_->ElapsedMicros() : 0;
-        Stopwatch watch;
-        out.hits = engine_->Search(q, mini_db, &out.stats);
-        trace_query(q, start_us, watch.ElapsedMicros());
-        return out;
-      }));
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const KeywordQuery& q = queries[qi];
+      outcomes.push_back(pool_->Submit(
+          [this, &q, qi, mini_db, &trace_query, use_plans, &plans] {
+            QueryOutcome out;
+            const uint64_t start_us =
+                tracer_ != nullptr ? tracer_->ElapsedMicros() : 0;
+            Stopwatch watch;
+            out.hits = use_plans
+                           ? engine_->SearchPlan(plans[qi], mini_db, &out.stats)
+                           : engine_->Search(q, mini_db, &out.stats);
+            trace_query(q, start_us, watch.ElapsedMicros());
+            return out;
+          }));
     }
     per_query.resize(queries.size());
     // Join all tasks before any early return: workers reference `queries`.
@@ -66,14 +170,22 @@ Result<std::vector<CandidateTuple>> TupleIdentifier::Identify(
     NEBULA_RETURN_NOT_OK(status);
   } else {
     per_query.reserve(queries.size());
-    for (const auto& q : queries) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const KeywordQuery& q = queries[qi];
       const uint64_t start_us =
           tracer_ != nullptr ? tracer_->ElapsedMicros() : 0;
       Stopwatch watch;
-      NEBULA_ASSIGN_OR_RETURN(std::vector<SearchHit> hits,
-                              engine_->Search(q, mini_db));
+      Result<std::vector<SearchHit>> hits = std::vector<SearchHit>{};
+      if (use_plans) {
+        ExecStats one;
+        hits = engine_->SearchPlan(plans[qi], mini_db, &one);
+        engine_->AccumulateStats(one);
+      } else {
+        hits = engine_->Search(q, mini_db);
+      }
+      NEBULA_RETURN_NOT_OK(hits.status());
       trace_query(q, start_us, watch.ElapsedMicros());
-      per_query.push_back(std::move(hits));
+      per_query.push_back(std::move(hits).value());
     }
   }
 

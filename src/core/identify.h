@@ -2,15 +2,18 @@
 #define NEBULA_CORE_IDENTIFY_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "core/acg.h"
 #include "keyword/engine.h"
 #include "keyword/mini_db.h"
 #include "keyword/query_types.h"
 #include "keyword/shared_executor.h"
+#include "meta/nebula_meta.h"
 #include "obs/trace.h"
 #include "storage/schema.h"
 
@@ -52,6 +55,53 @@ struct IdentifyParams {
   /// Execute the query group through the shared multi-query executor
   /// instead of one-query-at-a-time.
   bool shared_execution = false;
+  /// Consult the keyword->configuration PlanCache (when one is attached)
+  /// before compiling. Off forces recompilation on every group — the
+  /// differential harness's scan-vs-index pair also turns this off so the
+  /// legacy side exercises the historical end-to-end path.
+  bool use_plan_cache = true;
+};
+
+/// Keyword -> configuration plan cache: memoizes CompileToSql results (the
+/// configuration enumeration + SQL generation of steps 1-2) across
+/// annotations. The same keyword combination — typically a concept word
+/// plus an embedded reference — recurs across the curation stream, and its
+/// plan only depends on NebulaMeta state and the engine's search knobs.
+///
+/// Invalidation is wholesale and version-based: every lookup compares
+/// NebulaMeta::version() (bumped by each successful metadata mutation) and
+/// the engine's KeywordSearchParams against the values seen at fill time;
+/// any change drops the whole cache. There is deliberately no per-entry
+/// dependency tracking — metadata mutations are rare (curation setup), and
+/// a stale plan would silently change results.
+///
+/// Thread-safe; one instance is shared by every TupleIdentifier the owning
+/// NebulaEngine creates.
+class PlanCache {
+ public:
+  explicit PlanCache(const NebulaMeta* meta) : meta_(meta) {}
+
+  /// Returns plans[i] == engine.CompileToSql(queries[i]) for every query,
+  /// serving repeats from the cache. Cold compilations within one group
+  /// share a MappingCache, mirroring the shared executor's behaviour.
+  std::vector<std::vector<GeneratedSql>> GetOrCompileGroup(
+      const KeywordSearchEngine& engine,
+      const std::vector<KeywordQuery>& queries) EXCLUDES(mutex_);
+
+  size_t size() const EXCLUDES(mutex_);
+  void Clear() EXCLUDES(mutex_);
+
+ private:
+  /// Cache key: the keyword sequence (all CompileToSql consumes besides
+  /// meta/params state). Weight and label never affect compilation.
+  static std::string KeyOf(const KeywordQuery& query);
+
+  const NebulaMeta* meta_;
+  mutable Mutex mutex_;
+  uint64_t seen_version_ GUARDED_BY(mutex_) = 0;
+  KeywordSearchParams seen_params_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::vector<GeneratedSql>> plans_
+      GUARDED_BY(mutex_);
 };
 
 /// Stage 2 of the Nebula pipeline: executes the generated keyword queries
@@ -66,16 +116,19 @@ class TupleIdentifier {
   ///
   /// `tracer`, when given, records the per-statement ("sql") or per-query
   /// ("query") execution spans as children of `trace_parent`.
+  /// `plan_cache`, when given, serves the group's compiled plans (subject
+  /// to params.use_plan_cache); results are identical to recompiling.
   TupleIdentifier(KeywordSearchEngine* engine, const Acg* acg,
                   IdentifyParams params = {}, ThreadPool* pool = nullptr,
                   obs::TraceBuilder* tracer = nullptr,
-                  uint32_t trace_parent = 0)
+                  uint32_t trace_parent = 0, PlanCache* plan_cache = nullptr)
       : engine_(engine),
         acg_(acg),
         params_(params),
         pool_(pool),
         tracer_(tracer),
-        trace_parent_(trace_parent) {}
+        trace_parent_(trace_parent),
+        plan_cache_(plan_cache) {}
 
   /// Runs the algorithm. `focal` is Foc(a); `mini_db`, when given,
   /// restricts the search (focal-spreading mode). Candidates are returned
@@ -94,6 +147,7 @@ class TupleIdentifier {
   ThreadPool* pool_;
   obs::TraceBuilder* tracer_;
   uint32_t trace_parent_;
+  PlanCache* plan_cache_;
 };
 
 }  // namespace nebula

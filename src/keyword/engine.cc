@@ -4,12 +4,17 @@
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
+#include "common/fault.h"
+#include "common/fault_points.h"
 #include "common/status.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "keyword/mini_db.h"
 #include "keyword/query_types.h"
 #include "meta/nebula_meta.h"
+#include "obs/metrics.h"
 #include "storage/catalog.h"
 #include "storage/query.h"
 #include "storage/schema.h"
@@ -17,6 +22,61 @@
 #include "storage/value.h"
 
 namespace nebula {
+
+namespace {
+
+/// Scales unit-confidence hits to a statement's confidence. Bitwise
+/// identical to executing at that confidence directly: 1.0 * c == c and
+/// IEEE multiplication is commutative, so cached (unit) and cold paths
+/// produce the same doubles.
+std::vector<SearchHit> ScaleHits(const std::vector<SearchHit>& unit,
+                                 double confidence) {
+  std::vector<SearchHit> scaled;
+  scaled.reserve(unit.size());
+  for (const SearchHit& h : unit) {
+    scaled.push_back({h.tuple, h.confidence * confidence});
+  }
+  return scaled;
+}
+
+/// Process-wide cache / value-index instruments, resolved once.
+struct KeywordEngineMetrics {
+  obs::Counter* result_hit;
+  obs::Counter* result_miss;
+  obs::Counter* probe_index;
+  obs::Counter* probe_legacy;
+  obs::Histogram* index_lookup_us;
+  obs::Gauge* result_entries;
+};
+
+const KeywordEngineMetrics& Metrics() {
+  static const KeywordEngineMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    KeywordEngineMetrics out;
+    out.result_hit = r.GetCounter(
+        "nebula_sql_result_cache_total", {{"outcome", "hit"}},
+        "SQL result-cache outcomes: hit = statement served from the memo, "
+        "miss = executed cold");
+    out.result_miss = r.GetCounter("nebula_sql_result_cache_total",
+                                   {{"outcome", "miss"}}, "");
+    out.probe_index = r.GetCounter(
+        "nebula_value_index_probe_total", {{"path", "index"}},
+        "Statement executions by access path: index = value-index "
+        "posting-list intersection, legacy = hash/text-index or scan");
+    out.probe_legacy = r.GetCounter("nebula_value_index_probe_total",
+                                    {{"path", "legacy"}}, "");
+    out.index_lookup_us =
+        r.GetHistogram("nebula_value_index_lookup_us", {},
+                       "Wall time of one value-index-served statement");
+    out.result_entries =
+        r.GetGauge("nebula_sql_result_cache_entries", {},
+                   "Memoized statements in the SQL result cache");
+    return out;
+  }();
+  return m;
+}
+
+}  // namespace
 
 std::string GeneratedSql::CanonicalKey() const {
   std::vector<std::string> preds;
@@ -310,6 +370,29 @@ Result<std::vector<SearchHit>> KeywordSearchEngine::ExecuteSql(
   return hits;
 }
 
+bool KeywordSearchEngine::CacheEntryValid(const CachedSqlResult& entry,
+                                          uint64_t rows) const {
+  // Tables are append-only, so an unchanged row count means unchanged
+  // contents; the knob fingerprint catches parameter flips between fills
+  // (a mismatch falls through to a cold execution that overwrites).
+  return entry.table_rows == rows &&
+         entry.scan_containment == params_.scan_containment &&
+         entry.use_value_index == params_.use_value_index &&
+         entry.fk_expansion == params_.fk_expansion &&
+         entry.fk_decay == params_.fk_decay &&
+         entry.fk_fanout_cap == params_.fk_fanout_cap;
+}
+
+void KeywordSearchEngine::ClearResultCache() {
+  MutexLock lock(result_cache_mutex_);
+  result_cache_.clear();
+}
+
+size_t KeywordSearchEngine::result_cache_size() const {
+  MutexLock lock(result_cache_mutex_);
+  return result_cache_.size();
+}
+
 Result<std::vector<SearchHit>> KeywordSearchEngine::ExecuteSql(
     const GeneratedSql& sql, const MiniDb* mini_db, ExecStats* stats) const {
   NEBULA_ASSIGN_OR_RETURN(const Table* table,
@@ -323,25 +406,60 @@ Result<std::vector<SearchHit>> KeywordSearchEngine::ExecuteSql(
       return std::vector<SearchHit>{};
     }
   }
-  // A per-call executor keeps this path free of shared mutable state, so
-  // pool workers can run statements of the same group concurrently.
+
+  // Result memoization: full-database statements only (mini-db subsets
+  // vary per annotation). A hit replays the cold run's counters, keeping
+  // ExecStats totals identical to an uncached execution sequence.
+  const bool cacheable = params_.memoize_sql_results && mini_db == nullptr;
+  std::string key;
+  if (cacheable) {
+    key = sql.CanonicalKey();
+    MutexLock lock(result_cache_mutex_);
+    auto it = result_cache_.find(key);
+    if (it != result_cache_.end() &&
+        CacheEntryValid(it->second, table->num_rows())) {
+      if (stats != nullptr) *stats = it->second.stats;
+      if constexpr (obs::kEnabled) Metrics().result_hit->Increment();
+      return ScaleHits(it->second.unit_hits, sql.confidence);
+    }
+  }
+  if constexpr (obs::kEnabled) {
+    if (cacheable) Metrics().result_miss->Increment();
+  }
+
+  // Cold path, at unit confidence (scaled at the very end so the memo can
+  // serve every confidence). A per-call executor keeps this path free of
+  // shared mutable state, so pool workers can run statements of the same
+  // group concurrently.
   QueryExecutor executor(catalog_);
+  executor.set_use_value_index(params_.use_value_index);
+  Stopwatch watch;
   Result<std::vector<Table::RowId>> rows_result =
       executor.Execute(sql.query, restrict,
                        /*allow_text_index=*/!params_.scan_containment);
+  const uint64_t elapsed_us = watch.ElapsedMicros();
   // Overwrite, never +=: a stale out-param must not survive into the
   // caller's AccumulateStats fold (see the header contract).
   if (stats != nullptr) *stats = executor.stats();
+  if constexpr (obs::kEnabled) {
+    const IndexPathStats& paths = executor.path_stats();
+    const KeywordEngineMetrics& m = Metrics();
+    if (paths.index_path > 0) {
+      m.probe_index->Increment(paths.index_path);
+      m.index_lookup_us->Observe(elapsed_us);
+    }
+    if (paths.legacy_path > 0) m.probe_legacy->Increment(paths.legacy_path);
+  }
   NEBULA_ASSIGN_OR_RETURN(std::vector<Table::RowId> rows,
                           std::move(rows_result));
-  std::vector<SearchHit> hits;
-  hits.reserve(rows.size());
+  std::vector<SearchHit> unit_hits;
+  unit_hits.reserve(rows.size());
   for (Table::RowId r : rows) {
-    hits.push_back({TupleId{table->id(), r}, sql.confidence});
+    unit_hits.push_back({TupleId{table->id(), r}, 1.0});
   }
   if (params_.fk_expansion) {
     std::vector<SearchHit> expanded;
-    for (const auto& hit : hits) {
+    for (const auto& hit : unit_hits) {
       size_t added = 0;
       for (const TupleId& nb : catalog_->FkNeighbors(hit.tuple)) {
         if (added >= params_.fk_fanout_cap) break;
@@ -350,9 +468,26 @@ Result<std::vector<SearchHit>> KeywordSearchEngine::ExecuteSql(
         ++added;
       }
     }
-    hits.insert(hits.end(), expanded.begin(), expanded.end());
+    unit_hits.insert(unit_hits.end(), expanded.begin(), expanded.end());
   }
-  return hits;
+  if (cacheable && !NEBULA_FAULT_SHOULD_FAIL(kFaultKeywordResultCacheFill)) {
+    CachedSqlResult entry;
+    entry.unit_hits = unit_hits;
+    entry.stats = executor.stats();
+    entry.table_rows = table->num_rows();
+    entry.scan_containment = params_.scan_containment;
+    entry.use_value_index = params_.use_value_index;
+    entry.fk_expansion = params_.fk_expansion;
+    entry.fk_decay = params_.fk_decay;
+    entry.fk_fanout_cap = params_.fk_fanout_cap;
+    MutexLock lock(result_cache_mutex_);
+    result_cache_[key] = std::move(entry);
+    if constexpr (obs::kEnabled) {
+      Metrics().result_entries->Set(
+          static_cast<int64_t>(result_cache_.size()));
+    }
+  }
+  return ScaleHits(unit_hits, sql.confidence);
 }
 
 std::vector<SearchHit> KeywordSearchEngine::MergeHits(
@@ -388,7 +523,12 @@ Result<std::vector<SearchHit>> KeywordSearchEngine::Search(
 Result<std::vector<SearchHit>> KeywordSearchEngine::Search(
     const KeywordQuery& query, const MiniDb* mini_db,
     ExecStats* stats) const {
-  const std::vector<GeneratedSql> plan = CompileToSql(query);
+  return SearchPlan(CompileToSql(query), mini_db, stats);
+}
+
+Result<std::vector<SearchHit>> KeywordSearchEngine::SearchPlan(
+    const std::vector<GeneratedSql>& plan, const MiniDb* mini_db,
+    ExecStats* stats) const {
   std::vector<std::vector<SearchHit>> per_sql;
   per_sql.reserve(plan.size());
   // Aggregate the per-statement counters locally and assign once at the

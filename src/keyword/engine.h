@@ -2,9 +2,11 @@
 #define NEBULA_KEYWORD_ENGINE_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "keyword/mini_db.h"
 #include "keyword/query_types.h"
 #include "meta/nebula_meta.h"
@@ -74,6 +76,13 @@ class KeywordSearchEngine {
   std::vector<GeneratedSql> CompileToSql(const KeywordQuery& query,
                                          MappingCache* cache = nullptr) const;
 
+  /// Step 3 over a precompiled plan: what the thread-safe Search does
+  /// after CompileToSql. Exposed so the plan cache (core layer) can skip
+  /// recompilation; same stats contract as Search.
+  [[nodiscard]] Result<std::vector<SearchHit>> SearchPlan(
+      const std::vector<GeneratedSql>& plan, const MiniDb* mini_db,
+      ExecStats* stats) const;
+
   /// Step 3 — executes one generated statement; hits carry
   /// `sql.confidence`, FK-expanded when params.fk_expansion is set.
   [[nodiscard]] Result<std::vector<SearchHit>> ExecuteSql(const GeneratedSql& sql,
@@ -102,8 +111,31 @@ class KeywordSearchEngine {
   }
   const KeywordSearchParams& params() const { return params_; }
   KeywordSearchParams& params() { return params_; }
+  const NebulaMeta* meta() const { return meta_; }
+
+  /// Drops every memoized statement result. Tests use this; production
+  /// entries self-invalidate (table growth / knob changes are detected
+  /// per entry on lookup).
+  void ClearResultCache() EXCLUDES(result_cache_mutex_);
+  size_t result_cache_size() const EXCLUDES(result_cache_mutex_);
 
  private:
+  /// One memoized statement execution: hits at unit confidence (scaled
+  /// per caller on a hit — bitwise identical to a cold execution because
+  /// IEEE multiplication is commutative and 1.0 * c == c), the cold run's
+  /// counters for replay, and the validity fingerprint.
+  struct CachedSqlResult {
+    std::vector<SearchHit> unit_hits;
+    ExecStats stats;
+    uint64_t table_rows = 0;   ///< table size at fill (tables append-only)
+    bool scan_containment = false;
+    bool use_value_index = true;
+    bool fk_expansion = false;
+    double fk_decay = 0.0;
+    size_t fk_fanout_cap = 0;
+  };
+  bool CacheEntryValid(const CachedSqlResult& entry, uint64_t rows) const;
+
   /// idf-weighted score for `token` appearing in a text-indexed column.
   double TextMappingScore(const Table& table, size_t column,
                           const std::string& token) const;
@@ -112,6 +144,12 @@ class KeywordSearchEngine {
   const NebulaMeta* meta_;
   KeywordSearchParams params_;
   QueryExecutor executor_;
+  /// CanonicalKey -> memoized execution. Mutable + internally locked: the
+  /// const thread-safe Search/ExecuteSql overloads run concurrently on
+  /// pool workers and all share the memo.
+  mutable Mutex result_cache_mutex_;
+  mutable std::unordered_map<std::string, CachedSqlResult> result_cache_
+      GUARDED_BY(result_cache_mutex_);
 };
 
 }  // namespace nebula

@@ -73,6 +73,19 @@ struct KeywordSearchParams {
   /// RDBMS substrate, where the search technique's generated SQL uses
   /// LIKE predicates. Mapping statistics still come from the index.
   bool scan_containment = false;
+  /// Serve token-containment statements through the tables' unified
+  /// inverted value index (posting-list intersection) instead of
+  /// per-tuple matching. Results and ExecStats are bit-identical either
+  /// way; off forces the legacy execution path. Composes with
+  /// scan_containment: the replayed counters then model the scan.
+  bool use_value_index = true;
+  /// Memoize executed statements (canonical SQL -> unit-confidence hits +
+  /// counters) across Search / shared-executor calls, invalidated when
+  /// the target table grows or the execution knobs change. Full-database
+  /// statements only; mini-db (focal spreading) runs always execute.
+  bool memoize_sql_results = true;
+
+  bool operator==(const KeywordSearchParams&) const = default;
   /// Optional FK one-hop expansion of answers (off by default; see
   /// DESIGN.md ablation notes).
   bool fk_expansion = false;

@@ -80,17 +80,26 @@ const SharedExecMetrics& Metrics() {
 
 Status SharedKeywordExecutor::ExecuteGroup(
     const std::vector<KeywordQuery>& queries,
-    std::vector<std::vector<SearchHit>>* results, const MiniDb* mini_db) {
+    std::vector<std::vector<SearchHit>>* results, const MiniDb* mini_db,
+    const std::vector<std::vector<GeneratedSql>>* plans) {
   results->clear();
   results->resize(queries.size());
   stats_.Reset();
+  if (plans != nullptr && plans->size() != queries.size()) {
+    return Status::InvalidArgument(
+        "precompiled plan count does not match query count");
+  }
 
-  // Phase 1: compile every query, canonicalize statements group-wide.
+  // Phase 1: compile every query (or take the caller's precompiled
+  // plans), canonicalize statements group-wide.
   std::unordered_map<std::string, size_t> index_by_key;
   std::vector<PlannedSql> plan;
   KeywordSearchEngine::MappingCache mapping_cache;
   for (size_t qi = 0; qi < queries.size(); ++qi) {
-    for (auto& sql : engine_->CompileToSql(queries[qi], &mapping_cache)) {
+    std::vector<GeneratedSql> compiled =
+        plans != nullptr ? (*plans)[qi]
+                         : engine_->CompileToSql(queries[qi], &mapping_cache);
+    for (auto& sql : compiled) {
       ++stats_.total_sql;
       std::string key = sql.CanonicalKey();
       auto it = index_by_key.find(key);

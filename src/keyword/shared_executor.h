@@ -68,9 +68,17 @@ class SharedKeywordExecutor {
 
   /// Executes all queries; `results[i]` are the merged hits of queries[i]
   /// (identical to what engine->Search(queries[i]) would return).
-  [[nodiscard]] Status ExecuteGroup(const std::vector<KeywordQuery>& queries,
-                      std::vector<std::vector<SearchHit>>* results,
-                      const MiniDb* mini_db = nullptr);
+  ///
+  /// `plans`, when given, must hold the compiled statements of queries[i]
+  /// at plans[i] (what engine->CompileToSql(queries[i]) returns); Phase 1
+  /// then skips recompilation entirely. This is how the core layer's
+  /// keyword->configuration plan cache feeds the group without the
+  /// keyword layer knowing the cache exists.
+  [[nodiscard]] Status ExecuteGroup(
+      const std::vector<KeywordQuery>& queries,
+      std::vector<std::vector<SearchHit>>* results,
+      const MiniDb* mini_db = nullptr,
+      const std::vector<std::vector<GeneratedSql>>* plans = nullptr);
 
   const SharedExecutionStats& stats() const { return stats_; }
 

@@ -66,6 +66,7 @@ Status NebulaMeta::AddConcept(
     }
   }
   concepts_.push_back(std::move(ref));
+  ++version_;
   return Status::OK();
 }
 
@@ -73,6 +74,7 @@ void NebulaMeta::AddTableAlias(const std::string& table,
                                const std::string& alias) {
   auto& tokens = aliases_[ToLower(table)];
   for (const auto& tok : SplitWhitespace(ToLower(alias))) tokens.insert(tok);
+  ++version_;
 }
 
 void NebulaMeta::AddColumnAlias(const std::string& table,
@@ -80,6 +82,7 @@ void NebulaMeta::AddColumnAlias(const std::string& table,
                                 const std::string& alias) {
   auto& tokens = aliases_[ToLower(table) + "." + ToLower(column)];
   for (const auto& tok : SplitWhitespace(ToLower(alias))) tokens.insert(tok);
+  ++version_;
 }
 
 Status NebulaMeta::SetColumnPattern(const std::string& table,
@@ -93,6 +96,7 @@ Status NebulaMeta::SetColumnPattern(const std::string& table,
   }
   NEBULA_ASSIGN_OR_RETURN(ValuePattern pattern, ValuePattern::Compile(regex));
   value_columns_[it->second].pattern = std::move(pattern);
+  ++version_;
   return Status::OK();
 }
 
@@ -108,6 +112,7 @@ Status NebulaMeta::SetColumnOntology(const std::string& table,
   auto& onto = value_columns_[it->second].ontology;
   onto.clear();
   for (const auto& t : terms) onto.insert(ToLower(t));
+  ++version_;
   return Status::OK();
 }
 
@@ -141,6 +146,7 @@ Status NebulaMeta::DrawColumnSamples(const Catalog& catalog,
       }
     }
   }
+  ++version_;
   return Status::OK();
 }
 

@@ -129,6 +129,13 @@ class NebulaMeta {
   [[nodiscard]] Status DrawColumnSamples(const Catalog& catalog, size_t per_column,
                            Rng* rng);
 
+  /// Monotonic mutation counter: bumped by every successful mutator
+  /// (AddConcept, the alias adders, SetColumnPattern, SetColumnOntology,
+  /// DrawColumnSamples). Caches keyed on metadata-derived state — the
+  /// core layer's keyword->configuration plan cache — compare versions
+  /// and invalidate wholesale on any change.
+  uint64_t version() const { return version_; }
+
   const std::vector<ConceptRef>& concepts() const { return concepts_; }
   const std::vector<SchemaItem>& schema_items() const { return schema_items_; }
   const std::vector<ValueColumn>& value_columns() const {
@@ -156,6 +163,7 @@ class NebulaMeta {
  private:
   Lexicon lexicon_;
   MetaScoringParams scoring_;
+  uint64_t version_ = 0;
   std::vector<ConceptRef> concepts_;
   std::vector<SchemaItem> schema_items_;
   std::vector<ValueColumn> value_columns_;

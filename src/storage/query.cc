@@ -1,6 +1,7 @@
 #include "storage/query.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/fault.h"
 #include "common/fault_points.h"
@@ -9,6 +10,7 @@
 #include "storage/catalog.h"
 #include "storage/table.h"
 #include "storage/value.h"
+#include "storage/value_index.h"
 
 namespace nebula {
 
@@ -97,6 +99,91 @@ bool CompareValues(const Value& cell, CompareOp op, const Value& target) {
 
 }  // namespace
 
+std::optional<std::vector<Table::RowId>> QueryExecutor::TryValueIndexPath(
+    const Table& table, const SelectQuery& query,
+    const std::vector<int>& ordinals, bool allow_text_index) {
+  // Shape check: at least one token-containment probe and no equality
+  // predicate (an equality driver already makes the legacy path a cheap
+  // hash probe; the value index buys nothing there).
+  std::vector<size_t> token_preds;
+  for (size_t i = 0; i < query.predicates.size(); ++i) {
+    if (query.predicates[i].op == CompareOp::kEq) return std::nullopt;
+    if (query.predicates[i].op == CompareOp::kContainsToken) {
+      token_preds.push_back(i);
+    }
+  }
+  if (token_preds.empty()) return std::nullopt;
+  const ValueIndex* index = table.TryValueIndex();
+  if (index == nullptr) return std::nullopt;  // build failed: scan fallback
+
+  // Replay the counters the legacy access path would have produced, so
+  // ExecStats stay bit-identical whichever path answers the query. The
+  // legacy driver here is the first token predicate with a text index
+  // (rows_examined = its posting count), else a full scan.
+  uint64_t replay_rows = table.num_rows();
+  bool replay_index_lookup = false;
+  if (allow_text_index) {
+    for (size_t i : token_preds) {
+      const size_t ord = static_cast<size_t>(ordinals[i]);
+      if (!table.HasTextIndex(ord)) continue;
+      replay_rows =
+          table.LookupToken(ord, query.predicates[i].value.ToString()).size();
+      replay_index_lookup = true;
+      break;
+    }
+  }
+  stats_.rows_examined += replay_rows;
+  if (replay_index_lookup) ++stats_.index_lookups;
+
+  // Intersect the sorted posting lists of every token predicate,
+  // smallest list first. The needle mirrors CompareValues: lower-cased
+  // verbatim, never re-tokenized — a multi-token needle can match no
+  // indexed token, exactly like the legacy evaluation.
+  std::vector<const std::vector<Table::RowId>*> lists;
+  lists.reserve(token_preds.size());
+  for (size_t i : token_preds) {
+    const auto* rows = index->Lookup(
+        ToLower(query.predicates[i].value.ToString()),
+        static_cast<uint32_t>(ordinals[i]));
+    if (rows == nullptr) return std::vector<Table::RowId>{};
+    lists.push_back(rows);
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<Table::RowId> result = *lists.front();
+  for (size_t li = 1; li < lists.size() && !result.empty(); ++li) {
+    std::vector<Table::RowId> narrowed;
+    narrowed.reserve(std::min(result.size(), lists[li]->size()));
+    std::set_intersection(result.begin(), result.end(), lists[li]->begin(),
+                          lists[li]->end(), std::back_inserter(narrowed));
+    result = std::move(narrowed);
+  }
+
+  // Verify the residual (range / inequality) predicates per candidate.
+  // CompareValues directly, not RowMatches: the counters were already
+  // replayed above and must not double-count.
+  if (token_preds.size() < query.predicates.size()) {
+    std::vector<Table::RowId> verified;
+    verified.reserve(result.size());
+    for (Table::RowId r : result) {
+      bool keep = true;
+      for (size_t i = 0; i < query.predicates.size(); ++i) {
+        if (query.predicates[i].op == CompareOp::kContainsToken) continue;
+        const Value& cell = table.GetCell(r, static_cast<size_t>(ordinals[i]));
+        if (!CompareValues(cell, query.predicates[i].op,
+                           query.predicates[i].value)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) verified.push_back(r);
+    }
+    result = std::move(verified);
+  }
+  stats_.matches += result.size();
+  return result;
+}
+
 bool QueryExecutor::RowMatches(const Table& table, Table::RowId row,
                                const std::vector<Predicate>& preds,
                                const std::vector<int>& ordinals) {
@@ -124,6 +211,20 @@ Result<std::vector<Table::RowId>> QueryExecutor::Execute(
     }
     ordinals.push_back(ord);
   }
+
+  // Value-index fast path: unrestricted token-containment queries resolve
+  // through posting-list intersection (restricted queries stay legacy —
+  // the mini-db subsets are small and the replay bookkeeping would not
+  // pay for itself).
+  if (use_value_index_ && restrict == nullptr) {
+    std::optional<std::vector<Table::RowId>> fast =
+        TryValueIndexPath(*table, query, ordinals, allow_text_index);
+    if (fast.has_value()) {
+      ++path_stats_.index_path;
+      return std::move(*fast);
+    }
+  }
+  ++path_stats_.legacy_path;
 
   // Pick an access path: prefer an equality predicate (hash index), then a
   // token predicate with a text index, then scan.

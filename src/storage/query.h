@@ -2,6 +2,7 @@
 #define NEBULA_STORAGE_QUERY_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -77,6 +78,15 @@ struct JoinQuery {
   std::vector<Predicate> right_predicates;
 };
 
+/// Per-executor breakdown of which access path served Execute calls:
+/// `index_path` = resolved through the table's unified inverted value
+/// index; `legacy_path` = hash-index / text-index / scan evaluation. The
+/// keyword layer exports these as obs counters (storage cannot reach obs).
+struct IndexPathStats {
+  uint64_t index_path = 0;
+  uint64_t legacy_path = 0;
+};
+
 /// Evaluates conjunctive selections over the catalog.
 ///
 /// Strategy: if any equality predicate exists, probe the column hash index
@@ -84,9 +94,25 @@ struct JoinQuery {
 /// probe that; otherwise fall back to a scan. An optional row restriction
 /// (`restrict`) confines evaluation to a subset of rows — this is how the
 /// focal-spreading miniDB search reuses the same executor.
+///
+/// Value-index fast path: with `use_value_index` (the default) an
+/// unrestricted query whose predicates are token-containment probes (plus
+/// arbitrary non-equality residues) is answered by intersecting the
+/// table's inverted value-index posting lists instead of re-tokenizing
+/// candidate cell text per row. Results AND ExecStats are bit-identical
+/// to the legacy path: the counters the legacy access path would have
+/// produced are computed from index metadata and replayed, so any
+/// caller-visible contract (differential transcripts, parallel-vs-
+/// sequential stats totals) is preserved with the knob on or off.
 class QueryExecutor {
  public:
   explicit QueryExecutor(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Toggles the value-index fast path (on by default). Off forces the
+  /// bit-identical legacy evaluation, which is also the automatic
+  /// fallback when a table has no usable value index.
+  void set_use_value_index(bool use) { use_value_index_ = use; }
+  bool use_value_index() const { return use_value_index_; }
 
   /// `allow_text_index = false` forces kContainsToken predicates onto the
   /// scan path even when an inverted index exists — modeling an RDBMS
@@ -115,13 +141,26 @@ class QueryExecutor {
   /// race-free and the totals identical to sequential execution.
   void AccumulateStats(const ExecStats& other) { stats_ += other; }
 
+  /// Which access path served this executor's Execute calls.
+  const IndexPathStats& path_stats() const { return path_stats_; }
+
  private:
   bool RowMatches(const Table& table, Table::RowId row,
                   const std::vector<Predicate>& preds,
                   const std::vector<int>& ordinals);
 
+  /// The value-index fast path; nullopt when the query shape or the
+  /// table's index state requires the legacy path. On success, stats_
+  /// has been updated with the exact counters the legacy path would have
+  /// produced.
+  std::optional<std::vector<Table::RowId>> TryValueIndexPath(
+      const Table& table, const SelectQuery& query,
+      const std::vector<int>& ordinals, bool allow_text_index);
+
   const Catalog* catalog_;
   ExecStats stats_;
+  IndexPathStats path_stats_;
+  bool use_value_index_ = true;
 };
 
 }  // namespace nebula

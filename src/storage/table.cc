@@ -1,7 +1,6 @@
 #include "storage/table.h"
 
 #include <cassert>
-#include <cctype>
 
 #include "common/fault.h"
 #include "common/fault_points.h"
@@ -9,23 +8,9 @@
 #include "common/string_util.h"
 #include "storage/schema.h"
 #include "storage/value.h"
+#include "storage/value_index.h"
 
 namespace nebula {
-
-std::vector<std::string> TokenizeForIndex(const std::string& text) {
-  std::vector<std::string> tokens;
-  std::string current;
-  for (char c : text) {
-    if (std::isalnum(static_cast<unsigned char>(c))) {
-      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    } else if (!current.empty()) {
-      tokens.push_back(std::move(current));
-      current.clear();
-    }
-  }
-  if (!current.empty()) tokens.push_back(std::move(current));
-  return tokens;
-}
 
 Table::Table(uint32_t id, std::string name, Schema schema)
     : id_(id),
@@ -61,6 +46,11 @@ Result<Table::RowId> Table::Insert(std::vector<Value> row) {
       if (index_built_[c].load(std::memory_order_relaxed)) {
         indexes_[c][row[c]].push_back(row_id);
       }
+    }
+    // The unified value index rides the same critical section: it is
+    // only mutated here and in the lazy build, both under this mutex.
+    if (value_index_state_.load(std::memory_order_relaxed) == kBuilt) {
+      value_index_.AddRow(schema_, row, row_id);
     }
   }
   // Text indexes are mutated only under the exclusive-writer contract
@@ -168,6 +158,46 @@ std::vector<Table::RowId> Table::Scan(
 
 uint64_t Table::DistinctCount(size_t column) const {
   return GetOrBuildIndex(column).size();
+}
+
+const ValueIndex* Table::TryValueIndex() const {
+  int state = value_index_state_.load(std::memory_order_acquire);
+  if (state == kUnbuilt) {
+    // Double-checked lazy build, exactly like GetOrBuildIndex: parallel
+    // Stage-2 workers may race to the first probe.
+    MutexLock lock(index_build_mutex_);
+    state = value_index_state_.load(std::memory_order_relaxed);
+    if (state == kUnbuilt) {
+      if (NEBULA_FAULT_SHOULD_FAIL(kFaultStorageValueIndexBuild)) {
+        // Degrade, never corrupt: a failed build latches the table into
+        // permanent scan fallback rather than publishing a partial index
+        // or retrying into one.
+        state = kFailed;
+      } else {
+        ValueIndex index;
+        for (RowId r = 0; r < rows_.size(); ++r) {
+          index.AddRow(schema_, rows_[r], r);
+        }
+        value_index_ = std::move(index);
+        state = kBuilt;
+      }
+      value_index_state_.store(state, std::memory_order_release);
+    }
+  }
+  return state == kBuilt ? &PublishedValueIndex() : nullptr;
+}
+
+Table::ValueIndexInfo Table::value_index_info() const {
+  MutexLock lock(index_build_mutex_);
+  const int state = value_index_state_.load(std::memory_order_relaxed);
+  ValueIndexInfo info;
+  info.built = state == kBuilt;
+  info.failed = state == kFailed;
+  if (info.built) {
+    info.tokens = value_index_.num_tokens();
+    info.postings = value_index_.num_postings();
+  }
+  return info;
 }
 
 }  // namespace nebula

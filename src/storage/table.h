@@ -12,6 +12,7 @@
 #include "common/sync.h"
 #include "storage/schema.h"
 #include "storage/value.h"
+#include "storage/value_index.h"
 
 namespace nebula {
 
@@ -76,6 +77,22 @@ class Table {
   /// Estimated count of distinct values in a column (exact, via the index).
   uint64_t DistinctCount(size_t column) const;
 
+  /// The table-wide inverted value index, built lazily on first use (same
+  /// double-checked publication discipline as the hash indexes) and
+  /// maintained incrementally by Insert. Returns nullptr when the build
+  /// failed (fault injection): the table then latches into permanent scan
+  /// fallback — degraded, never corrupt.
+  const ValueIndex* TryValueIndex() const EXCLUDES(index_build_mutex_);
+
+  /// Observability snapshot of the value index (size gauges).
+  struct ValueIndexInfo {
+    bool built = false;
+    bool failed = false;
+    uint64_t tokens = 0;
+    uint64_t postings = 0;
+  };
+  ValueIndexInfo value_index_info() const EXCLUDES(index_build_mutex_);
+
  private:
   using HashIndex = std::unordered_map<Value, std::vector<RowId>, ValueHash>;
   using TextIndex = std::unordered_map<std::string, std::vector<RowId>>;
@@ -90,6 +107,12 @@ class Table {
   const HashIndex& PublishedIndex(size_t column) const
       NO_THREAD_SAFETY_ANALYSIS {
     return indexes_[column];
+  }
+
+  /// Same opt-out for the value index: safe only after
+  /// value_index_state_ has been observed as kBuilt with acquire ordering.
+  const ValueIndex& PublishedValueIndex() const NO_THREAD_SAFETY_ANALYSIS {
+    return value_index_;
   }
 
   uint32_t id_;
@@ -107,12 +130,16 @@ class Table {
   mutable Mutex index_build_mutex_;
   std::vector<TextIndex> text_indexes_;
   std::vector<bool> text_index_built_;
+  // The unified value index shares the hash indexes' locking story: all
+  // mutation (lazy build, Insert's incremental maintenance) runs under
+  // index_build_mutex_; the tri-state flag publishes the outcome with
+  // acquire/release so post-publication reads are lock-free. kFailed is
+  // sticky — one injected build fault degrades the table to scans for
+  // its lifetime instead of retrying into a half-built index.
+  enum ValueIndexState { kUnbuilt = 0, kBuilt = 1, kFailed = 2 };
+  mutable ValueIndex value_index_ GUARDED_BY(index_build_mutex_);
+  mutable std::atomic<int> value_index_state_{kUnbuilt};
 };
-
-/// Splits `text` into lower-cased alphanumeric tokens. Shared by the table
-/// text index and the keyword-search layer so that both sides agree on
-/// token boundaries.
-std::vector<std::string> TokenizeForIndex(const std::string& text);
 
 }  // namespace nebula
 

@@ -1,0 +1,81 @@
+#include "storage/value_index.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace nebula {
+
+std::vector<std::string> TokenizeForIndex(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+void ValueIndex::AddRow(const Schema& schema, const std::vector<Value>& row,
+                        RowId row_id) {
+  for (size_t c = 0; c < schema.num_columns() && c < row.size(); ++c) {
+    if (!row[c].is_string()) continue;
+    for (const auto& tok : TokenizeForIndex(row[c].AsString())) {
+      std::vector<ColumnPostings>& by_column = postings_[tok];
+      ColumnPostings* entry = nullptr;
+      for (auto& candidate : by_column) {
+        if (candidate.column == c) {
+          entry = &candidate;
+          break;
+        }
+      }
+      if (entry == nullptr) {
+        by_column.push_back({static_cast<uint32_t>(c), {}});
+        entry = &by_column.back();
+      }
+      // Ascending insertion order + this dedup keeps the list sorted and
+      // duplicate-free without a post-pass (a token repeated within one
+      // cell arrives back to back).
+      if (entry->rows.empty() || entry->rows.back() != row_id) {
+        entry->rows.push_back(row_id);
+        ++num_postings_;
+      }
+    }
+  }
+}
+
+const std::vector<ValueIndex::RowId>* ValueIndex::Lookup(
+    const std::string& token, uint32_t column) const {
+  auto it = postings_.find(token);
+  if (it == postings_.end()) return nullptr;
+  for (const ColumnPostings& entry : it->second) {
+    if (entry.column == column) return &entry.rows;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ValueIndex::CanonicalDump() const {
+  std::vector<std::string> lines;
+  lines.reserve(postings_.size());
+  for (const auto& [token, by_column] : postings_) {
+    for (const ColumnPostings& entry : by_column) {
+      std::string line = token + "|" + std::to_string(entry.column) + ":";
+      for (size_t i = 0; i < entry.rows.size(); ++i) {
+        if (i > 0) line += ',';
+        line += std::to_string(entry.rows[i]);
+      }
+      lines.push_back(std::move(line));
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+}  // namespace nebula

@@ -75,6 +75,24 @@ std::string NameValue(Rng* rng) {
          std::to_string(rng->UniformRange(1, 60));
 }
 
+/// Free-text "notes" cell: filler/kind phrases drawn from the same pools
+/// the annotation stream uses, so stream words land in the column's token
+/// set. The column is text-indexed but deliberately NOT referenced by any
+/// concept, so keywords reach it only through text-containment mappings —
+/// the statement shape the value-index fast path accelerates. Without it
+/// the check universe would never execute a token-containment query and
+/// the index-vs-scan pair would be vacuous.
+std::string NotesValue(Rng* rng) {
+  std::string text = Pick(kFillerWords, rng);
+  text += ' ';
+  text += Pick(kKindTerms, rng);
+  if (rng->Bernoulli(0.5)) {
+    text += ' ';
+    text += Pick(kFillerWords, rng);
+  }
+  return text;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<CheckUniverse>> BuildCheckUniverse(
@@ -98,6 +116,7 @@ Result<std::unique_ptr<CheckUniverse>> BuildCheckUniverse(
         ColumnDef("name", DataType::kString),
         ColumnDef("kind", DataType::kString),
         ColumnDef("size", DataType::kInt64),
+        ColumnDef("notes", DataType::kString),
     };
     // Every non-root table carries an FK to the root table.
     if (t > 0) columns.emplace_back(parent_id_column, DataType::kString);
@@ -115,6 +134,7 @@ Result<std::unique_ptr<CheckUniverse>> BuildCheckUniverse(
           Value(NameValue(&rng)),
           Value(std::string(Pick(kKindTerms, &rng))),
           Value(rng.UniformRange(1, 5000)),
+          Value(NotesValue(&rng)),
       };
       if (t > 0) {
         row.emplace_back(IdValue(kTablePool[0], rng.Uniform(parent_rows)));
@@ -122,6 +142,11 @@ Result<std::unique_ptr<CheckUniverse>> BuildCheckUniverse(
       NEBULA_ASSIGN_OR_RETURN(Table::RowId rid, table->Insert(std::move(row)));
       universe->all_tuples.push_back(TupleId{table->id(), rid});
     }
+    // Text-index the free-text column (ordinal 4: after id/name/kind/size)
+    // so the keyword engine emits token-containment statements against it.
+    NEBULA_RETURN_NOT_OK(
+        table->BuildTextIndex(static_cast<size_t>(
+            table->schema().ColumnIndex("notes"))));
     if (t > 0) {
       NEBULA_RETURN_NOT_OK(catalog.AddForeignKey(
           flavor.name, parent_id_column, kTablePool[0].name,

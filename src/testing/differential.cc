@@ -117,17 +117,21 @@ const char* ConfigPairName(ConfigPair pair) {
       return "obs";
     case ConfigPair::kSpreading:
       return "spreading";
+    case ConfigPair::kValueIndex:
+      return "index";
   }
   return "?";
 }
 
 Result<ConfigPair> ParseConfigPair(std::string_view name) {
+  // Long-form alias used by docs and CI; "index" is the canonical name.
+  if (name == "index-vs-scan") return ConfigPair::kValueIndex;
   for (ConfigPair pair : kAllConfigPairs) {
     if (name == ConfigPairName(pair)) return pair;
   }
   return Status::InvalidArgument(
       "unknown config pair '" + std::string(name) +
-      "' (expected threads | batch | obs | spreading)");
+      "' (expected threads | batch | obs | spreading | index)");
 }
 
 uint64_t RunOutcome::Digest() const {
@@ -251,6 +255,10 @@ Result<Divergence> DifferentialRunner::RunPair(
       config_a.enable_focal_spreading = false;
       config_b.enable_focal_spreading = true;
       config_b.spreading.require_stable_acg = false;
+      break;
+    case ConfigPair::kValueIndex:
+      config_a.use_value_index = false;
+      config_b.use_value_index = true;
       break;
   }
   if (options_.inject_bug && pair != ConfigPair::kSpreading) {

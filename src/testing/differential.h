@@ -38,11 +38,16 @@ enum class ConfigPair {
   /// never crash or corrupt state. Soundness: Stage 1 is a pure function
   /// of text+meta, and the mini-db only *restricts* where Stage 2 looks.
   kSpreading,
+  /// Legacy execution (no value index, no statement memo, no plan cache)
+  /// vs the accelerated Stage-2 path. The acceleration structures promise
+  /// bit-identical results AND ExecStats (the fast path replays the legacy
+  /// cost model), so this is exact equivalence — the index-vs-scan proof.
+  kValueIndex,
 };
 
 inline constexpr ConfigPair kAllConfigPairs[] = {
     ConfigPair::kThreads, ConfigPair::kBatch, ConfigPair::kObs,
-    ConfigPair::kSpreading};
+    ConfigPair::kSpreading, ConfigPair::kValueIndex};
 
 const char* ConfigPairName(ConfigPair pair);
 [[nodiscard]] Result<ConfigPair> ParseConfigPair(std::string_view name);

@@ -181,18 +181,129 @@ TEST_F(EngineFaultTest, SqlSessionFaultIsCleanAndRecoverable) {
   ExpectAcgConsistent(&engine);
 }
 
+TEST_F(EngineFaultTest, ValueIndexBuildFaultDegradesToScanNotCorruption) {
+  // Baseline: clean accelerated run on an identical universe.
+  auto clean_universe = check::BuildCheckUniverse(2026);
+  ASSERT_TRUE(clean_universe.ok());
+  NebulaConfig config;
+  config.trace_capacity = 0;
+  NebulaEngine clean_engine(&(*clean_universe)->catalog,
+                            &(*clean_universe)->store,
+                            &(*clean_universe)->meta, config);
+  clean_engine.RebuildAcg();
+  const auto expected = clean_engine.InsertAnnotations(Requests());
+  ASSERT_TRUE(expected.ok());
+
+  // Same run with every value-index build failing: all tables latch into
+  // permanent scan fallback. Results must be identical — degraded, never
+  // corrupt — and no call may surface the fault as an error.
+  NebulaEngine engine(&universe_->catalog, &universe_->store,
+                      &universe_->meta, config);
+  engine.RebuildAcg();
+  ScopedFault fault("storage.valueindex.build");
+  const auto reports = engine.InsertAnnotations(Requests());
+  ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+  EXPECT_GT(FaultRegistry::Global().FireCount("storage.valueindex.build"),
+            0u);
+  ASSERT_EQ(reports->size(), expected->size());
+  for (size_t i = 0; i < reports->size(); ++i) {
+    ASSERT_EQ((*reports)[i].candidates.size(),
+              (*expected)[i].candidates.size());
+    for (size_t c = 0; c < (*reports)[i].candidates.size(); ++c) {
+      EXPECT_EQ((*reports)[i].candidates[c].tuple,
+                (*expected)[i].candidates[c].tuple);
+      EXPECT_DOUBLE_EQ((*reports)[i].candidates[c].confidence,
+                       (*expected)[i].candidates[c].confidence);
+    }
+  }
+  ExpectAcgConsistent(&engine);
+
+  // The failure is sticky by design: even after the fault clears, a table
+  // that failed its build serves scans rather than retry into a
+  // half-built index.
+  for (size_t t = 0; t < universe_->catalog.num_tables(); ++t) {
+    const Table* table =
+        universe_->catalog.GetTableById(static_cast<uint32_t>(t));
+    const Table::ValueIndexInfo info = table->value_index_info();
+    if (info.failed) {
+      EXPECT_EQ(table->TryValueIndex(), nullptr);
+      EXPECT_FALSE(info.built);
+    }
+  }
+}
+
+TEST_F(EngineFaultTest, PlanCacheFillFaultDegradesToRecompile) {
+  NebulaConfig config;
+  config.trace_capacity = 0;
+  NebulaEngine engine(&universe_->catalog, &universe_->store,
+                      &universe_->meta, config);
+  engine.RebuildAcg();
+  {
+    ScopedFault fault("core.plancache.fill");
+    const auto reports = engine.InsertAnnotations(Requests());
+    ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+    EXPECT_GT(FaultRegistry::Global().FireCount("core.plancache.fill"), 0u);
+    // Every fill was refused: nothing may linger in the cache.
+    EXPECT_EQ(engine.plan_cache().size(), 0u);
+  }
+  ExpectAcgConsistent(&engine);
+  // Fault cleared: the cache fills again.
+  const check::CheckAnnotation& again = workload_.annotations.front();
+  ASSERT_TRUE(engine.InsertAnnotation(again.text, again.focal, "r").ok());
+  EXPECT_GT(engine.plan_cache().size(), 0u);
+}
+
+TEST_F(EngineFaultTest, ResultCacheFillFaultDegradesToReexecution) {
+  // Candidates under a refused statement-result memo must equal a clean
+  // run's bit for bit — the memo may only ever change wall time.
+  auto clean_universe = check::BuildCheckUniverse(2026);
+  ASSERT_TRUE(clean_universe.ok());
+  NebulaConfig config;
+  config.trace_capacity = 0;
+  NebulaEngine clean_engine(&(*clean_universe)->catalog,
+                            &(*clean_universe)->store,
+                            &(*clean_universe)->meta, config);
+  clean_engine.RebuildAcg();
+  const auto expected = clean_engine.InsertAnnotations(Requests());
+  ASSERT_TRUE(expected.ok());
+
+  NebulaEngine engine(&universe_->catalog, &universe_->store,
+                      &universe_->meta, config);
+  engine.RebuildAcg();
+  ScopedFault fault("keyword.resultcache.fill");
+  const auto reports = engine.InsertAnnotations(Requests());
+  ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+  EXPECT_GT(FaultRegistry::Global().FireCount("keyword.resultcache.fill"),
+            0u);
+  EXPECT_EQ(engine.search_engine().result_cache_size(), 0u);
+  ASSERT_EQ(reports->size(), expected->size());
+  for (size_t i = 0; i < reports->size(); ++i) {
+    ASSERT_EQ((*reports)[i].candidates.size(),
+              (*expected)[i].candidates.size());
+    for (size_t c = 0; c < (*reports)[i].candidates.size(); ++c) {
+      EXPECT_EQ((*reports)[i].candidates[c].tuple,
+                (*expected)[i].candidates[c].tuple);
+      EXPECT_DOUBLE_EQ((*reports)[i].candidates[c].confidence,
+                       (*expected)[i].candidates[c].confidence);
+    }
+  }
+  ExpectAcgConsistent(&engine);
+}
+
 TEST_F(EngineFaultTest, TableInsertFaultRejectsRowWithoutSideEffects) {
   Table* table = universe_->catalog.GetTableById(0);
   const uint64_t rows_before = table->num_rows();
   {
     ScopedFault fault("storage.table.insert");
-    const auto rid = table->Insert(
-        {Value("ZZ999"), Value("Probe1"), Value("kinase"), Value(int64_t{1})});
+    const auto rid = table->Insert({Value("ZZ999"), Value("Probe1"),
+                                    Value("kinase"), Value(int64_t{1}),
+                                    Value("observed kinase")});
     ASSERT_FALSE(rid.ok());
   }
   EXPECT_EQ(table->num_rows(), rows_before);
-  const auto rid = table->Insert(
-      {Value("ZZ999"), Value("Probe1"), Value("kinase"), Value(int64_t{1})});
+  const auto rid = table->Insert({Value("ZZ999"), Value("Probe1"),
+                                  Value("kinase"), Value(int64_t{1}),
+                                  Value("observed kinase")});
   ASSERT_TRUE(rid.ok()) << rid.status().ToString();
   EXPECT_EQ(table->num_rows(), rows_before + 1);
 }

@@ -1,11 +1,12 @@
 // NebulaCheck harness tests: the generator is deterministic, a sweep over
-// all four config pairs is divergence-free, and the harness catches,
+// all config pairs is divergence-free, and the harness catches,
 // shrinks, and replays a deliberately injected bug. Labeled "check".
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
+#include <iterator>
 #include <sstream>
 
 #include "core/engine.h"
@@ -103,7 +104,7 @@ TEST(DifferentialTest, SweepAllPairsDivergenceFree) {
   std::ostringstream log;
   const auto summary = check::RunCheckSweep(options, log);
   ASSERT_TRUE(summary.ok()) << summary.status().ToString();
-  EXPECT_EQ(summary->pair_runs, 8u * 4u);
+  EXPECT_EQ(summary->pair_runs, 8u * std::size(check::kAllConfigPairs));
   EXPECT_EQ(summary->divergences, 0u) << log.str();
   EXPECT_EQ(summary->run_errors, 0u) << log.str();
 }

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <memory>
 
 #include "annotation/annotation_store.h"
@@ -20,6 +22,7 @@
 #include "keyword/engine.h"
 #include "keyword/mini_db.h"
 #include "keyword/query_types.h"
+#include "meta/nebula_meta.h"
 #include "sql/parser.h"
 #include "storage/catalog.h"
 #include "storage/schema.h"
@@ -525,6 +528,119 @@ TEST_P(StageOneInvariants, GenerationDeterministicAndDeduplicated) {
 
 INSTANTIATE_TEST_SUITE_P(WorkloadAnnotations, StageOneInvariants,
                          ::testing::Range<size_t>(0, 60, 6));
+
+// ---------- Property: plan-cache hits are byte-identical to cold --------
+// The keyword->configuration plan cache may only ever change wall time:
+// candidates served through a cache hit must equal both a cold run and a
+// cache-disabled run bit for bit (tuples, confidences, evidence).
+
+class PlanCacheEquivalence : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PlanCacheEquivalence, HitResultsBitIdenticalToCold) {
+  BioDataset* ds = SharedDataset();
+  ASSERT_NE(ds, nullptr);
+  const WorkloadAnnotation& wa = ds->workload.annotations[GetParam()];
+  QueryGenerator gen(&ds->meta);
+  const auto queries = gen.Generate(wa.text).queries;
+  if (queries.empty()) GTEST_SKIP();
+  KeywordSearchEngine engine(&ds->catalog, &ds->meta);
+  Acg acg;
+  acg.BuildFromStore(ds->store);
+  PlanCache cache(&ds->meta);
+
+  IdentifyParams cached_params;
+  IdentifyParams uncached_params;
+  uncached_params.use_plan_cache = false;
+  TupleIdentifier cached(&engine, &acg, cached_params, nullptr, nullptr, 0,
+                         &cache);
+  TupleIdentifier uncached(&engine, &acg, uncached_params, nullptr, nullptr,
+                           0, &cache);
+
+  const std::vector<TupleId> focal{wa.ideal_tuples.front()};
+  const auto cold = *cached.Identify(queries, focal);    // fills the cache
+  EXPECT_GT(cache.size(), 0u);
+  const auto hit = *cached.Identify(queries, focal);     // served from it
+  const auto bypass = *uncached.Identify(queries, focal);
+
+  ASSERT_EQ(hit.size(), cold.size());
+  ASSERT_EQ(bypass.size(), cold.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(hit[i].tuple, cold[i].tuple);
+    EXPECT_EQ(hit[i].confidence, cold[i].confidence);  // exact, not NEAR
+    EXPECT_EQ(hit[i].evidence, cold[i].evidence);
+    EXPECT_EQ(bypass[i].tuple, cold[i].tuple);
+    EXPECT_EQ(bypass[i].confidence, cold[i].confidence);
+    EXPECT_EQ(bypass[i].evidence, cold[i].evidence);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkloadAnnotations, PlanCacheEquivalence,
+                         ::testing::Values(0u, 9u, 21u, 33u, 45u, 57u));
+
+// ------ Property: every NebulaMeta mutation invalidates the cache -------
+// Each successful mutator must bump version(), and a bumped version must
+// flush the plan cache on its next group lookup.
+
+TEST(PlanCacheInvalidation, EveryMetaMutationBumpsVersionAndFlushes) {
+  auto ds = GenerateBioDataset(DatasetSpec::Tiny());
+  ASSERT_TRUE(ds.ok());
+  NebulaMeta& meta = (*ds)->meta;
+  KeywordSearchEngine engine(&(*ds)->catalog, &meta);
+  PlanCache cache(&meta);
+
+  QueryGenerator gen(&meta);
+  const auto queries =
+      gen.Generate((*ds)->workload.annotations[0].text).queries;
+  ASSERT_FALSE(queries.empty());
+
+  // Exercise every mutator; after each one the cache must flush on the
+  // next lookup (size drops back to the one freshly compiled group).
+  Rng rng(7);
+  const std::vector<std::function<void()>> mutations = {
+      [&] {
+        ASSERT_TRUE(
+            meta.AddConcept("NewConcept", "gene", {{"gid"}}).ok());
+      },
+      [&] { meta.AddTableAlias("gene", "locus"); },
+      [&] { meta.AddColumnAlias("gene", "gid", "gene identifier"); },
+      [&] {
+        ASSERT_TRUE(
+            meta.SetColumnPattern("gene", "gid", "[A-Z]+[0-9]+").ok());
+      },
+      [&] {
+        ASSERT_TRUE(
+            meta.SetColumnOntology("gene", "gid", {"jw0001", "jw0002"}).ok());
+      },
+      [&] {
+        ASSERT_TRUE(meta.DrawColumnSamples((*ds)->catalog, 5, &rng).ok());
+      },
+  };
+  for (size_t m = 0; m < mutations.size(); ++m) {
+    (void)cache.GetOrCompileGroup(engine, queries);
+    const size_t warm = cache.size();
+    EXPECT_GT(warm, 0u) << "mutation " << m;
+    // A second warm lookup keeps the entries (no spurious invalidation).
+    (void)cache.GetOrCompileGroup(engine, queries);
+    EXPECT_EQ(cache.size(), warm) << "mutation " << m;
+
+    const uint64_t before = meta.version();
+    mutations[m]();
+    EXPECT_EQ(meta.version(), before + 1) << "mutation " << m;
+
+    // The flush happens on the next lookup: stale entries are dropped and
+    // exactly this group's fresh plans remain.
+    const auto plans = cache.GetOrCompileGroup(engine, queries);
+    EXPECT_EQ(plans.size(), queries.size());
+    EXPECT_LE(cache.size(), warm) << "mutation " << m;
+  }
+
+  // Changing the engine's search knobs invalidates too.
+  (void)cache.GetOrCompileGroup(engine, queries);
+  engine.params().min_mapping_score = 0.55;
+  const size_t before_entries = cache.size();
+  (void)cache.GetOrCompileGroup(engine, queries);
+  EXPECT_LE(cache.size(), before_entries);
+}
 
 // §5.2.2: a full {table, column, value} context (Type-1) must reward a
 // value mapping more than {table, value} (Type-2), which must reward it

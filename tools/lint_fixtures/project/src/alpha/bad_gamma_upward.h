@@ -1,0 +1,12 @@
+// [layer-dag] plant: alpha (tier 1) reaching two tiers up into gamma
+// (tier 3) — the fixture analog of storage including keyword/core.
+#ifndef NEBULA_ALPHA_BAD_GAMMA_UPWARD_H_
+#define NEBULA_ALPHA_BAD_GAMMA_UPWARD_H_
+
+#include "gamma/gamma.h"
+
+struct TwoTierReacher {
+  GammaThing* gamma = nullptr;
+};
+
+#endif  // NEBULA_ALPHA_BAD_GAMMA_UPWARD_H_

@@ -1,0 +1,11 @@
+// Clean top-tier header: gamma -> beta is a legal downward edge.
+#ifndef NEBULA_GAMMA_GAMMA_H_
+#define NEBULA_GAMMA_GAMMA_H_
+
+#include "beta/beta.h"
+
+struct GammaThing {
+  BetaThing inner;
+};
+
+#endif  // NEBULA_GAMMA_GAMMA_H_

@@ -2,7 +2,8 @@
 //
 // Sweeps seeds through the engine under paired configurations
 // (sequential vs pooled, single vs batch ingest, observability quiet vs
-// exercised, full search vs focal spreading) and fails loudly when two
+// exercised, full search vs focal spreading, value index vs legacy
+// scan) and fails loudly when two
 // runs that must agree do not. Divergences are minimized into replayable
 // repro files.
 //
@@ -30,8 +31,8 @@ void PrintUsage(std::ostream& out) {
          "--seeds 1)\n"
          "  --start N       first seed of the sweep (default 1)\n"
          "  --seeds N       number of seeds to sweep (default 20)\n"
-         "  --pair P        threads | batch | obs | spreading | all "
-         "(default all)\n"
+         "  --pair P        threads | batch | obs | spreading | index | "
+         "all (default all)\n"
          "  --threads N     pool size for the parallel sides (default 3)\n"
          "  --no-shrink     report divergences without minimizing them\n"
          "  --repro-dir D   directory for repro files (default .)\n"

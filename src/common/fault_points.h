@@ -30,6 +30,11 @@ inline constexpr char kFaultKeywordResultCacheFill[] =
 inline constexpr char kFaultKeywordSharedStatement[] =
     "keyword.shared.statement";
 
+/// Wide-event sink write in obs::EventLog::Record; a fired fault makes
+/// the write fail so the log degrades to dropped-events-with-counter
+/// (results are never affected).
+inline constexpr char kFaultObsEventLogWrite[] = "obs.eventlog.write";
+
 /// SqlSession::Execute entry.
 inline constexpr char kFaultSqlSessionExecute[] = "sql.session.execute";
 

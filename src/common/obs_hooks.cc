@@ -9,6 +9,8 @@ namespace {
 
 std::atomic<const PoolEventSink*> g_pool_sink{nullptr};
 std::atomic<ThreadOrdinalFn> g_thread_ordinal{nullptr};
+std::atomic<TaskContextCaptureFn> g_ctx_capture{nullptr};
+std::atomic<TaskContextSwapFn> g_ctx_swap{nullptr};
 
 }  // namespace
 
@@ -18,6 +20,21 @@ void SetPoolEventSink(const PoolEventSink* sink) {
 
 const PoolEventSink* GetPoolEventSink() {
   return g_pool_sink.load(std::memory_order_acquire);
+}
+
+void SetTaskContextHooks(TaskContextCaptureFn capture, TaskContextSwapFn swap) {
+  g_ctx_capture.store(capture, std::memory_order_release);
+  g_ctx_swap.store(swap, std::memory_order_release);
+}
+
+uintptr_t CaptureTaskContext() {
+  const TaskContextCaptureFn fn = g_ctx_capture.load(std::memory_order_acquire);
+  return fn != nullptr ? fn() : 0;
+}
+
+uintptr_t SwapTaskContext(uintptr_t context) {
+  const TaskContextSwapFn fn = g_ctx_swap.load(std::memory_order_acquire);
+  return fn != nullptr ? fn(context) : 0;
 }
 
 void SetThreadOrdinalProvider(ThreadOrdinalFn fn) {

@@ -2,6 +2,7 @@
 #define NEBULA_COMMON_THREAD_POOL_H_
 
 #include <chrono>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -64,10 +65,13 @@ class ThreadPool {
 
  private:
   /// A queued task plus its submission time (for the queue-wait
-  /// histogram; unused when observability is compiled out).
+  /// histogram; unused when observability is compiled out) and the
+  /// submitter's opaque task context (hooks::CaptureTaskContext), so the
+  /// executing worker attributes its work to the parent operation.
   struct QueueItem {
     std::function<void()> fn;
     std::chrono::steady_clock::time_point enqueued;
+    uintptr_t context = 0;
   };
 
   /// Returns false when the pool is already stopped.

@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
+#include <cstdio>
 #include <future>
+#include <optional>
 #include <utility>
 
 #include "annotation/annotation_store.h"
@@ -12,6 +14,7 @@
 #include "core/query_generation.h"
 #include "keyword/mini_db.h"
 #include "meta/nebula_meta.h"
+#include "obs/event.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -94,6 +97,43 @@ void AddGenerationSpans(obs::TraceBuilder* tracer, uint32_t parent,
                           timing.query_formation_us);
 }
 
+/// Compact verification summary for the wide event ("spam_guarded" when
+/// the footnote-1 guard kept the annotation out of verification).
+std::string VerificationSummary(const AnnotationReport& report) {
+  if (report.spam.spam_suspected) return "spam_guarded";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "accepted=%zu,rejected=%zu,pending=%zu",
+                report.verification.auto_accepted,
+                report.verification.auto_rejected,
+                report.verification.pending);
+  return buf;
+}
+
+/// Fills the operation-independent tail of a wide event from the report
+/// and the attribution context, then records it.
+void RecordOperationEvent(obs::EventLog* log, const char* op,
+                          uint64_t op_id, const obs::EventContext& context,
+                          const AnnotationReport& report,
+                          uint64_t duration_us, bool verified) {
+  obs::WideEvent event;
+  event.op = op;
+  event.op_id = op_id;
+  event.annotation = report.annotation;
+  event.thread = obs::CurrentThreadId();
+  event.duration_us = duration_us;
+  event.store_us = report.timings.store_us;
+  event.generation_us = report.timings.generation_us;
+  event.search_us = report.timings.search_us;
+  event.verification_us = report.timings.verification_us;
+  obs::FillEventFromContext(&event, context);
+  // Discovery-only operations never ran Stage 3; leave the outcome out.
+  if (verified) event.verification = VerificationSummary(report);
+  event.spam_suspected = report.spam.spam_suspected;
+  const uint64_t slow_us = log->options().slow_us;
+  event.slow = slow_us != 0 && duration_us >= slow_us;
+  log->Record(event);
+}
+
 }  // namespace
 
 NebulaEngine::NebulaEngine(Catalog* catalog, AnnotationStore* store,
@@ -106,7 +146,9 @@ NebulaEngine::NebulaEngine(Catalog* catalog, AnnotationStore* store,
       search_engine_(catalog, meta, config.search),
       plan_cache_(meta),
       verification_(store, &acg_, config.bounds),
-      trace_recorder_(config.trace_capacity) {}
+      trace_recorder_(config.trace_capacity),
+      event_log_({config.event_capacity, config.event_sample_rate,
+                  config.slow_query_us, config.event_seed}) {}
 
 void NebulaEngine::RebuildAcg() { acg_.BuildFromStore(*store_); }
 
@@ -207,12 +249,27 @@ Result<AnnotationReport> NebulaEngine::DiscoverWithQueries(
 
 Result<AnnotationReport> NebulaEngine::Discover(
     AnnotationId annotation, const std::vector<TupleId>& focal) {
+  // A discovery is a "search" operation in the wide-event log.
+  std::optional<obs::ScopedEventContext> event_scope;
+  if constexpr (obs::kEnabled) event_scope.emplace(&event_log_);
+  Stopwatch watch;
+
   NEBULA_ASSIGN_OR_RETURN(const Annotation* ann,
                           store_->GetAnnotation(annotation));
 
   // Stage 1: annotation text -> weighted keyword queries.
   QueryGenerator generator(meta_, config_.generation);
-  return DiscoverWithQueries(annotation, focal, generator.Generate(ann->text));
+  Result<AnnotationReport> report =
+      DiscoverWithQueries(annotation, focal, generator.Generate(ann->text));
+  if (report.ok()) {
+    report->timings.generation_us = report->generation_timing.total_us();
+    if constexpr (obs::kEnabled) {
+      RecordOperationEvent(&event_log_, "search", event_scope->op_id(),
+                           *event_scope->context(), *report,
+                           watch.ElapsedMicros(), /*verified=*/false);
+    }
+  }
+  return report;
 }
 
 Result<AnnotationId> NebulaEngine::StoreWithFocal(
@@ -265,6 +322,10 @@ Result<AnnotationReport> NebulaEngine::InsertOne(
   obs::TraceBuilder* tracer = obs::kEnabled ? &builder : nullptr;
   const uint32_t root =
       tracer != nullptr ? tracer->BeginSpan("insert_annotation") : 0;
+  // Attribution context for the wide event: every cache probe, SQL
+  // execution, and pooled subtask below charges its counters here.
+  std::optional<obs::ScopedEventContext> event_scope;
+  if constexpr (obs::kEnabled) event_scope.emplace(&event_log_);
 
   StageTimings timings;
   Stopwatch stage;
@@ -324,6 +385,9 @@ Result<AnnotationReport> NebulaEngine::InsertOne(
     m.stage_verification->Observe(report.timings.verification_us);
     builder.EndSpan(root);
     trace_recorder_.Record(builder.Finish(id));
+    RecordOperationEvent(&event_log_, "insert", event_scope->op_id(),
+                         *event_scope->context(), report,
+                         report.timings.total_us(), /*verified=*/true);
   }
   return report;
 }

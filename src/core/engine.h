@@ -19,6 +19,7 @@
 #include "keyword/engine.h"
 #include "keyword/query_types.h"
 #include "meta/nebula_meta.h"
+#include "obs/event.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "storage/catalog.h"
@@ -62,6 +63,17 @@ struct NebulaConfig {
   /// Ring-buffer capacity of the engine's TraceRecorder: how many of the
   /// most recent per-annotation span trees DumpTraces() can return.
   size_t trace_capacity = 128;
+  /// Wide-event log (one JSON-lines record per insert / search /
+  /// shared-group execution; DESIGN.md §7). `event_capacity` bounds the
+  /// in-memory ring (0 keeps no lines); `event_sample_rate` is the
+  /// probability a record is kept (drawn from a seeded Rng, so runs
+  /// replay identically); operations lasting at least `slow_query_us`
+  /// microseconds are ALWAYS recorded regardless of sampling (0 disables
+  /// the slow-query rule); `event_seed` seeds the sampling draw.
+  size_t event_capacity = 256;
+  double event_sample_rate = 1.0;
+  uint64_t slow_query_us = 0;
+  uint64_t event_seed = 0;
 };
 
 /// One annotation of a batch-ingest request: the free text, its focal
@@ -73,7 +85,8 @@ struct AnnotationRequest {
 };
 
 /// Per-stage wall-time breakdown of one InsertAnnotation call. Discovery-
-/// only paths (Discover / the benchmarks) fill search_us alone.
+/// only paths (Discover / the benchmarks) fill generation_us and
+/// search_us alone.
 struct StageTimings {
   uint64_t store_us = 0;         ///< Stage 0: store + focal ACG update
   uint64_t generation_us = 0;    ///< Stage 1: text -> keyword queries
@@ -167,6 +180,14 @@ class NebulaEngine {
   obs::TraceRecorder& trace_recorder() { return trace_recorder_; }
   const obs::TraceRecorder& trace_recorder() const { return trace_recorder_; }
 
+  /// This engine's wide-event log (bounded by config().event_capacity;
+  /// see DESIGN.md §7 for the record schema).
+  obs::EventLog& event_log() { return event_log_; }
+  const obs::EventLog& event_log() const { return event_log_; }
+
+  /// The retained wide events as JSON lines, oldest first.
+  std::string DumpEvents() const { return event_log_.DumpJsonLines(); }
+
  private:
   /// Stage 0: stores the annotation and its focal (True) attachments.
   /// When traced, records an "acg_update" span under `parent_span`.
@@ -202,6 +223,7 @@ class NebulaEngine {
   PlanCache plan_cache_;
   VerificationManager verification_;
   obs::TraceRecorder trace_recorder_;
+  obs::EventLog event_log_;
   // Declared last: destroyed first, joining any in-flight workers while
   // the rest of the engine is still alive.
   std::unique_ptr<ThreadPool> pool_;

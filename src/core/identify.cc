@@ -15,6 +15,7 @@
 #include "keyword/mini_db.h"
 #include "keyword/query_types.h"
 #include "keyword/shared_executor.h"
+#include "obs/event.h"
 #include "obs/metrics.h"
 #include "storage/query.h"
 #include "storage/schema.h"
@@ -75,11 +76,21 @@ std::vector<std::vector<GeneratedSql>> PlanCache::GetOrCompileGroup(
     std::string key = KeyOf(q);
     auto it = plans_.find(key);
     if (it != plans_.end()) {
-      if constexpr (obs::kEnabled) Metrics().hits->Increment();
+      if constexpr (obs::kEnabled) {
+        Metrics().hits->Increment();
+        if (obs::EventContext* ctx = obs::CurrentEventContext()) {
+          ctx->plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
       out.push_back(it->second);
       continue;
     }
-    if constexpr (obs::kEnabled) Metrics().misses->Increment();
+    if constexpr (obs::kEnabled) {
+      Metrics().misses->Increment();
+      if (obs::EventContext* ctx = obs::CurrentEventContext()) {
+        ctx->plan_cache_misses.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     std::vector<GeneratedSql> compiled = engine.CompileToSql(q, &mapping_cache);
     // Fault injection: a failed fill degrades to compile-every-time, it
     // must never poison the cache or the returned plans.

@@ -14,6 +14,7 @@
 #include "keyword/mini_db.h"
 #include "keyword/query_types.h"
 #include "meta/nebula_meta.h"
+#include "obs/event.h"
 #include "obs/metrics.h"
 #include "storage/catalog.h"
 #include "storage/query.h"
@@ -419,12 +420,28 @@ Result<std::vector<SearchHit>> KeywordSearchEngine::ExecuteSql(
     if (it != result_cache_.end() &&
         CacheEntryValid(it->second, table->num_rows())) {
       if (stats != nullptr) *stats = it->second.stats;
-      if constexpr (obs::kEnabled) Metrics().result_hit->Increment();
+      if constexpr (obs::kEnabled) {
+        Metrics().result_hit->Increment();
+        // Per-operation attribution: a hit replays the cold run's
+        // counters, so the operation's totals match an uncached run.
+        if (obs::EventContext* ctx = obs::CurrentEventContext()) {
+          ctx->result_cache_hits.fetch_add(1, std::memory_order_relaxed);
+          ctx->rows_examined.fetch_add(it->second.stats.rows_examined,
+                                       std::memory_order_relaxed);
+          ctx->value_index_lookups.fetch_add(it->second.stats.index_lookups,
+                                             std::memory_order_relaxed);
+        }
+      }
       return ScaleHits(it->second.unit_hits, sql.confidence);
     }
   }
   if constexpr (obs::kEnabled) {
-    if (cacheable) Metrics().result_miss->Increment();
+    if (cacheable) {
+      Metrics().result_miss->Increment();
+      if (obs::EventContext* ctx = obs::CurrentEventContext()) {
+        ctx->result_cache_misses.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
 
   // Cold path, at unit confidence (scaled at the very end so the memo can
@@ -442,6 +459,14 @@ Result<std::vector<SearchHit>> KeywordSearchEngine::ExecuteSql(
   // caller's AccumulateStats fold (see the header contract).
   if (stats != nullptr) *stats = executor.stats();
   if constexpr (obs::kEnabled) {
+    if (obs::EventContext* ctx = obs::CurrentEventContext()) {
+      const ExecStats& exec = executor.stats();
+      ctx->sql_executed.fetch_add(1, std::memory_order_relaxed);
+      ctx->rows_examined.fetch_add(exec.rows_examined,
+                                   std::memory_order_relaxed);
+      ctx->value_index_lookups.fetch_add(exec.index_lookups,
+                                         std::memory_order_relaxed);
+    }
     const IndexPathStats& paths = executor.path_stats();
     const KeywordEngineMetrics& m = Metrics();
     if (paths.index_path > 0) {

@@ -12,6 +12,7 @@
 #include "keyword/engine.h"
 #include "keyword/mini_db.h"
 #include "keyword/query_types.h"
+#include "obs/event.h"
 #include "obs/metrics.h"
 #include "storage/query.h"
 
@@ -82,6 +83,7 @@ Status SharedKeywordExecutor::ExecuteGroup(
     const std::vector<KeywordQuery>& queries,
     std::vector<std::vector<SearchHit>>* results, const MiniDb* mini_db,
     const std::vector<std::vector<GeneratedSql>>* plans) {
+  Stopwatch group_watch;
   results->clear();
   results->resize(queries.size());
   stats_.Reset();
@@ -213,6 +215,29 @@ Status SharedKeywordExecutor::ExecuteGroup(
 
   if constexpr (obs::kEnabled) {
     Metrics().rows_examined->Increment(stats_.exec.rows_examined);
+    if (obs::EventContext* ctx = obs::CurrentEventContext()) {
+      ctx->sql_shared.fetch_add(stats_.total_sql - stats_.distinct_sql,
+                                std::memory_order_relaxed);
+      // One child wide event per shared-group execution, linked to the
+      // enclosing insert/search via parent_op. The distinct-statement
+      // executions themselves already flowed into the parent's context
+      // through ExecuteSql.
+      if (ctx->log != nullptr) {
+        obs::WideEvent event;
+        event.op = "shared_exec";
+        event.op_id = ctx->log->NextOpId();
+        event.parent_op = ctx->op_id;
+        event.thread = obs::CurrentThreadId();
+        event.duration_us = group_watch.ElapsedMicros();
+        event.sql_executed = stats_.distinct_sql;
+        event.sql_shared = stats_.total_sql - stats_.distinct_sql;
+        event.rows_examined = stats_.exec.rows_examined;
+        event.value_index_lookups = stats_.exec.index_lookups;
+        const uint64_t slow_us = ctx->log->options().slow_us;
+        event.slow = slow_us != 0 && event.duration_us >= slow_us;
+        ctx->log->Record(event);
+      }
+    }
   }
 
   // Phase 3: per-query merge, identical to the isolated path.

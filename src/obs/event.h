@@ -1,0 +1,188 @@
+#ifndef NEBULA_OBS_EVENT_H_
+#define NEBULA_OBS_EVENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sync.h"
+#include "obs/metrics.h"
+
+namespace nebula {
+namespace obs {
+
+/// Wide events: one structured record per engine operation.
+///
+/// Where the metrics layer answers "how is the system doing in
+/// aggregate" and the trace ring answers "what did this one insert do
+/// internally", the wide-event log ties a *single* operation — an
+/// annotation insert, a search, or one shared-group execution — to
+/// everything that happened on its behalf: stage durations, the
+/// plan-cache / result-cache / value-index path it took, rows examined,
+/// the verification outcome, and the thread that ran it. Records are
+/// JSON lines, so the log can be shipped, grepped, and mined later to
+/// re-weight configurations (see DESIGN.md §7).
+
+/// One record. Counter fields are totals attributed to the operation,
+/// including work done by pooled subtasks (the ThreadPool propagates the
+/// submitting operation's EventContext to its workers).
+struct WideEvent {
+  std::string op;          ///< "insert" | "search" | "shared_exec"
+  uint64_t op_id = 0;      ///< unique within one EventLog, 1-based
+  uint64_t parent_op = 0;  ///< enclosing operation's op_id; 0 = top level
+  uint64_t annotation = 0; ///< inserts: the annotation id; 0 elsewhere
+  uint32_t thread = 0;     ///< obs::CurrentThreadId of the recording thread
+  uint64_t duration_us = 0;
+
+  // Per-stage durations (inserts; zero for other ops).
+  uint64_t store_us = 0;
+  uint64_t generation_us = 0;
+  uint64_t search_us = 0;
+  uint64_t verification_us = 0;
+
+  // Cache / index path.
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
+  uint64_t value_index_lookups = 0;
+  uint64_t rows_examined = 0;
+  uint64_t sql_executed = 0;  ///< distinct statements actually executed
+  uint64_t sql_shared = 0;    ///< statements deduplicated by sharing
+
+  // Outcome (inserts).
+  std::string verification;  ///< "auto_accepted"|"auto_rejected"|"pending"|""
+  bool spam_suspected = false;
+  bool slow = false;  ///< duration_us >= the log's slow threshold
+};
+
+/// Serializes one event as a single JSON object (no trailing newline).
+/// Field order is fixed so logs diff cleanly.
+std::string WideEventToJson(const WideEvent& event);
+
+/// Per-operation attribution context. The engine installs one as the
+/// calling thread's current context for the duration of an operation
+/// (ScopedEventContext); instrumentation sites deep in the stack — the
+/// plan cache, the SQL result cache, the shared executor — bump its
+/// counters via CurrentEventContext(). Counters are relaxed atomics
+/// because pooled subtasks share the parent's context concurrently.
+struct EventContext {
+  uint64_t op_id = 0;
+  class EventLog* log = nullptr;  ///< for child events (shared_exec)
+  std::atomic<uint64_t> plan_cache_hits{0};
+  std::atomic<uint64_t> plan_cache_misses{0};
+  std::atomic<uint64_t> result_cache_hits{0};
+  std::atomic<uint64_t> result_cache_misses{0};
+  std::atomic<uint64_t> value_index_lookups{0};
+  std::atomic<uint64_t> rows_examined{0};
+  std::atomic<uint64_t> sql_executed{0};
+  std::atomic<uint64_t> sql_shared{0};
+};
+
+/// The calling thread's current context, or nullptr when no operation is
+/// in flight (instrumentation sites must null-check). Pooled workers see
+/// the submitting operation's context while running its task.
+EventContext* CurrentEventContext();
+
+/// Copies the context's counters into the matching event fields.
+void FillEventFromContext(WideEvent* event, const EventContext& context);
+
+/// Installs a fresh context (with a newly assigned op_id when `log` is
+/// non-null) as the calling thread's current context; restores the
+/// previous one on destruction. Stack-only.
+class ScopedEventContext {
+ public:
+  explicit ScopedEventContext(EventLog* log);
+  ~ScopedEventContext();
+
+  ScopedEventContext(const ScopedEventContext&) = delete;
+  ScopedEventContext& operator=(const ScopedEventContext&) = delete;
+
+  EventContext* context() { return &context_; }
+  uint64_t op_id() const { return context_.op_id; }
+
+ private:
+  EventContext context_;
+  EventContext* previous_;
+};
+
+/// The event log: formats events to JSON lines and keeps the newest
+/// `capacity` of them in a ring; an optional sink additionally receives
+/// every recorded line (a file writer, a socket, a test collector).
+///
+/// Sampling: each event is kept with probability `sample_rate` (drawn
+/// from a seeded Rng, so runs are reproducible); events whose
+/// duration_us >= `slow_us` are ALWAYS kept — slow queries must never be
+/// sampled away. A failing sink (or a fired "obs.eventlog.write" fault)
+/// drops that event and bumps write_failures(); it never throws and
+/// never affects engine results.
+class EventLog {
+ public:
+  /// Returns false when the write failed; the event is then counted as
+  /// dropped.
+  using Sink = std::function<bool(const std::string& json_line)>;
+
+  struct Options {
+    size_t capacity = 256;     ///< ring size; 0 disables the ring
+    double sample_rate = 1.0;  ///< probability an event is kept
+    uint64_t slow_us = 0;      ///< always-keep threshold; 0 = disabled
+    uint64_t seed = 0;         ///< sampling Rng seed
+  };
+
+  explicit EventLog(Options options);
+
+  /// Assigns the next operation id (1-based, atomic).
+  uint64_t NextOpId() {
+    return next_op_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Formats and records `event` (subject to sampling / slow rules).
+  void Record(const WideEvent& event);
+
+  /// Installs `sink` (nullptr-able std::function clears it).
+  void SetSink(Sink sink);
+
+  /// Oldest-to-newest copy of the ring.
+  std::vector<std::string> Snapshot() const;
+
+  /// All ring lines joined with '\n' (trailing newline included when
+  /// non-empty) — the JSON-lines dump.
+  std::string DumpJsonLines() const;
+
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  uint64_t sampled_out() const {
+    return sampled_out_.load(std::memory_order_relaxed);
+  }
+  uint64_t write_failures() const {
+    return write_failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t ring_dropped() const {
+    return ring_dropped_.load(std::memory_order_relaxed);
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  const Options options_;
+  std::atomic<uint64_t> next_op_id_{0};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> sampled_out_{0};
+  std::atomic<uint64_t> write_failures_{0};
+  std::atomic<uint64_t> ring_dropped_{0};
+
+  mutable Mutex mutex_;
+  Rng sample_rng_ GUARDED_BY(mutex_);
+  std::deque<std::string> ring_ GUARDED_BY(mutex_);
+  Sink sink_ GUARDED_BY(mutex_);
+};
+
+}  // namespace obs
+}  // namespace nebula
+
+#endif  // NEBULA_OBS_EVENT_H_

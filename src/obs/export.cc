@@ -159,6 +159,15 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
           out += family.name + "_count" + PromLabels(sample.labels) + " ";
           AppendU64(&out, sample.histogram.count);
           out += '\n';
+          // Estimated quantiles as sibling untyped series (histogram
+          // families may only carry _bucket/_sum/_count, so the ladder
+          // gets its own suffixed names).
+          for (const auto& spec : Histogram::kStandardQuantiles) {
+            out += family.name + "_" + spec.name +
+                   PromLabels(sample.labels) + " ";
+            AppendU64(&out, sample.histogram.Quantile(spec.q));
+            out += '\n';
+          }
           break;
         }
       }
@@ -209,7 +218,17 @@ std::string ExportJson(const MetricsRegistry& registry) {
             AppendU64(&out, sample.histogram.buckets[b]);
             out += '}';
           }
-          out += ']';
+          out += "],\"quantiles\":{";
+          bool first_quantile = true;
+          for (const auto& spec : Histogram::kStandardQuantiles) {
+            if (!first_quantile) out += ',';
+            first_quantile = false;
+            out += '"';
+            out += spec.name;
+            out += "\":";
+            AppendU64(&out, sample.histogram.Quantile(spec.q));
+          }
+          out += '}';
           break;
       }
       out += '}';

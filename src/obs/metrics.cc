@@ -30,6 +30,45 @@ void Histogram::Observe(uint64_t value_us) {
   shard.sum.fetch_add(value_us, std::memory_order_relaxed);
 }
 
+Histogram::Snapshot Histogram::Snapshot::Delta(
+    const Snapshot& baseline) const {
+  Snapshot delta;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    delta.buckets[b] =
+        buckets[b] >= baseline.buckets[b] ? buckets[b] - baseline.buckets[b]
+                                          : 0;
+    delta.count += delta.buckets[b];
+  }
+  delta.sum = sum >= baseline.sum ? sum - baseline.sum : 0;
+  return delta;
+}
+
+uint64_t Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  double below = 0;  // observations in buckets before the current one
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    const uint64_t n = buckets[b];
+    if (n == 0) continue;
+    if (below + static_cast<double>(n) >= rank) {
+      if (b == kNumBuckets - 1) {
+        // The overflow bucket has no finite upper bound; saturate to the
+        // largest finite one rather than inventing a value.
+        return BucketUpperBound(kNumFinite - 1);
+      }
+      const double lower =
+          b == 0 ? 0.0 : static_cast<double>(BucketUpperBound(b - 1));
+      const double upper = static_cast<double>(BucketUpperBound(b));
+      const double fraction =
+          std::clamp((rank - below) / static_cast<double>(n), 0.0, 1.0);
+      return static_cast<uint64_t>(lower + fraction * (upper - lower) + 0.5);
+    }
+    below += static_cast<double>(n);
+  }
+  return BucketUpperBound(kNumFinite - 1);
+}
+
 Histogram::Snapshot Histogram::GetSnapshot() const {
   Snapshot snap;
   for (const Shard& shard : shards_) {

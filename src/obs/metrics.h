@@ -79,8 +79,32 @@ class Histogram {
     uint64_t buckets[kNumBuckets] = {};  ///< per-bucket (non-cumulative)
     uint64_t count = 0;
     uint64_t sum = 0;
+
+    /// Per-bucket difference `*this - baseline`, for interval
+    /// percentiles over a live histogram: snapshot at the start and end
+    /// of a window and diff. Subtraction saturates at zero per cell, so
+    /// a stale baseline (or torn relaxed reads under concurrent
+    /// recording) can never produce wrapped-around garbage; `count` is
+    /// recomputed from the differenced buckets.
+    Snapshot Delta(const Snapshot& baseline) const;
+
+    /// Quantile estimate in microseconds (q in [0, 1], clamped), using
+    /// linear interpolation inside the exponential bucket the rank lands
+    /// in. Empty snapshots report 0; mass in the +Inf overflow bucket
+    /// saturates to the largest finite bound (~33.5 s), mirroring
+    /// Prometheus' histogram_quantile. Monotone in q by construction.
+    uint64_t Quantile(double q) const;
   };
   Snapshot GetSnapshot() const;
+
+  /// The percentile ladder every exporter and report uses.
+  struct QuantileSpec {
+    const char* name;
+    double q;
+  };
+  static constexpr QuantileSpec kStandardQuantiles[] = {
+      {"p50", 0.5}, {"p90", 0.9}, {"p95", 0.95},
+      {"p99", 0.99}, {"p999", 0.999}};
 
  private:
   struct alignas(64) Shard {

@@ -156,6 +156,7 @@ NebulaConfig DifferentialRunner::BaseConfig(uint64_t seed) const {
   config.spreading.fixed_k = 1 + static_cast<size_t>(seed % 3);
   // Quiet by default; the kObs pair turns the runtime surface on.
   config.trace_capacity = 0;
+  config.event_capacity = 0;
   return config;
 }
 
@@ -169,6 +170,13 @@ Result<RunOutcome> DifferentialRunner::Run(const CheckWorkload& workload,
   NebulaEngine engine(&universe->catalog, &universe->store, &universe->meta,
                       config);
   engine.RebuildAcg();
+  size_t sink_lines = 0;
+  if (exercise_obs) {
+    engine.event_log().SetSink([&sink_lines](const std::string&) {
+      ++sink_lines;
+      return true;
+    });
+  }
 
   std::vector<AnnotationReport> reports;
   if (batch_mode) {
@@ -181,6 +189,7 @@ Result<RunOutcome> DifferentialRunner::Run(const CheckWorkload& workload,
     if (exercise_obs) {
       (void)NebulaEngine::DumpMetrics();
       (void)engine.DumpTraces();
+      (void)engine.DumpEvents();
     }
   } else {
     for (size_t i = 0; i < workload.annotations.size(); ++i) {
@@ -194,6 +203,7 @@ Result<RunOutcome> DifferentialRunner::Run(const CheckWorkload& workload,
       if (exercise_obs && (i & 1) != 0) {
         (void)NebulaEngine::DumpMetrics();
         (void)engine.DumpTraces();
+        (void)engine.DumpEvents();
       }
     }
   }
@@ -249,6 +259,13 @@ Result<Divergence> DifferentialRunner::RunPair(
       break;
     case ConfigPair::kObs:
       config_b.trace_capacity = 64;
+      // Wide-event logging with sampling and the slow-query override both
+      // in play: the sampling draw, the JSON rendering, and the counting
+      // sink must all be invisible to engine results.
+      config_b.event_capacity = 64;
+      config_b.event_sample_rate = 0.5;
+      config_b.event_seed = workload.seed;
+      config_b.slow_query_us = 1;
       obs_b = true;
       break;
     case ConfigPair::kSpreading:

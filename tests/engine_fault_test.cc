@@ -308,5 +308,57 @@ TEST_F(EngineFaultTest, TableInsertFaultRejectsRowWithoutSideEffects) {
   EXPECT_EQ(table->num_rows(), rows_before + 1);
 }
 
+TEST_F(EngineFaultTest, EventLogWriteFaultDropsEventsNotResults) {
+  // A sink that cannot accept wide-event lines (disk full, peer gone)
+  // must degrade to dropped-events-with-a-counter: engine results match
+  // a clean run bit for bit, and logging resumes once the fault clears.
+  auto clean_universe = check::BuildCheckUniverse(2026);
+  ASSERT_TRUE(clean_universe.ok());
+  NebulaConfig config;
+  config.trace_capacity = 0;
+  NebulaEngine clean_engine(&(*clean_universe)->catalog,
+                            &(*clean_universe)->store,
+                            &(*clean_universe)->meta, config);
+  clean_engine.RebuildAcg();
+  const auto expected = clean_engine.InsertAnnotations(Requests());
+  ASSERT_TRUE(expected.ok());
+
+  NebulaEngine engine(&universe_->catalog, &universe_->store,
+                      &universe_->meta, config);
+  engine.RebuildAcg();
+  {
+    ScopedFault fault("obs.eventlog.write");
+    const auto reports = engine.InsertAnnotations(Requests());
+    ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+    ASSERT_EQ(reports->size(), expected->size());
+    for (size_t i = 0; i < reports->size(); ++i) {
+      ASSERT_EQ((*reports)[i].candidates.size(),
+                (*expected)[i].candidates.size());
+      for (size_t c = 0; c < (*reports)[i].candidates.size(); ++c) {
+        EXPECT_EQ((*reports)[i].candidates[c].tuple,
+                  (*expected)[i].candidates[c].tuple);
+        EXPECT_DOUBLE_EQ((*reports)[i].candidates[c].confidence,
+                         (*expected)[i].candidates[c].confidence);
+      }
+    }
+    if (obs::kEnabled) {
+      // Every attempted write was refused and counted; nothing landed.
+      EXPECT_GT(FaultRegistry::Global().FireCount("obs.eventlog.write"), 0u);
+      EXPECT_GT(engine.event_log().write_failures(), 0u);
+      EXPECT_EQ(engine.event_log().recorded(), 0u);
+      EXPECT_TRUE(engine.event_log().Snapshot().empty());
+    }
+  }
+  ExpectAcgConsistent(&engine);
+  // Fault cleared: events flow again.
+  const check::CheckAnnotation& again = workload_.annotations.front();
+  ASSERT_TRUE(engine.InsertAnnotation(again.text, again.focal, "r").ok());
+  if (obs::kEnabled) {
+    EXPECT_GT(engine.event_log().recorded(), 0u);
+    EXPECT_NE(engine.DumpEvents().find("\"op\":\"insert\""),
+              std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace nebula

@@ -1,0 +1,289 @@
+/// Wide-event layer tests: the JSON record shape, the EventLog's
+/// sampling / slow-query / ring / sink semantics, context install and
+/// pool propagation, and the engine-level integration (an insert emits
+/// one wide event carrying its cache path and verification outcome, a
+/// shared-group execution emits a child event linked via parent_op).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "testing/check_workload.h"
+
+namespace nebula {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// WideEventToJson
+// ---------------------------------------------------------------------
+
+TEST(WideEventJsonTest, FixedFieldOrderAndOptionalFields) {
+  WideEvent event;
+  event.op = "insert";
+  event.op_id = 7;
+  event.annotation = 42;
+  event.thread = 3;
+  event.duration_us = 120;
+  event.store_us = 10;
+  event.generation_us = 30;
+  event.search_us = 70;
+  event.verification_us = 10;
+  event.plan_cache_hits = 2;
+  event.rows_examined = 55;
+  event.verification = "accepted=1,rejected=0,pending=2";
+  event.slow = true;
+  const std::string json = WideEventToJson(event);
+  // Leading fields in fixed order.
+  EXPECT_EQ(json.find("{\"op\":\"insert\",\"op_id\":7,\"annotation\":42,"
+                      "\"thread\":3,\"duration_us\":120"),
+            0u)
+      << json;
+  EXPECT_NE(json.find("\"plan_cache_hits\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"rows_examined\":55"), std::string::npos);
+  EXPECT_NE(json.find("\"verification\":\"accepted=1,rejected=0,pending=2\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"slow\":true"), std::string::npos);
+  // Top-level op: no parent_op field at all.
+  EXPECT_EQ(json.find("parent_op"), std::string::npos);
+}
+
+TEST(WideEventJsonTest, ChildEventCarriesParentOp) {
+  WideEvent event;
+  event.op = "shared_exec";
+  event.op_id = 8;
+  event.parent_op = 7;
+  const std::string json = WideEventToJson(event);
+  EXPECT_NE(json.find("\"parent_op\":7"), std::string::npos);
+  // No annotation and no verification outcome on a child event.
+  EXPECT_EQ(json.find("annotation"), std::string::npos);
+  EXPECT_EQ(json.find("\"verification\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// EventLog
+// ---------------------------------------------------------------------
+
+WideEvent MakeEvent(const char* op, uint64_t duration_us = 0) {
+  WideEvent event;
+  event.op = op;
+  event.duration_us = duration_us;
+  return event;
+}
+
+TEST(EventLogTest, RingKeepsNewestAndCountsEvictions) {
+  EventLog log({/*capacity=*/3, 1.0, 0, 0});
+  for (int i = 0; i < 5; ++i) {
+    WideEvent event = MakeEvent("search");
+    event.op_id = log.NextOpId();
+    log.Record(event);
+  }
+  EXPECT_EQ(log.recorded(), 5u);
+  EXPECT_EQ(log.ring_dropped(), 2u);
+  const std::vector<std::string> lines = log.Snapshot();
+  ASSERT_EQ(lines.size(), 3u);
+  // Oldest first: op_ids 3, 4, 5 survive.
+  EXPECT_NE(lines[0].find("\"op_id\":3"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"op_id\":5"), std::string::npos);
+  EXPECT_EQ(log.DumpJsonLines(),
+            lines[0] + "\n" + lines[1] + "\n" + lines[2] + "\n");
+}
+
+TEST(EventLogTest, SamplingIsSeedDeterministic) {
+  const EventLog::Options options{/*capacity=*/256, /*sample_rate=*/0.4,
+                                  /*slow_us=*/0, /*seed=*/99};
+  EventLog a(options);
+  EventLog b(options);
+  for (int i = 0; i < 200; ++i) {
+    a.Record(MakeEvent("search", i));
+    b.Record(MakeEvent("search", i));
+  }
+  EXPECT_EQ(a.recorded() + a.sampled_out(), 200u);
+  EXPECT_GT(a.sampled_out(), 0u);
+  EXPECT_GT(a.recorded(), 0u);
+  // Same seed, same arrival order: the kept set is identical.
+  EXPECT_EQ(a.Snapshot(), b.Snapshot());
+  EXPECT_EQ(a.recorded(), b.recorded());
+}
+
+TEST(EventLogTest, SlowEventsBypassSampling) {
+  // sample_rate 0 drops everything except events at or over slow_us.
+  EventLog log({/*capacity=*/256, /*sample_rate=*/0.0, /*slow_us=*/100, 0});
+  log.Record(MakeEvent("search", 99));
+  log.Record(MakeEvent("search", 100));
+  log.Record(MakeEvent("search", 5000));
+  EXPECT_EQ(log.recorded(), 2u);
+  EXPECT_EQ(log.sampled_out(), 1u);
+  for (const std::string& line : log.Snapshot()) {
+    EXPECT_EQ(line.find("\"duration_us\":99,"), std::string::npos) << line;
+  }
+}
+
+TEST(EventLogTest, SinkReceivesEveryKeptLine) {
+  EventLog log({/*capacity=*/256, 1.0, 0, 0});
+  std::vector<std::string> seen;
+  log.SetSink([&seen](const std::string& line) {
+    seen.push_back(line);
+    return true;
+  });
+  log.Record(MakeEvent("insert"));
+  log.Record(MakeEvent("search"));
+  EXPECT_EQ(seen, log.Snapshot());
+}
+
+TEST(EventLogTest, FailingSinkDropsEventAndCounts) {
+  EventLog log({/*capacity=*/256, 1.0, 0, 0});
+  log.SetSink([](const std::string&) { return false; });
+  log.Record(MakeEvent("insert"));
+  EXPECT_EQ(log.recorded(), 0u);
+  EXPECT_EQ(log.write_failures(), 1u);
+  EXPECT_TRUE(log.Snapshot().empty());
+  // Clearing the sink restores normal recording.
+  log.SetSink(nullptr);
+  log.Record(MakeEvent("insert"));
+  EXPECT_EQ(log.recorded(), 1u);
+  EXPECT_EQ(log.Snapshot().size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Context install + pool propagation
+// ---------------------------------------------------------------------
+
+TEST(EventContextTest, ScopedInstallAndRestore) {
+  EXPECT_EQ(CurrentEventContext(), nullptr);
+  EventLog log({/*capacity=*/4, 1.0, 0, 0});
+  {
+    ScopedEventContext outer(&log);
+    EXPECT_EQ(CurrentEventContext(), outer.context());
+    EXPECT_EQ(outer.op_id(), 1u);
+    {
+      ScopedEventContext inner(&log);
+      EXPECT_EQ(CurrentEventContext(), inner.context());
+      EXPECT_EQ(inner.op_id(), 2u);
+    }
+    EXPECT_EQ(CurrentEventContext(), outer.context());
+  }
+  EXPECT_EQ(CurrentEventContext(), nullptr);
+}
+
+TEST(EventContextTest, FillEventCopiesCounters) {
+  EventContext context;
+  context.plan_cache_hits.store(3);
+  context.result_cache_misses.store(2);
+  context.rows_examined.store(77);
+  context.sql_shared.store(5);
+  WideEvent event;
+  FillEventFromContext(&event, context);
+  EXPECT_EQ(event.plan_cache_hits, 3u);
+  EXPECT_EQ(event.result_cache_misses, 2u);
+  EXPECT_EQ(event.rows_examined, 77u);
+  EXPECT_EQ(event.sql_shared, 5u);
+}
+
+TEST(EventContextTest, PooledTasksAttributeToSubmitterContext) {
+  if (!kEnabled) GTEST_SKIP() << "hooks compiled out under NEBULA_OBS=OFF";
+  EventLog log({/*capacity=*/4, 1.0, 0, 0});
+  ThreadPool pool(4);
+  {
+    ScopedEventContext scope(&log);
+    std::vector<std::future<void>> done;
+    for (int t = 0; t < 32; ++t) {
+      done.push_back(pool.Submit([] {
+        // Worker threads must see the submitting operation's context.
+        EventContext* context = CurrentEventContext();
+        ASSERT_NE(context, nullptr);
+        context->rows_examined.fetch_add(1, std::memory_order_relaxed);
+      }));
+    }
+    for (auto& f : done) f.get();
+    EXPECT_EQ(scope.context()->rows_examined.load(), 32u);
+  }
+  // A task submitted outside any scope carries no context — a worker's
+  // previously swapped-in pointer must not leak into later tasks.
+  pool.Submit([] { EXPECT_EQ(CurrentEventContext(), nullptr); }).get();
+}
+
+// ---------------------------------------------------------------------
+// Engine integration
+// ---------------------------------------------------------------------
+
+TEST(EngineEventTest, InsertEmitsWideEventWithAttribution) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  auto universe = check::BuildCheckUniverse(11);
+  ASSERT_TRUE(universe.ok()) << universe.status().ToString();
+  const check::CheckWorkload workload =
+      check::GenerateCheckWorkload(11, **universe);
+  ASSERT_FALSE(workload.annotations.empty());
+
+  NebulaConfig config;
+  config.num_threads = 2;
+  config.identify.shared_execution = true;
+  NebulaEngine engine(&(*universe)->catalog, &(*universe)->store,
+                      &(*universe)->meta, config);
+  engine.RebuildAcg();
+
+  for (const check::CheckAnnotation& a : workload.annotations) {
+    auto report = engine.InsertAnnotation(a.text, a.focal, a.author);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+  }
+
+  const std::vector<std::string> lines = engine.event_log().Snapshot();
+  ASSERT_FALSE(lines.empty());
+  size_t inserts = 0, children = 0;
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    if (line.find("\"op\":\"insert\"") != std::string::npos) {
+      ++inserts;
+      EXPECT_NE(line.find("\"annotation\":"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"verification\":"), std::string::npos) << line;
+    }
+    if (line.find("\"op\":\"shared_exec\"") != std::string::npos) {
+      ++children;
+      EXPECT_NE(line.find("\"parent_op\":"), std::string::npos) << line;
+    }
+  }
+  EXPECT_EQ(inserts, workload.annotations.size());
+  EXPECT_GT(children, 0u);
+}
+
+TEST(EngineEventTest, DiscoverEmitsSearchEvent) {
+  if (!kEnabled) GTEST_SKIP() << "instrumentation compiled out";
+  auto universe = check::BuildCheckUniverse(12);
+  ASSERT_TRUE(universe.ok()) << universe.status().ToString();
+  const check::CheckWorkload workload =
+      check::GenerateCheckWorkload(12, **universe);
+  ASSERT_FALSE(workload.annotations.empty());
+
+  NebulaEngine engine(&(*universe)->catalog, &(*universe)->store,
+                      &(*universe)->meta, {});
+  engine.RebuildAcg();
+  const check::CheckAnnotation& a = workload.annotations.front();
+  auto inserted = engine.InsertAnnotation(a.text, a.focal, a.author);
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+  auto discovered = engine.Discover(inserted->annotation, a.focal);
+  ASSERT_TRUE(discovered.ok()) << discovered.status().ToString();
+
+  const std::string dump = engine.DumpEvents();
+  EXPECT_NE(dump.find("\"op\":\"search\""), std::string::npos) << dump;
+  // Searches skip verification: no outcome string on the search record.
+  const size_t search_at = dump.find("\"op\":\"search\"");
+  const size_t line_end = dump.find('\n', search_at);
+  const std::string search_line =
+      dump.substr(search_at, line_end - search_at);
+  EXPECT_EQ(search_line.find("\"verification\":\""), std::string::npos)
+      << search_line;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace nebula

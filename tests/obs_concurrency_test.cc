@@ -153,6 +153,49 @@ TEST(ObsConcurrencyTest, SnapshotWhileHammering) {
   EXPECT_EQ(snap.count, counter->Value());
 }
 
+TEST(ObsConcurrencyTest, SnapshotDeltaWhileRecording) {
+  // Interval percentiles are computed from snapshot deltas taken while
+  // workers keep observing. Every delta must be internally consistent
+  // (nonnegative buckets summing to count, monotone quantile ladder) and
+  // the final total must account for every observation exactly once.
+  Histogram histogram;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> observed{0};
+
+  ThreadPool pool(kThreads);
+  std::vector<std::future<void>> done;
+  for (size_t t = 0; t < kThreads; ++t) {
+    done.push_back(pool.Submit([&, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        histogram.Observe((t * 37) % 4096);
+        observed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }));
+  }
+
+  Histogram::Snapshot baseline = histogram.GetSnapshot();
+  for (int i = 0; i < 50; ++i) {
+    const Histogram::Snapshot now = histogram.GetSnapshot();
+    const Histogram::Snapshot delta = now.Delta(baseline);
+    baseline = now;
+    uint64_t bucket_total = 0;
+    for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      bucket_total += delta.buckets[b];
+    }
+    EXPECT_EQ(bucket_total, delta.count);
+    uint64_t prev = 0;
+    for (const auto& spec : Histogram::kStandardQuantiles) {
+      const uint64_t q = delta.Quantile(spec.q);
+      EXPECT_GE(q, prev) << spec.name;
+      prev = q;
+    }
+  }
+  stop.store(true);
+  for (auto& f : done) f.get();
+  EXPECT_EQ(histogram.GetSnapshot().count,
+            observed.load(std::memory_order_relaxed));
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace nebula

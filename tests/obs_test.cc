@@ -76,6 +76,90 @@ TEST(HistogramTest, ObserveCountsSumAndBuckets) {
   EXPECT_EQ(total, snap.count);
 }
 
+TEST(HistogramTest, QuantileEmptySnapshotIsZero) {
+  Histogram h;
+  const Histogram::Snapshot snap = h.GetSnapshot();
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(snap.Quantile(q), 0u) << q;
+  }
+}
+
+TEST(HistogramTest, QuantileSingleBucketInterpolates) {
+  Histogram h;
+  // All mass in bucket 10 (bounds (1024, 2048]): every quantile must
+  // stay inside that bucket's range and grow with q.
+  for (int i = 0; i < 100; ++i) h.Observe(1500);
+  const Histogram::Snapshot snap = h.GetSnapshot();
+  uint64_t prev = 0;
+  for (const auto& spec : Histogram::kStandardQuantiles) {
+    const uint64_t q = snap.Quantile(spec.q);
+    EXPECT_GE(q, 1024u) << spec.name;
+    EXPECT_LE(q, 2048u) << spec.name;
+    EXPECT_GE(q, prev) << spec.name;
+    prev = q;
+  }
+}
+
+TEST(HistogramTest, QuantileAllOverflowSaturatesToLargestFiniteBound) {
+  Histogram h;
+  h.Observe(UINT64_MAX);
+  h.Observe((uint64_t{1} << 25) + 1);
+  const Histogram::Snapshot snap = h.GetSnapshot();
+  const uint64_t cap = Histogram::BucketUpperBound(Histogram::kNumFinite - 1);
+  EXPECT_EQ(snap.Quantile(0.5), cap);
+  EXPECT_EQ(snap.Quantile(0.999), cap);
+}
+
+TEST(HistogramTest, QuantileClampsOutOfRangeQ) {
+  Histogram h;
+  h.Observe(100);
+  const Histogram::Snapshot snap = h.GetSnapshot();
+  EXPECT_EQ(snap.Quantile(-1.0), snap.Quantile(0.0));
+  EXPECT_EQ(snap.Quantile(2.0), snap.Quantile(1.0));
+}
+
+TEST(HistogramTest, QuantileLadderIsMonotoneAcrossSpread) {
+  Histogram h;
+  for (uint64_t v : {1u, 3u, 17u, 90u, 200u, 5000u, 70000u, 70001u}) {
+    h.Observe(v);
+  }
+  const Histogram::Snapshot snap = h.GetSnapshot();
+  uint64_t prev = 0;
+  for (int step = 0; step <= 100; ++step) {
+    const uint64_t q = snap.Quantile(step / 100.0);
+    EXPECT_GE(q, prev) << "q=" << step / 100.0;
+    prev = q;
+  }
+}
+
+TEST(HistogramTest, DeltaSubtractsBaselinePerBucket) {
+  Histogram h;
+  h.Observe(10);
+  h.Observe(1000);
+  const Histogram::Snapshot before = h.GetSnapshot();
+  h.Observe(10);
+  h.Observe(3000);
+  const Histogram::Snapshot after = h.GetSnapshot();
+  const Histogram::Snapshot delta = after.Delta(before);
+  EXPECT_EQ(delta.count, 2u);
+  EXPECT_EQ(delta.sum, 3010u);
+  EXPECT_EQ(delta.buckets[Histogram::BucketIndex(10)], 1u);
+  EXPECT_EQ(delta.buckets[Histogram::BucketIndex(3000)], 1u);
+  EXPECT_EQ(delta.buckets[Histogram::BucketIndex(1000)], 0u);
+}
+
+TEST(HistogramTest, DeltaAgainstStaleBaselineSaturatesAtZero) {
+  Histogram a;
+  a.Observe(5);
+  Histogram b;  // empty — as if the window started after a reset
+  const Histogram::Snapshot delta = b.GetSnapshot().Delta(a.GetSnapshot());
+  EXPECT_EQ(delta.count, 0u);
+  EXPECT_EQ(delta.sum, 0u);
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(delta.buckets[i], 0u) << i;
+  }
+}
+
 // ---------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------

@@ -21,6 +21,11 @@ import sys
 RECORD_KEYS = ["name", "params", "wall_us", "rows_examined"]
 TOP_KEYS = ["bench", "quick_mode", "records", "metrics"]
 
+# The loadgen harness reports a percentile ladder per operation type on
+# top of the base record shape.
+PERCENTILE_KEYS = ["p50_us", "p90_us", "p95_us", "p99_us", "p999_us"]
+EXTRA_RECORD_KEYS = {"loadgen": ["ops"] + PERCENTILE_KEYS}
+
 
 def load(path):
     try:
@@ -36,11 +41,24 @@ def check_shape(doc, label, errors):
         errors.append("%s: top-level keys %s != %s"
                       % (label, sorted(doc.keys()), sorted(TOP_KEYS)))
         return
+    expected = RECORD_KEYS + EXTRA_RECORD_KEYS.get(doc.get("bench"), [])
     for rec in doc["records"]:
-        if sorted(rec.keys()) != sorted(RECORD_KEYS):
+        if sorted(rec.keys()) != sorted(expected):
             errors.append("%s: record %r keys %s != %s"
                           % (label, rec.get("name", "?"),
-                             sorted(rec.keys()), sorted(RECORD_KEYS)))
+                             sorted(rec.keys()), sorted(expected)))
+            continue
+        check_percentiles(rec, label, errors)
+
+
+def check_percentiles(rec, label, errors):
+    """A percentile ladder, when present, must be nondecreasing in q."""
+    if not all(k in rec for k in PERCENTILE_KEYS):
+        return
+    ladder = [rec[k] for k in PERCENTILE_KEYS]
+    if any(b < a for a, b in zip(ladder, ladder[1:])):
+        errors.append("%s: record %r percentile ladder not monotonic: %s"
+                      % (label, rec.get("name", "?"), ladder))
 
 
 def record_schema(doc):

@@ -1,12 +1,16 @@
 // Layer-DAG enforcement.
 //
-// tools/layers.txt declares the architecture as tiers of src/ modules,
-// bottom to top. A file in module A may include headers from modules in
-// strictly lower tiers or from A itself; an edge that points up the DAG
-// — or sideways within a tier — is a [layer-dag] violation. Files
-// outside src/ (tools/, tests/) sit above every tier and may include
-// anything. Independently of tiers, any cycle among project files is an
-// [include-cycle] violation, reported with the full edge chain.
+// tools/layers.txt declares the architecture as tiers of src/ modules
+// (and, optionally, "tools/<dir>" modules), bottom to top. A file in
+// module A may include headers from modules in strictly lower tiers or
+// from A itself; an edge that points up the DAG — or sideways within a
+// tier — is a [layer-dag] violation. A src/ module missing from the
+// manifest is itself a violation; tools/ subdirectories are opt-in
+// (declared ones are constrained like any module, undeclared ones — and
+// everything else outside src/, e.g. tests/ — sit above every tier and
+// may include anything). Independently of tiers, any cycle among
+// project files is an [include-cycle] violation, reported with the full
+// edge chain.
 
 #include "lint.h"
 
@@ -49,12 +53,26 @@ LayerManifest LayerManifest::Load(const fs::path& path, std::string* error) {
 
 namespace {
 
-/// src/ module of a root-relative path, or "" for files outside src/.
+/// Manifest module of a root-relative path: "<dir>" for src/<dir>/...,
+/// "tools/<dir>" for tools/<dir>/..., "" for everything else (top-level
+/// tools, tests/, bench/ — unconstrained).
 std::string ModuleOf(const std::string& rel) {
-  if (rel.rfind("src/", 0) != 0) return "";
-  const size_t slash = rel.find('/', 4);
-  if (slash == std::string::npos) return "";
-  return rel.substr(4, slash - 4);
+  if (rel.rfind("src/", 0) == 0) {
+    const size_t slash = rel.find('/', 4);
+    if (slash == std::string::npos) return "";
+    return rel.substr(4, slash - 4);
+  }
+  if (rel.rfind("tools/", 0) == 0) {
+    const size_t slash = rel.find('/', 6);
+    if (slash == std::string::npos) return "";
+    return rel.substr(0, slash);
+  }
+  return "";
+}
+
+/// How a module name reads in a finding ("src/meta" vs "tools/nebula_lint").
+std::string DisplayModule(const std::string& module) {
+  return module.find('/') != std::string::npos ? module : "src/" + module;
 }
 
 /// Resolves an include target to a root-relative path in the tree, or ""
@@ -155,10 +173,14 @@ void RunLayerPass(const SourceTree& tree, const LayerManifest& manifest,
     if (!module.empty()) {
       auto it = manifest.tier_of.find(module);
       if (it == manifest.tier_of.end()) {
-        report->Add(file.rel, 1, "layer-dag",
-                    "module 'src/" + module +
-                        "' is not declared in the layer manifest "
-                        "(tools/layers.txt)");
+        // src/ modules must be declared; tools/ modules are opt-in and
+        // stay unconstrained (tier 0) until listed.
+        if (module.find('/') == std::string::npos) {
+          report->Add(file.rel, 1, "layer-dag",
+                      "module 'src/" + module +
+                          "' is not declared in the layer manifest "
+                          "(tools/layers.txt)");
+        }
         module_known = false;
       } else {
         tier = it->second;
@@ -179,11 +201,11 @@ void RunLayerPass(const SourceTree& tree, const LayerManifest& manifest,
         report->Add(
             file.rel, inc.line, "layer-dag",
             "illegal " + std::string(same ? "same-tier" : "upward") +
-                " include edge src/" + module + " -> src/" + target_module +
-                " (#include \"" + inc.target + "\"): '" + module +
-                "' is tier " + std::to_string(tier) + ", '" + target_module +
-                "' is tier " + std::to_string(target_tier) +
-                " of tools/layers.txt");
+                " include edge " + DisplayModule(module) + " -> " +
+                DisplayModule(target_module) + " (#include \"" + inc.target +
+                "\"): '" + module + "' is tier " + std::to_string(tier) +
+                ", '" + target_module + "' is tier " +
+                std::to_string(target_tier) + " of tools/layers.txt");
       }
     }
   }

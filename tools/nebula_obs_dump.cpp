@@ -4,12 +4,18 @@
 /// engine's per-annotation trace trees as JSON.
 ///
 ///   nebula_obs_dump [--metrics=prometheus|json] [--metrics-only]
-///                   [--traces-only] [--threads=N]
+///                   [--traces-only] [--threads=N] [--check]
 ///
 /// The batch insert runs on a worker pool (default 2 threads) so the
 /// thread-pool and shared-executor instruments light up too. Sections are
-/// delimited by "# ---- metrics ----" / "# ---- traces ----" lines so the
-/// output is easy to split in scripts.
+/// delimited by "# ---- metrics ----" / "# ---- percentiles ----" /
+/// "# ---- traces ----" / "# ---- events ----" lines so the output is
+/// easy to split in scripts. The percentile section prints the
+/// p50..p999 ladder of every histogram family that saw observations;
+/// the events section is the engine's wide-event log as JSON lines.
+/// --check additionally self-asserts the dump (nonempty percentile
+/// section with monotone ladders, an "insert" wide event present) and is
+/// what the ctest smoke runs.
 
 #include <cstdio>
 #include <cstring>
@@ -22,6 +28,7 @@
 #include "core/verification.h"
 #include "meta/nebula_meta.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
 #include "storage/catalog.h"
 #include "storage/schema.h"
 #include "storage/table.h"
@@ -36,12 +43,45 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Prints one "name{labels} count=N p50=... .. p999=..." line per
+/// histogram sample that saw observations. Returns the number of lines
+/// printed; `monotonic` is cleared if any ladder decreases.
+size_t PrintPercentiles(bool* monotonic) {
+  size_t printed = 0;
+  for (const auto& family : obs::MetricsRegistry::Global().Snapshot()) {
+    if (family.type != obs::MetricType::kHistogram) continue;
+    for (const auto& sample : family.samples) {
+      if (sample.histogram.count == 0) continue;
+      std::string labels;
+      for (const auto& [key, value] : sample.labels) {
+        labels += labels.empty() ? "{" : ",";
+        labels += key + "=\"" + value + "\"";
+      }
+      if (!labels.empty()) labels += "}";
+      std::printf("%s%s count=%llu", family.name.c_str(), labels.c_str(),
+                  static_cast<unsigned long long>(sample.histogram.count));
+      uint64_t prev = 0;
+      for (const auto& spec : obs::Histogram::kStandardQuantiles) {
+        const uint64_t q = sample.histogram.Quantile(spec.q);
+        if (q < prev) *monotonic = false;
+        prev = q;
+        std::printf(" %s=%lluus", spec.name,
+                    static_cast<unsigned long long>(q));
+      }
+      std::printf("\n");
+      ++printed;
+    }
+  }
+  return printed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   obs::ExportFormat metrics_format = obs::ExportFormat::kPrometheus;
   bool dump_metrics = true;
   bool dump_traces = true;
+  bool check = false;
   size_t threads = 2;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -53,13 +93,15 @@ int main(int argc, char** argv) {
       dump_traces = false;
     } else if (arg == "--traces-only") {
       dump_metrics = false;
+    } else if (arg == "--check") {
+      check = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = static_cast<size_t>(
           std::strtoul(arg.c_str() + strlen("--threads="), nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--metrics=prometheus|json] [--metrics-only] "
-                   "[--traces-only] [--threads=N]\n",
+                   "[--traces-only] [--threads=N] [--check]\n",
                    argv[0]);
       return 2;
     }
@@ -145,12 +187,39 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "[obs_dump] inserted %zu annotations (%zu threads)\n",
                reports->size(), threads);
 
+  size_t percentile_lines = 0;
+  bool monotonic = true;
   if (dump_metrics) {
     std::printf("# ---- metrics ----\n%s",
                 NebulaEngine::DumpMetrics(metrics_format).c_str());
+    std::printf("# ---- percentiles ----\n");
+    percentile_lines = PrintPercentiles(&monotonic);
   }
+  const std::string events = engine.DumpEvents();
   if (dump_traces) {
     std::printf("# ---- traces ----\n%s\n", engine.DumpTraces().c_str());
+    std::printf("# ---- events ----\n%s", events.c_str());
+  }
+
+  if (check) {
+    // Self-assertions for the ctest smoke: the percentile pipeline must
+    // produce data and the wide-event log must have seen the batch —
+    // when the engine was built instrumented. Under NEBULA_OBS=OFF the
+    // sections are legitimately empty and only well-formedness holds.
+    if (obs::kEnabled && dump_metrics && percentile_lines == 0) {
+      std::fprintf(stderr, "CHECK FAILED: no histogram percentiles\n");
+      return 1;
+    }
+    if (!monotonic) {
+      std::fprintf(stderr, "CHECK FAILED: percentile ladder decreased\n");
+      return 1;
+    }
+    if (obs::kEnabled &&
+        events.find("\"op\":\"insert\"") == std::string::npos) {
+      std::fprintf(stderr, "CHECK FAILED: no insert wide event\n");
+      return 1;
+    }
+    std::fprintf(stderr, "[obs_dump] check ok\n");
   }
   return 0;
 }

@@ -194,24 +194,30 @@ Status DatabaseSerializer::Save(const std::string& dir,
   }
 
   if (store != nullptr) {
-    {
-      NEBULA_ASSIGN_OR_RETURN(std::ofstream out,
-                              OpenForWrite(dir + "/annotations"));
-      for (AnnotationId a = 0; a < store->num_annotations(); ++a) {
-        const Annotation* annotation = *store->GetAnnotation(a);
-        out << a << '\t' << EscapeField(annotation->author) << '\t'
-            << EscapeField(annotation->text) << '\n';
-      }
+    NEBULA_RETURN_NOT_OK(SaveStore(dir, *store));
+  }
+  return Status::OK();
+}
+
+Status DatabaseSerializer::SaveStore(const std::string& dir,
+                                     const AnnotationStore& store) {
+  {
+    NEBULA_ASSIGN_OR_RETURN(std::ofstream out,
+                            OpenForWrite(dir + "/annotations"));
+    for (AnnotationId a = 0; a < store.num_annotations(); ++a) {
+      const Annotation* annotation = *store.GetAnnotation(a);
+      out << a << '\t' << EscapeField(annotation->author) << '\t'
+          << EscapeField(annotation->text) << '\n';
     }
-    {
-      NEBULA_ASSIGN_OR_RETURN(std::ofstream out,
-                              OpenForWrite(dir + "/attachments"));
-      for (const Attachment& edge : store->AllAttachments()) {
-        out << edge.annotation << '\t' << edge.tuple.table_id << '\t'
-            << edge.tuple.row << '\t'
-            << (edge.type == AttachmentType::kTrue ? "T" : "P") << '\t'
-            << StrFormat("%.17g", edge.weight) << '\n';
-      }
+  }
+  {
+    NEBULA_ASSIGN_OR_RETURN(std::ofstream out,
+                            OpenForWrite(dir + "/attachments"));
+    for (const Attachment& edge : store.AllAttachments()) {
+      out << edge.annotation << '\t' << edge.tuple.table_id << '\t'
+          << edge.tuple.row << '\t'
+          << (edge.type == AttachmentType::kTrue ? "T" : "P") << '\t'
+          << StrFormat("%.17g", edge.weight) << '\n';
     }
   }
   return Status::OK();
@@ -300,43 +306,50 @@ Status DatabaseSerializer::Load(const std::string& dir, Catalog* catalog,
   }
 
   if (store != nullptr) {
-    if (store->num_annotations() != 0) {
-      return Status::InvalidArgument("store must be empty before Load");
-    }
-    auto ann_in = OpenForRead(dir + "/annotations");
-    if (ann_in.ok()) {
-      while (std::getline(*ann_in, line)) {
-        if (line.empty()) continue;
-        const auto fields = Split(line, '\t');
-        if (fields.size() != 3) {
-          return Status::Corruption("bad annotations line");
-        }
-        const AnnotationId id = store->AddAnnotation(
-            UnescapeField(fields[2]), UnescapeField(fields[1]));
-        if (id != std::strtoull(fields[0].c_str(), nullptr, 10)) {
-          return Status::Corruption("annotation ids out of order");
-        }
+    NEBULA_RETURN_NOT_OK(LoadStore(dir, store));
+  }
+  return Status::OK();
+}
+
+Status DatabaseSerializer::LoadStore(const std::string& dir,
+                                     AnnotationStore* store) {
+  if (store->num_annotations() != 0) {
+    return Status::InvalidArgument("store must be empty before Load");
+  }
+  std::string line;
+  auto ann_in = OpenForRead(dir + "/annotations");
+  if (ann_in.ok()) {
+    while (std::getline(*ann_in, line)) {
+      if (line.empty()) continue;
+      const auto fields = Split(line, '\t');
+      if (fields.size() != 3) {
+        return Status::Corruption("bad annotations line");
+      }
+      const AnnotationId id = store->AddAnnotation(
+          UnescapeField(fields[2]), UnescapeField(fields[1]));
+      if (id != std::strtoull(fields[0].c_str(), nullptr, 10)) {
+        return Status::Corruption("annotation ids out of order");
       }
     }
-    auto att_in = OpenForRead(dir + "/attachments");
-    if (att_in.ok()) {
-      while (std::getline(*att_in, line)) {
-        if (line.empty()) continue;
-        const auto fields = Split(line, '\t');
-        if (fields.size() != 5) {
-          return Status::Corruption("bad attachments line");
-        }
-        const TupleId tuple{
-            static_cast<uint32_t>(std::strtoul(fields[1].c_str(), nullptr,
-                                               10)),
-            std::strtoull(fields[2].c_str(), nullptr, 10)};
-        const AttachmentType type =
-            fields[3] == "T" ? AttachmentType::kTrue
-                             : AttachmentType::kPredicted;
-        NEBULA_RETURN_NOT_OK(store->Attach(
-            std::strtoull(fields[0].c_str(), nullptr, 10), tuple, type,
-            std::strtod(fields[4].c_str(), nullptr)));
+  }
+  auto att_in = OpenForRead(dir + "/attachments");
+  if (att_in.ok()) {
+    while (std::getline(*att_in, line)) {
+      if (line.empty()) continue;
+      const auto fields = Split(line, '\t');
+      if (fields.size() != 5) {
+        return Status::Corruption("bad attachments line");
       }
+      const TupleId tuple{
+          static_cast<uint32_t>(std::strtoul(fields[1].c_str(), nullptr,
+                                             10)),
+          std::strtoull(fields[2].c_str(), nullptr, 10)};
+      const AttachmentType type =
+          fields[3] == "T" ? AttachmentType::kTrue
+                           : AttachmentType::kPredicted;
+      NEBULA_RETURN_NOT_OK(store->Attach(
+          std::strtoull(fields[0].c_str(), nullptr, 10), tuple, type,
+          std::strtod(fields[4].c_str(), nullptr)));
     }
   }
   return Status::OK();

@@ -35,6 +35,17 @@ class DatabaseSerializer {
   /// must be empty.
   [[nodiscard]] static Status Load(const std::string& dir, Catalog* catalog,
                      AnnotationStore* store = nullptr);
+
+  /// Writes only the annotation-store files (`<dir>/annotations`,
+  /// `<dir>/attachments`) into an existing directory. Used by durability
+  /// snapshots, which persist the store without the base catalog.
+  [[nodiscard]] static Status SaveStore(const std::string& dir,
+                                        const AnnotationStore& store);
+
+  /// Inverse of SaveStore; `store` must be empty. Missing files mean an
+  /// empty store (zero annotations is a legal state).
+  [[nodiscard]] static Status LoadStore(const std::string& dir,
+                                        AnnotationStore* store);
 };
 
 /// Escapes tabs, newlines, carriage returns and backslashes.

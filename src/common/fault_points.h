@@ -20,6 +20,25 @@ namespace nebula {
 /// executes on the cold path).
 inline constexpr char kFaultCorePlanCacheFill[] = "core.plancache.fill";
 
+/// Snapshot write in the durability manager; a fired fault aborts the
+/// snapshot before any file is renamed into place. The engine degrades —
+/// the previous snapshot plus the full WAL stay authoritative and the
+/// triggering operation still succeeds (see Manager::last_snapshot_status).
+inline constexpr char kFaultDurabilitySnapshotWrite[] =
+    "durability.snapshot.write";
+
+/// WAL append entry, before any byte is written; a fired fault fails the
+/// commit unit cleanly — nothing reaches the log and nothing is applied
+/// in memory, so the engine keeps running (and stays recoverable).
+inline constexpr char kFaultDurabilityWalAppend[] = "durability.wal.append";
+
+/// Torn WAL write: when fired, only a prefix of the framed record reaches
+/// the file — the on-disk image of a crash mid-write. The writer poisons
+/// itself (subsequent appends fail until reopen) and recovery must
+/// truncate the torn tail.
+inline constexpr char kFaultDurabilityWalTornTail[] =
+    "durability.wal.torn_tail";
+
 /// SQL result-cache fill in the keyword engine; a fired fault skips
 /// memoizing the executed statement (results are unaffected).
 inline constexpr char kFaultKeywordResultCacheFill[] =

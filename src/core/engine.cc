@@ -1,8 +1,10 @@
 #include "core/engine.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <future>
 #include <optional>
+#include <unordered_set>
 #include <utility>
 
 #include "annotation/annotation_store.h"
@@ -12,6 +14,10 @@
 #include "core/focal_spreading.h"
 #include "core/identify.h"
 #include "core/query_generation.h"
+#include "core/verification.h"
+#include "durability/journal.h"
+#include "durability/manager.h"
+#include "durability/meta_serialize.h"
 #include "keyword/mini_db.h"
 #include "meta/nebula_meta.h"
 #include "obs/event.h"
@@ -134,6 +140,43 @@ void RecordOperationEvent(obs::EventLog* log, const char* op,
   log->Record(event);
 }
 
+/// VerificationTask <-> durability::TaskRecord conversions (durability
+/// sits below core in the layer DAG, so it mirrors the task type).
+std::vector<durability::TaskRecord> TasksToRecords(
+    const std::vector<VerificationTask>& tasks) {
+  std::vector<durability::TaskRecord> out;
+  out.reserve(tasks.size());
+  for (const VerificationTask& t : tasks) {
+    durability::TaskRecord r;
+    r.vid = t.vid;
+    r.annotation = t.annotation;
+    r.table_id = t.tuple.table_id;
+    r.row = t.tuple.row;
+    r.confidence = t.confidence;
+    r.state = TaskStateName(t.state);
+    r.evidence = t.evidence;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Result<std::vector<VerificationTask>> RecordsToTasks(
+    const std::vector<durability::TaskRecord>& records) {
+  std::vector<VerificationTask> out;
+  out.reserve(records.size());
+  for (const durability::TaskRecord& r : records) {
+    VerificationTask t;
+    t.vid = r.vid;
+    t.annotation = r.annotation;
+    t.tuple = TupleId{r.table_id, r.row};
+    t.confidence = r.confidence;
+    NEBULA_ASSIGN_OR_RETURN(t.state, ParseTaskState(r.state));
+    t.evidence = r.evidence;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
 }  // namespace
 
 NebulaEngine::NebulaEngine(Catalog* catalog, AnnotationStore* store,
@@ -151,6 +194,69 @@ NebulaEngine::NebulaEngine(Catalog* catalog, AnnotationStore* store,
                   config.slow_query_us, config.event_seed}) {}
 
 void NebulaEngine::RebuildAcg() { acg_.BuildFromStore(*store_); }
+
+Status NebulaEngine::OpenDurability(const durability::OpenHooks& hooks) {
+  if (config_.durability_dir.empty()) {
+    return Status::InvalidArgument(
+        "NebulaConfig::durability_dir must be set before OpenDurability");
+  }
+  if (durability_ != nullptr) {
+    return Status::InvalidArgument("durability already open");
+  }
+  durability::Manager::Options options;
+  options.dir = config_.durability_dir;
+  options.sync = config_.wal_sync_mode;
+  options.snapshot_every_n = config_.snapshot_every_n;
+
+  std::error_code ec;
+  const bool recovering = std::filesystem::exists(
+      std::filesystem::path(config_.durability_dir) / "CURRENT", ec);
+  std::vector<durability::TaskRecord> tasks;
+  if (recovering) {
+    if (!verification_.tasks().empty()) {
+      return Status::InvalidArgument(
+          "cannot recover into an engine that already has verification "
+          "tasks");
+    }
+    // The on-disk image replaces whatever seeded state the caller loaded;
+    // only the base catalog stays host-provided.
+    *store_ = AnnotationStore();
+    NebulaMeta fresh_meta(meta_->lexicon());
+    *meta_ = std::move(fresh_meta);
+  } else {
+    tasks = TasksToRecords(verification_.tasks());
+  }
+  NEBULA_ASSIGN_OR_RETURN(
+      durability_,
+      durability::Manager::Open(options, store_, meta_, &tasks, hooks));
+  if (durability_->recovery_info().recovered) {
+    NEBULA_ASSIGN_OR_RETURN(std::vector<VerificationTask> restored,
+                            RecordsToTasks(tasks));
+    NEBULA_RETURN_NOT_OK(verification_.RestoreTasks(std::move(restored)));
+    // Derived state: the ACG is rebuilt eagerly (its fingerprint is the
+    // recovery oracle); value indexes and caches rebuild lazily on use.
+    RebuildAcg();
+  }
+  recovery_info_ = durability_->recovery_info();
+  journaled_meta_version_ = meta_->version();
+  durability_->set_task_source(
+      [this] { return TasksToRecords(verification_.tasks()); });
+  verification_.set_journal(durability_.get());
+  return Status::OK();
+}
+
+Status NebulaEngine::JournalUnit(durability::CommitUnit* unit) {
+  if (meta_->version() != journaled_meta_version_) {
+    durability::CommitUnit meta_unit;  // flags 0: bookkeeping, not an op
+    durability::JournalRecord blob;
+    blob.kind = durability::JournalRecord::Kind::kMetaBlob;
+    blob.text = durability::MetaSerializer::SaveToString(*meta_);
+    meta_unit.records.push_back(std::move(blob));
+    NEBULA_RETURN_NOT_OK(durability_->Append(&meta_unit));
+    journaled_meta_version_ = meta_->version();
+  }
+  return durability_->Append(unit);
+}
 
 ThreadPool* NebulaEngine::pool() {
   const size_t n = config_.num_threads;
@@ -277,6 +383,51 @@ Result<AnnotationId> NebulaEngine::StoreWithFocal(
     const std::string& author, obs::TraceBuilder* tracer,
     uint32_t parent_span) {
   // Stage 0: store the annotation and its focal (True) attachments.
+  if (durability_ != nullptr) {
+    // Journal-before-apply. Pre-validate the only way the apply below
+    // could fail — a duplicate focal tuple — so a journaled stage-0 unit
+    // always applies cleanly (disk never gets ahead of memory).
+    std::unordered_set<TupleId, TupleIdHash> seen;
+    for (const TupleId& t : focal) {
+      if (!seen.insert(t).second) {
+        return Status::InvalidArgument("duplicate focal tuple " +
+                                       t.ToString());
+      }
+    }
+    const AnnotationId id = store_->num_annotations();
+    durability::CommitUnit unit;
+    unit.flags = durability::kOpStart;
+    {
+      durability::JournalRecord r;
+      r.kind = durability::JournalRecord::Kind::kAnnotation;
+      r.id = id;
+      r.author = author;
+      r.text = text;
+      unit.records.push_back(std::move(r));
+    }
+    for (const TupleId& t : focal) {
+      durability::JournalRecord r;
+      r.kind = durability::JournalRecord::Kind::kAttach;
+      r.annotation = id;
+      r.table_id = t.table_id;
+      r.row = t.row;
+      r.is_true = true;
+      r.weight = 1.0;
+      unit.records.push_back(std::move(r));
+    }
+    NEBULA_RETURN_NOT_OK(JournalUnit(&unit));
+    const AnnotationId stored = store_->AddAnnotation(text, author);
+    (void)stored;  // == id: AddAnnotation assigns sequential ids
+    obs::ScopedSpan acg_span(tracer, "acg_update", parent_span);
+    for (size_t i = 0; i < focal.size(); ++i) {
+      NEBULA_RETURN_NOT_OK(
+          store_->Attach(id, focal[i], AttachmentType::kTrue));
+      std::vector<TupleId> siblings(focal.begin(), focal.begin() + i);
+      acg_.AddAttachment(id, focal[i], siblings);
+    }
+    durability_->OnApplied(unit);
+    return id;
+  }
   const AnnotationId id = store_->AddAnnotation(text, author);
   obs::ScopedSpan acg_span(tracer, "acg_update", parent_span);
   for (size_t i = 0; i < focal.size(); ++i) {
@@ -288,9 +439,9 @@ Result<AnnotationId> NebulaEngine::StoreWithFocal(
   return id;
 }
 
-void NebulaEngine::SubmitCandidates(AnnotationReport* report,
-                                    obs::TraceBuilder* tracer,
-                                    uint32_t parent_span) {
+Status NebulaEngine::SubmitCandidates(AnnotationReport* report,
+                                      obs::TraceBuilder* tracer,
+                                      uint32_t parent_span) {
   // Footnote-1 spam guard: an annotation whose prediction covers an
   // excessive share of the database must not flood the verification
   // queue.
@@ -300,7 +451,15 @@ void NebulaEngine::SubmitCandidates(AnnotationReport* report,
                               config_.spam_guard);
     if (report->spam.spam_suspected) {
       if constexpr (obs::kEnabled) Metrics().spam_suspected->Increment();
-      return;
+      if (durability_ != nullptr) {
+        // The operation still commits, just with zero tasks: an empty
+        // stage-3 unit closes it so recovery counts a completed insert.
+        durability::CommitUnit unit;
+        unit.flags = durability::kOpEnd;
+        NEBULA_RETURN_NOT_OK(JournalUnit(&unit));
+        durability_->OnApplied(unit);
+      }
+      return Status::OK();
     }
   }
 
@@ -308,8 +467,44 @@ void NebulaEngine::SubmitCandidates(AnnotationReport* report,
   // their side effects (True attachment, ACG update, profile update).
   obs::ScopedSpan submit_span(tracer, "verification_submit", parent_span);
   verification_.set_bounds(config_.bounds);
-  report->verification = verification_.Submit(report->annotation,
-                                              report->candidates);
+  if (durability_ == nullptr) {
+    report->verification = verification_.Submit(report->annotation,
+                                                report->candidates);
+    return Status::OK();
+  }
+  // Durable path: plan, journal the whole stage-3 unit, then apply the
+  // identical plan. Accepted tasks also journal their store effect (the
+  // task records alone replay no attachments).
+  PlannedSubmit planned =
+      verification_.PlanSubmit(report->annotation, report->candidates);
+  durability::CommitUnit unit;
+  unit.flags = durability::kOpEnd;
+  for (const VerificationTask& task : planned.tasks) {
+    durability::JournalRecord r;
+    r.kind = durability::JournalRecord::Kind::kTask;
+    r.id = task.vid;
+    r.annotation = task.annotation;
+    r.table_id = task.tuple.table_id;
+    r.row = task.tuple.row;
+    r.weight = task.confidence;
+    r.text = TaskStateName(task.state);
+    r.evidence = task.evidence;
+    unit.records.push_back(std::move(r));
+    if (task.state == TaskState::kAutoAccepted) {
+      durability::JournalRecord attach;
+      attach.kind = durability::JournalRecord::Kind::kAttach;
+      attach.annotation = task.annotation;
+      attach.table_id = task.tuple.table_id;
+      attach.row = task.tuple.row;
+      attach.is_true = true;
+      attach.weight = 1.0;
+      unit.records.push_back(std::move(attach));
+    }
+  }
+  NEBULA_RETURN_NOT_OK(JournalUnit(&unit));
+  report->verification = verification_.ApplySubmit(std::move(planned));
+  durability_->OnApplied(unit);
+  return Status::OK();
 }
 
 Result<AnnotationReport> NebulaEngine::InsertOne(
@@ -373,7 +568,7 @@ Result<AnnotationReport> NebulaEngine::InsertOne(
   stage.Restart();
   {
     obs::ScopedSpan span(tracer, "stage3_verification", root);
-    SubmitCandidates(&report, tracer, span.id());
+    NEBULA_RETURN_NOT_OK(SubmitCandidates(&report, tracer, span.id()));
   }
   report.timings.verification_us = stage.ElapsedMicros();
 

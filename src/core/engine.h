@@ -16,6 +16,9 @@
 #include "core/query_generation.h"
 #include "core/spam.h"
 #include "core/verification.h"
+#include "durability/journal.h"
+#include "durability/manager.h"
+#include "durability/wal.h"
 #include "keyword/engine.h"
 #include "keyword/query_types.h"
 #include "meta/nebula_meta.h"
@@ -74,6 +77,16 @@ struct NebulaConfig {
   double event_sample_rate = 1.0;
   uint64_t slow_query_us = 0;
   uint64_t event_seed = 0;
+  /// Durability (WAL + snapshots; DESIGN.md §12). Empty `durability_dir`
+  /// keeps durability off — the engine behaves bit-identically to the
+  /// pre-durability engine. Non-empty: call OpenDurability() after
+  /// construction; every mutation is then journaled before it is applied
+  /// in memory.
+  std::string durability_dir;
+  durability::SyncMode wal_sync_mode = durability::SyncMode::kFlush;
+  /// Snapshot cadence in committed operations; 0 = the baseline snapshot
+  /// only (the whole history stays in the WAL).
+  size_t snapshot_every_n = 64;
 };
 
 /// One annotation of a batch-ingest request: the free text, its focal
@@ -149,6 +162,22 @@ class NebulaEngine {
   /// "built at once" experimental setup).
   void RebuildAcg();
 
+  /// Opens (or recovers) the durability subsystem at
+  /// config().durability_dir. Fresh directory: writes a baseline snapshot
+  /// of the engine's current state. Existing directory: the store, the
+  /// metadata, and the verification tasks are REPLACED by the recovered
+  /// image (latest snapshot + WAL tail; the base catalog stays
+  /// host-provided) and the ACG is rebuilt — the engine must not have
+  /// verification tasks yet. `hooks` is test-only (fault planting).
+  [[nodiscard]] Status OpenDurability(const durability::OpenHooks& hooks = {});
+
+  /// The durability manager; nullptr while durability is off.
+  durability::Manager* durability() { return durability_.get(); }
+  /// What OpenDurability found on disk (zero-value before it ran).
+  const durability::RecoveryInfo& recovery_info() const {
+    return recovery_info_;
+  }
+
   Catalog* catalog() { return catalog_; }
   AnnotationStore* store() { return store_; }
   NebulaMeta* meta() { return meta_; }
@@ -203,10 +232,17 @@ class NebulaEngine {
       AnnotationId annotation, const std::vector<TupleId>& focal,
       QueryGenerationResult generated, obs::TraceBuilder* tracer = nullptr,
       uint32_t parent_span = 0);
-  /// Spam guard + Stage 3 on a discovery report.
-  void SubmitCandidates(AnnotationReport* report,
-                        obs::TraceBuilder* tracer = nullptr,
-                        uint32_t parent_span = 0);
+  /// Spam guard + Stage 3 on a discovery report. Under durability the
+  /// stage-3 commit unit (possibly empty, when spam-guarded) is journaled
+  /// before the tasks are applied; a journaling failure surfaces here and
+  /// leaves stage 3 unapplied.
+  [[nodiscard]] Status SubmitCandidates(AnnotationReport* report,
+                                        obs::TraceBuilder* tracer = nullptr,
+                                        uint32_t parent_span = 0);
+  /// Journals `unit` through the durability manager, preceded by a meta
+  /// blob unit whenever the metadata version changed since the last
+  /// journaled one.
+  [[nodiscard]] Status JournalUnit(durability::CommitUnit* unit);
   /// The full stage 0-3 pipeline for one annotation, traced and metered;
   /// `pregenerated`, when given, short-circuits Stage 1 (batch ingest).
   [[nodiscard]] Result<AnnotationReport> InsertOne(const std::string& text,
@@ -224,6 +260,11 @@ class NebulaEngine {
   VerificationManager verification_;
   obs::TraceRecorder trace_recorder_;
   obs::EventLog event_log_;
+  std::unique_ptr<durability::Manager> durability_;
+  durability::RecoveryInfo recovery_info_;
+  /// Meta version covered by the last journaled blob (or the snapshot
+  /// written/loaded at OpenDurability).
+  uint64_t journaled_meta_version_ = 0;
   // Declared last: destroyed first, joining any in-flight workers while
   // the rest of the engine is still alive.
   std::unique_ptr<ThreadPool> pool_;

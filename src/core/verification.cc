@@ -1,11 +1,15 @@
 #include "core/verification.h"
 
 #include <algorithm>
+#include <unordered_set>
+#include <utility>
 
 #include "annotation/annotation_store.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "core/identify.h"
+#include "durability/journal.h"
+#include "durability/manager.h"
 #include "obs/metrics.h"
 #include "storage/schema.h"
 
@@ -68,6 +72,16 @@ const char* TaskStateName(TaskState state) {
   return "?";
 }
 
+Result<TaskState> ParseTaskState(std::string_view name) {
+  for (TaskState state :
+       {TaskState::kPending, TaskState::kAutoAccepted,
+        TaskState::kAutoRejected, TaskState::kExpertAccepted,
+        TaskState::kExpertRejected}) {
+    if (name == TaskStateName(state)) return state;
+  }
+  return Status::Corruption("unknown task state '" + std::string(name) + "'");
+}
+
 void VerificationManager::ApplyAccept(VerificationTask* task) {
   // (1) Attach the annotation to the tuple as a True Attachment.
   const std::vector<TupleId> siblings =
@@ -91,38 +105,87 @@ void VerificationManager::ApplyAccept(VerificationTask* task) {
 
 SubmitOutcome VerificationManager::Submit(
     AnnotationId annotation, const std::vector<CandidateTuple>& candidates) {
-  SubmitOutcome outcome;
+  return ApplySubmit(PlanSubmit(annotation, candidates));
+}
+
+PlannedSubmit VerificationManager::PlanSubmit(
+    AnnotationId annotation,
+    const std::vector<CandidateTuple>& candidates) const {
+  PlannedSubmit planned;
+  // The fused loop attached accepted tuples as it went, so a later
+  // duplicate candidate hit HasAttachment. Simulate that with the set of
+  // tuples this plan accepts.
+  std::unordered_set<TupleId, TupleIdHash> accepted;
+  uint64_t next_vid = tasks_.size();
   for (const auto& c : candidates) {
-    if (store_->HasAttachment(annotation, c.tuple)) {
-      ++outcome.already_attached;
-      if constexpr (obs::kEnabled) Metrics().already_attached->Increment();
+    if (store_->HasAttachment(annotation, c.tuple) ||
+        accepted.count(c.tuple) > 0) {
+      ++planned.outcome.already_attached;
       continue;
     }
     VerificationTask task;
-    task.vid = tasks_.size();
+    task.vid = next_vid++;
     task.annotation = annotation;
     task.tuple = c.tuple;
     task.confidence = c.confidence;
     task.evidence = c.evidence;
     if (c.confidence < bounds_.lower) {
       task.state = TaskState::kAutoRejected;
-      ++outcome.auto_rejected;
-      tasks_.push_back(std::move(task));
-      if constexpr (obs::kEnabled) Metrics().created_auto_rejected->Increment();
+      ++planned.outcome.auto_rejected;
     } else if (c.confidence > bounds_.upper) {
       task.state = TaskState::kAutoAccepted;
-      tasks_.push_back(std::move(task));
-      ApplyAccept(&tasks_.back());
-      ++outcome.auto_accepted;
-      if constexpr (obs::kEnabled) Metrics().created_auto_accepted->Increment();
+      ++planned.outcome.auto_accepted;
+      accepted.insert(c.tuple);
     } else {
       task.state = TaskState::kPending;
-      tasks_.push_back(std::move(task));
-      ++outcome.pending;
-      if constexpr (obs::kEnabled) Metrics().created_pending->Increment();
+      ++planned.outcome.pending;
+    }
+    planned.tasks.push_back(std::move(task));
+  }
+  return planned;
+}
+
+SubmitOutcome VerificationManager::ApplySubmit(PlannedSubmit planned) {
+  if constexpr (obs::kEnabled) {
+    if (planned.outcome.already_attached > 0) {
+      Metrics().already_attached->Increment(planned.outcome.already_attached);
     }
   }
-  return outcome;
+  for (VerificationTask& task : planned.tasks) {
+    const TaskState state = task.state;
+    tasks_.push_back(std::move(task));
+    switch (state) {
+      case TaskState::kAutoRejected:
+        if constexpr (obs::kEnabled) {
+          Metrics().created_auto_rejected->Increment();
+        }
+        break;
+      case TaskState::kAutoAccepted:
+        ApplyAccept(&tasks_.back());
+        if constexpr (obs::kEnabled) {
+          Metrics().created_auto_accepted->Increment();
+        }
+        break;
+      default:  // kPending — PlanSubmit produces no other states
+        if constexpr (obs::kEnabled) Metrics().created_pending->Increment();
+        break;
+    }
+  }
+  return planned.outcome;
+}
+
+Status VerificationManager::RestoreTasks(std::vector<VerificationTask> tasks) {
+  if (!tasks_.empty()) {
+    return Status::InvalidArgument(
+        "RestoreTasks requires a task-free manager");
+  }
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i].vid != i) {
+      return Status::Corruption("restored task vids are not sequential");
+    }
+  }
+  tasks_ = std::move(tasks);
+  return Status::OK();
 }
 
 Status VerificationManager::Verify(uint64_t vid) {
@@ -136,6 +199,39 @@ Status VerificationManager::Verify(uint64_t vid) {
         StrFormat("task %llu is %s, not PENDING",
                   static_cast<unsigned long long>(vid),
                   TaskStateName(task.state)));
+  }
+  if (journal_ != nullptr) {
+    // An expert decision is one complete operation: journal the decision
+    // and its accept-side store effect before applying either.
+    durability::CommitUnit unit;
+    unit.flags = durability::kOpStart | durability::kOpEnd;
+    {
+      durability::JournalRecord decision;
+      decision.kind = durability::JournalRecord::Kind::kDecision;
+      decision.id = vid;
+      decision.is_true = true;
+      unit.records.push_back(std::move(decision));
+    }
+    {
+      durability::JournalRecord effect;
+      effect.annotation = task.annotation;
+      effect.table_id = task.tuple.table_id;
+      effect.row = task.tuple.row;
+      if (store_->HasAttachment(task.annotation, task.tuple)) {
+        effect.kind = durability::JournalRecord::Kind::kPromote;
+      } else {
+        effect.kind = durability::JournalRecord::Kind::kAttach;
+        effect.is_true = true;
+        effect.weight = 1.0;
+      }
+      unit.records.push_back(std::move(effect));
+    }
+    NEBULA_RETURN_NOT_OK(journal_->Append(&unit));
+    task.state = TaskState::kExpertAccepted;
+    ApplyAccept(&task);
+    if constexpr (obs::kEnabled) Metrics().resolved_accepted->Increment();
+    journal_->OnApplied(unit);
+    return Status::OK();
   }
   task.state = TaskState::kExpertAccepted;
   ApplyAccept(&task);
@@ -154,6 +250,20 @@ Status VerificationManager::Reject(uint64_t vid) {
         StrFormat("task %llu is %s, not PENDING",
                   static_cast<unsigned long long>(vid),
                   TaskStateName(task.state)));
+  }
+  if (journal_ != nullptr) {
+    durability::CommitUnit unit;
+    unit.flags = durability::kOpStart | durability::kOpEnd;
+    durability::JournalRecord decision;
+    decision.kind = durability::JournalRecord::Kind::kDecision;
+    decision.id = vid;
+    decision.is_true = false;
+    unit.records.push_back(std::move(decision));
+    NEBULA_RETURN_NOT_OK(journal_->Append(&unit));
+    task.state = TaskState::kExpertRejected;
+    if constexpr (obs::kEnabled) Metrics().resolved_rejected->Increment();
+    journal_->OnApplied(unit);
+    return Status::OK();
   }
   task.state = TaskState::kExpertRejected;
   if constexpr (obs::kEnabled) Metrics().resolved_rejected->Increment();

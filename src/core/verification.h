@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "annotation/annotation_store.h"
@@ -12,6 +13,10 @@
 #include "storage/schema.h"
 
 namespace nebula {
+
+namespace durability {
+class Manager;
+}  // namespace durability
 
 /// Verification decision bounds (paper Figure 8): confidence below
 /// `lower` auto-rejects, above `upper` auto-accepts, in between the task
@@ -31,6 +36,8 @@ enum class TaskState {
 };
 
 const char* TaskStateName(TaskState state);
+/// Inverse of TaskStateName (used when recovering persisted tasks).
+[[nodiscard]] Result<TaskState> ParseTaskState(std::string_view name);
 
 /// A verification task v = (vid, a, t, confidence, evidence) of Def. 7.1.
 struct VerificationTask {
@@ -52,6 +59,16 @@ struct SubmitOutcome {
   size_t already_attached = 0;
 };
 
+/// A computed-but-not-applied Submit round: the tasks that would be
+/// created (vids assigned, bounds applied, duplicate candidates skipped)
+/// plus the outcome counts. The durable engine journals the plan before
+/// applying it, so memory and disk can never disagree on a committed
+/// round.
+struct PlannedSubmit {
+  SubmitOutcome outcome;
+  std::vector<VerificationTask> tasks;
+};
+
 /// Stage 3 of the Nebula pipeline: turns candidate tuples into
 /// verification tasks, applies the bounds, and executes the accept-side
 /// effects — attach the annotation (True edge), update the ACG, and feed
@@ -63,8 +80,28 @@ class VerificationManager {
       : store_(store), acg_(acg), bounds_(bounds) {}
 
   /// Submits the candidates of one annotation's discovery round.
+  /// Equivalent to ApplySubmit(PlanSubmit(...)).
   SubmitOutcome Submit(AnnotationId annotation,
                        const std::vector<CandidateTuple>& candidates);
+
+  /// Pure planning half of Submit: computes the round's tasks without
+  /// mutating anything. Batch-internal accepts are simulated so a later
+  /// duplicate candidate tuple is skipped exactly as the fused loop
+  /// would.
+  PlannedSubmit PlanSubmit(
+      AnnotationId annotation,
+      const std::vector<CandidateTuple>& candidates) const;
+  /// Applies a plan produced by PlanSubmit against unchanged state.
+  SubmitOutcome ApplySubmit(PlannedSubmit planned);
+
+  /// Recovery: adopts tasks restored from a snapshot / WAL replay. This
+  /// manager must have no tasks yet; vids must be sequential from 0.
+  /// Store edges are NOT touched (they are recovered separately).
+  [[nodiscard]] Status RestoreTasks(std::vector<VerificationTask> tasks);
+
+  /// When set, expert decisions (Verify/Reject) journal a commit unit
+  /// through the durability manager before mutating any state.
+  void set_journal(durability::Manager* journal) { journal_ = journal; }
 
   /// Expert accepts the pending task (the VERIFY ATTACHMENT command).
   [[nodiscard]] Status Verify(uint64_t vid);
@@ -115,6 +152,7 @@ class VerificationManager {
   Acg* acg_;
   VerificationBounds bounds_;
   std::vector<VerificationTask> tasks_;
+  durability::Manager* journal_ = nullptr;
 };
 
 }  // namespace nebula

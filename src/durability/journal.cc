@@ -1,0 +1,155 @@
+#include "durability/journal.h"
+
+#include <cstdlib>
+
+#include "annotation/serialize.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace nebula::durability {
+
+namespace {
+
+Result<uint64_t> ParseU64Field(const std::string& field) {
+  if (field.empty()) return Status::Corruption("empty integer field");
+  char* end = nullptr;
+  const uint64_t v = std::strtoull(field.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return Status::Corruption("bad integer field '" + field + "'");
+  }
+  return v;
+}
+
+void AppendTuple(std::string* out, uint32_t table_id, uint64_t row) {
+  *out += '\t';
+  *out += std::to_string(table_id);
+  *out += '\t';
+  *out += std::to_string(row);
+}
+
+Status ParseTuple(const std::string& table_field, const std::string& row_field,
+                  JournalRecord* record) {
+  NEBULA_ASSIGN_OR_RETURN(const uint64_t table, ParseU64Field(table_field));
+  NEBULA_ASSIGN_OR_RETURN(record->row, ParseU64Field(row_field));
+  record->table_id = static_cast<uint32_t>(table);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeUnit(const CommitUnit& unit) {
+  std::string out = "u\t" + std::to_string(unit.seq) + '\t' +
+                    std::to_string(static_cast<unsigned>(unit.flags)) + '\n';
+  for (const JournalRecord& r : unit.records) {
+    switch (r.kind) {
+      case JournalRecord::Kind::kAnnotation:
+        out += "a\t" + std::to_string(r.id) + '\t' + EscapeField(r.author) +
+               '\t' + EscapeField(r.text);
+        break;
+      case JournalRecord::Kind::kAttach:
+        out += "t\t" + std::to_string(r.annotation);
+        AppendTuple(&out, r.table_id, r.row);
+        out += r.is_true ? "\tT\t" : "\tP\t";
+        out += StrFormat("%.17g", r.weight);
+        break;
+      case JournalRecord::Kind::kDetach:
+        out += "d\t" + std::to_string(r.annotation);
+        AppendTuple(&out, r.table_id, r.row);
+        break;
+      case JournalRecord::Kind::kPromote:
+        out += "p\t" + std::to_string(r.annotation);
+        AppendTuple(&out, r.table_id, r.row);
+        break;
+      case JournalRecord::Kind::kTask:
+        out += "v\t" + std::to_string(r.id) + '\t' +
+               std::to_string(r.annotation);
+        AppendTuple(&out, r.table_id, r.row);
+        out += '\t' + StrFormat("%.17g", r.weight) + '\t' +
+               EscapeField(r.text);
+        for (const std::string& term : r.evidence) {
+          out += '\t' + EscapeField(term);
+        }
+        break;
+      case JournalRecord::Kind::kDecision:
+        out += "x\t" + std::to_string(r.id) + (r.is_true ? "\t1" : "\t0");
+        break;
+      case JournalRecord::Kind::kMetaBlob:
+        out += "m\t" + EscapeField(r.text);
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<CommitUnit> DecodeUnit(std::string_view payload) {
+  const std::vector<std::string> lines = Split(std::string(payload), '\n');
+  if (lines.empty()) return Status::Corruption("empty commit unit");
+
+  CommitUnit unit;
+  {
+    const auto header = Split(lines[0], '\t');
+    if (header.size() != 3 || header[0] != "u") {
+      return Status::Corruption("bad commit unit header '" + lines[0] + "'");
+    }
+    NEBULA_ASSIGN_OR_RETURN(unit.seq, ParseU64Field(header[1]));
+    NEBULA_ASSIGN_OR_RETURN(const uint64_t flags, ParseU64Field(header[2]));
+    if (flags > (kOpStart | kOpEnd)) {
+      return Status::Corruption("bad commit unit flags " + header[2]);
+    }
+    unit.flags = static_cast<uint8_t>(flags);
+  }
+
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;  // trailing newline of the payload
+    const auto fields = Split(lines[i], '\t');
+    JournalRecord record;
+    const std::string& tag = fields[0];
+    if (tag == "a" && fields.size() == 4) {
+      record.kind = JournalRecord::Kind::kAnnotation;
+      NEBULA_ASSIGN_OR_RETURN(record.id, ParseU64Field(fields[1]));
+      record.author = UnescapeField(fields[2]);
+      record.text = UnescapeField(fields[3]);
+    } else if (tag == "t" && fields.size() == 6) {
+      record.kind = JournalRecord::Kind::kAttach;
+      NEBULA_ASSIGN_OR_RETURN(record.annotation, ParseU64Field(fields[1]));
+      NEBULA_RETURN_NOT_OK(ParseTuple(fields[2], fields[3], &record));
+      if (fields[4] != "T" && fields[4] != "P") {
+        return Status::Corruption("bad attachment type '" + fields[4] + "'");
+      }
+      record.is_true = fields[4] == "T";
+      record.weight = std::strtod(fields[5].c_str(), nullptr);
+    } else if ((tag == "d" || tag == "p") && fields.size() == 4) {
+      record.kind = tag == "d" ? JournalRecord::Kind::kDetach
+                               : JournalRecord::Kind::kPromote;
+      NEBULA_ASSIGN_OR_RETURN(record.annotation, ParseU64Field(fields[1]));
+      NEBULA_RETURN_NOT_OK(ParseTuple(fields[2], fields[3], &record));
+    } else if (tag == "v" && fields.size() >= 7) {
+      record.kind = JournalRecord::Kind::kTask;
+      NEBULA_ASSIGN_OR_RETURN(record.id, ParseU64Field(fields[1]));
+      NEBULA_ASSIGN_OR_RETURN(record.annotation, ParseU64Field(fields[2]));
+      NEBULA_RETURN_NOT_OK(ParseTuple(fields[3], fields[4], &record));
+      record.weight = std::strtod(fields[5].c_str(), nullptr);
+      record.text = UnescapeField(fields[6]);
+      for (size_t f = 7; f < fields.size(); ++f) {
+        record.evidence.push_back(UnescapeField(fields[f]));
+      }
+    } else if (tag == "x" && fields.size() == 3) {
+      record.kind = JournalRecord::Kind::kDecision;
+      NEBULA_ASSIGN_OR_RETURN(record.id, ParseU64Field(fields[1]));
+      if (fields[2] != "0" && fields[2] != "1") {
+        return Status::Corruption("bad decision verdict '" + fields[2] + "'");
+      }
+      record.is_true = fields[2] == "1";
+    } else if (tag == "m" && fields.size() == 2) {
+      record.kind = JournalRecord::Kind::kMetaBlob;
+      record.text = UnescapeField(fields[1]);
+    } else {
+      return Status::Corruption("bad journal record line '" + lines[i] + "'");
+    }
+    unit.records.push_back(std::move(record));
+  }
+  return unit;
+}
+
+}  // namespace nebula::durability

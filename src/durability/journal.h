@@ -1,0 +1,89 @@
+#ifndef NEBULA_DURABILITY_JOURNAL_H_
+#define NEBULA_DURABILITY_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nebula::durability {
+
+/// One logical mutation inside a commit unit. A single flat struct (kind
+/// plus the union of fields) rather than a class hierarchy: the record
+/// set is small, closed, and line-serialized.
+///
+/// Field use per kind:
+///   kAnnotation  id, author, text
+///   kAttach      annotation, table_id, row, is_true, weight
+///   kDetach      annotation, table_id, row
+///   kPromote     annotation, table_id, row
+///   kTask        id (vid), annotation, table_id, row, weight (confidence),
+///                text (state name), evidence
+///   kDecision    id (vid), is_true (accepted)
+///   kMetaBlob    text (full MetaSerializer blob)
+struct JournalRecord {
+  enum class Kind {
+    kAnnotation,
+    kAttach,
+    kDetach,
+    kPromote,
+    kTask,
+    kDecision,
+    kMetaBlob,
+  };
+  Kind kind = Kind::kAnnotation;
+  uint64_t id = 0;
+  uint64_t annotation = 0;
+  uint32_t table_id = 0;
+  uint64_t row = 0;
+  bool is_true = true;
+  double weight = 1.0;
+  std::string text;
+  std::string author;
+  std::vector<std::string> evidence;
+};
+
+/// A verification task as durability stores it — a plain mirror of
+/// core's VerificationTask (durability sits below core in the layer DAG,
+/// so it cannot name that type; the engine converts both ways).
+struct TaskRecord {
+  uint64_t vid = 0;
+  uint64_t annotation = 0;
+  uint32_t table_id = 0;
+  uint64_t row = 0;
+  double confidence = 0.0;
+  std::string state;  ///< TaskStateName spelling, e.g. "AUTO_ACCEPTED"
+  std::vector<std::string> evidence;
+};
+
+/// Operation-boundary flags of a commit unit. One engine insert journals
+/// two units: stage 0 (kOpStart) and stage 3 (kOpEnd); an expert decision
+/// is a single kOpStart|kOpEnd unit; a meta blob carries neither (it is
+/// bookkeeping, not an operation). Recovery counts kOpEnd units to report
+/// how many operations committed fully, and a trailing kOpStart without
+/// its kOpEnd as a partial operation.
+inline constexpr uint8_t kOpStart = 1;
+inline constexpr uint8_t kOpEnd = 2;
+
+/// The atomic unit of the WAL: either every record of a unit replays or
+/// none does (one unit = one framed, checksummed WAL record). The engine
+/// appends a unit BEFORE applying its mutations in memory, so memory and
+/// disk can never disagree on a committed unit.
+struct CommitUnit {
+  uint64_t seq = 0;  ///< assigned by Manager::Append; strictly increasing
+  uint8_t flags = 0;
+  std::vector<JournalRecord> records;
+};
+
+/// Text encoding of one unit (the WAL frame's payload): a `u` header line
+/// followed by one line per record, fields tab-separated and escaped via
+/// annotation/serialize.h's EscapeField. See DESIGN.md §12 for the full
+/// record-format table.
+std::string EncodeUnit(const CommitUnit& unit);
+[[nodiscard]] Result<CommitUnit> DecodeUnit(std::string_view payload);
+
+}  // namespace nebula::durability
+
+#endif  // NEBULA_DURABILITY_JOURNAL_H_

@@ -1,0 +1,211 @@
+#include "durability/manager.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "annotation/annotation_store.h"
+#include "common/status.h"
+#include "durability/journal.h"
+#include "durability/meta_serialize.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "meta/nebula_meta.h"
+#include "obs/metrics.h"
+#include "storage/schema.h"
+
+namespace nebula::durability {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+obs::Counter* ReplayedRecordsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "nebula_recovery_replayed_records", {},
+      "Commit units replayed from the WAL during recovery");
+  return counter;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Manager>> Manager::Open(const Options& options,
+                                               AnnotationStore* store,
+                                               NebulaMeta* meta,
+                                               std::vector<TaskRecord>* tasks,
+                                               const OpenHooks& hooks) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("durability dir must be non-empty");
+  }
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create durability dir " + options.dir +
+                            ": " + ec.message());
+  }
+
+  auto manager =
+      std::unique_ptr<Manager>(new Manager(options, store, meta));
+  const bool have_current = fs::exists(fs::path(options.dir) / "CURRENT", ec);
+  const std::string wal_path = manager->WalPath();
+
+  if (!have_current) {
+    if (fs::exists(wal_path, ec)) {
+      return Status::Corruption("durability dir " + options.dir +
+                                " has a WAL but no snapshot");
+    }
+    // Fresh directory: the baseline snapshot captures the caller's seeded
+    // state, which WAL replay alone could never rebuild.
+    SnapshotInfo baseline;
+    baseline.tasks = *tasks;
+    NEBULA_RETURN_NOT_OK(WriteSnapshot(options.dir, baseline, *store, *meta));
+    ++manager->snapshots_written_;
+    NEBULA_ASSIGN_OR_RETURN(manager->wal_,
+                            WalWriter::Open(wal_path, options.sync));
+    return manager;
+  }
+
+  // Existing directory: snapshot + WAL tail is the authoritative state.
+  if (store->num_annotations() != 0 || !tasks->empty()) {
+    return Status::InvalidArgument(
+        "store and tasks must be fresh before recovery");
+  }
+  NEBULA_ASSIGN_OR_RETURN(SnapshotInfo snapshot,
+                          LoadCurrentSnapshot(options.dir, store, meta));
+  *tasks = std::move(snapshot.tasks);
+
+  RecoveryInfo& info = manager->recovery_info_;
+  info.recovered = true;
+  info.snapshot_seq = snapshot.seq;
+  info.committed_ops = snapshot.committed_ops;
+  info.partial_op = snapshot.partial_op;
+  manager->seq_ = snapshot.seq;
+
+  auto read = ReadWal(wal_path);
+  if (read.ok()) {
+    for (const std::string& payload : read->payloads) {
+      NEBULA_ASSIGN_OR_RETURN(const CommitUnit unit, DecodeUnit(payload));
+      if (unit.seq <= snapshot.seq) continue;  // already folded in
+      for (const JournalRecord& record : unit.records) {
+        NEBULA_RETURN_NOT_OK(manager->ApplyRecord(record, tasks, hooks));
+      }
+      if (unit.flags & kOpStart) info.partial_op = true;
+      if (unit.flags & kOpEnd) {
+        info.partial_op = false;
+        ++info.committed_ops;
+      }
+      manager->seq_ = unit.seq;
+      ++info.replayed_units;
+    }
+    if (read->tail_truncated) {
+      info.tail_truncated = true;
+      fs::resize_file(wal_path, read->valid_bytes, ec);
+      if (ec) {
+        return Status::Internal("cannot truncate torn WAL tail: " +
+                                ec.message());
+      }
+    }
+    if constexpr (obs::kEnabled) {
+      if (info.replayed_units > 0) {
+        ReplayedRecordsCounter()->Increment(info.replayed_units);
+      }
+    }
+  } else if (read.status().code() != StatusCode::kNotFound) {
+    return read.status();
+  }
+
+  manager->committed_ops_ = info.committed_ops;
+  NEBULA_ASSIGN_OR_RETURN(manager->wal_,
+                          WalWriter::Open(wal_path, options.sync));
+  return manager;
+}
+
+Status Manager::ApplyRecord(const JournalRecord& record,
+                            std::vector<TaskRecord>* tasks,
+                            const OpenHooks& hooks) {
+  const TupleId tuple{record.table_id, record.row};
+  switch (record.kind) {
+    case JournalRecord::Kind::kAnnotation: {
+      const AnnotationId id = store_->AddAnnotation(record.text,
+                                                    record.author);
+      if (id != record.id) {
+        return Status::Corruption("replayed annotation ids out of order");
+      }
+      return Status::OK();
+    }
+    case JournalRecord::Kind::kAttach:
+      return store_->Attach(record.annotation, tuple,
+                            record.is_true ? AttachmentType::kTrue
+                                           : AttachmentType::kPredicted,
+                            record.weight);
+    case JournalRecord::Kind::kDetach:
+      return store_->Detach(record.annotation, tuple);
+    case JournalRecord::Kind::kPromote:
+      return store_->PromoteToTrue(record.annotation, tuple);
+    case JournalRecord::Kind::kTask: {
+      if (record.id != tasks->size()) {
+        return Status::Corruption("replayed task vids out of order");
+      }
+      TaskRecord task;
+      task.vid = record.id;
+      task.annotation = record.annotation;
+      task.table_id = record.table_id;
+      task.row = record.row;
+      task.confidence = record.weight;
+      if (hooks.inject_replay_bug) task.confidence += 1e-9;
+      task.state = record.text;
+      task.evidence = record.evidence;
+      tasks->push_back(std::move(task));
+      return Status::OK();
+    }
+    case JournalRecord::Kind::kDecision: {
+      if (record.id >= tasks->size()) {
+        return Status::Corruption("replayed decision for unknown task");
+      }
+      (*tasks)[record.id].state =
+          record.is_true ? "EXPERT_ACCEPTED" : "EXPERT_REJECTED";
+      return Status::OK();
+    }
+    case JournalRecord::Kind::kMetaBlob: {
+      NebulaMeta fresh(meta_->lexicon());
+      NEBULA_RETURN_NOT_OK(MetaSerializer::LoadFromString(record.text,
+                                                          &fresh));
+      *meta_ = std::move(fresh);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status Manager::Append(CommitUnit* unit) {
+  unit->seq = seq_ + 1;
+  NEBULA_RETURN_NOT_OK(wal_->Append(EncodeUnit(*unit)));
+  seq_ = unit->seq;
+  return Status::OK();
+}
+
+void Manager::OnApplied(const CommitUnit& unit) {
+  if ((unit.flags & kOpEnd) == 0) return;
+  ++committed_ops_;
+  ++ops_since_snapshot_;
+  if (options_.snapshot_every_n > 0 &&
+      ops_since_snapshot_ >= options_.snapshot_every_n) {
+    // Degrade on failure: the previous snapshot plus the intact WAL stay
+    // authoritative, so the committed operation is not at risk.
+    last_snapshot_status_ = SnapshotNow();
+  }
+}
+
+Status Manager::SnapshotNow() {
+  SnapshotInfo info;
+  info.seq = seq_;
+  info.committed_ops = committed_ops_;
+  info.partial_op = false;
+  if (task_source_) info.tasks = task_source_();
+  NEBULA_RETURN_NOT_OK(WriteSnapshot(options_.dir, info, *store_, *meta_));
+  NEBULA_RETURN_NOT_OK(wal_->Truncate());
+  ops_since_snapshot_ = 0;
+  ++snapshots_written_;
+  return Status::OK();
+}
+
+}  // namespace nebula::durability

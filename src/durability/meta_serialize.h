@@ -1,0 +1,33 @@
+#ifndef NEBULA_DURABILITY_META_SERIALIZE_H_
+#define NEBULA_DURABILITY_META_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "meta/nebula_meta.h"
+
+namespace nebula::durability {
+
+/// Text serialization of NebulaMeta for snapshots and meta-blob WAL
+/// records. The encoding is canonical — unordered internals (ontologies,
+/// aliases) are emitted sorted — so SaveToString(x) == SaveToString(y)
+/// whenever x and y hold the same metadata, and tests can compare blobs
+/// directly.
+///
+/// The lexicon is NOT serialized: it is construction-time input (the
+/// caller loads into a meta built with the same lexicon), matching how
+/// the engine treats the base catalog on recovery.
+class MetaSerializer {
+ public:
+  static std::string SaveToString(const NebulaMeta& meta);
+
+  /// Rebuilds `meta` from a SaveToString blob. `meta` must be freshly
+  /// constructed (no concepts, version 0); derived trigram state of value
+  /// samples is recomputed. Restores version() exactly.
+  [[nodiscard]] static Status LoadFromString(const std::string& blob,
+                                             NebulaMeta* meta);
+};
+
+}  // namespace nebula::durability
+
+#endif  // NEBULA_DURABILITY_META_SERIALIZE_H_

@@ -1,0 +1,194 @@
+#include "durability/snapshot.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "annotation/annotation_store.h"
+#include "annotation/serialize.h"
+#include "common/fault.h"
+#include "common/fault_points.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "durability/journal.h"
+#include "durability/meta_serialize.h"
+#include "meta/nebula_meta.h"
+
+namespace nebula::durability {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int kSnapshotFormatVersion = 1;
+constexpr char kCurrentFile[] = "CURRENT";
+
+std::string SnapshotName(uint64_t seq) {
+  return "snapshot-" + std::to_string(seq);
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out.is_open()) {
+      return Status::Internal("cannot open " + tmp + " for writing");
+    }
+    out << contents;
+    if (!out.good()) return Status::Internal("short write to " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("cannot rename " + tmp + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+std::string EncodeTasks(const std::vector<TaskRecord>& tasks) {
+  std::string out;
+  for (const TaskRecord& t : tasks) {
+    out += std::to_string(t.vid) + '\t' + std::to_string(t.annotation) +
+           '\t' + std::to_string(t.table_id) + '\t' + std::to_string(t.row) +
+           '\t' + StrFormat("%.17g", t.confidence) + '\t' +
+           EscapeField(t.state);
+    for (const std::string& term : t.evidence) out += '\t' + EscapeField(term);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<TaskRecord>> DecodeTasks(const std::string& text) {
+  std::vector<TaskRecord> tasks;
+  for (const std::string& line : Split(text, '\n')) {
+    if (line.empty()) continue;
+    const auto fields = Split(line, '\t');
+    if (fields.size() < 6) {
+      return Status::Corruption("bad snapshot task line '" + line + "'");
+    }
+    TaskRecord t;
+    t.vid = std::strtoull(fields[0].c_str(), nullptr, 10);
+    t.annotation = std::strtoull(fields[1].c_str(), nullptr, 10);
+    t.table_id =
+        static_cast<uint32_t>(std::strtoul(fields[2].c_str(), nullptr, 10));
+    t.row = std::strtoull(fields[3].c_str(), nullptr, 10);
+    t.confidence = std::strtod(fields[4].c_str(), nullptr);
+    t.state = UnescapeField(fields[5]);
+    for (size_t f = 6; f < fields.size(); ++f) {
+      t.evidence.push_back(UnescapeField(fields[f]));
+    }
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+Status WriteSnapshot(const std::string& base_dir, const SnapshotInfo& info,
+                     const AnnotationStore& store, const NebulaMeta& meta) {
+  NEBULA_INJECT_FAULT(kFaultDurabilitySnapshotWrite);
+
+  const fs::path base(base_dir);
+  const fs::path staged = base / ("tmp-" + SnapshotName(info.seq));
+  const fs::path final_dir = base / SnapshotName(info.seq);
+
+  std::error_code ec;
+  fs::remove_all(staged, ec);  // leftover from a crashed earlier attempt
+  fs::create_directories(staged, ec);
+  if (ec) {
+    return Status::Internal("cannot create " + staged.string() + ": " +
+                            ec.message());
+  }
+
+  {
+    std::string header = "nebula-snapshot\t" +
+                         std::to_string(kSnapshotFormatVersion) + '\t' +
+                         std::to_string(info.seq) + '\t' +
+                         std::to_string(info.committed_ops) + '\t' +
+                         (info.partial_op ? "1" : "0") + '\n';
+    NEBULA_RETURN_NOT_OK(
+        WriteFileAtomic((staged / "SNAPSHOT").string(), header));
+  }
+  NEBULA_RETURN_NOT_OK(DatabaseSerializer::SaveStore(staged.string(), store));
+  NEBULA_RETURN_NOT_OK(WriteFileAtomic((staged / "meta").string(),
+                                       MetaSerializer::SaveToString(meta)));
+  NEBULA_RETURN_NOT_OK(
+      WriteFileAtomic((staged / "tasks").string(), EncodeTasks(info.tasks)));
+
+  // Atomic publish: stage -> snapshot-<seq> -> CURRENT, then GC.
+  fs::remove_all(final_dir, ec);
+  fs::rename(staged, final_dir, ec);
+  if (ec) {
+    return Status::Internal("cannot publish snapshot " + final_dir.string() +
+                            ": " + ec.message());
+  }
+  NEBULA_RETURN_NOT_OK(WriteFileAtomic((base / kCurrentFile).string(),
+                                       SnapshotName(info.seq) + "\n"));
+
+  for (const auto& entry : fs::directory_iterator(base, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name == SnapshotName(info.seq)) continue;
+    if (StartsWith(name, "snapshot-") || StartsWith(name, "tmp-snapshot-")) {
+      fs::remove_all(entry.path(), ec);
+    }
+  }
+  return Status::OK();
+}
+
+Result<SnapshotInfo> LoadCurrentSnapshot(const std::string& base_dir,
+                                         AnnotationStore* store,
+                                         NebulaMeta* meta) {
+  const fs::path base(base_dir);
+  NEBULA_ASSIGN_OR_RETURN(std::string current,
+                          ReadFileToString((base / kCurrentFile).string()));
+  current = std::string(Trim(current));
+  if (current.empty() || current.find('/') != std::string::npos) {
+    return Status::Corruption("bad CURRENT pointer '" + current + "'");
+  }
+  const fs::path dir = base / current;
+
+  SnapshotInfo info;
+  {
+    auto header_text = ReadFileToString((dir / "SNAPSHOT").string());
+    if (!header_text.ok()) {
+      return Status::Corruption("CURRENT names missing snapshot " + current);
+    }
+    const auto lines = Split(*header_text, '\n');
+    const auto fields = lines.empty() ? std::vector<std::string>{}
+                                      : Split(lines[0], '\t');
+    if (fields.size() != 5 || fields[0] != "nebula-snapshot") {
+      return Status::Corruption("bad SNAPSHOT header in " + current);
+    }
+    if (std::strtol(fields[1].c_str(), nullptr, 10) !=
+        kSnapshotFormatVersion) {
+      return Status::NotSupported("unsupported snapshot format " + fields[1]);
+    }
+    info.seq = std::strtoull(fields[2].c_str(), nullptr, 10);
+    info.committed_ops = std::strtoull(fields[3].c_str(), nullptr, 10);
+    info.partial_op = fields[4] == "1";
+  }
+
+  NEBULA_RETURN_NOT_OK(DatabaseSerializer::LoadStore(dir.string(), store));
+  {
+    NEBULA_ASSIGN_OR_RETURN(std::string blob,
+                            ReadFileToString((dir / "meta").string()));
+    NEBULA_RETURN_NOT_OK(MetaSerializer::LoadFromString(blob, meta));
+  }
+  {
+    NEBULA_ASSIGN_OR_RETURN(std::string task_text,
+                            ReadFileToString((dir / "tasks").string()));
+    NEBULA_ASSIGN_OR_RETURN(info.tasks, DecodeTasks(task_text));
+  }
+  return info;
+}
+
+}  // namespace nebula::durability

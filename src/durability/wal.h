@@ -1,0 +1,92 @@
+#ifndef NEBULA_DURABILITY_WAL_H_
+#define NEBULA_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nebula::durability {
+
+/// How an appended record is made durable before Append returns.
+enum class SyncMode {
+  kNone,   ///< buffered stdio write only (fastest, weakest)
+  kFlush,  ///< fflush to the OS page cache (survives process death)
+  kFsync,  ///< fsync to stable storage (survives power loss)
+};
+
+/// On-disk framing of one WAL record:
+///
+///   [u32 payload length][u64 FNV-1a(payload)][payload bytes]
+///
+/// both integers little-endian. A record whose header is short, whose
+/// length overruns the file, or whose checksum mismatches ends replay:
+/// everything from its offset on is a torn/corrupt tail and is truncated
+/// away on recovery (DESIGN.md §12 "Torn-write policy").
+inline constexpr size_t kWalHeaderBytes = 12;
+
+/// Append-only writer over one log file. Not thread-safe: the engine
+/// journals every mutation from the caller's thread through a single
+/// chokepoint (batch ingest runs stages 0/3 sequentially).
+class WalWriter {
+ public:
+  /// Opens (creating if needed) `path` for appending.
+  [[nodiscard]] static Result<std::unique_ptr<WalWriter>> Open(
+      const std::string& path, SyncMode sync);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Frames, checksums, writes, and syncs one payload. Observes the
+  /// `durability.wal.append` (clean failure, no bytes written) and
+  /// `durability.wal.torn_tail` (partial frame written, writer poisoned)
+  /// fault points.
+  [[nodiscard]] Status Append(std::string_view payload);
+
+  /// Empties the log (called after a snapshot supersedes its records).
+  [[nodiscard]] Status Truncate();
+
+  /// Appends since Open (successful ones only).
+  uint64_t appends() const { return appends_; }
+
+ private:
+  WalWriter(FILE* file, std::string path, SyncMode sync)
+      : file_(file), path_(std::move(path)), sync_(sync) {}
+
+  [[nodiscard]] Status SyncFile();
+
+  FILE* file_;
+  std::string path_;
+  SyncMode sync_;
+  uint64_t appends_ = 0;
+  /// Set after a torn write: the on-disk tail no longer matches what the
+  /// writer believes, so further appends would land after garbage and be
+  /// lost to recovery's stop-at-first-invalid replay. Only a reopen
+  /// (which truncates the torn tail) clears the condition.
+  bool poisoned_ = false;
+};
+
+/// Everything a full scan of one WAL file yields.
+struct WalReadResult {
+  std::vector<std::string> payloads;
+  /// File offset just past the last valid record — where a recovery
+  /// truncates to when `tail_truncated` is set.
+  uint64_t valid_bytes = 0;
+  /// True when trailing bytes after the last valid record were dropped
+  /// (torn final write or checksum corruption).
+  bool tail_truncated = false;
+};
+
+/// Reads every valid record of the log at `path`. A missing file is
+/// NotFound; a torn or corrupt tail is NOT an error (the valid prefix is
+/// returned and `tail_truncated` reports the drop).
+[[nodiscard]] Result<WalReadResult> ReadWal(const std::string& path);
+
+}  // namespace nebula::durability
+
+#endif  // NEBULA_DURABILITY_WAL_H_

@@ -16,6 +16,10 @@
 
 namespace nebula {
 
+namespace durability {
+class MetaSerializer;
+}  // namespace durability
+
 /// One row of the ConceptRefs system table (paper Figure 3): a key database
 /// concept, the table that stores it, and the alternative column
 /// combinations by which annotations usually reference it.
@@ -161,6 +165,10 @@ class NebulaMeta {
                           const ValueColumn& column) const;
 
  private:
+  /// Durability snapshots persist/restore private state (version_, sample
+  /// and alias internals) without widening the public mutator surface.
+  friend durability::MetaSerializer;
+
   Lexicon lexicon_;
   MetaScoringParams scoring_;
   uint64_t version_ = 0;

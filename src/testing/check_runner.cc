@@ -107,10 +107,21 @@ Result<CheckSummary> RunCheckSweep(const CheckOptions& options,
 Result<Divergence> ReplayReproFile(const std::string& path,
                                    std::ostream& out) {
   NEBULA_ASSIGN_OR_RETURN(ReproCase repro, LoadRepro(path));
-  out << StrFormat("replaying %s: seed=%llu pair=%s annotations=%zu\n",
-                   path.c_str(),
-                   static_cast<unsigned long long>(repro.seed),
-                   ConfigPairName(repro.pair), repro.annotations.size());
+  if (repro.crash) {
+    out << StrFormat(
+        "replaying %s: seed=%llu crash=%s skip=%llu snapshot_every=%llu "
+        "replay_bug=%d annotations=%zu\n",
+        path.c_str(), static_cast<unsigned long long>(repro.seed),
+        CrashModeName(repro.crash_mode),
+        static_cast<unsigned long long>(repro.crash_skip),
+        static_cast<unsigned long long>(repro.snapshot_every),
+        repro.replay_bug ? 1 : 0, repro.annotations.size());
+  } else {
+    out << StrFormat("replaying %s: seed=%llu pair=%s annotations=%zu\n",
+                     path.c_str(),
+                     static_cast<unsigned long long>(repro.seed),
+                     ConfigPairName(repro.pair), repro.annotations.size());
+  }
   NEBULA_ASSIGN_OR_RETURN(Divergence verdict, ReplayRepro(repro));
   if (verdict.diverged) {
     out << "still diverges:\n  " << verdict.detail << "\n";

@@ -1,0 +1,325 @@
+#include "testing/crash.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "annotation/annotation_store.h"
+#include "common/fault.h"
+#include "common/fault_points.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "durability/manager.h"
+#include "storage/schema.h"
+#include "testing/check_workload.h"
+#include "testing/differential.h"
+#include "testing/shrink.h"
+
+namespace nebula::check {
+
+namespace {
+
+/// The fault point a crash mode arms; nullptr for kCleanShutdown.
+const char* FaultPointForMode(CrashMode mode) {
+  switch (mode) {
+    case CrashMode::kCleanShutdown:
+      return nullptr;
+    case CrashMode::kWalAppend:
+      return kFaultDurabilityWalAppend;
+    case CrashMode::kWalTornTail:
+      return kFaultDurabilityWalTornTail;
+    case CrashMode::kSnapshotWrite:
+      return kFaultDurabilitySnapshotWrite;
+  }
+  return nullptr;
+}
+
+/// Best-effort scratch cleanup on every exit path.
+struct ScratchGuard {
+  std::string path;
+  ~ScratchGuard() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+Divergence CompareStateLines(const std::vector<std::string>& recovered,
+                             const std::vector<std::string>& oracle,
+                             const std::string& context) {
+  Divergence d;
+  const size_t n = std::min(recovered.size(), oracle.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (recovered[i] != oracle[i]) {
+      d.diverged = true;
+      d.detail = StrFormat(
+          "%s: state record %zu differs:\n  recovered: %s\n  oracle:    %s",
+          context.c_str(), i, recovered[i].c_str(), oracle[i].c_str());
+      return d;
+    }
+  }
+  if (recovered.size() != oracle.size()) {
+    d.diverged = true;
+    d.detail = StrFormat("%s: state record count differs: recovered=%zu "
+                         "oracle=%zu",
+                         context.c_str(), recovered.size(), oracle.size());
+  }
+  return d;
+}
+
+}  // namespace
+
+const char* CrashModeName(CrashMode mode) {
+  switch (mode) {
+    case CrashMode::kCleanShutdown:
+      return "clean";
+    case CrashMode::kWalAppend:
+      return "wal-append";
+    case CrashMode::kWalTornTail:
+      return "wal-torn-tail";
+    case CrashMode::kSnapshotWrite:
+      return "snapshot-write";
+  }
+  return "?";
+}
+
+Result<CrashMode> ParseCrashMode(std::string_view name) {
+  for (CrashMode mode :
+       {CrashMode::kCleanShutdown, CrashMode::kWalAppend,
+        CrashMode::kWalTornTail, CrashMode::kSnapshotWrite}) {
+    if (name == CrashModeName(mode)) return mode;
+  }
+  return Status::InvalidArgument(
+      "unknown crash mode '" + std::string(name) +
+      "' (expected clean | wal-append | wal-torn-tail | snapshot-write)");
+}
+
+Result<Divergence> RunCrashCase(const CheckWorkload& workload,
+                                const CrashSpec& spec,
+                                const CrashOptions& options) {
+  const char* point = FaultPointForMode(spec.mode);
+  const std::filesystem::path scratch_base =
+      options.scratch_dir.empty() ? std::filesystem::temp_directory_path()
+                                  : std::filesystem::path(options.scratch_dir);
+  const std::string scratch =
+      (scratch_base /
+       StrFormat("nebula_check_crash_%llu_%llu_%s",
+                 static_cast<unsigned long long>(::getpid()),
+                 static_cast<unsigned long long>(workload.seed),
+                 CrashModeName(spec.mode)))
+          .string();
+  std::filesystem::remove_all(scratch);
+  ScratchGuard guard{scratch};
+
+  DiffOptions diff_options;
+  diff_options.workload = options.workload;
+  const DifferentialRunner runner(diff_options);
+  NebulaConfig durable_config = runner.BaseConfig(workload.seed);
+  durable_config.snapshot_every_n = options.snapshot_every;
+
+  // Run 1 — control: the full workload through a durable engine with the
+  // fault point armed at probability 0, purely to count its calls. The
+  // sampled skip is reduced modulo this count so it always lands inside
+  // the workload.
+  uint64_t fault_calls = 0;
+  {
+    NEBULA_ASSIGN_OR_RETURN(
+        std::unique_ptr<CheckUniverse> universe,
+        BuildCheckUniverse(workload.seed, options.workload));
+    durable_config.durability_dir = scratch + "/control";
+    NebulaEngine engine(&universe->catalog, &universe->store, &universe->meta,
+                        durable_config);
+    engine.RebuildAcg();
+    NEBULA_RETURN_NOT_OK(engine.OpenDurability());
+    std::optional<ScopedFault> probe;
+    if (point != nullptr) {
+      FaultSpec probe_spec;
+      probe_spec.probability = 0.0;
+      probe.emplace(point, probe_spec);
+    }
+    for (const CheckAnnotation& a : workload.annotations) {
+      NEBULA_ASSIGN_OR_RETURN(AnnotationReport report,
+                              engine.InsertAnnotation(a.text, a.focal,
+                                                      a.author));
+      (void)report;
+    }
+    if (probe.has_value()) {
+      fault_calls = FaultRegistry::Global().CallCount(point);
+    }
+  }
+  const uint64_t effective_skip =
+      fault_calls == 0 ? 0 : spec.skip % fault_calls;
+
+  // Run 2 — crash: same workload, fault armed to fire once after
+  // effective_skip calls. WAL faults surface as insert errors — that is
+  // the kill point; a snapshot fault degrades in place, so that mode (and
+  // kCleanShutdown) kills at end of stream by dropping the engine without
+  // a final snapshot.
+  bool killed_mid_stream = false;
+  {
+    NEBULA_ASSIGN_OR_RETURN(
+        std::unique_ptr<CheckUniverse> universe,
+        BuildCheckUniverse(workload.seed, options.workload));
+    durable_config.durability_dir = scratch + "/crash";
+    NebulaEngine engine(&universe->catalog, &universe->store, &universe->meta,
+                        durable_config);
+    engine.RebuildAcg();
+    NEBULA_RETURN_NOT_OK(engine.OpenDurability());
+    std::optional<ScopedFault> fault;
+    if (point != nullptr) {
+      FaultSpec fault_spec;
+      fault_spec.skip_calls = effective_skip;
+      fault_spec.max_fires = 1;
+      fault.emplace(point, fault_spec);
+    }
+    for (const CheckAnnotation& a : workload.annotations) {
+      Result<AnnotationReport> report =
+          engine.InsertAnnotation(a.text, a.focal, a.author);
+      if (report.ok()) continue;
+      if (spec.mode == CrashMode::kWalAppend ||
+          spec.mode == CrashMode::kWalTornTail) {
+        killed_mid_stream = true;
+        break;
+      }
+      return report.status().WithContext("unexpected crash-run failure");
+    }
+  }
+
+  // Run 3 — reopen: recover the crash directory into a fresh engine.
+  NEBULA_ASSIGN_OR_RETURN(
+      std::unique_ptr<CheckUniverse> recovered_universe,
+      BuildCheckUniverse(workload.seed, options.workload));
+  NebulaEngine recovered_engine(&recovered_universe->catalog,
+                                &recovered_universe->store,
+                                &recovered_universe->meta, durable_config);
+  durability::OpenHooks hooks;
+  hooks.inject_replay_bug = options.inject_replay_bug;
+  NEBULA_RETURN_NOT_OK(
+      recovered_engine.OpenDurability(hooks).WithContext("reopen"));
+  const durability::RecoveryInfo info = recovered_engine.recovery_info();
+  std::vector<std::string> recovered_lines;
+  AppendStateLines(recovered_universe->store, recovered_engine,
+                   &recovered_lines);
+
+  // Run 4 — oracle: a durability-OFF engine replays exactly the committed
+  // prefix; a partially committed insert (stage-0 unit durable, stage-3
+  // unit lost) contributes only its store/attachment effects, mirroring
+  // NebulaEngine::StoreWithFocal's apply. Both sides' ACGs are rebuilt
+  // from their stores, so the fingerprint comparison is a pure function
+  // of recovered-vs-oracle attachments.
+  NEBULA_ASSIGN_OR_RETURN(
+      std::unique_ptr<CheckUniverse> oracle_universe,
+      BuildCheckUniverse(workload.seed, options.workload));
+  NebulaConfig oracle_config = durable_config;
+  oracle_config.durability_dir.clear();
+  NebulaEngine oracle_engine(&oracle_universe->catalog, &oracle_universe->store,
+                             &oracle_universe->meta, oracle_config);
+  oracle_engine.RebuildAcg();
+  const size_t committed = static_cast<size_t>(
+      std::min<uint64_t>(info.committed_ops, workload.annotations.size()));
+  for (size_t i = 0; i < committed; ++i) {
+    const CheckAnnotation& a = workload.annotations[i];
+    NEBULA_ASSIGN_OR_RETURN(AnnotationReport report,
+                            oracle_engine.InsertAnnotation(a.text, a.focal,
+                                                           a.author));
+    (void)report;
+  }
+  if (info.partial_op && committed < workload.annotations.size()) {
+    const CheckAnnotation& a = workload.annotations[committed];
+    const AnnotationId id =
+        oracle_universe->store.AddAnnotation(a.text, a.author);
+    for (const TupleId& t : a.focal) {
+      NEBULA_RETURN_NOT_OK(
+          oracle_universe->store.Attach(id, t, AttachmentType::kTrue));
+    }
+  }
+  oracle_engine.RebuildAcg();
+  std::vector<std::string> oracle_lines;
+  AppendStateLines(oracle_universe->store, oracle_engine, &oracle_lines);
+
+  const std::string context = StrFormat(
+      "seed=%llu mode=%s skip=%llu killed=%d committed=%llu partial=%d "
+      "truncated=%d",
+      static_cast<unsigned long long>(workload.seed), CrashModeName(spec.mode),
+      static_cast<unsigned long long>(effective_skip),
+      killed_mid_stream ? 1 : 0,
+      static_cast<unsigned long long>(info.committed_ops),
+      info.partial_op ? 1 : 0, info.tail_truncated ? 1 : 0);
+  return CompareStateLines(recovered_lines, oracle_lines, context);
+}
+
+Result<CrashSummary> RunCrashSweep(const CrashOptions& options) {
+  CrashSummary summary;
+  for (uint64_t i = 0; i < options.num_seeds; ++i) {
+    const uint64_t seed = options.start_seed + i;
+    CheckWorkload workload;
+    {
+      NEBULA_ASSIGN_OR_RETURN(std::unique_ptr<CheckUniverse> universe,
+                              BuildCheckUniverse(seed, options.workload));
+      workload = GenerateCheckWorkload(seed, *universe, options.workload);
+    }
+    // Spec sampling uses its own Rng stream so adding crash modes never
+    // perturbs the workload generator.
+    Rng rng(seed ^ 0xC4A5'44D1'7E57'ED01ULL);
+    std::vector<CrashSpec> specs;
+    specs.push_back(CrashSpec{CrashMode::kCleanShutdown, 0});
+    CrashSpec sampled;
+    sampled.mode = static_cast<CrashMode>(1 + rng.Uniform(3));
+    sampled.skip = rng.Next();
+    specs.push_back(sampled);
+
+    for (const CrashSpec& spec : specs) {
+      NEBULA_ASSIGN_OR_RETURN(Divergence divergence,
+                              RunCrashCase(workload, spec, options));
+      ++summary.cases_run;
+      if (!divergence.diverged) continue;
+      ++summary.divergences;
+      if (summary.first_detail.empty()) {
+        summary.first_detail = divergence.detail;
+      }
+      std::vector<CheckAnnotation> annotations = workload.annotations;
+      if (options.shrink) {
+        const FailurePredicate still_fails =
+            [&](const std::vector<CheckAnnotation>& candidate) {
+              CheckWorkload shrunk;
+              shrunk.seed = seed;
+              shrunk.annotations = candidate;
+              Result<Divergence> replay = RunCrashCase(shrunk, spec, options);
+              return replay.ok() && replay->diverged;
+            };
+        // Each predicate call is four engine runs plus disk traffic, so
+        // the budget is deliberately tighter than the differential
+        // shrinker's default.
+        annotations = ShrinkAnnotations(std::move(annotations), still_fails,
+                                        /*max_evaluations=*/40);
+      }
+      ReproCase repro;
+      repro.seed = seed;
+      repro.crash = true;
+      repro.crash_mode = spec.mode;
+      repro.crash_skip = spec.skip;
+      repro.snapshot_every = options.snapshot_every;
+      repro.replay_bug = options.inject_replay_bug;
+      repro.annotations = std::move(annotations);
+      const std::string path =
+          options.repro_dir +
+          StrFormat("/nebula_check_crash_%llu_%s.txt",
+                    static_cast<unsigned long long>(seed),
+                    CrashModeName(spec.mode));
+      NEBULA_RETURN_NOT_OK(SaveRepro(path, repro));
+      summary.repro_paths.push_back(path);
+    }
+    ++summary.seeds_run;
+  }
+  return summary;
+}
+
+}  // namespace nebula::check

@@ -1,0 +1,89 @@
+#ifndef NEBULA_TESTING_CRASH_H_
+#define NEBULA_TESTING_CRASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "testing/check_workload.h"
+#include "testing/differential.h"
+
+namespace nebula::check {
+
+/// Where the crash harness kills the engine. Each fault mode maps to one
+/// durability fault point (common/fault_points.h); kCleanShutdown drops
+/// the engine mid-flight with no fault armed (no final snapshot — the
+/// WAL tail alone must carry the last operations).
+enum class CrashMode {
+  kCleanShutdown,
+  kWalAppend,
+  kWalTornTail,
+  kSnapshotWrite,
+};
+
+const char* CrashModeName(CrashMode mode);
+[[nodiscard]] Result<CrashMode> ParseCrashMode(std::string_view name);
+
+/// One sampled crash point: the mode plus how many fault-point calls to
+/// let through before firing. `skip` is reduced modulo the number of
+/// calls the uncrashed control run observes, so every sampled value
+/// lands inside the workload instead of past its end.
+struct CrashSpec {
+  CrashMode mode = CrashMode::kCleanShutdown;
+  uint64_t skip = 0;
+};
+
+struct CrashOptions {
+  uint64_t start_seed = 1;
+  uint64_t num_seeds = 25;
+  /// Snapshot cadence of the durable runs; 0 keeps the whole history in
+  /// the WAL (what the planted replay bug needs to be observable).
+  uint64_t snapshot_every = 2;
+  /// Arms durability::OpenHooks::inject_replay_bug at recovery — the
+  /// planted divergence the sweep must catch, shrink, and save.
+  bool inject_replay_bug = false;
+  bool shrink = true;
+  /// Directory repro files are written into.
+  std::string repro_dir = ".";
+  /// Root for the per-case durability scratch directories; empty uses
+  /// the system temp directory.
+  std::string scratch_dir;
+  CheckWorkloadParams workload;
+};
+
+struct CrashSummary {
+  size_t seeds_run = 0;
+  size_t cases_run = 0;
+  size_t divergences = 0;
+  std::vector<std::string> repro_paths;
+  /// First divergence detail, for the CLI report.
+  std::string first_detail;
+};
+
+/// One crash-recovery case, four runs end to end:
+///   1. control: the full workload through a durable engine with the
+///      spec's fault point armed at probability 0 — counts its calls;
+///   2. crash: a fresh durable engine, the fault armed to fire once
+///      after `skip % calls` calls; the engine is destroyed at the first
+///      error (or after the stream, for modes that degrade in place);
+///   3. reopen: a fresh engine recovers the directory (snapshot + WAL
+///      tail) and reports how many operations actually committed;
+///   4. oracle: a durability-OFF engine replays exactly that committed
+///      prefix (plus the bare stage-0 of a partially committed insert).
+/// Diverged means the recovered state lines (attachments, tasks, ACG
+/// fingerprint) differ from the oracle's — recovery lost, invented, or
+/// perturbed state.
+[[nodiscard]] Result<Divergence> RunCrashCase(const CheckWorkload& workload,
+                                              const CrashSpec& spec,
+                                              const CrashOptions& options);
+
+/// The CI sweep: for each seed, one clean-shutdown case plus one case
+/// with a seeded-random fault mode and skip. Divergences are shrunk (when
+/// options.shrink) and saved as replayable repro files.
+[[nodiscard]] Result<CrashSummary> RunCrashSweep(const CrashOptions& options);
+
+}  // namespace nebula::check
+
+#endif  // NEBULA_TESTING_CRASH_H_

@@ -1,6 +1,9 @@
 #include "testing/differential.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
 #include <set>
 #include <utility>
 
@@ -119,6 +122,8 @@ const char* ConfigPairName(ConfigPair pair) {
       return "spreading";
     case ConfigPair::kValueIndex:
       return "index";
+    case ConfigPair::kDurability:
+      return "durability";
   }
   return "?";
 }
@@ -131,7 +136,31 @@ Result<ConfigPair> ParseConfigPair(std::string_view name) {
   }
   return Status::InvalidArgument(
       "unknown config pair '" + std::string(name) +
-      "' (expected threads | batch | obs | spreading | index)");
+      "' (expected threads | batch | obs | spreading | index | "
+      "durability)");
+}
+
+void AppendStateLines(const AnnotationStore& store, NebulaEngine& engine,
+                      std::vector<std::string>* lines) {
+  for (const Attachment& att : store.AllAttachments()) {
+    lines->push_back(StrFormat(
+        "att a=%llu t=%s ty=%c w=%.17g",
+        static_cast<unsigned long long>(att.annotation),
+        att.tuple.ToString().c_str(),
+        att.type == AttachmentType::kTrue ? 'T' : 'P', att.weight));
+  }
+  for (const VerificationTask& task : engine.verification().tasks()) {
+    lines->push_back(StrFormat(
+        "task vid=%llu a=%llu t=%s conf=%.17g state=%s",
+        static_cast<unsigned long long>(task.vid),
+        static_cast<unsigned long long>(task.annotation),
+        task.tuple.ToString().c_str(), task.confidence,
+        TaskStateName(task.state)));
+  }
+  lines->push_back(StrFormat(
+      "acg fp=%016llx nodes=%zu edges=%zu",
+      static_cast<unsigned long long>(engine.acg().Fingerprint()),
+      engine.acg().num_nodes(), engine.acg().num_edges()));
 }
 
 uint64_t RunOutcome::Digest() const {
@@ -170,6 +199,9 @@ Result<RunOutcome> DifferentialRunner::Run(const CheckWorkload& workload,
   NebulaEngine engine(&universe->catalog, &universe->store, &universe->meta,
                       config);
   engine.RebuildAcg();
+  if (!config.durability_dir.empty()) {
+    NEBULA_RETURN_NOT_OK(engine.OpenDurability());
+  }
   size_t sink_lines = 0;
   if (exercise_obs) {
     engine.event_log().SetSink([&sink_lines](const std::string&) {
@@ -218,25 +250,7 @@ Result<RunOutcome> DifferentialRunner::Run(const CheckWorkload& workload,
     }
     out.candidates.push_back(std::move(tuples));
   }
-  for (const Attachment& att : universe->store.AllAttachments()) {
-    out.lines.push_back(StrFormat(
-        "att a=%llu t=%s ty=%c w=%.17g",
-        static_cast<unsigned long long>(att.annotation),
-        att.tuple.ToString().c_str(),
-        att.type == AttachmentType::kTrue ? 'T' : 'P', att.weight));
-  }
-  for (const VerificationTask& task : engine.verification().tasks()) {
-    out.lines.push_back(StrFormat(
-        "task vid=%llu a=%llu t=%s conf=%.17g state=%s",
-        static_cast<unsigned long long>(task.vid),
-        static_cast<unsigned long long>(task.annotation),
-        task.tuple.ToString().c_str(), task.confidence,
-        TaskStateName(task.state)));
-  }
-  out.lines.push_back(StrFormat(
-      "acg fp=%016llx nodes=%zu edges=%zu",
-      static_cast<unsigned long long>(engine.acg().Fingerprint()),
-      engine.acg().num_nodes(), engine.acg().num_edges()));
+  AppendStateLines(universe->store, engine, &out.lines);
   return out;
 }
 
@@ -277,6 +291,21 @@ Result<Divergence> DifferentialRunner::RunPair(
       config_a.use_value_index = false;
       config_b.use_value_index = true;
       break;
+    case ConfigPair::kDurability: {
+      // Unique per process+seed so parallel sweeps never share a journal.
+      const std::string scratch =
+          (std::filesystem::temp_directory_path() /
+           StrFormat("nebula_check_dur_%llu_%llu",
+                     static_cast<unsigned long long>(::getpid()),
+                     static_cast<unsigned long long>(workload.seed)))
+              .string();
+      std::filesystem::remove_all(scratch);
+      config_b.durability_dir = scratch;
+      // Tight cadence so the WAL-truncate + snapshot path runs many times
+      // per workload, not once at the end.
+      config_b.snapshot_every_n = 2;
+      break;
+    }
   }
   if (options_.inject_bug && pair != ConfigPair::kSpreading) {
     // Deliberate semantic mis-configuration of the B side; real-world
@@ -286,13 +315,17 @@ Result<Divergence> DifferentialRunner::RunPair(
     config_b.identify.group_reward = false;
   }
 
-  NEBULA_ASSIGN_OR_RETURN(RunOutcome outcome_a,
-                          Run(workload, config_a, batch_a, obs_a));
-  NEBULA_ASSIGN_OR_RETURN(RunOutcome outcome_b,
-                          Run(workload, config_b, batch_b, obs_b));
+  Result<RunOutcome> outcome_a = Run(workload, config_a, batch_a, obs_a);
+  Result<RunOutcome> outcome_b = Run(workload, config_b, batch_b, obs_b);
+  if (!config_b.durability_dir.empty()) {
+    std::error_code ec;  // best-effort scratch cleanup, even on failure
+    std::filesystem::remove_all(config_b.durability_dir, ec);
+  }
+  NEBULA_RETURN_NOT_OK(outcome_a.status());
+  NEBULA_RETURN_NOT_OK(outcome_b.status());
   return pair == ConfigPair::kSpreading
-             ? CompareSubset(outcome_a, outcome_b)
-             : CompareExact(outcome_a, outcome_b);
+             ? CompareSubset(*outcome_a, *outcome_b)
+             : CompareExact(*outcome_a, *outcome_b);
 }
 
 }  // namespace nebula::check

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "annotation/annotation_store.h"
 #include "common/status.h"
 #include "core/engine.h"
 #include "storage/schema.h"
@@ -43,14 +44,27 @@ enum class ConfigPair {
   /// bit-identical results AND ExecStats (the fast path replays the legacy
   /// cost model), so this is exact equivalence — the index-vs-scan proof.
   kValueIndex,
+  /// Durability off vs on (WAL + snapshots into a scratch directory with
+  /// a tight snapshot cadence). Journal-before-apply must be invisible to
+  /// results: exact equivalence — the durability-off-bit-identical proof
+  /// runs A with the pre-durability configuration.
+  kDurability,
 };
 
 inline constexpr ConfigPair kAllConfigPairs[] = {
     ConfigPair::kThreads, ConfigPair::kBatch, ConfigPair::kObs,
-    ConfigPair::kSpreading, ConfigPair::kValueIndex};
+    ConfigPair::kSpreading, ConfigPair::kValueIndex,
+    ConfigPair::kDurability};
 
 const char* ConfigPairName(ConfigPair pair);
 [[nodiscard]] Result<ConfigPair> ParseConfigPair(std::string_view name);
+
+/// Appends the canonical end-state records of a run — final attachments,
+/// verification tasks, and the ACG fingerprint — to `lines`. Shared by
+/// the differential runner and the crash-recovery harness, whose
+/// recovered-equals-control oracle is exactly these records.
+void AppendStateLines(const AnnotationStore& store, NebulaEngine& engine,
+                      std::vector<std::string>* lines);
 
 struct DiffOptions {
   /// Pool size of the parallel side of kThreads / both sides of kBatch.

@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "storage/schema.h"
 #include "testing/check_workload.h"
+#include "testing/crash.h"
 #include "testing/differential.h"
 
 namespace nebula::check {
@@ -118,6 +119,12 @@ Status SaveRepro(const std::string& path, const ReproCase& repro) {
       << "pair " << ConfigPairName(repro.pair) << "\n"
       << "threads " << repro.num_threads << "\n"
       << "inject_bug " << (repro.inject_bug ? 1 : 0) << "\n";
+  if (repro.crash) {
+    out << "crash " << CrashModeName(repro.crash_mode) << " "
+        << repro.crash_skip << "\n"
+        << "snapshot_every " << repro.snapshot_every << "\n"
+        << "replay_bug " << (repro.replay_bug ? 1 : 0) << "\n";
+  }
   for (const CheckAnnotation& a : repro.annotations) {
     out << "annotation " << a.author << "|" << FormatFocal(a.focal) << "|"
         << a.text << "\n";
@@ -157,6 +164,21 @@ Result<ReproCase> LoadRepro(const std::string& path) {
       repro.num_threads = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "inject_bug") {
       repro.inject_bug = value == "1";
+    } else if (key == "crash") {
+      const std::vector<std::string> parts = SplitWhitespace(value);
+      if (parts.size() != 2 || !IsAllDigits(parts[1])) {
+        return bad("crash must be '<mode> <skip>'");
+      }
+      repro.crash = true;
+      NEBULA_ASSIGN_OR_RETURN(repro.crash_mode, ParseCrashMode(parts[0]));
+      repro.crash_skip = std::strtoull(parts[1].c_str(), nullptr, 10);
+    } else if (key == "snapshot_every") {
+      if (!IsAllDigits(value)) {
+        return bad("snapshot_every must be an integer");
+      }
+      repro.snapshot_every = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "replay_bug") {
+      repro.replay_bug = value == "1";
     } else if (key == "annotation") {
       const size_t p1 = value.find('|');
       const size_t p2 =
@@ -179,6 +201,19 @@ Result<ReproCase> LoadRepro(const std::string& path) {
 
 Result<Divergence> ReplayRepro(const ReproCase& repro,
                                const CheckWorkloadParams& params) {
+  if (repro.crash) {
+    CrashOptions options;
+    options.snapshot_every = repro.snapshot_every;
+    options.inject_replay_bug = repro.replay_bug;
+    options.workload = params;
+    CheckWorkload workload;
+    workload.seed = repro.seed;
+    workload.annotations = repro.annotations;
+    CrashSpec spec;
+    spec.mode = repro.crash_mode;
+    spec.skip = repro.crash_skip;
+    return RunCrashCase(workload, spec, options);
+  }
   DiffOptions options;
   options.num_threads = repro.num_threads;
   options.inject_bug = repro.inject_bug;

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "testing/check_workload.h"
+#include "testing/crash.h"
 #include "testing/differential.h"
 
 namespace nebula::check {
@@ -20,6 +21,14 @@ struct ReproCase {
   ConfigPair pair = ConfigPair::kThreads;
   size_t num_threads = 3;
   bool inject_bug = false;
+  /// Crash-recovery repro (nebula_check --crash): when true, replay runs
+  /// RunCrashCase with the fields below instead of a config pair.
+  bool crash = false;
+  CrashMode crash_mode = CrashMode::kCleanShutdown;
+  uint64_t crash_skip = 0;
+  uint64_t snapshot_every = 2;
+  /// Re-arms the planted WAL-replay divergence at recovery.
+  bool replay_bug = false;
   std::vector<CheckAnnotation> annotations;
 };
 

@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <memory>
 
 #include "annotation/annotation_store.h"
 #include "common/fault.h"
+#include "common/fault_points.h"
 #include "common/status.h"
 #include "core/acg.h"
 #include "core/engine.h"
@@ -306,6 +310,43 @@ TEST_F(EngineFaultTest, TableInsertFaultRejectsRowWithoutSideEffects) {
                                   Value("observed kinase")});
   ASSERT_TRUE(rid.ok()) << rid.status().ToString();
   EXPECT_EQ(table->num_rows(), rows_before + 1);
+}
+
+TEST_F(EngineFaultTest, DurabilityFaultUnderPooledBatchSurfacesCleanly) {
+  // A refused WAL append inside a pooled batch must fail the batch with
+  // a clean error attributed to the fault point — no crash, no ACG
+  // corruption — and the engine (journal included) must keep working
+  // once the fault clears.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("nebula_engine_fault_dur_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  NebulaConfig config;
+  config.trace_capacity = 0;
+  config.num_threads = 3;
+  config.durability_dir = dir;
+  config.snapshot_every_n = 2;
+  NebulaEngine engine(&universe_->catalog, &universe_->store,
+                      &universe_->meta, config);
+  engine.RebuildAcg();
+  ASSERT_TRUE(engine.OpenDurability().ok());
+  {
+    FaultSpec spec;
+    spec.skip_calls = 3;
+    spec.max_fires = 1;
+    ScopedFault fault(kFaultDurabilityWalAppend, spec);
+    const auto reports = engine.InsertAnnotations(Requests());
+    ASSERT_FALSE(reports.ok());
+    EXPECT_NE(reports.status().message().find(kFaultDurabilityWalAppend),
+              std::string::npos);
+  }
+  ExpectAcgConsistent(&engine);
+  const auto reports = engine.InsertAnnotations(Requests());
+  ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+  EXPECT_EQ(reports->size(), workload_.annotations.size());
+  ExpectAcgConsistent(&engine);
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(EngineFaultTest, EventLogWriteFaultDropsEventsNotResults) {

@@ -14,6 +14,7 @@
 #include "storage/table.h"
 #include "testing/check_runner.h"
 #include "testing/check_workload.h"
+#include "testing/crash.h"
 #include "testing/differential.h"
 #include "testing/shrink.h"
 
@@ -179,6 +180,109 @@ TEST(DifferentialTest, InjectedBugIsCaughtShrunkAndReplayable) {
   const auto verdict = clean.RunPair(ConfigPair::kThreads, failing);
   ASSERT_TRUE(verdict.ok());
   EXPECT_FALSE(verdict->diverged) << verdict->detail;
+}
+
+TEST(CrashSweepTest, SweepIsDivergenceFreeOverSeeds) {
+  check::CrashOptions options;
+  options.start_seed = 1;
+  options.num_seeds = 3;
+  options.shrink = false;
+  const auto summary = check::RunCrashSweep(options);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->seeds_run, 3u);
+  // Each seed runs one clean-shutdown case plus one sampled-fault case.
+  EXPECT_EQ(summary->cases_run, 6u);
+  EXPECT_EQ(summary->divergences, 0u) << summary->first_detail;
+}
+
+/// End-to-end crash-harness self-test: the planted replay bug (a 1e-9
+/// confidence perturbation applied while replaying WAL task records) must
+/// be caught by the sweep, shrunk, saved as a crash repro, loaded back,
+/// and replayed to the same verdict — and must vanish when the bug is
+/// disarmed.
+TEST(CrashSweepTest, PlantedReplayBugIsCaughtShrunkAndReplayable) {
+  const std::string repro_dir =
+      (std::filesystem::temp_directory_path() / "nebula_crash_repro_ut")
+          .string();
+  std::filesystem::remove_all(repro_dir);
+  std::filesystem::create_directories(repro_dir);
+
+  check::CrashOptions options;
+  options.start_seed = 1;
+  options.num_seeds = 4;
+  // The bug only perturbs records replayed from the WAL, so keep the
+  // whole history there: no cadence snapshots.
+  options.snapshot_every = 0;
+  options.inject_replay_bug = true;
+  options.repro_dir = repro_dir;
+  const auto summary = check::RunCrashSweep(options);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  ASSERT_GT(summary->divergences, 0u)
+      << "the planted replay bug diverged on none of 4 seeds";
+  ASSERT_FALSE(summary->repro_paths.empty());
+  EXPECT_NE(summary->first_detail.find("task"), std::string::npos)
+      << summary->first_detail;
+
+  auto loaded = check::LoadRepro(summary->repro_paths.front());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->crash);
+  EXPECT_EQ(loaded->snapshot_every, 0u);
+  EXPECT_TRUE(loaded->replay_bug);
+  ASSERT_FALSE(loaded->annotations.empty());
+
+  const auto replay = check::ReplayRepro(*loaded);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->diverged);
+
+  // Disarm the bug: the very same crash case must be clean — the
+  // divergence really came from the perturbed replay, not the harness.
+  check::ReproCase fixed = *loaded;
+  fixed.replay_bug = false;
+  const auto clean = check::ReplayRepro(fixed);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_FALSE(clean->diverged) << clean->detail;
+
+  std::filesystem::remove_all(repro_dir);
+}
+
+TEST(CrashSweepTest, CrashReproSurvivesSaveLoadRoundTrip) {
+  ReproCase repro;
+  repro.seed = 77;
+  repro.crash = true;
+  repro.crash_mode = check::CrashMode::kWalTornTail;
+  repro.crash_skip = 13;
+  repro.snapshot_every = 3;
+  repro.replay_bug = true;
+  CheckAnnotation a;
+  a.author = "reviewer";
+  a.text = "kinase observed in assay";
+  repro.annotations.push_back(a);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "nebula_crash_repro_rt.txt")
+          .string();
+  ASSERT_TRUE(check::SaveRepro(path, repro).ok());
+  auto loaded = check::LoadRepro(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->seed, 77u);
+  EXPECT_TRUE(loaded->crash);
+  EXPECT_EQ(loaded->crash_mode, check::CrashMode::kWalTornTail);
+  EXPECT_EQ(loaded->crash_skip, 13u);
+  EXPECT_EQ(loaded->snapshot_every, 3u);
+  EXPECT_TRUE(loaded->replay_bug);
+  ASSERT_EQ(loaded->annotations.size(), 1u);
+  EXPECT_EQ(loaded->annotations[0].text, a.text);
+  std::remove(path.c_str());
+}
+
+TEST(CrashSweepTest, ParseCrashModeRoundTrips) {
+  for (const check::CrashMode mode :
+       {check::CrashMode::kCleanShutdown, check::CrashMode::kWalAppend,
+        check::CrashMode::kWalTornTail, check::CrashMode::kSnapshotWrite}) {
+    const auto parsed = check::ParseCrashMode(check::CrashModeName(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), mode);
+  }
+  EXPECT_FALSE(check::ParseCrashMode("bogus").ok());
 }
 
 TEST(DifferentialTest, ParseConfigPairRoundTrips) {

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <filesystem>
+#include <limits>
 
 #include "annotation/annotation_store.h"
 #include "annotation/serialize.h"
@@ -124,6 +126,93 @@ TEST_F(SerializeTest, SaveLoadRoundTripsAnnotations) {
   ASSERT_NE(predicted, nullptr);
   EXPECT_EQ(predicted->type, AttachmentType::kPredicted);
   EXPECT_DOUBLE_EQ(predicted->weight, 0.625);
+}
+
+TEST_F(SerializeTest, DoubleEdgeCasesRoundTripBitExact) {
+  // The %.17g double encoding must round-trip every representable edge:
+  // non-finite values (glibc prints nan/inf/-inf; strtod reads them
+  // back), signed zero, both ends of the normal range, a denormal, and
+  // fractions that need all 17 significant digits.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const double values[] = {std::numeric_limits<double>::quiet_NaN(),
+                           kInf,
+                           -kInf,
+                           0.0,
+                           -0.0,
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::min(),
+                           std::numeric_limits<double>::denorm_min(),
+                           0.1,
+                           1.0 / 3.0,
+                           0.1 + 0.2,
+                           std::nextafter(1.0, 0.0)};
+  Catalog catalog;
+  Table* table = *catalog.CreateTable(
+      "edge", Schema({{"d", DataType::kDouble}}));
+  for (const double d : values) {
+    ASSERT_TRUE(table->Insert({Value(d)}).ok());
+  }
+  ASSERT_TRUE(DatabaseSerializer::Save(dir_.string(), catalog).ok());
+
+  Catalog loaded;
+  ASSERT_TRUE(DatabaseSerializer::Load(dir_.string(), &loaded).ok());
+  const Table* back = *loaded.GetTable("edge");
+  ASSERT_EQ(back->num_rows(), std::size(values));
+  for (size_t i = 0; i < std::size(values); ++i) {
+    const double got = back->GetCell(i, 0).AsDouble();
+    if (std::isnan(values[i])) {
+      EXPECT_TRUE(std::isnan(got)) << "row " << i;
+    } else {
+      EXPECT_EQ(got, values[i]) << "row " << i;  // exact, not approximate
+      EXPECT_EQ(std::signbit(got), std::signbit(values[i])) << "row " << i;
+    }
+  }
+}
+
+TEST_F(SerializeTest, StoreFilesRoundTripViaSaveStoreLoadStore) {
+  // SaveStore/LoadStore are the snapshot half of the serializer: only
+  // the annotations/attachments files, written into an existing
+  // directory. Empty text, empty author, and full-precision attachment
+  // weights must survive exactly.
+  AnnotationStore store;
+  const AnnotationId empty_text = store.AddAnnotation("", "author");
+  const AnnotationId empty_author = store.AddAnnotation("some text", "");
+  const AnnotationId both_empty = store.AddAnnotation("", "");
+  const double weights[] = {0.1 + 0.2, 1.0 / 3.0,
+                            std::nextafter(1.0, 0.0),
+                            std::numeric_limits<double>::min()};
+  for (size_t i = 0; i < std::size(weights); ++i) {
+    ASSERT_TRUE(store
+                    .Attach(empty_text, {0, i}, AttachmentType::kPredicted,
+                            weights[i])
+                    .ok());
+  }
+  ASSERT_TRUE(store.Attach(empty_author, {1, 0}).ok());
+  std::filesystem::create_directories(dir_);
+  ASSERT_TRUE(DatabaseSerializer::SaveStore(dir_.string(), store).ok());
+
+  AnnotationStore loaded;
+  ASSERT_TRUE(DatabaseSerializer::LoadStore(dir_.string(), &loaded).ok());
+  ASSERT_EQ(loaded.num_annotations(), 3u);
+  EXPECT_EQ((*loaded.GetAnnotation(empty_text))->text, "");
+  EXPECT_EQ((*loaded.GetAnnotation(empty_text))->author, "author");
+  EXPECT_EQ((*loaded.GetAnnotation(empty_author))->author, "");
+  EXPECT_EQ((*loaded.GetAnnotation(both_empty))->text, "");
+  ASSERT_EQ(loaded.num_attachments(), store.num_attachments());
+  for (size_t i = 0; i < std::size(weights); ++i) {
+    const Attachment* att = loaded.FindAttachment(empty_text, {0, i});
+    ASSERT_NE(att, nullptr);
+    EXPECT_EQ(att->weight, weights[i]);  // bit-exact through %.17g
+  }
+
+  // Loading into a non-empty store is refused, and a directory without
+  // store files is a legal empty store.
+  EXPECT_FALSE(DatabaseSerializer::LoadStore(dir_.string(), &loaded).ok());
+  const auto empty_dir = dir_ / "empty";
+  std::filesystem::create_directories(empty_dir);
+  AnnotationStore none;
+  ASSERT_TRUE(DatabaseSerializer::LoadStore(empty_dir.string(), &none).ok());
+  EXPECT_EQ(none.num_annotations(), 0u);
 }
 
 TEST_F(SerializeTest, CatalogOnlySave) {

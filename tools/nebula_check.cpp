@@ -7,11 +7,18 @@
 // runs that must agree do not. Divergences are minimized into replayable
 // repro files.
 //
+// --crash switches to the crash-recovery sweep: per seed, a durable
+// engine is killed at a sampled durability fault point (or dropped
+// without a final snapshot), reopened from disk, and the recovered state
+// must match a durability-off replay of exactly the committed operation
+// prefix.
+//
 //   nebula_check                         # default sweep, all pairs
 //   nebula_check --seeds 200             # CI smoke sweep
 //   nebula_check --seed 42 --pair batch  # one seed, one pair
 //   nebula_check --digest --seeds 50     # print canonical digests
 //   nebula_check --replay repro.txt      # re-run a saved repro
+//   nebula_check --crash --seeds 25      # CI crash-recovery sweep
 //   NEBULA_CHECK_SEED=42 nebula_check    # env override (single seed)
 //
 // Exit code 0 = clean; 1 = divergence or error; 2 = bad usage.
@@ -22,6 +29,7 @@
 #include <string>
 
 #include "testing/check_runner.h"
+#include "testing/crash.h"
 
 namespace {
 
@@ -32,14 +40,19 @@ void PrintUsage(std::ostream& out) {
          "  --start N       first seed of the sweep (default 1)\n"
          "  --seeds N       number of seeds to sweep (default 20)\n"
          "  --pair P        threads | batch | obs | spreading | index | "
-         "all (default all)\n"
+         "durability | all (default all)\n"
          "  --threads N     pool size for the parallel sides (default 3)\n"
          "  --no-shrink     report divergences without minimizing them\n"
          "  --repro-dir D   directory for repro files (default .)\n"
          "  --digest        print each seed's canonical outcome digest\n"
          "  --replay FILE   replay a saved repro file instead of sweeping\n"
-         "  --inject-bug    deliberately mis-configure one side "
-         "(harness self-test)\n"
+         "  --crash         run the crash-recovery sweep instead of the "
+         "differential pairs\n"
+         "  --snapshot-every N  crash sweep: snapshot cadence in committed "
+         "operations; 0 = WAL only (default 2)\n"
+         "  --inject-bug    deliberately plant a bug (differential sweep: "
+         "mis-configure one side; crash sweep: perturb WAL replay — pair "
+         "with --snapshot-every 0)\n"
          "  --help          this text\n"
          "environment:\n"
          "  NEBULA_CHECK_SEED  overrides the sweep with that single seed\n";
@@ -59,6 +72,8 @@ bool ParseU64(const char* s, uint64_t* out) {
 int main(int argc, char** argv) {
   nebula::check::CheckOptions options;
   std::string replay_path;
+  bool crash_sweep = false;
+  uint64_t snapshot_every = 2;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -126,6 +141,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       replay_path = path;
+    } else if (arg == "--crash") {
+      crash_sweep = true;
+    } else if (arg == "--snapshot-every") {
+      if (!ParseU64(next(), &snapshot_every)) {
+        std::cerr << "--snapshot-every needs an integer\n";
+        return 2;
+      }
     } else if (arg == "--inject-bug") {
       options.inject_bug = true;
     } else {
@@ -156,6 +178,32 @@ int main(int argc, char** argv) {
     }
     options.start_seed = value;
     options.num_seeds = 1;
+  }
+
+  if (crash_sweep) {
+    nebula::check::CrashOptions crash_options;
+    crash_options.start_seed = options.start_seed;
+    crash_options.num_seeds = options.num_seeds;
+    crash_options.snapshot_every = snapshot_every;
+    crash_options.inject_replay_bug = options.inject_bug;
+    crash_options.shrink = options.shrink;
+    crash_options.repro_dir = options.repro_dir;
+    crash_options.workload = options.workload;
+    auto summary = nebula::check::RunCrashSweep(crash_options);
+    if (!summary.ok()) {
+      std::cerr << summary.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "nebula_check --crash: " << summary->seeds_run
+              << " seeds -> " << summary->cases_run << " cases, "
+              << summary->divergences << " divergences\n";
+    if (!summary->first_detail.empty()) {
+      std::cout << "first divergence:\n  " << summary->first_detail << "\n";
+    }
+    for (const std::string& path : summary->repro_paths) {
+      std::cout << "repro: " << path << "\n";
+    }
+    return summary->divergences == 0 ? 0 : 1;
   }
 
   auto summary = nebula::check::RunCheckSweep(options, std::cout);

@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/lock_rank.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/sync.h"
@@ -92,7 +93,7 @@ class FaultRegistry {
   /// the map lookup in the public entry points.
   bool Evaluate(PointState* state) REQUIRES(mutex_);
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{kLockRankCommonFault};
   std::unordered_map<std::string, PointState> points_ GUARDED_BY(mutex_);
   static std::atomic<size_t> armed_points_;
 };

@@ -1,0 +1,294 @@
+#include "common/lockdep.h"
+
+#if NEBULA_LOCKDEP_ENABLED
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/fault.h"
+#include "common/fault_points.h"
+#include "common/lock_rank.h"
+#include "common/obs_hooks.h"
+#include "common/string_util.h"
+
+namespace nebula::lockdep {
+
+namespace {
+
+/// A lock the calling thread currently holds.
+struct HeldLock {
+  const void* mutex;
+  const LockRank* rank;
+};
+
+/// Deepest legitimate nesting is ~4 (engine -> storage -> pool -> obs);
+/// 16 leaves room for the sharded future without heap allocation.
+constexpr int kMaxHeld = 16;
+
+thread_local HeldLock tls_held[kMaxHeld];
+thread_local int tls_depth = 0;
+/// Reentrancy guard: the fault probe inside OnAcquire locks the
+/// FaultRegistry's own ranked mutex, and the failure path may allocate.
+/// While set, nested acquires/releases pass through unwitnessed.
+thread_local bool tls_busy = false;
+
+std::atomic<bool> g_enabled{false};
+std::atomic<FailureMode> g_mode{FailureMode::kAbort};
+std::atomic<uint64_t> g_edges{0};
+std::atomic<uint64_t> g_violations{0};
+
+/// One observed acquisition edge, with the first thread's full rank chain
+/// at the moment it was recorded — the "other stack" an inversion report
+/// replays next to the current thread's chain.
+struct EdgeRec {
+  const LockRank* from;
+  const LockRank* to;
+  std::string chain;
+};
+
+/// The witness cannot use nebula::Mutex for its own state (every acquire
+/// would recurse into OnAcquire) and the lint bans std::mutex outside
+/// sync.h — so the edge graph sits behind a tiny spinlock. Critical
+/// sections are a handful of pointer compares; contention is one-time
+/// (first observation of each edge).
+std::atomic_flag g_graph_lock = ATOMIC_FLAG_INIT;
+/// Guarded by g_graph_lock; pointer-stable so readers inside the lock can
+/// copy out what they need before unlocking.
+std::vector<EdgeRec>* g_graph = nullptr;
+std::vector<Violation>* g_recorded = nullptr;
+
+class GraphLock {
+ public:
+  GraphLock() {
+    while (g_graph_lock.test_and_set(std::memory_order_acquire)) {
+    }
+    if (g_graph == nullptr) g_graph = new std::vector<EdgeRec>();
+    if (g_recorded == nullptr) g_recorded = new std::vector<Violation>();
+  }
+  ~GraphLock() { g_graph_lock.clear(std::memory_order_release); }
+  GraphLock(const GraphLock&) = delete;
+  GraphLock& operator=(const GraphLock&) = delete;
+};
+
+std::string RankLabel(const LockRank* rank) {
+  if (rank == nullptr) return "<unranked>";
+  return StrFormat("%s (tier %d)", rank->name, rank->tier);
+}
+
+/// The calling thread's held-rank chain, outermost first, with `extra`
+/// appended as the acquisition being attempted.
+std::string CurrentChain(const LockRank* extra) {
+  std::string s;
+  for (int i = 0; i < tls_depth; ++i) {
+    if (tls_held[i].rank == nullptr) continue;
+    if (!s.empty()) s += " -> ";
+    s += RankLabel(tls_held[i].rank);
+  }
+  if (extra != nullptr) {
+    if (!s.empty()) s += " -> ";
+    s += RankLabel(extra);
+  }
+  return s;
+}
+
+/// First-observed chain for the edge `from -> to`, or "" when that edge
+/// was never seen.
+std::string ObservedChainFor(const LockRank* from, const LockRank* to) {
+  GraphLock lock;
+  for (const EdgeRec& e : *g_graph) {
+    if (e.from == from && e.to == to) return e.chain;
+  }
+  return "";
+}
+
+void NotifyViolationSink() {
+  const hooks::LockdepEventSink* sink = hooks::GetLockdepEventSink();
+  if (sink != nullptr && sink->violation != nullptr) sink->violation();
+}
+
+/// Terminal path of every detected violation: count it, export it, then
+/// abort with the report or record it per the failure mode.
+void Fail(const char* kind, const std::string& detail) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  NotifyViolationSink();
+  if (g_mode.load(std::memory_order_relaxed) == FailureMode::kAbort) {
+    // Direct stderr, not the Logger: the logger takes common.logsink and
+    // the report must come out even when the violation involves it.
+    std::fprintf(stderr, "%s", detail.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+  GraphLock lock;
+  g_recorded->push_back(Violation{kind, detail});
+}
+
+/// Records the acquisition edge `from -> to` (first observation only).
+void RecordEdge(const LockRank* from, const LockRank* to,
+                const LockRank* acquiring) {
+  bool inserted = false;
+  {
+    GraphLock lock;
+    for (const EdgeRec& e : *g_graph) {
+      if (e.from == from && e.to == to) return;
+    }
+    g_graph->push_back(EdgeRec{from, to, CurrentChain(acquiring)});
+    inserted = true;
+  }
+  if (inserted) {
+    g_edges.fetch_add(1, std::memory_order_relaxed);
+    const hooks::LockdepEventSink* sink = hooks::GetLockdepEventSink();
+    if (sink != nullptr && sink->edge_observed != nullptr) {
+      sink->edge_observed();
+    }
+  }
+}
+
+/// Innermost held lock that carries a rank, or nullptr.
+const HeldLock* InnermostRanked() {
+  for (int i = tls_depth - 1; i >= 0; --i) {
+    if (tls_held[i].rank != nullptr) return &tls_held[i];
+  }
+  return nullptr;
+}
+
+void Push(const void* mutex, const LockRank* rank) {
+  if (tls_depth < kMaxHeld) {
+    tls_held[tls_depth] = HeldLock{mutex, rank};
+    ++tls_depth;
+  }
+}
+
+/// Arms the witness at static-init time when NEBULA_LOCKDEP=1 (or any
+/// value other than "0") is exported — how the CI lockdep leg turns the
+/// witness on for every test binary without per-test plumbing.
+struct EnvArm {
+  EnvArm() {
+    const char* v = std::getenv("NEBULA_LOCKDEP");
+    if (v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0')) {
+      g_enabled.store(true, std::memory_order_relaxed);
+    }
+  }
+};
+const EnvArm g_env_arm;
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetFailureMode(FailureMode mode) {
+  g_mode.store(mode, std::memory_order_relaxed);
+}
+
+void ResetForTest() {
+  GraphLock lock;
+  g_graph->clear();
+  g_recorded->clear();
+  g_edges.store(0, std::memory_order_relaxed);
+  g_violations.store(0, std::memory_order_relaxed);
+}
+
+uint64_t EdgesObserved() { return g_edges.load(std::memory_order_relaxed); }
+
+uint64_t ViolationsDetected() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+std::vector<Violation> TakeViolations() {
+  GraphLock lock;
+  std::vector<Violation> out = std::move(*g_recorded);
+  g_recorded->clear();
+  return out;
+}
+
+std::vector<const LockRank*> HeldRanks() {
+  std::vector<const LockRank*> out;
+  for (int i = 0; i < tls_depth; ++i) {
+    if (tls_held[i].rank != nullptr) out.push_back(tls_held[i].rank);
+  }
+  return out;
+}
+
+void OnAcquire(const void* mutex, const LockRank* rank) {
+  if (!Enabled() || tls_busy) return;
+  tls_busy = true;
+  // Self-deadlock: this thread already holds the very mutex it is about
+  // to block on — reported before the hang, not after.
+  for (int i = 0; i < tls_depth; ++i) {
+    if (tls_held[i].mutex == mutex) {
+      Fail("self-deadlock",
+           StrFormat("nebula lockdep: self-deadlock\n"
+                     "  acquiring: %s, already held by this thread\n"
+                     "  this thread's chain: %s\n",
+                     RankLabel(rank).c_str(), CurrentChain(rank).c_str()));
+      tls_busy = false;
+      Push(mutex, rank);
+      return;
+    }
+  }
+  // Planted inversion: the NebulaCheck hook. The detail line is fixed
+  // (no chains, no addresses) so a fired fault diverges the canonical
+  // transcript identically on every replay of the same seed.
+  if (NEBULA_FAULT_SHOULD_FAIL(kFaultCommonLockdepCheck)) {
+    Fail("planted",
+         "nebula lockdep: planted inversion via fault point "
+         "common.lockdep.check\n");
+  }
+  if (rank != nullptr) {
+    const HeldLock* inner = InnermostRanked();
+    if (inner != nullptr) {
+      if (rank->tier <= inner->rank->tier) {
+        // Rank-order violation. If the opposite edge was observed on
+        // some thread earlier, replay its recorded chain too — the two
+        // stacks of the ABBA pair, side by side.
+        const std::string opposing = ObservedChainFor(rank, inner->rank);
+        std::string detail = StrFormat(
+            "nebula lockdep: lock-order violation\n"
+            "  acquiring: %s\n"
+            "  innermost held: %s\n"
+            "  this thread's chain: %s\n"
+            "  declared order (tools/lock_ranks.txt): %s before %s\n",
+            RankLabel(rank).c_str(), RankLabel(inner->rank).c_str(),
+            CurrentChain(rank).c_str(), RankLabel(rank).c_str(),
+            RankLabel(inner->rank).c_str());
+        if (!opposing.empty()) {
+          detail += StrFormat("  first-observed opposing chain: %s\n",
+                              opposing.c_str());
+        }
+        Fail("order", detail);
+      } else {
+        RecordEdge(inner->rank, rank, rank);
+      }
+    }
+  }
+  Push(mutex, rank);
+  tls_busy = false;
+}
+
+void OnTryAcquired(const void* mutex, const LockRank* rank) {
+  if (!Enabled() || tls_busy) return;
+  // No order check: a successful try-acquire cannot have blocked, so it
+  // cannot close a deadlock cycle. It still joins the held stack — locks
+  // acquired under it are order-checked against it.
+  Push(mutex, rank);
+}
+
+void OnRelease(const void* mutex) {
+  if (!Enabled() || tls_busy) return;
+  for (int i = tls_depth - 1; i >= 0; --i) {
+    if (tls_held[i].mutex != mutex) continue;
+    for (int j = i; j + 1 < tls_depth; ++j) tls_held[j] = tls_held[j + 1];
+    --tls_depth;
+    return;
+  }
+  // Unmatched release: the mutex was locked while the witness was off or
+  // the stack overflowed — tolerated, not an error.
+}
+
+}  // namespace nebula::lockdep
+
+#endif  // NEBULA_LOCKDEP_ENABLED

@@ -1,0 +1,116 @@
+#ifndef NEBULA_COMMON_LOCKDEP_H_
+#define NEBULA_COMMON_LOCKDEP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/lock_rank.h"
+
+/// Runtime lock-order witness (-DNEBULA_LOCKDEP=ON; DESIGN.md §9).
+///
+/// Every nebula::Mutex / SharedMutex acquire and release reports here via
+/// the NEBULA_LOCKDEP_* macros that common/sync.h expands. The witness
+/// keeps a per-thread stack of held locks and a global graph of observed
+/// acquisition edges, and validates each acquire against the declared
+/// rank DAG (common/lock_rank.h, tools/lock_ranks.txt) BEFORE blocking on
+/// the mutex — so a would-be ABBA deadlock is reported with both rank
+/// chains instead of hanging, on the very first run that merely *orders*
+/// the locks badly, whether or not the fatal interleaving fires.
+///
+/// The build without NEBULA_LOCKDEP_ENABLED compiles all of this out to
+/// nothing (the macros become no-ops); the `lockdep` differential pair in
+/// NebulaCheck proves the armed witness is bit-identical to the unarmed
+/// engine. The witness is also off at runtime by default — arm it with
+/// lockdep::SetEnabled(true) or by exporting NEBULA_LOCKDEP=1 in the
+/// environment (read once at static-init time).
+///
+/// Violations checked on each acquire, innermost held lock first:
+///   - self-deadlock: the acquiring mutex instance is already held;
+///   - rank order: the new lock's tier must be strictly greater than the
+///     innermost held tier (ranks embed the DAG in a total order);
+///   - observed inversion: the reverse edge was seen earlier on some
+///     thread — the report replays that thread's recorded chain next to
+///     this thread's current one.
+///
+/// Failure modes: kAbort (default) prints the full report to stderr and
+/// aborts; kReport records the violation for TakeViolations() — the mode
+/// NebulaCheck's `lockdep` pair uses to turn a planted inversion into a
+/// clean divergence that the shrinker and replayer can chew on.
+///
+/// The `common.lockdep.check` fault point (common/fault_points.h) fires
+/// inside the acquire check and plants a synthetic inversion — the hook
+/// NebulaCheck uses to prove the whole catch -> shrink -> replay loop.
+namespace nebula::lockdep {
+
+#if NEBULA_LOCKDEP_ENABLED
+
+/// One detected violation. `detail` is the full multi-line report,
+/// rank-chain based and address-free so transcripts stay canonical.
+struct Violation {
+  std::string kind;  ///< "self-deadlock" | "order" | "planted"
+  std::string detail;
+};
+
+enum class FailureMode {
+  kAbort,   ///< print the report to stderr and abort (CI default)
+  kReport,  ///< record for TakeViolations() (NebulaCheck's mode)
+};
+
+/// Arms/disarms the witness process-wide. Off costs one relaxed load per
+/// acquire. Enabling does not clear previously observed edges; pair with
+/// ResetForTest() for hermetic test phases.
+void SetEnabled(bool enabled);
+bool Enabled();
+
+void SetFailureMode(FailureMode mode);
+
+/// Clears the observed-edge graph, the recorded violations, and the
+/// counters (NOT the calling thread's held stack — locks that are
+/// actually held stay held). Test/harness hook.
+void ResetForTest();
+
+/// Distinct acquisition edges observed / violations detected since the
+/// last reset. Mirrored into nebula_lockdep_{edges,violations}_total via
+/// the obs hooks.
+uint64_t EdgesObserved();
+uint64_t ViolationsDetected();
+
+/// Drains the violations recorded under FailureMode::kReport.
+std::vector<Violation> TakeViolations();
+
+/// Ranks currently held by the calling thread, outermost first
+/// (diagnostics/tests).
+std::vector<const LockRank*> HeldRanks();
+
+/// Called by sync.h before a blocking acquire. `rank` may be null (an
+/// unranked mutex — lint keeps the tree free of these, but the witness
+/// tolerates them by skipping order checks). Exclusive and shared
+/// acquisition order identically for deadlock purposes.
+void OnAcquire(const void* mutex, const LockRank* rank);
+
+/// Called by sync.h after a successful try-acquire. Pushes the lock
+/// without order-checking it: a non-blocking acquire cannot deadlock, so
+/// try-lock is the sanctioned escape hatch for out-of-order acquisition.
+void OnTryAcquired(const void* mutex, const LockRank* rank);
+
+/// Called by sync.h before releasing.
+void OnRelease(const void* mutex);
+
+#define NEBULA_LOCKDEP_ACQUIRE(mu, rank) \
+  ::nebula::lockdep::OnAcquire((mu), (rank))
+#define NEBULA_LOCKDEP_TRY_ACQUIRED(mu, rank) \
+  ::nebula::lockdep::OnTryAcquired((mu), (rank))
+#define NEBULA_LOCKDEP_RELEASE(mu) ::nebula::lockdep::OnRelease((mu))
+
+#else  // !NEBULA_LOCKDEP_ENABLED
+
+#define NEBULA_LOCKDEP_ACQUIRE(mu, rank) ((void)0)
+#define NEBULA_LOCKDEP_TRY_ACQUIRED(mu, rank) ((void)0)
+#define NEBULA_LOCKDEP_RELEASE(mu) ((void)0)
+
+#endif  // NEBULA_LOCKDEP_ENABLED
+
+}  // namespace nebula::lockdep
+
+#endif  // NEBULA_COMMON_LOCKDEP_H_

@@ -8,6 +8,7 @@
 #include <ctime>
 #include <memory>
 
+#include "common/lock_rank.h"
 #include "common/obs_hooks.h"
 #include "common/sync.h"
 
@@ -41,7 +42,7 @@ std::atomic<LogLevel> g_level{InitialLevel()};
 // (a test sink may be destroyed mid-call); keep invocation under the
 // same lock — logging is not a hot path, and this also serializes
 // stderr writes from concurrent workers.
-Mutex g_sink_mutex;
+Mutex g_sink_mutex(kLockRankCommonLogSink);
 Logger::Sink g_sink GUARDED_BY(g_sink_mutex);  // empty = stderr
 
 }  // namespace

@@ -8,6 +8,7 @@ namespace hooks {
 namespace {
 
 std::atomic<const PoolEventSink*> g_pool_sink{nullptr};
+std::atomic<const LockdepEventSink*> g_lockdep_sink{nullptr};
 std::atomic<ThreadOrdinalFn> g_thread_ordinal{nullptr};
 std::atomic<TaskContextCaptureFn> g_ctx_capture{nullptr};
 std::atomic<TaskContextSwapFn> g_ctx_swap{nullptr};
@@ -20,6 +21,14 @@ void SetPoolEventSink(const PoolEventSink* sink) {
 
 const PoolEventSink* GetPoolEventSink() {
   return g_pool_sink.load(std::memory_order_acquire);
+}
+
+void SetLockdepEventSink(const LockdepEventSink* sink) {
+  g_lockdep_sink.store(sink, std::memory_order_release);
+}
+
+const LockdepEventSink* GetLockdepEventSink() {
+  return g_lockdep_sink.load(std::memory_order_acquire);
 }
 
 void SetTaskContextHooks(TaskContextCaptureFn capture, TaskContextSwapFn swap) {

@@ -5,6 +5,9 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/lock_rank.h"
+#include "common/lockdep.h"
+
 /// Annotated synchronization primitives — the only place in Nebula that
 /// may name a std:: mutex type (tools/nebula_lint enforces this).
 ///
@@ -81,23 +84,44 @@ namespace nebula {
 
 /// Annotated exclusive mutex. Prefer the RAII `MutexLock`; the manual
 /// Lock/Unlock pair exists for the rare hand-over-hand or adopt cases.
+///
+/// Construct every member/global mutex with its rank from
+/// common/lock_rank.h (enforced by nebula_lint's [lock-rank-missing]):
+/// the rank places the mutex in the global acquisition-order DAG, which
+/// the -DNEBULA_LOCKDEP=ON witness validates on every acquire. The
+/// default constructor exists for rank-exempt locals and tests.
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(const LockRank& rank) : rank_(&rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    NEBULA_LOCKDEP_ACQUIRE(this, rank_);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    NEBULA_LOCKDEP_RELEASE(this);
+    mu_.unlock();
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    NEBULA_LOCKDEP_TRY_ACQUIRED(this, rank_);
+    return true;
+  }
 
   /// Documents (to the analysis and the reader) that the calling context
   /// holds this mutex even though the acquisition is not visible locally.
   void AssertHeld() const ASSERT_CAPABILITY(this) {}
 
+  /// This mutex's rank in the acquisition DAG; nullptr when unranked.
+  const LockRank* rank() const { return rank_; }
+
  private:
   friend class CondVar;
   std::mutex mu_;
+  const LockRank* rank_ = nullptr;
 };
 
 /// RAII exclusive lock over `Mutex`.
@@ -118,27 +142,53 @@ class SCOPED_CAPABILITY MutexLock {
 // ---------------------------------------------------------------------------
 
 /// Annotated shared (reader/writer) mutex over std::shared_mutex.
+/// Ranked exactly like `Mutex`; shared and exclusive acquisition order
+/// identically in the lockdep witness (a reader can deadlock a writer
+/// just as well as another writer).
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex(const LockRank& rank) : rank_(&rank) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    NEBULA_LOCKDEP_ACQUIRE(this, rank_);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    NEBULA_LOCKDEP_RELEASE(this);
+    mu_.unlock();
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    NEBULA_LOCKDEP_TRY_ACQUIRED(this, rank_);
+    return true;
+  }
 
-  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  void LockShared() ACQUIRE_SHARED() {
+    NEBULA_LOCKDEP_ACQUIRE(this, rank_);
+    mu_.lock_shared();
+  }
+  void UnlockShared() RELEASE_SHARED() {
+    NEBULA_LOCKDEP_RELEASE(this);
+    mu_.unlock_shared();
+  }
   bool TryLockShared() TRY_ACQUIRE_SHARED(true) {
-    return mu_.try_lock_shared();
+    if (!mu_.try_lock_shared()) return false;
+    NEBULA_LOCKDEP_TRY_ACQUIRED(this, rank_);
+    return true;
   }
 
   void AssertHeld() const ASSERT_CAPABILITY(this) {}
   void AssertReaderHeld() const ASSERT_SHARED_CAPABILITY(this) {}
 
+  /// This mutex's rank in the acquisition DAG; nullptr when unranked.
+  const LockRank* rank() const { return rank_; }
+
  private:
   std::shared_mutex mu_;
+  const LockRank* rank_ = nullptr;
 };
 
 /// RAII exclusive (writer) lock over `SharedMutex`.

@@ -11,6 +11,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/obs_hooks.h"
 #include "common/sync.h"
 
@@ -78,7 +79,7 @@ class ThreadPool {
   bool Enqueue(std::function<void()> task);
   void WorkerLoop();
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{kLockRankCommonPool};
   CondVar cv_;
   std::deque<QueueItem> queue_ GUARDED_BY(mutex_);
   bool stopping_ GUARDED_BY(mutex_) = false;

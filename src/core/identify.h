@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/status.h"
 #include "common/sync.h"
 #include "common/thread_pool.h"
@@ -97,7 +98,7 @@ class PlanCache {
   static std::string KeyOf(const KeywordQuery& query);
 
   const NebulaMeta* meta_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{kLockRankCorePlanCache};
   uint64_t seen_version_ GUARDED_BY(mutex_) = 0;
   KeywordSearchParams seen_params_ GUARDED_BY(mutex_);
   std::unordered_map<std::string, std::vector<GeneratedSql>> plans_

@@ -5,6 +5,7 @@
 
 #include "annotation/annotation_store.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "durability/journal.h"
 #include "durability/meta_serialize.h"
 #include "durability/snapshot.h"
@@ -58,7 +59,10 @@ Result<std::unique_ptr<Manager>> Manager::Open(const Options& options,
     SnapshotInfo baseline;
     baseline.tasks = *tasks;
     NEBULA_RETURN_NOT_OK(WriteSnapshot(options.dir, baseline, *store, *meta));
-    ++manager->snapshots_written_;
+    {
+      MutexLock lock(manager->mutex_);
+      ++manager->snapshots_written_;
+    }
     NEBULA_ASSIGN_OR_RETURN(manager->wal_,
                             WalWriter::Open(wal_path, options.sync));
     return manager;
@@ -78,7 +82,10 @@ Result<std::unique_ptr<Manager>> Manager::Open(const Options& options,
   info.snapshot_seq = snapshot.seq;
   info.committed_ops = snapshot.committed_ops;
   info.partial_op = snapshot.partial_op;
-  manager->seq_ = snapshot.seq;
+  {
+    MutexLock lock(manager->mutex_);
+    manager->seq_ = snapshot.seq;
+  }
 
   auto read = ReadWal(wal_path);
   if (read.ok()) {
@@ -93,7 +100,10 @@ Result<std::unique_ptr<Manager>> Manager::Open(const Options& options,
         info.partial_op = false;
         ++info.committed_ops;
       }
-      manager->seq_ = unit.seq;
+      {
+        MutexLock lock(manager->mutex_);
+        manager->seq_ = unit.seq;
+      }
       ++info.replayed_units;
     }
     if (read->tail_truncated) {
@@ -113,7 +123,10 @@ Result<std::unique_ptr<Manager>> Manager::Open(const Options& options,
     return read.status();
   }
 
-  manager->committed_ops_ = info.committed_ops;
+  {
+    MutexLock lock(manager->mutex_);
+    manager->committed_ops_ = info.committed_ops;
+  }
   NEBULA_ASSIGN_OR_RETURN(manager->wal_,
                           WalWriter::Open(wal_path, options.sync));
   return manager;
@@ -177,6 +190,7 @@ Status Manager::ApplyRecord(const JournalRecord& record,
 }
 
 Status Manager::Append(CommitUnit* unit) {
+  MutexLock lock(mutex_);
   unit->seq = seq_ + 1;
   NEBULA_RETURN_NOT_OK(wal_->Append(EncodeUnit(*unit)));
   seq_ = unit->seq;
@@ -185,17 +199,23 @@ Status Manager::Append(CommitUnit* unit) {
 
 void Manager::OnApplied(const CommitUnit& unit) {
   if ((unit.flags & kOpEnd) == 0) return;
+  MutexLock lock(mutex_);
   ++committed_ops_;
   ++ops_since_snapshot_;
   if (options_.snapshot_every_n > 0 &&
       ops_since_snapshot_ >= options_.snapshot_every_n) {
     // Degrade on failure: the previous snapshot plus the intact WAL stay
     // authoritative, so the committed operation is not at risk.
-    last_snapshot_status_ = SnapshotNow();
+    last_snapshot_status_ = SnapshotLocked();
   }
 }
 
 Status Manager::SnapshotNow() {
+  MutexLock lock(mutex_);
+  return SnapshotLocked();
+}
+
+Status Manager::SnapshotLocked() {
   SnapshotInfo info;
   info.seq = seq_;
   info.committed_ops = committed_ops_;

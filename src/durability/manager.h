@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "annotation/annotation_store.h"
+#include "common/lock_rank.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "durability/journal.h"
 #include "durability/wal.h"
 #include "meta/nebula_meta.h"
@@ -50,7 +52,13 @@ struct OpenHooks {
 ///   OnApplied(unit) after the in-memory apply — advances the committed
 ///                   operation count and maybe takes a snapshot.
 ///
-/// Not thread-safe; the engine serializes all mutations through it.
+/// Append/OnApplied/SnapshotNow and the counters are serialized by an
+/// internal mutex (rank durability.manager — above the pool and all
+/// observability, below the storage locks; tools/lock_ranks.txt). The
+/// engine still orders mutations semantically (journal-before-apply is a
+/// protocol, not something a mutex can provide), but concurrent readers
+/// of the counters and a future async ingest queue get a consistent
+/// view. Open/set_task_source remain single-threaded setup.
 class Manager {
  public:
   struct Options {
@@ -93,10 +101,19 @@ class Manager {
   [[nodiscard]] Status SnapshotNow();
 
   const RecoveryInfo& recovery_info() const { return recovery_info_; }
-  Status last_snapshot_status() const { return last_snapshot_status_; }
+  Status last_snapshot_status() const {
+    MutexLock lock(mutex_);
+    return last_snapshot_status_;
+  }
   uint64_t wal_appends() const { return wal_ == nullptr ? 0 : wal_->appends(); }
-  uint64_t snapshots_written() const { return snapshots_written_; }
-  uint64_t committed_ops() const { return committed_ops_; }
+  uint64_t snapshots_written() const {
+    MutexLock lock(mutex_);
+    return snapshots_written_;
+  }
+  uint64_t committed_ops() const {
+    MutexLock lock(mutex_);
+    return committed_ops_;
+  }
 
  private:
   Manager(Options options, AnnotationStore* store, NebulaMeta* meta)
@@ -109,17 +126,22 @@ class Manager {
                                    std::vector<TaskRecord>* tasks,
                                    const OpenHooks& hooks);
 
+  /// SnapshotNow's body, for callers already holding the mutex.
+  [[nodiscard]] Status SnapshotLocked() REQUIRES(mutex_);
+
   Options options_;
   AnnotationStore* store_;
   NebulaMeta* meta_;
   std::unique_ptr<WalWriter> wal_;
   std::function<std::vector<TaskRecord>()> task_source_;
   RecoveryInfo recovery_info_;
-  Status last_snapshot_status_ = Status::OK();
-  uint64_t seq_ = 0;  ///< last assigned WAL sequence number
-  uint64_t committed_ops_ = 0;
-  uint64_t ops_since_snapshot_ = 0;
-  uint64_t snapshots_written_ = 0;
+  mutable Mutex mutex_{kLockRankDurabilityManager};
+  Status last_snapshot_status_ GUARDED_BY(mutex_) = Status::OK();
+  /// Last assigned WAL sequence number.
+  uint64_t seq_ GUARDED_BY(mutex_) = 0;
+  uint64_t committed_ops_ GUARDED_BY(mutex_) = 0;
+  uint64_t ops_since_snapshot_ GUARDED_BY(mutex_) = 0;
+  uint64_t snapshots_written_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace nebula::durability

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/status.h"
 #include "common/sync.h"
 #include "keyword/mini_db.h"
@@ -147,7 +148,7 @@ class KeywordSearchEngine {
   /// CanonicalKey -> memoized execution. Mutable + internally locked: the
   /// const thread-safe Search/ExecuteSql overloads run concurrently on
   /// pool workers and all share the memo.
-  mutable Mutex result_cache_mutex_;
+  mutable Mutex result_cache_mutex_{kLockRankKeywordResultCache};
   mutable std::unordered_map<std::string, CachedSqlResult> result_cache_
       GUARDED_BY(result_cache_mutex_);
 };

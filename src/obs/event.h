@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/random.h"
 #include "common/sync.h"
 #include "obs/metrics.h"
@@ -176,7 +177,7 @@ class EventLog {
   std::atomic<uint64_t> write_failures_{0};
   std::atomic<uint64_t> ring_dropped_{0};
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{kLockRankObsEventLog};
   Rng sample_rng_ GUARDED_BY(mutex_);
   std::deque<std::string> ring_ GUARDED_BY(mutex_);
   Sink sink_ GUARDED_BY(mutex_);

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/sync.h"
 
 /// Compile-time master switch for the observability layer. The build
@@ -188,7 +189,7 @@ class MetricsRegistry {
                             Labels labels, const std::string& help)
       EXCLUDES(mutex_);
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{kLockRankObsMetrics};
   std::map<std::string, FamilyImpl> families_ GUARDED_BY(mutex_);
 };
 

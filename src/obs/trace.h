@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/sync.h"
 #include "obs/metrics.h"
 
@@ -61,7 +62,7 @@ class TraceBuilder {
 
  private:
   using Clock = std::chrono::steady_clock;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{kLockRankObsTraceBuilder};
   const Clock::time_point start_;  ///< immutable after construction
   std::vector<TraceSpan> spans_ GUARDED_BY(mutex_);
 };
@@ -107,7 +108,7 @@ class TraceRecorder {
 
  private:
   const size_t capacity_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{kLockRankObsTraceRecorder};
   std::deque<Trace> traces_ GUARDED_BY(mutex_);
   uint64_t total_ GUARDED_BY(mutex_) = 0;
 };

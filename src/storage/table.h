@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/status.h"
 #include "common/sync.h"
 #include "storage/schema.h"
@@ -127,7 +128,7 @@ class Table {
   // (acquire/release) so the post-publication read path stays lock-free.
   mutable std::vector<HashIndex> indexes_ GUARDED_BY(index_build_mutex_);
   mutable std::vector<std::atomic<bool>> index_built_;
-  mutable Mutex index_build_mutex_;
+  mutable Mutex index_build_mutex_{kLockRankStorageIndexBuild};
   std::vector<TextIndex> text_indexes_;
   std::vector<bool> text_index_built_;
   // The unified value index shares the hash indexes' locking story: all

@@ -91,10 +91,22 @@ const char* CrashModeName(CrashMode mode) {
   return "?";
 }
 
+const char* CrashModeDescription(CrashMode mode) {
+  switch (mode) {
+    case CrashMode::kCleanShutdown:
+      return "drop the engine mid-flight, no fault armed (WAL tail only)";
+    case CrashMode::kWalAppend:
+      return "fail a WAL append cleanly before any byte is written";
+    case CrashMode::kWalTornTail:
+      return "tear a WAL record mid-write (recovery must truncate)";
+    case CrashMode::kSnapshotWrite:
+      return "fail a snapshot write before the rename lands";
+  }
+  return "?";
+}
+
 Result<CrashMode> ParseCrashMode(std::string_view name) {
-  for (CrashMode mode :
-       {CrashMode::kCleanShutdown, CrashMode::kWalAppend,
-        CrashMode::kWalTornTail, CrashMode::kSnapshotWrite}) {
+  for (CrashMode mode : kAllCrashModes) {
     if (name == CrashModeName(mode)) return mode;
   }
   return Status::InvalidArgument(

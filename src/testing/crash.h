@@ -23,7 +23,14 @@ enum class CrashMode {
   kSnapshotWrite,
 };
 
+inline constexpr CrashMode kAllCrashModes[] = {
+    CrashMode::kCleanShutdown, CrashMode::kWalAppend,
+    CrashMode::kWalTornTail, CrashMode::kSnapshotWrite};
+
 const char* CrashModeName(CrashMode mode);
+/// One-line human description of where the mode kills the engine — the
+/// source of `nebula_check --help`'s crash-mode list.
+const char* CrashModeDescription(CrashMode mode);
 [[nodiscard]] Result<CrashMode> ParseCrashMode(std::string_view name);
 
 /// One sampled crash point: the mode plus how many fault-point calls to

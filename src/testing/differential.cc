@@ -4,10 +4,14 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <memory>
 #include <set>
 #include <utility>
 
 #include "annotation/annotation_store.h"
+#include "common/fault.h"
+#include "common/fault_points.h"
+#include "common/lockdep.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "core/engine.h"
@@ -20,6 +24,15 @@
 namespace nebula::check {
 
 namespace {
+
+/// Whether the runtime lock-order witness is compiled into this binary
+/// (-DNEBULA_LOCKDEP=ON). Off: the lockdep pair still runs — both sides
+/// unwitnessed — so the pair list is build-invariant.
+#if NEBULA_LOCKDEP_ENABLED
+constexpr bool kLockdepCompiledIn = true;
+#else
+constexpr bool kLockdepCompiledIn = false;
+#endif
 
 /// FNV-1a over a byte sequence; the same digest an OBS=OFF binary
 /// computes, so CI can compare the two builds' canonical outcomes.
@@ -124,6 +137,30 @@ const char* ConfigPairName(ConfigPair pair) {
       return "index";
     case ConfigPair::kDurability:
       return "durability";
+    case ConfigPair::kLockdep:
+      return "lockdep";
+  }
+  return "?";
+}
+
+const char* ConfigPairDescription(ConfigPair pair) {
+  switch (pair) {
+    case ConfigPair::kThreads:
+      return "sequential vs pooled batch ingest (exact equivalence)";
+    case ConfigPair::kBatch:
+      return "per-annotation inserts vs one batch call (exact equivalence)";
+    case ConfigPair::kObs:
+      return "observability quiet vs exercised mid-run (exact equivalence)";
+    case ConfigPair::kSpreading:
+      return "full-database search vs focal spreading (subset check)";
+    case ConfigPair::kValueIndex:
+      return "legacy scan path vs value-index acceleration (exact, "
+             "including ExecStats)";
+    case ConfigPair::kDurability:
+      return "durability off vs WAL+snapshots (exact equivalence)";
+    case ConfigPair::kLockdep:
+      return "lockdep witness off vs armed; violations diverge the "
+             "transcript (exact equivalence)";
   }
   return "?";
 }
@@ -131,13 +168,14 @@ const char* ConfigPairName(ConfigPair pair) {
 Result<ConfigPair> ParseConfigPair(std::string_view name) {
   // Long-form alias used by docs and CI; "index" is the canonical name.
   if (name == "index-vs-scan") return ConfigPair::kValueIndex;
+  std::string known;
   for (ConfigPair pair : kAllConfigPairs) {
     if (name == ConfigPairName(pair)) return pair;
+    if (!known.empty()) known += " | ";
+    known += ConfigPairName(pair);
   }
-  return Status::InvalidArgument(
-      "unknown config pair '" + std::string(name) +
-      "' (expected threads | batch | obs | spreading | index | "
-      "durability)");
+  return Status::InvalidArgument("unknown config pair '" + std::string(name) +
+                                 "' (expected " + known + ")");
 }
 
 void AppendStateLines(const AnnotationStore& store, NebulaEngine& engine,
@@ -306,8 +344,22 @@ Result<Divergence> DifferentialRunner::RunPair(
       config_b.snapshot_every_n = 2;
       break;
     }
+    case ConfigPair::kLockdep:
+      // Identical configs; the two sides differ only in whether the
+      // process-global lockdep witness observes the run (armed around
+      // the B side below). Pool workers exercise the deep lock chains.
+      batch_a = batch_b = true;
+      config_a.num_threads = options_.num_threads;
+      config_b.num_threads = options_.num_threads;
+      break;
   }
-  if (options_.inject_bug && pair != ConfigPair::kSpreading) {
+  // The lockdep pair's planted bug is a fault-induced inversion on the B
+  // side (only meaningful with the witness compiled in); every other
+  // exact pair plants a semantic mis-configuration.
+  const bool lockdep_witnessed =
+      pair == ConfigPair::kLockdep && kLockdepCompiledIn;
+  if (options_.inject_bug && pair != ConfigPair::kSpreading &&
+      !lockdep_witnessed) {
     // Deliberate semantic mis-configuration of the B side; real-world
     // equivalent of a config plumbing bug. Exists so the harness's own
     // detection -> shrink -> replay loop is testable.
@@ -315,8 +367,40 @@ Result<Divergence> DifferentialRunner::RunPair(
     config_b.identify.group_reward = false;
   }
 
+#if NEBULA_LOCKDEP_ENABLED
+  if (lockdep_witnessed) lockdep::SetEnabled(false);
+#endif
   Result<RunOutcome> outcome_a = Run(workload, config_a, batch_a, obs_a);
+#if NEBULA_LOCKDEP_ENABLED
+  std::unique_ptr<ScopedFault> planted;
+  if (lockdep_witnessed) {
+    lockdep::ResetForTest();
+    lockdep::SetFailureMode(lockdep::FailureMode::kReport);
+    lockdep::SetEnabled(true);
+    if (options_.inject_bug) {
+      // One fired check anywhere in the B run plants a canonical
+      // violation line — a deterministic transcript divergence the
+      // sweep catches and the shrinker/replayer reproduce.
+      FaultSpec spec;
+      spec.max_fires = 1;
+      planted = std::make_unique<ScopedFault>(kFaultCommonLockdepCheck,
+                                              std::move(spec));
+    }
+  }
+#endif
   Result<RunOutcome> outcome_b = Run(workload, config_b, batch_b, obs_b);
+#if NEBULA_LOCKDEP_ENABLED
+  if (lockdep_witnessed) {
+    planted.reset();
+    lockdep::SetEnabled(false);
+    for (const lockdep::Violation& v : lockdep::TakeViolations()) {
+      if (outcome_b.ok()) {
+        outcome_b->lines.push_back(
+            StrFormat("lockdep-violation kind=%s", v.kind.c_str()));
+      }
+    }
+  }
+#endif
   if (!config_b.durability_dir.empty()) {
     std::error_code ec;  // best-effort scratch cleanup, even on failure
     std::filesystem::remove_all(config_b.durability_dir, ec);

@@ -49,14 +49,27 @@ enum class ConfigPair {
   /// results: exact equivalence — the durability-off-bit-identical proof
   /// runs A with the pre-durability configuration.
   kDurability,
+  /// Lockdep witness off vs armed (report mode; src/common/lockdep.h).
+  /// Witnessing every mutex acquire must be invisible to results AND
+  /// produce zero violations on the real lock graph: exact equivalence,
+  /// with any recorded violation appended to the B transcript so an
+  /// inversion diverges the digest. In builds without
+  /// -DNEBULA_LOCKDEP=ON both sides run unwitnessed (still exact).
+  /// --inject-bug arms the common.lockdep.check fault on the B side to
+  /// plant an inversion the harness must catch, shrink, and replay.
+  kLockdep,
 };
 
 inline constexpr ConfigPair kAllConfigPairs[] = {
     ConfigPair::kThreads, ConfigPair::kBatch, ConfigPair::kObs,
     ConfigPair::kSpreading, ConfigPair::kValueIndex,
-    ConfigPair::kDurability};
+    ConfigPair::kDurability, ConfigPair::kLockdep};
 
 const char* ConfigPairName(ConfigPair pair);
+/// One-line human description of what the pair varies and checks — the
+/// single source of `nebula_check --help`'s pair list, so the help text
+/// can never drift from kAllConfigPairs (a ctest smoke asserts this).
+const char* ConfigPairDescription(ConfigPair pair);
 [[nodiscard]] Result<ConfigPair> ParseConfigPair(std::string_view name);
 
 /// Appends the canonical end-state records of a run — final attachments,

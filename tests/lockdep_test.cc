@@ -1,0 +1,183 @@
+// Runtime lock-order witness (common/lockdep.h): ABBA inversions are
+// reported with BOTH rank chains, self-deadlock is caught before the
+// hang, try-lock is the sanctioned out-of-order escape hatch, and the
+// common.lockdep.check fault point plants a deterministic violation.
+//
+// In builds without -DNEBULA_LOCKDEP=ON the witness compiles out to
+// nothing; a single no-op-macro test keeps the binary meaningful there.
+
+#include <gtest/gtest.h>
+
+#include "common/lock_rank.h"
+#include "common/sync.h"
+
+#if NEBULA_LOCKDEP_ENABLED
+
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/fault_points.h"
+#include "common/lockdep.h"
+
+namespace nebula {
+namespace {
+
+/// Arms the witness in report mode for the test body and disarms it on
+/// exit, so the surrounding gtest machinery never runs witnessed.
+class LockdepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lockdep::ResetForTest();
+    lockdep::SetFailureMode(lockdep::FailureMode::kReport);
+    lockdep::SetEnabled(true);
+  }
+  void TearDown() override {
+    lockdep::SetEnabled(false);
+    lockdep::SetFailureMode(lockdep::FailureMode::kAbort);
+    lockdep::ResetForTest();
+  }
+};
+
+TEST_F(LockdepTest, GoodNestingRecordsEdgesAndNoViolations) {
+  Mutex build(kLockRankStorageIndexBuild);  // tier 50
+  Mutex pool(kLockRankCommonPool);          // tier 70
+  {
+    MutexLock outer(build);
+    MutexLock inner(pool);
+    const auto held = lockdep::HeldRanks();
+    ASSERT_EQ(held.size(), 2u);
+    EXPECT_STREQ(held[0]->name, "storage.index_build");
+    EXPECT_STREQ(held[1]->name, "common.pool");
+  }
+  EXPECT_EQ(lockdep::EdgesObserved(), 1u);
+  EXPECT_EQ(lockdep::ViolationsDetected(), 0u);
+  EXPECT_TRUE(lockdep::TakeViolations().empty());
+}
+
+TEST_F(LockdepTest, InversionReportsBothChains) {
+  Mutex build(kLockRankStorageIndexBuild);  // tier 50
+  Mutex pool(kLockRankCommonPool);          // tier 70
+  {
+    // First the declared order, so the witness records the edge (and the
+    // chain that observed it)...
+    MutexLock outer(build);
+    MutexLock inner(pool);
+  }
+  {
+    // ...then the inversion, on FRESH mutex instances: the witness
+    // orders by rank, so the violation still fires, while TSan (which
+    // orders by address) sees new mutexes and stays quiet — this test
+    // must pass under -DNEBULA_SANITIZE=thread too. Report mode turns
+    // the would-be abort into a recorded violation.
+    Mutex pool2(kLockRankCommonPool);
+    Mutex build2(kLockRankStorageIndexBuild);
+    MutexLock outer(pool2);
+    MutexLock inner(build2);
+  }
+  const auto violations = lockdep::TakeViolations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, "order");
+  const std::string& detail = violations[0].detail;
+  EXPECT_NE(detail.find("storage.index_build (tier 50)"), std::string::npos)
+      << detail;
+  EXPECT_NE(detail.find("common.pool (tier 70)"), std::string::npos)
+      << detail;
+  // Both stacks of the ABBA pair: this thread's chain plus the chain
+  // that first observed the opposite edge.
+  EXPECT_NE(detail.find("this thread's chain"), std::string::npos) << detail;
+  EXPECT_NE(detail.find("first-observed opposing chain"), std::string::npos)
+      << detail;
+  EXPECT_EQ(lockdep::ViolationsDetected(), 1u);
+}
+
+TEST_F(LockdepTest, SelfDeadlockCaughtBeforeTheHang) {
+  // Through a real Mutex the second Lock() would block forever, so the
+  // unit drives the witness API directly with a dummy address.
+  int dummy = 0;
+  lockdep::OnAcquire(&dummy, &kLockRankCommonPool);
+  lockdep::OnAcquire(&dummy, &kLockRankCommonPool);
+  const auto violations = lockdep::TakeViolations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, "self-deadlock");
+  EXPECT_NE(violations[0].detail.find("already held by this thread"),
+            std::string::npos);
+  lockdep::OnRelease(&dummy);
+  lockdep::OnRelease(&dummy);
+  EXPECT_TRUE(lockdep::HeldRanks().empty());
+}
+
+TEST_F(LockdepTest, TryLockSkipsTheOrderCheck) {
+  Mutex build(kLockRankStorageIndexBuild);  // tier 50
+  Mutex pool(kLockRankCommonPool);          // tier 70
+  MutexLock outer(pool);
+  // Out of declared order, but non-blocking: cannot close a deadlock
+  // cycle, so the witness admits it without complaint...
+  ASSERT_TRUE(build.TryLock());
+  EXPECT_EQ(lockdep::ViolationsDetected(), 0u);
+  // ...yet it joins the held stack, outermost first.
+  const auto held = lockdep::HeldRanks();
+  ASSERT_EQ(held.size(), 2u);
+  EXPECT_STREQ(held[1]->name, "storage.index_build");
+  build.Unlock();
+}
+
+TEST_F(LockdepTest, PlantedFaultRecordsDeterministicViolation) {
+  Mutex pool(kLockRankCommonPool);
+  {
+    ScopedFault plant(kFaultCommonLockdepCheck, FaultSpec{.max_fires = 1});
+    MutexLock lock(pool);
+  }
+  const auto violations = lockdep::TakeViolations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, "planted");
+  // The detail is a fixed string — chain- and address-free — so a
+  // NebulaCheck transcript diverges identically on every replay.
+  EXPECT_EQ(violations[0].detail,
+            "nebula lockdep: planted inversion via fault point "
+            "common.lockdep.check\n");
+}
+
+TEST_F(LockdepTest, UnrankedMutexesAreTolerated) {
+  Mutex ranked(kLockRankCommonPool);
+  Mutex unranked;
+  MutexLock outer(ranked);
+  MutexLock inner(unranked);  // no rank: skipped, not reported
+  EXPECT_EQ(lockdep::ViolationsDetected(), 0u);
+  EXPECT_EQ(lockdep::HeldRanks().size(), 1u);
+}
+
+TEST_F(LockdepTest, ResetClearsGraphAndCounters) {
+  Mutex build(kLockRankStorageIndexBuild);
+  Mutex pool(kLockRankCommonPool);
+  {
+    MutexLock outer(build);
+    MutexLock inner(pool);
+  }
+  EXPECT_EQ(lockdep::EdgesObserved(), 1u);
+  lockdep::ResetForTest();
+  EXPECT_EQ(lockdep::EdgesObserved(), 0u);
+  EXPECT_EQ(lockdep::ViolationsDetected(), 0u);
+}
+
+}  // namespace
+}  // namespace nebula
+
+#else  // !NEBULA_LOCKDEP_ENABLED
+
+namespace nebula {
+namespace {
+
+TEST(LockdepDisabledTest, MacrosCompileToNothing) {
+  // The witness is compiled out: ranked construction still works and the
+  // sync wrappers cost nothing extra. The NebulaCheck `lockdep` pair
+  // proves bit-identical behavior across the two builds.
+  Mutex mu(kLockRankCommonPool);
+  MutexLock lock(mu);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace nebula
+
+#endif  // NEBULA_LOCKDEP_ENABLED

@@ -5,6 +5,9 @@ Compares committed BENCH_<name>.json sidecars against freshly generated
 ones and fails on SCHEMA drift: top-level keys, the per-record shape,
 the set of record names, and each record's param-key list. Numbers are
 deliberately ignored — timings differ per machine; the shape must not.
+Committed sidecars must additionally come from an unperturbed build:
+one stamped "build": {"lockdep": true, ...} or a nonempty sanitizer
+fails the check outright (instrumented numbers are not comparable).
 
 Usage:
   check_bench_schema.py --committed DIR --generated DIR name [name ...]
@@ -19,7 +22,8 @@ import os
 import sys
 
 RECORD_KEYS = ["name", "params", "wall_us", "rows_examined"]
-TOP_KEYS = ["bench", "quick_mode", "records", "metrics"]
+TOP_KEYS = ["bench", "quick_mode", "build", "records", "metrics"]
+BUILD_KEYS = ["lockdep", "sanitizer"]
 
 # The loadgen harness reports a percentile ladder per operation type on
 # top of the base record shape.
@@ -41,6 +45,10 @@ def check_shape(doc, label, errors):
         errors.append("%s: top-level keys %s != %s"
                       % (label, sorted(doc.keys()), sorted(TOP_KEYS)))
         return
+    if sorted(doc["build"].keys()) != sorted(BUILD_KEYS):
+        errors.append("%s: build keys %s != %s"
+                      % (label, sorted(doc["build"].keys()),
+                         sorted(BUILD_KEYS)))
     expected = RECORD_KEYS + EXTRA_RECORD_KEYS.get(doc.get("bench"), [])
     for rec in doc["records"]:
         if sorted(rec.keys()) != sorted(expected):
@@ -61,6 +69,23 @@ def check_percentiles(rec, label, errors):
                       % (label, rec.get("name", "?"), ladder))
 
 
+def check_committed_build(doc, label, errors):
+    """Committed numbers must come from an unperturbed build.
+
+    A lockdep or sanitizer build measures the instrumentation, not the
+    engine; such a sidecar may be generated locally but never committed.
+    """
+    build = doc.get("build", {})
+    if build.get("lockdep") is not False:
+        errors.append("%s: measured with the lockdep witness compiled in "
+                      "(build.lockdep=%r) — regenerate from a plain release "
+                      "build" % (label, build.get("lockdep")))
+    if build.get("sanitizer", "") != "":
+        errors.append("%s: measured under -DNEBULA_SANITIZE=%s — regenerate "
+                      "from a plain release build"
+                      % (label, build.get("sanitizer")))
+
+
 def record_schema(doc):
     """name -> ordered param-key list, for cross-file comparison."""
     return {rec["name"]: list(rec["params"].keys())
@@ -79,6 +104,7 @@ def compare(name, committed_dir, generated_dir, errors):
         return
     check_shape(committed, "committed " + fname, errors)
     check_shape(generated, "generated " + fname, errors)
+    check_committed_build(committed, "committed " + fname, errors)
     if committed.get("bench") != generated.get("bench"):
         errors.append("%s: bench field %r != %r"
                       % (fname, committed.get("bench"),

@@ -1,0 +1,18 @@
+// [guarded-coverage] plant: counter_ is written under the lock scope
+// but declared without GUARDED_BY. annotated_ proves the annotated
+// sibling stays silent.
+#include "alpha/lock_rank.h"
+
+class GuardedPlant {
+ public:
+  void Bump() {
+    MutexLock lock(mu_);
+    counter_ += 1;
+    annotated_ += 1;
+  }
+
+ private:
+  Mutex mu_{kLockRankAlphaOuter};
+  int counter_ = 0;
+  int annotated_ GUARDED_BY(mu_) = 0;
+};

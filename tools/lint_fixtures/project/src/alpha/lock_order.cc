@@ -1,0 +1,19 @@
+// [lock-order] plant (scope form): the nested MutexLock scopes acquire
+// alpha.inner (tier 20) first and alpha.outer (tier 10) second —
+// backwards through the rank DAG.
+#include "alpha/lock_rank.h"
+
+struct OrderPlant {
+  void Backwards() {
+    MutexLock take_inner(inner_);
+    MutexLock take_outer(outer_);
+  }
+
+  void Forwards() {
+    MutexLock take_outer(outer_);
+    MutexLock take_inner(inner_);
+  }
+
+  Mutex outer_{kLockRankAlphaOuter};
+  Mutex inner_{kLockRankAlphaInner};
+};

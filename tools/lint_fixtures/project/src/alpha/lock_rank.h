@@ -1,0 +1,15 @@
+// Fixture rank constants. kLockRankAlphaGhost is the [lock-rank-unknown]
+// plant: its rank name is not in tools/lock_ranks.txt.
+#ifndef NEBULA_ALPHA_LOCK_RANK_H_
+#define NEBULA_ALPHA_LOCK_RANK_H_
+
+struct LockRank {
+  const char* name;
+  int tier;
+};
+
+inline constexpr LockRank kLockRankAlphaOuter = {"alpha.outer", 10};
+inline constexpr LockRank kLockRankAlphaInner = {"alpha.inner", 20};
+inline constexpr LockRank kLockRankAlphaGhost = {"alpha.ghost", 30};
+
+#endif  // NEBULA_ALPHA_LOCK_RANK_H_

@@ -1,0 +1,14 @@
+// [lock-order] plant (attribute form): outer_ (tier 10) is declared
+// ACQUIRED_AFTER inner_ (tier 20), contradicting the DAG.
+#ifndef NEBULA_ALPHA_ORDER_ATTR_H_
+#define NEBULA_ALPHA_ORDER_ATTR_H_
+
+#include "alpha/lock_rank.h"
+
+class AttrPlant {
+ private:
+  Mutex inner_{kLockRankAlphaInner};
+  Mutex outer_ ACQUIRED_AFTER(inner_){kLockRankAlphaOuter};
+};
+
+#endif  // NEBULA_ALPHA_ORDER_ATTR_H_

@@ -1,0 +1,11 @@
+// [lock-rank-missing] plant: a mutex member with no kLockRank*
+// constructor argument.
+#ifndef NEBULA_ALPHA_RANK_MISSING_H_
+#define NEBULA_ALPHA_RANK_MISSING_H_
+
+class RankMissingThing {
+ private:
+  Mutex mu_;
+};
+
+#endif  // NEBULA_ALPHA_RANK_MISSING_H_

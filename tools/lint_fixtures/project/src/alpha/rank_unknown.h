@@ -1,0 +1,11 @@
+// [lock-rank-unknown] plant (usage form): the rank constant is not
+// declared in any lock_rank.h.
+#ifndef NEBULA_ALPHA_RANK_UNKNOWN_H_
+#define NEBULA_ALPHA_RANK_UNKNOWN_H_
+
+class RankUnknownThing {
+ private:
+  SharedMutex mu_{kLockRankAlphaBogus};
+};
+
+#endif  // NEBULA_ALPHA_RANK_UNKNOWN_H_

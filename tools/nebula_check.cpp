@@ -30,6 +30,7 @@
 
 #include "testing/check_runner.h"
 #include "testing/crash.h"
+#include "testing/differential.h"
 
 namespace {
 
@@ -39,8 +40,7 @@ void PrintUsage(std::ostream& out) {
          "--seeds 1)\n"
          "  --start N       first seed of the sweep (default 1)\n"
          "  --seeds N       number of seeds to sweep (default 20)\n"
-         "  --pair P        threads | batch | obs | spreading | index | "
-         "durability | all (default all)\n"
+         "  --pair P        one config pair below, or all (default all)\n"
          "  --threads N     pool size for the parallel sides (default 3)\n"
          "  --no-shrink     report divergences without minimizing them\n"
          "  --repro-dir D   directory for repro files (default .)\n"
@@ -51,11 +51,34 @@ void PrintUsage(std::ostream& out) {
          "  --snapshot-every N  crash sweep: snapshot cadence in committed "
          "operations; 0 = WAL only (default 2)\n"
          "  --inject-bug    deliberately plant a bug (differential sweep: "
-         "mis-configure one side; crash sweep: perturb WAL replay — pair "
-         "with --snapshot-every 0)\n"
+         "mis-configure one side, or a lockdep inversion on the lockdep "
+         "pair; crash sweep: perturb WAL replay — pair with "
+         "--snapshot-every 0)\n"
          "  --help          this text\n"
-         "environment:\n"
-         "  NEBULA_CHECK_SEED  overrides the sweep with that single seed\n";
+         "config pairs (--pair):\n";
+  // Generated from kAllConfigPairs so this list can never drift from the
+  // harness (the nebula_check_help_smoke ctest pins every name).
+  for (const nebula::check::ConfigPair pair : nebula::check::kAllConfigPairs) {
+    out << "  " << nebula::check::ConfigPairName(pair);
+    for (size_t pad = std::strlen(nebula::check::ConfigPairName(pair));
+         pad < 12; ++pad) {
+      out << ' ';
+    }
+    out << nebula::check::ConfigPairDescription(pair) << "\n";
+  }
+  out << "crash modes (sampled per seed under --crash):\n";
+  for (const nebula::check::CrashMode mode : nebula::check::kAllCrashModes) {
+    out << "  " << nebula::check::CrashModeName(mode);
+    for (size_t pad = std::strlen(nebula::check::CrashModeName(mode));
+         pad < 15; ++pad) {
+      out << ' ';
+    }
+    out << nebula::check::CrashModeDescription(mode) << "\n";
+  }
+  out << "environment:\n"
+         "  NEBULA_CHECK_SEED  overrides the sweep with that single seed\n"
+         "  NEBULA_LOCKDEP     1 arms the runtime lock-order witness "
+         "(lockdep builds)\n";
 }
 
 bool ParseU64(const char* s, uint64_t* out) {

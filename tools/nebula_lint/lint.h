@@ -18,6 +18,20 @@
 //                                 transitive include only.
 //   discipline   [dropped-status] a statement that calls a function
 //                                 returning Status/Result and drops it.
+//   concurrency  [lock-rank-missing] a nebula::Mutex/SharedMutex member
+//                                 or global declared without a
+//                                 kLockRank* constructor argument.
+//                [lock-rank-unknown] a rank constant that is not
+//                                 declared in common/lock_rank.h, or a
+//                                 lock_rank.h constant whose name/tier
+//                                 disagrees with tools/lock_ranks.txt.
+//                [lock-order]     a nested MutexLock scope or an
+//                                 ACQUIRED_AFTER edge that contradicts
+//                                 the rank DAG, reported with the full
+//                                 acquisition chain.
+//                [guarded-coverage] a field written under a MutexLock
+//                                 scope whose declaration carries no
+//                                 GUARDED_BY annotation.
 //
 // Standalone by design: no nebula libraries, std only. The analysis is
 // textual and deliberately conservative — see each pass for the
@@ -142,6 +156,22 @@ void RunHygienePass(const SourceTree& tree, Report* report);
 
 /// [dropped-status].
 void RunDisciplinePass(const SourceTree& tree, Report* report);
+
+/// Lock-rank registry: the acquisition-order DAG embedded in a total
+/// order of integer tiers, one `<tier> <name>` line per rank, strictly
+/// ascending. Loaded from tools/lock_ranks.txt.
+struct LockRankRegistry {
+  std::map<std::string, int> tier_of;  ///< rank name -> tier
+  std::vector<std::string> order;      ///< names in registry (tier) order
+
+  static LockRankRegistry Load(const fs::path& path, std::string* error);
+};
+
+/// [lock-rank-missing] + [lock-rank-unknown] + [lock-order] +
+/// [guarded-coverage]. Only src/ files are constrained (tests may build
+/// private rank sets for the lockdep witness's own fixtures).
+void RunConcurrencyPass(const SourceTree& tree,
+                        const LockRankRegistry& registry, Report* report);
 
 }  // namespace nebula_lint
 

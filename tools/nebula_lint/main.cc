@@ -4,9 +4,12 @@
 //   nebula_lint --root <repo> [--baseline <file>] [--update-baseline]
 //               [--json <file>]
 //       All passes over src/, tools/, tests/. Findings whose baseline key
-//       appears in the baseline file are suppressed — EXCEPT [layer-dag]
-//       and [include-cycle], which are never baselinable: the layer DAG
-//       holds everywhere, always. --update-baseline rewrites the
+//       appears in the baseline file are suppressed — EXCEPT [layer-dag],
+//       [include-cycle], and the four concurrency rules
+//       ([lock-rank-missing], [lock-rank-unknown], [lock-order],
+//       [guarded-coverage]), which are never baselinable: the layer DAG
+//       and the lock-rank DAG hold everywhere, always. --update-baseline
+//       rewrites the
 //       nebula_lint-owned entries of the baseline file in place (lines
 //       owned by other tools, e.g. clang-tidy via run_lint.sh, are kept).
 //   nebula_lint --src <dir> [--json <file>]
@@ -29,13 +32,20 @@ namespace nebula_lint {
 namespace {
 
 const char* const kRules[] = {
-    "naked-sync",     "fault-name",      "nondeterminism",
-    "layer-dag",      "include-cycle",   "include-guard",
-    "unused-include", "missing-include", "dropped-status",
+    "naked-sync",        "fault-name",        "nondeterminism",
+    "layer-dag",         "include-cycle",     "include-guard",
+    "unused-include",    "missing-include",   "dropped-status",
+    "lock-rank-missing", "lock-rank-unknown", "lock-order",
+    "guarded-coverage",
 };
 
+/// Rules that can never be baselined: the layer DAG and the lock-rank
+/// DAG hold everywhere, always — an entry in the baseline file for one
+/// of these is ignored.
 bool IsLayerRule(const std::string& rule) {
-  return rule == "layer-dag" || rule == "include-cycle";
+  return rule == "layer-dag" || rule == "include-cycle" ||
+         rule == "lock-rank-missing" || rule == "lock-rank-unknown" ||
+         rule == "lock-order" || rule == "guarded-coverage";
 }
 
 /// Canonical fault-point names (kFault* identifiers) declared in
@@ -148,6 +158,12 @@ int RunFull(const fs::path& root, const fs::path& baseline_path,
     std::cerr << "nebula_lint: " << error << "\n";
     return 2;
   }
+  const LockRankRegistry registry =
+      LockRankRegistry::Load(root / "tools" / "lock_ranks.txt", &error);
+  if (!error.empty()) {
+    std::cerr << "nebula_lint: " << error << "\n";
+    return 2;
+  }
   const SourceTree tree =
       LoadTree(root, {"src", "tools", "tests"}, {"lint_fixtures", "build"});
   if (tree.files.empty()) {
@@ -160,6 +176,7 @@ int RunFull(const fs::path& root, const fs::path& baseline_path,
   RunLayerPass(tree, manifest, &report);
   RunHygienePass(tree, &report);
   RunDisciplinePass(tree, &report);
+  RunConcurrencyPass(tree, registry, &report);
 
   std::vector<Finding> findings = report.findings();
   SortFindings(&findings);
@@ -249,12 +266,19 @@ int RunSelfTest(const fs::path& fixtures) {
     std::cerr << "nebula_lint self-test: " << error << "\n";
     return 2;
   }
+  const LockRankRegistry registry = LockRankRegistry::Load(
+      project / "tools" / "lock_ranks.txt", &error);
+  if (!error.empty()) {
+    std::cerr << "nebula_lint self-test: " << error << "\n";
+    return 2;
+  }
   const SourceTree project_tree =
       LoadTree(project, {"src", "tools", "tests"}, {});
   RunTextualPass(project_tree, {}, &report);
   RunLayerPass(project_tree, manifest, &report);
   RunHygienePass(project_tree, &report);
   RunDisciplinePass(project_tree, &report);
+  RunConcurrencyPass(project_tree, registry, &report);
 
   // Every rule must catch exactly its plants, counted per planted FILE —
   // a rule may legitimately have plants in several files (layer-dag has
@@ -276,6 +300,12 @@ int RunSelfTest(const fs::path& fixtures) {
       {"unused-include", 1, "unused_inc.cc"},
       {"missing-include", 1, "missing_inc.cc"},
       {"dropped-status", 1, "dropped.cc"},
+      {"lock-rank-missing", 1, "rank_missing.h"},
+      {"lock-rank-unknown", 1, "lock_rank.h"},
+      {"lock-rank-unknown", 1, "rank_unknown.h"},
+      {"lock-order", 1, "lock_order.cc"},
+      {"lock-order", 1, "order_attr.h"},
+      {"guarded-coverage", 1, "guarded.cc"},
   };
   bool ok = true;
   size_t expected_total = 0;

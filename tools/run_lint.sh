@@ -14,6 +14,13 @@
 #                          instead of skipping. Defaults to 1 when CI or
 #                          GITHUB_ACTIONS is set: a CI leg that silently
 #                          skips its analysis is worse than a red one.
+#   NEBULA_LINT_ONLY=1     stop after the nebula_lint stage (still
+#                          writing the JSON findings artifact). For CI
+#                          legs without clang-tidy installed: every leg
+#                          uploads the artifact, only static-analysis
+#                          pays for the tidy run.
+#   NEBULA_LINT_JSON=path  findings artifact location (default
+#                          <build-dir>/nebula-lint-findings.json).
 #   CLANG_TIDY=<binary>    clang-tidy executable to use.
 #
 # tools/lint_baseline.txt is shared with the nebula_lint binary: its
@@ -40,6 +47,33 @@ if [ "${2:-}" = "--update-baseline" ]; then
   UPDATE_BASELINE=1
 fi
 BASELINE="${REPO_ROOT}/tools/lint_baseline.txt"
+
+# --- nebula_lint + JSON artifact --------------------------------------------
+# Runs before (and independently of) clang-tidy so EVERY CI leg that
+# calls this script emits the nebula-lint-findings.json artifact, not
+# just the static-analysis job. Skipped only when the binary has not
+# been built in this build dir (the dedicated lint ctest still covers
+# the tree there).
+LINT_JSON="${NEBULA_LINT_JSON:-${BUILD_DIR}/nebula-lint-findings.json}"
+NEBULA_LINT_BIN="${BUILD_DIR}/tools/nebula_lint"
+if [ -x "${NEBULA_LINT_BIN}" ]; then
+  if ! "${NEBULA_LINT_BIN}" --root "${REPO_ROOT}" \
+       --baseline "${REPO_ROOT}/tools/lint_baseline.txt" \
+       --json "${LINT_JSON}"; then
+    echo "run_lint.sh: nebula_lint found fresh violations (see above;" \
+         "artifact: ${LINT_JSON})" >&2
+    exit 1
+  fi
+  echo "run_lint.sh: nebula_lint clean; findings artifact: ${LINT_JSON}"
+else
+  echo "run_lint.sh: ${NEBULA_LINT_BIN} not built; skipping nebula_lint" \
+       "stage (ctest -L lint covers it)" >&2
+fi
+
+if [ "${NEBULA_LINT_ONLY:-0}" = "1" ]; then
+  echo "run_lint.sh: NEBULA_LINT_ONLY=1 — skipping clang-tidy stage"
+  exit 0
+fi
 
 # --- locate clang-tidy ------------------------------------------------------
 TIDY="${CLANG_TIDY:-}"
@@ -100,7 +134,9 @@ normalize "${RAW}" >"${ACTUAL}"
 NEBULA_LINT_RULES='naked-sync|fault-name|nondeterminism|layer-dag'
 NEBULA_LINT_RULES="${NEBULA_LINT_RULES}|include-cycle|include-guard"
 NEBULA_LINT_RULES="${NEBULA_LINT_RULES}|unused-include|missing-include"
-NEBULA_LINT_RULES="${NEBULA_LINT_RULES}|dropped-status"
+NEBULA_LINT_RULES="${NEBULA_LINT_RULES}|dropped-status|lock-rank-missing"
+NEBULA_LINT_RULES="${NEBULA_LINT_RULES}|lock-rank-unknown|lock-order"
+NEBULA_LINT_RULES="${NEBULA_LINT_RULES}|guarded-coverage"
 touch "${BASELINE}"
 grep -E ": \[(${NEBULA_LINT_RULES})\] " "${BASELINE}" >"${OURS}" || true
 

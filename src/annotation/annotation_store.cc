@@ -153,6 +153,7 @@ std::vector<Attachment> AnnotationStore::AllAttachments() const {
 std::vector<TupleId> AnnotationStore::AnnotatedTuples() const {
   std::vector<TupleId> out;
   out.reserve(annotations_by_tuple_.size());
+  // nebula-lint: order-insensitive — keys are sorted below
   for (const auto& [tuple, _] : annotations_by_tuple_) out.push_back(tuple);
   std::sort(out.begin(), out.end());
   return out;

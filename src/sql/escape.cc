@@ -1,0 +1,58 @@
+#include "sql/escape.h"
+
+#include <cstdio>
+
+namespace nebula::sql {
+
+std::string EscapeSqlLiteral(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '\'') {
+      out += "''";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\x%02x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool IsPlainIdent(std::string_view ident) {
+  if (ident.empty()) return false;
+  const char first = ident[0];
+  const bool first_ok = (first >= 'A' && first <= 'Z') ||
+                        (first >= 'a' && first <= 'z') || first == '_';
+  if (!first_ok) return false;
+  for (char c : ident.substr(1)) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string QuoteIdent(std::string_view ident) {
+  if (IsPlainIdent(ident)) return std::string(ident);
+  std::string out;
+  out.reserve(ident.size() + 2);
+  out += '"';
+  for (char c : ident) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace nebula::sql

@@ -7,6 +7,7 @@
 #include "common/fault_points.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "sql/escape.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
 #include "storage/value.h"
@@ -34,20 +35,26 @@ const char* CompareOpName(CompareOp op) {
   return "?";
 }
 
-std::string Predicate::ToString() const {
-  return column + " " + CompareOpName(op) + " '" + value.ToString() + "'";
+sql::SqlFragment Predicate::ToFragment() const {
+  sql::SqlFragment f;
+  f.Ident(column).Raw(" ").Raw(CompareOpName(op)).Raw(" ");
+  f.Literal(value.ToString());
+  return f;
 }
 
+std::string Predicate::ToString() const { return ToFragment().str(); }
+
 std::string SelectQuery::ToSqlString() const {
-  std::string sql = "SELECT * FROM " + table;
+  sql::SqlFragment f;
+  f.Raw("SELECT * FROM ").Ident(table);
   if (!predicates.empty()) {
-    sql += " WHERE ";
+    f.Raw(" WHERE ");
     for (size_t i = 0; i < predicates.size(); ++i) {
-      if (i > 0) sql += " AND ";
-      sql += predicates[i].ToString();
+      if (i > 0) f.Raw(" AND ");
+      f.Concat(predicates[i].ToFragment());
     }
   }
-  return sql;
+  return f.str();
 }
 
 namespace {

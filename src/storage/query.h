@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "sql/escape.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
 #include "storage/value.h"
@@ -35,6 +36,12 @@ struct Predicate {
   CompareOp op = CompareOp::kEq;
   Value value;
 
+  /// The predicate as escaped SQL text (`column op 'literal'`), built
+  /// through the sql/escape layer so a value containing quotes, `;--`,
+  /// or control bytes can never alter the fragment's structure. The
+  /// escapes are the identity on alphanumeric values, so benign
+  /// predicates render exactly as they always did.
+  sql::SqlFragment ToFragment() const;
   std::string ToString() const;
 };
 

@@ -64,6 +64,7 @@ const std::vector<ValueIndex::RowId>* ValueIndex::Lookup(
 std::vector<std::string> ValueIndex::CanonicalDump() const {
   std::vector<std::string> lines;
   lines.reserve(postings_.size());
+  // nebula-lint: order-insensitive — dump lines are sorted below
   for (const auto& [token, by_column] : postings_) {
     for (const ColumnPostings& entry : by_column) {
       std::string line = token + "|" + std::to_string(entry.column) + ":";

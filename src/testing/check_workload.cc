@@ -142,6 +142,21 @@ Result<std::unique_ptr<CheckUniverse>> BuildCheckUniverse(
       NEBULA_ASSIGN_OR_RETURN(Table::RowId rid, table->Insert(std::move(row)));
       universe->all_tuples.push_back(TupleId{table->id(), rid});
     }
+    if (t == 0 && params.hostile_tokens) {
+      // One hostile row: SQL metacharacters in every string cell. The id
+      // stays pattern-shaped (and unique: one past the generated range) so
+      // the row reaches Stage 2 through the same match paths as its
+      // siblings. Fixed values, no RNG draws — see the flag's contract.
+      std::vector<Value> row = {
+          Value(IdValue(flavor, static_cast<uint64_t>(rows))),
+          Value(std::string("O'Brien;--")),
+          Value(std::string("kin'ase\" or 1=1")),
+          Value(static_cast<int64_t>(1337)),
+          Value(std::string("observed 'quote' and ;-- marker")),
+      };
+      NEBULA_ASSIGN_OR_RETURN(Table::RowId rid, table->Insert(std::move(row)));
+      universe->all_tuples.push_back(TupleId{table->id(), rid});
+    }
     // Text-index the free-text column (ordinal 4: after id/name/kind/size)
     // so the keyword engine emits token-containment statements against it.
     NEBULA_RETURN_NOT_OK(
@@ -254,6 +269,13 @@ CheckWorkload GenerateCheckWorkload(uint64_t seed,
       // Id-shaped decoy that exists in no table: the generated query must
       // come back empty without disturbing anything else.
       words.push_back("ZX" + std::to_string(rng.UniformRange(100, 999)));
+    }
+    if (params.hostile_tokens) {
+      // A metacharacter-bearing token in every stream text: it must flow
+      // through keyword extraction and (matching the hostile universe row)
+      // Stage-2 SQL construction without altering query structure. Fixed
+      // token, no RNG draw — the off-path stream stays bit-identical.
+      words.push_back("O'Brien;--");
     }
     ann.text = Join(words, " ");
     workload.annotations.push_back(std::move(ann));

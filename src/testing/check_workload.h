@@ -45,6 +45,13 @@ struct CheckWorkloadParams {
   /// NebulaMeta value samples per referenced column. Kept below the row
   /// count on purpose: unsampled values exercise the fuzzy-match band.
   size_t samples_per_column = 16;
+  /// Adversarial surface: the root table gains one extra row whose string
+  /// cells carry SQL metacharacters (single quote, `;--` comment marker),
+  /// and every stream annotation text gains one hostile token. Every
+  /// hostile addition is gated behind this flag and draws no RNG values,
+  /// so the off-path universe and stream are bit-identical to a build
+  /// without the feature.
+  bool hostile_tokens = false;
 };
 
 /// The deterministic mini-world a check seed expands into: a catalog of

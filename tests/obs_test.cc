@@ -349,6 +349,25 @@ TEST(ExportTest, JsonEscapeControlCharacters) {
   EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
 }
 
+TEST(ExportTest, JsonEscapeBackspaceAndFormFeed) {
+  // \b and \f have dedicated two-character escapes; everything else below
+  // 0x20 falls through to \u00XX.
+  EXPECT_EQ(JsonEscape("a\bb\fc"), "a\\bb\\fc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x00')), "\\u0000");
+}
+
+TEST(ExportTest, PromEscapeControlCharacters) {
+  // The exposition format has escapes for backslash, quote, and newline
+  // only; any other control byte is rendered as a visible \xNN token so
+  // it can never corrupt the line protocol.
+  EXPECT_EQ(PromEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(PromEscape("x\ry"), "x\\x0dy");
+  EXPECT_EQ(PromEscape(std::string(1, '\x01')), "\\x01");
+  EXPECT_EQ(PromEscape(std::string(1, '\x1f')), "\\x1f");
+  EXPECT_EQ(PromEscape(std::string(1, '\x00')), "\\x00");
+}
+
 // ---------------------------------------------------------------------
 // Tracing
 // ---------------------------------------------------------------------

@@ -1,0 +1,235 @@
+// Injection regression suite for the sql/escape layer: hostile values
+// (quotes, `;--` comment markers, embedded NUL) must round-trip Stage 2
+// without altering query structure, colliding cache keys, or perturbing
+// the differential harness. The escapes are the identity on the
+// alphanumeric check universe, so these tests also pin the exact benign
+// renderings the transcripts depend on.
+
+#include "sql/escape.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "keyword/engine.h"
+#include "storage/catalog.h"
+#include "storage/query.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/value.h"
+#include "testing/check_runner.h"
+#include "testing/check_workload.h"
+
+namespace nebula {
+namespace {
+
+using sql::EscapeSqlLiteral;
+using sql::QuoteIdent;
+using sql::SqlFragment;
+
+/// A std::string carrying an embedded NUL (string literals truncate).
+std::string WithNul(const char* before, const char* after) {
+  std::string s(before);
+  s += '\0';
+  s += after;
+  return s;
+}
+
+TEST(EscapeSqlLiteralTest, IdentityOnBenignText) {
+  EXPECT_EQ(EscapeSqlLiteral("Brakt17"), "Brakt17");
+  EXPECT_EQ(EscapeSqlLiteral("observed kinase profile"),
+            "observed kinase profile");
+  EXPECT_EQ(EscapeSqlLiteral(""), "");
+}
+
+TEST(EscapeSqlLiteralTest, ExactHostileRenderings) {
+  EXPECT_EQ(EscapeSqlLiteral("O'Brien"), "O''Brien");
+  EXPECT_EQ(EscapeSqlLiteral("a;--b"), "a;--b");  // no quote: inert inside ''
+  EXPECT_EQ(EscapeSqlLiteral("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(EscapeSqlLiteral(WithNul("a", "b")), "a\\x00b");
+  EXPECT_EQ(EscapeSqlLiteral("line\nbreak"), "line\\x0abreak");
+}
+
+TEST(EscapeSqlLiteralTest, InjectivePairsStayDistinct) {
+  // Each pair collided (or nested) under naive concatenation.
+  EXPECT_NE(EscapeSqlLiteral("a'b"), EscapeSqlLiteral("a''b"));
+  EXPECT_NE(EscapeSqlLiteral(WithNul("a", "")), EscapeSqlLiteral("a"));
+  EXPECT_NE(EscapeSqlLiteral("a\\"), EscapeSqlLiteral("a\\\\"));
+}
+
+TEST(QuoteIdentTest, PlainIdentifiersPassThrough) {
+  EXPECT_EQ(QuoteIdent("gene"), "gene");
+  EXPECT_EQ(QuoteIdent("_tmp2"), "_tmp2");
+}
+
+TEST(QuoteIdentTest, HostileIdentifiersAreQuoted) {
+  EXPECT_EQ(QuoteIdent("two words"), "\"two words\"");
+  EXPECT_EQ(QuoteIdent("7days"), "\"7days\"");
+  EXPECT_EQ(QuoteIdent("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(QuoteIdent(""), "\"\"");
+}
+
+TEST(SqlFragmentTest, BuildsOnlyFromEscapedPieces) {
+  SqlFragment f;
+  EXPECT_TRUE(f.empty());
+  f.Raw("SELECT * FROM ").Ident("my table").Raw(" WHERE ").Ident("name");
+  f.Raw(" = ").Literal("O'Brien");
+  SqlFragment tail;
+  tail.Raw(" AND ").Ident("kind").Raw(" = ").Literal("kinase");
+  f.Concat(tail);
+  EXPECT_EQ(f.str(),
+            "SELECT * FROM \"my table\" WHERE name = 'O''Brien'"
+            " AND kind = 'kinase'");
+}
+
+TEST(PredicateRenderTest, HostileValueCannotAlterStructure) {
+  Predicate p{"name", CompareOp::kEq, Value(std::string("O'Brien;--"))};
+  EXPECT_EQ(p.ToString(), "name = 'O''Brien;--'");
+
+  // The classic splice: a value that tries to close the literal and
+  // smuggle a second predicate must stay one literal.
+  Predicate smuggle{"name", CompareOp::kEq,
+                    Value(std::string("v' AND name = 'v"))};
+  EXPECT_EQ(smuggle.ToString(), "name = 'v'' AND name = ''v'");
+
+  Predicate nul{"name", CompareOp::kEq, Value(WithNul("a", "b"))};
+  EXPECT_EQ(nul.ToString(), "name = 'a\\x00b'");
+}
+
+TEST(SelectQueryRenderTest, StructurePreservedUnderHostileValues) {
+  SelectQuery q;
+  q.table = "gene";
+  q.predicates = {
+      {"name", CompareOp::kEq, Value(std::string("O'Brien;--"))},
+      {"notes", CompareOp::kContainsToken, Value(WithNul("x", "y"))},
+  };
+  EXPECT_EQ(q.ToSqlString(),
+            "SELECT * FROM gene WHERE name = 'O''Brien;--'"
+            " AND notes CONTAINS 'x\\x00y'");
+}
+
+TEST(CanonicalKeyTest, HostileTableNameNoLongerCollides) {
+  // Pre-escape regression: the key was raw `table + "|" + preds`, so a
+  // table literally named `t|name = 'v'` with no predicates collided
+  // with table `t` filtered on name = 'v'. QuoteIdent keeps them apart.
+  GeneratedSql weird;
+  weird.query.table = "t|name = 'v'";
+  GeneratedSql normal;
+  normal.query.table = "t";
+  normal.query.predicates = {
+      {"name", CompareOp::kEq, Value(std::string("v"))}};
+  EXPECT_NE(weird.CanonicalKey(), normal.CanonicalKey());
+}
+
+TEST(CanonicalKeyTest, PredicateOrderInsensitiveAndBenignStable) {
+  GeneratedSql a;
+  a.query.table = "Gene";
+  a.query.predicates = {
+      {"kind", CompareOp::kEq, Value(std::string("kinase"))},
+      {"name", CompareOp::kEq, Value(std::string("Brakt17"))}};
+  GeneratedSql b = a;
+  std::swap(b.query.predicates[0], b.query.predicates[1]);
+  EXPECT_EQ(a.CanonicalKey(), b.CanonicalKey());
+  // Benign keys render exactly as before the escaping layer landed.
+  EXPECT_EQ(a.CanonicalKey(), "gene|kind = 'kinase'&name = 'Brakt17'");
+}
+
+/// End-to-end Stage 2: hostile values stored in a real table are
+/// retrievable by exact match, and the rendered SQL never loses a row or
+/// picks up a phantom one.
+TEST(ExecutorRoundTripTest, HostileValuesRoundTripStage2) {
+  Catalog catalog;
+  auto table = catalog.CreateTable(
+      "people", Schema({ColumnDef("id", DataType::kString, /*unique=*/true),
+                        ColumnDef("name", DataType::kString)}));
+  ASSERT_TRUE(table.ok());
+  const std::vector<std::string> names = {
+      "Alice", "O'Brien;--", WithNul("nu", "ll"), "v' AND name = 'v"};
+  for (size_t i = 0; i < names.size(); ++i) {
+    auto rid = (*table)->Insert(
+        {Value("ID" + std::to_string(i)), Value(names[i])});
+    ASSERT_TRUE(rid.ok());
+  }
+
+  QueryExecutor executor(&catalog);
+  for (size_t i = 0; i < names.size(); ++i) {
+    SelectQuery q;
+    q.table = "people";
+    q.predicates = {{"name", CompareOp::kEq, Value(names[i])}};
+    // Rendering must succeed and stay a single-statement SELECT.
+    const std::string rendered = q.ToSqlString();
+    EXPECT_EQ(rendered.find("SELECT"), 0u) << rendered;
+    auto rows = executor.Execute(q);
+    ASSERT_TRUE(rows.ok()) << "value: " << names[i];
+    ASSERT_EQ(rows->size(), 1u) << "value: " << names[i];
+    EXPECT_EQ((*table)->GetCell(rows->front(), 1), Value(names[i]));
+  }
+}
+
+TEST(HostileWorkloadTest, FlagIsSeedStableAndAdditive) {
+  check::CheckWorkloadParams hostile;
+  hostile.hostile_tokens = true;
+
+  auto plain = check::BuildCheckUniverse(7);
+  auto spiked = check::BuildCheckUniverse(7, hostile);
+  auto spiked2 = check::BuildCheckUniverse(7, hostile);
+  ASSERT_TRUE(plain.ok() && spiked.ok() && spiked2.ok());
+
+  // Deterministic: two hostile builds agree cell for cell.
+  ASSERT_EQ((*spiked)->catalog.num_tables(), (*spiked2)->catalog.num_tables());
+  for (size_t t = 0; t < (*spiked)->catalog.num_tables(); ++t) {
+    const Table* ta = (*spiked)->catalog.GetTableById(static_cast<uint32_t>(t));
+    const Table* tb =
+        (*spiked2)->catalog.GetTableById(static_cast<uint32_t>(t));
+    ASSERT_EQ(ta->num_rows(), tb->num_rows());
+    for (uint64_t r = 0; r < ta->num_rows(); ++r) {
+      for (size_t c = 0; c < ta->schema().num_columns(); ++c) {
+        ASSERT_EQ(ta->GetCell(r, c), tb->GetCell(r, c));
+      }
+    }
+  }
+
+  // Additive on the root table: one extra row, the generated prefix
+  // untouched (the hostile insert draws no RNG values).
+  const Table* plain_root = (*plain)->catalog.GetTableById(0);
+  const Table* spiked_root = (*spiked)->catalog.GetTableById(0);
+  ASSERT_EQ(spiked_root->num_rows(), plain_root->num_rows() + 1);
+  for (uint64_t r = 0; r < plain_root->num_rows(); ++r) {
+    for (size_t c = 0; c < plain_root->schema().num_columns(); ++c) {
+      EXPECT_EQ(spiked_root->GetCell(r, c), plain_root->GetCell(r, c));
+    }
+  }
+  EXPECT_EQ(spiked_root->GetCell(spiked_root->num_rows() - 1, 1),
+            Value(std::string("O'Brien;--")));
+
+  // Every stream annotation carries the hostile token.
+  const check::CheckWorkload workload =
+      check::GenerateCheckWorkload(7, **spiked, hostile);
+  ASSERT_FALSE(workload.annotations.empty());
+  for (const check::CheckAnnotation& a : workload.annotations) {
+    EXPECT_NE(a.text.find("O'Brien;--"), std::string::npos) << a.text;
+  }
+}
+
+/// The payoff test: a full differential sweep over every config pair with
+/// the hostile workload enabled. Any structural damage from a
+/// metacharacter (phantom rows, lost rows, colliding plan-cache keys
+/// between the cached and uncached sides) surfaces as a divergence.
+TEST(HostileWorkloadTest, DifferentialSweepStaysDivergenceFree) {
+  check::CheckOptions options;
+  options.start_seed = 1;
+  options.num_seeds = 4;
+  options.shrink = false;
+  options.workload.hostile_tokens = true;
+  std::ostringstream log;
+  const auto summary = check::RunCheckSweep(options, log);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->pair_runs, 4u * std::size(check::kAllConfigPairs));
+  EXPECT_EQ(summary->divergences, 0u) << log.str();
+  EXPECT_EQ(summary->run_errors, 0u) << log.str();
+}
+
+}  // namespace
+}  // namespace nebula

@@ -1,0 +1,51 @@
+// [sql-taint] plants and controls. The fixture registry
+// (project/tools/sql_sinks.txt) declares BuildWhere and ReportSql::Render
+// as SQL sinks; each leaks one unescaped value into its return (the two
+// plants). CleanWhere and CleanFragment are sinks too, but route every
+// dynamic piece through the registered sanitizer / safe-type — the pass
+// must stay quiet about them.
+#include <string>
+
+// Local stand-ins for the escaping layer, so the fixture parses like real
+// code without compiling against src/sql/escape.h.
+std::string EscapeSqlLiteral(const std::string& raw);
+const char* OpName(int op);
+
+struct SqlFragment {
+  SqlFragment& Raw(const char* sql);
+  SqlFragment& Literal(const std::string& value);
+  std::string str() const;
+};
+
+struct ReportSql {
+  std::string title_;
+  std::string Render() const;
+};
+
+// [sql-taint] plant 1: a parameter concatenated straight into the SQL.
+std::string BuildWhere(const std::string& column,
+                       const std::string& user_value) {
+  std::string sql = "WHERE ";
+  sql += column;
+  sql += " = ";
+  sql += user_value;
+  return sql;
+}
+
+// [sql-taint] plant 2: a member returned as SQL without escaping.
+std::string ReportSql::Render() const { return "SELECT " + title_; }
+
+// Control: every dynamic piece passes through the sanitizer.
+std::string CleanWhere(const std::string& user_value) {
+  std::string sql = "WHERE name = ";
+  sql += EscapeSqlLiteral(user_value);
+  return sql;
+}
+
+// Control: the safe-type builder only ever holds escaped pieces.
+std::string CleanFragment(const std::string& user_value) {
+  SqlFragment f;
+  f.Raw("SELECT * FROM t WHERE kind = ");
+  f.Literal(user_value);
+  return f.str();
+}

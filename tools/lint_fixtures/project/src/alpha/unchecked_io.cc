@@ -1,0 +1,23 @@
+// [unchecked-io] plants: alpha is not src/durability/, so ANY
+// fopen/fwrite/rename/fsync-family call here is a violation — file IO
+// belongs to the durability layer, checked or not. The std::ofstream
+// control below is not stdio and must stay quiet.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+// [unchecked-io] plant 1: fopen outside the durability layer.
+bool TouchFile(const char* path) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) return false;
+  // [unchecked-io] plant 2: fclose outside the durability layer (being
+  // checked does not help — the layer boundary is the rule).
+  return std::fclose(f) == 0;
+}
+
+// Control: stream IO is not the stdio family this rule polices, and a
+// variable *named* renamed must not trip the token matcher.
+void WriteLog(const std::string& path, bool renamed) {
+  std::ofstream out(path);
+  if (renamed) out << "renamed\n";
+}

@@ -1,0 +1,32 @@
+// [unordered-iteration] plants and a control. alpha is a result-affecting
+// layer, so a bare range-for over an unordered container is a violation;
+// the annotated loop is the escape hatch.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+// [unordered-iteration] plant 1: range-for over an unordered_map.
+int SumCounts(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) total += key * value;
+  return total;
+}
+
+// [unordered-iteration] plant 2: range-for over an unordered_set member.
+struct TagBag {
+  std::unordered_set<std::string> tags_;
+
+  size_t TotalLength() const {
+    size_t total = 0;
+    for (const auto& tag : tags_) total += tag.size();
+    return total;
+  }
+};
+
+// Control: the annotation on the line above silences the rule.
+int SumAnnotated(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  // nebula-lint: order-insensitive — commutative sum
+  for (const auto& [key, value] : counts) total += key + value;
+  return total;
+}

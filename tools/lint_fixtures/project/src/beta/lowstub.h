@@ -1,0 +1,14 @@
+// [layer-dag] plant via a file-stem module: the manifest declares
+// "beta/lowstub" on the bottom tier, so THIS file resolves to that
+// module (longest match wins) while the rest of src/beta stays module
+// "beta". Including beta.h from here is therefore an upward edge.
+#ifndef NEBULA_BETA_LOWSTUB_H_
+#define NEBULA_BETA_LOWSTUB_H_
+
+#include "beta/beta.h"
+
+struct LowStub {
+  BetaThing up;
+};
+
+#endif  // NEBULA_BETA_LOWSTUB_H_

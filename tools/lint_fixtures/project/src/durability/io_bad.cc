@@ -1,0 +1,8 @@
+// [unchecked-io] plant: inside src/durability/ the family is allowed,
+// but a statement-position call whose return value evaporates is not.
+#include <cstdio>
+
+void FlushRecord(std::FILE* f, const char* buf, unsigned long n) {
+  // [unchecked-io] plant: fwrite's count is dropped on the floor.
+  std::fwrite(buf, 1, n, f);
+}

@@ -1,0 +1,21 @@
+// Controls for [unchecked-io] inside src/durability/: every shape that
+// counts as a consumed return — tested, assigned, (void)-cast, or routed
+// through a std::error_code out-param — must stay quiet.
+#include <cstdio>
+
+namespace fsstub {
+void rename(const char* from, const char* to, int& ec);
+}  // namespace fsstub
+
+bool PersistRecord(const char* path, const char* buf, unsigned long n) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) return false;
+  if (std::fwrite(buf, 1, n, f) != n) {
+    (void)std::fclose(f);
+    return false;
+  }
+  const int rc = std::fclose(f);
+  int ec = 0;
+  fsstub::rename(path, path, ec);
+  return rc == 0 && ec == 0;
+}

@@ -1,0 +1,13 @@
+// Control for [unordered-iteration]: src/obs/ is observation-only (its
+// iteration order never feeds query results), so this unannotated
+// range-for must NOT fire.
+#include <string>
+#include <unordered_map>
+
+size_t ExportAll(const std::unordered_map<std::string, double>& gauges) {
+  size_t exported = 0;
+  for (const auto& [name, value] : gauges) {
+    if (!name.empty() && value >= 0.0) ++exported;
+  }
+  return exported;
+}

@@ -1,0 +1,26 @@
+// Scanner stress fixture for the comment/literal stripper (util.cc).
+// Every trap below hides rule tokens inside comment or literal syntax the
+// stripper must understand — none of them may fire. The single exception
+// is the [nondeterminism] plant, which a buggy stripper would HIDE
+// instead: `/*` inside a string literal must not open a block comment
+// over the following lines. Never compiled or linked.
+
+#include <cstdlib>
+
+// Trap 1: a plain raw string carrying rule tokens is data, not code.
+const char* kRawTokens = R"(std::mutex mu; std::rand(); std::srand(7);)";
+
+// Trap 2: this line comment ends in a backslash, so the next physical \
+std::random_device line_is_still_part_of_this_comment;
+
+// Trap 3: a string literal spliced across lines by a trailing backslash.
+const char* kSpliced = "first half \
+second half std::rand() is still inside the literal";
+
+// Trap 4: an encoding-prefixed raw string — u8R, not just R.
+const char* kPrefixed = u8R"(the "srand(1)" call in here is data)";
+
+// The plant: the /* inside this literal opens no comment, so the
+// std::rand() on the next line is real code and must be caught.
+const char* kNotAComment = "contains /* but opens no comment";
+inline int RollStress() { return std::rand() % 3; }  // [nondeterminism]

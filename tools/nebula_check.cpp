@@ -43,6 +43,9 @@ void PrintUsage(std::ostream& out) {
          "  --pair P        one config pair below, or all (default all)\n"
          "  --threads N     pool size for the parallel sides (default 3)\n"
          "  --no-shrink     report divergences without minimizing them\n"
+         "  --hostile       seed-stable adversarial workload: a root-table "
+         "row and one stream token per annotation carry SQL "
+         "metacharacters (quote, ;--)\n"
          "  --repro-dir D   directory for repro files (default .)\n"
          "  --digest        print each seed's canonical outcome digest\n"
          "  --replay FILE   replay a saved repro file instead of sweeping\n"
@@ -148,6 +151,8 @@ int main(int argc, char** argv) {
       options.num_threads = value;
     } else if (arg == "--no-shrink") {
       options.shrink = false;
+    } else if (arg == "--hostile") {
+      options.workload.hostile_tokens = true;
     } else if (arg == "--repro-dir") {
       const char* dir = next();
       if (dir == nullptr) {

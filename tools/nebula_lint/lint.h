@@ -1,4 +1,4 @@
-// nebula_lint v2 — multi-pass project analyzer for architectural rules
+// nebula_lint v3 — multi-pass project analyzer for architectural rules
 // clang-tidy cannot express (see DESIGN.md "Static analysis & lock
 // discipline" and README "Static analysis").
 //
@@ -32,6 +32,17 @@
 //                [guarded-coverage] a field written under a MutexLock
 //                                 scope whose declaration carries no
 //                                 GUARDED_BY annotation.
+//   dataflow     [sql-taint]      a string reaching a SQL sink
+//                                 (tools/sql_sinks.txt) without passing
+//                                 through the sql/escape.h layer,
+//                                 reported with the full taint chain.
+//                [unordered-iteration] a range-for over an unordered
+//                                 container in a result-affecting layer
+//                                 without an order-insensitive
+//                                 annotation.
+//                [unchecked-io]   fopen/fwrite/rename/fsync-family calls
+//                                 outside src/durability/, or inside it
+//                                 with the return value dropped.
 //
 // Standalone by design: no nebula libraries, std only. The analysis is
 // textual and deliberately conservative — see each pass for the
@@ -172,6 +183,36 @@ struct LockRankRegistry {
 /// private rank sets for the lockdep witness's own fixtures).
 void RunConcurrencyPass(const SourceTree& tree,
                         const LockRankRegistry& registry, Report* report);
+
+/// SQL sink registry: the functions whose returned strings are executed
+/// or cached as SQL, plus the escaping layer that makes pieces of them
+/// safe. Loaded from tools/sql_sinks.txt, one `<directive> <name>` per
+/// line:
+///   sink-return Cls::Fn|Fn   analyze this function's definition; its
+///                            return value is SQL (and, once returned,
+///                            counts as escaped for other sinks).
+///   sanitizer Fn             calls to Fn(...) produce escaped text.
+///   safe-call Fn             calls to Fn(...) produce fixed/literal
+///                            text (operator names, keywords).
+///   safe-type T              a builder type (SqlFragment) that only
+///                            ever concatenates escaped pieces.
+struct SqlSinkRegistry {
+  struct Sink {
+    std::string qualifier;  ///< "Cls" for Cls::Fn, "" for a free Fn
+    std::string name;
+  };
+  std::vector<Sink> sink_returns;
+  std::set<std::string> sink_names;  ///< unqualified sink-return names
+  std::set<std::string> sanitizers;
+  std::set<std::string> safe_calls;
+  std::set<std::string> safe_types;
+
+  static SqlSinkRegistry Load(const fs::path& path, std::string* error);
+};
+
+/// [sql-taint] + [unordered-iteration] + [unchecked-io].
+void RunDataflowPass(const SourceTree& tree, const SqlSinkRegistry& registry,
+                     Report* report);
 
 }  // namespace nebula_lint
 

@@ -1,17 +1,19 @@
-// nebula_lint v2 driver — see lint.h for the pass catalog.
+// nebula_lint v3 driver — see lint.h for the pass catalog.
 //
 // Usage:
 //   nebula_lint --root <repo> [--baseline <file>] [--update-baseline]
-//               [--json <file>]
+//               [--json <file>] [--timings]
 //       All passes over src/, tools/, tests/. Findings whose baseline key
 //       appears in the baseline file are suppressed — EXCEPT [layer-dag],
-//       [include-cycle], and the four concurrency rules
+//       [include-cycle], the four concurrency rules
 //       ([lock-rank-missing], [lock-rank-unknown], [lock-order],
-//       [guarded-coverage]), which are never baselinable: the layer DAG
-//       and the lock-rank DAG hold everywhere, always. --update-baseline
-//       rewrites the
+//       [guarded-coverage]), and the three dataflow rules ([sql-taint],
+//       [unordered-iteration], [unchecked-io]), which are never
+//       baselinable: the layer DAG, the lock-rank DAG, and the SQL/IO
+//       contracts hold everywhere, always. --update-baseline rewrites the
 //       nebula_lint-owned entries of the baseline file in place (lines
 //       owned by other tools, e.g. clang-tidy via run_lint.sh, are kept).
+//       --timings prints per-pass wall-clock to stdout.
 //   nebula_lint --src <dir> [--json <file>]
 //       v1-compatible: textual pass only over one directory.
 //   nebula_lint --self-test <fixtures-dir>
@@ -23,6 +25,7 @@
 #include "lint.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -36,16 +39,19 @@ const char* const kRules[] = {
     "layer-dag",         "include-cycle",     "include-guard",
     "unused-include",    "missing-include",   "dropped-status",
     "lock-rank-missing", "lock-rank-unknown", "lock-order",
-    "guarded-coverage",
+    "guarded-coverage",  "sql-taint",         "unordered-iteration",
+    "unchecked-io",
 };
 
-/// Rules that can never be baselined: the layer DAG and the lock-rank
-/// DAG hold everywhere, always — an entry in the baseline file for one
-/// of these is ignored.
+/// Rules that can never be baselined: the layer DAG, the lock-rank DAG,
+/// and the SQL-escaping / durable-IO contracts hold everywhere, always —
+/// an entry in the baseline file for one of these is ignored.
 bool IsLayerRule(const std::string& rule) {
   return rule == "layer-dag" || rule == "include-cycle" ||
          rule == "lock-rank-missing" || rule == "lock-rank-unknown" ||
-         rule == "lock-order" || rule == "guarded-coverage";
+         rule == "lock-order" || rule == "guarded-coverage" ||
+         rule == "sql-taint" || rule == "unordered-iteration" ||
+         rule == "unchecked-io";
 }
 
 /// Canonical fault-point names (kFault* identifiers) declared in
@@ -150,7 +156,7 @@ void SortFindings(std::vector<Finding>* findings) {
 }
 
 int RunFull(const fs::path& root, const fs::path& baseline_path,
-            bool update_baseline, const fs::path& json_path) {
+            bool update_baseline, const fs::path& json_path, bool timings) {
   std::string error;
   const LayerManifest manifest =
       LayerManifest::Load(root / "tools" / "layers.txt", &error);
@@ -164,6 +170,12 @@ int RunFull(const fs::path& root, const fs::path& baseline_path,
     std::cerr << "nebula_lint: " << error << "\n";
     return 2;
   }
+  const SqlSinkRegistry sinks =
+      SqlSinkRegistry::Load(root / "tools" / "sql_sinks.txt", &error);
+  if (!error.empty()) {
+    std::cerr << "nebula_lint: " << error << "\n";
+    return 2;
+  }
   const SourceTree tree =
       LoadTree(root, {"src", "tools", "tests"}, {"lint_fixtures", "build"});
   if (tree.files.empty()) {
@@ -171,12 +183,28 @@ int RunFull(const fs::path& root, const fs::path& baseline_path,
     return 2;
   }
   Report report;
-  RunTextualPass(tree, LoadFaultNames(root / "src/common/fault_points.h"),
-                 &report);
-  RunLayerPass(tree, manifest, &report);
-  RunHygienePass(tree, &report);
-  RunDisciplinePass(tree, &report);
-  RunConcurrencyPass(tree, registry, &report);
+  // Wraps one pass, printing wall-clock when --timings is on (steady
+  // clock: timing output, never part of any finding).
+  const auto timed = [timings](const char* name, auto&& pass) {
+    const auto t0 = std::chrono::steady_clock::now();
+    pass();
+    if (timings) {
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      std::cout << "nebula_lint: pass " << name << " "
+                << static_cast<double>(us) / 1000.0 << " ms\n";
+    }
+  };
+  timed("textual", [&] {
+    RunTextualPass(tree, LoadFaultNames(root / "src/common/fault_points.h"),
+                   &report);
+  });
+  timed("layers", [&] { RunLayerPass(tree, manifest, &report); });
+  timed("hygiene", [&] { RunHygienePass(tree, &report); });
+  timed("discipline", [&] { RunDisciplinePass(tree, &report); });
+  timed("concurrency", [&] { RunConcurrencyPass(tree, registry, &report); });
+  timed("dataflow", [&] { RunDataflowPass(tree, sinks, &report); });
 
   std::vector<Finding> findings = report.findings();
   SortFindings(&findings);
@@ -272,6 +300,12 @@ int RunSelfTest(const fs::path& fixtures) {
     std::cerr << "nebula_lint self-test: " << error << "\n";
     return 2;
   }
+  const SqlSinkRegistry sinks =
+      SqlSinkRegistry::Load(project / "tools" / "sql_sinks.txt", &error);
+  if (!error.empty()) {
+    std::cerr << "nebula_lint self-test: " << error << "\n";
+    return 2;
+  }
   const SourceTree project_tree =
       LoadTree(project, {"src", "tools", "tests"}, {});
   RunTextualPass(project_tree, {}, &report);
@@ -279,6 +313,7 @@ int RunSelfTest(const fs::path& fixtures) {
   RunHygienePass(project_tree, &report);
   RunDisciplinePass(project_tree, &report);
   RunConcurrencyPass(project_tree, registry, &report);
+  RunDataflowPass(project_tree, sinks, &report);
 
   // Every rule must catch exactly its plants, counted per planted FILE —
   // a rule may legitimately have plants in several files (layer-dag has
@@ -306,6 +341,12 @@ int RunSelfTest(const fs::path& fixtures) {
       {"lock-order", 1, "lock_order.cc"},
       {"lock-order", 1, "order_attr.h"},
       {"guarded-coverage", 1, "guarded.cc"},
+      {"nondeterminism", 1, "scanner_stress.cc"},
+      {"layer-dag", 1, "lowstub.h"},
+      {"sql-taint", 2, "sql_taint.cc"},
+      {"unordered-iteration", 2, "unordered_iter.cc"},
+      {"unchecked-io", 2, "unchecked_io.cc"},
+      {"unchecked-io", 1, "io_bad.cc"},
   };
   bool ok = true;
   size_t expected_total = 0;
@@ -346,7 +387,8 @@ int RunSelfTest(const fs::path& fixtures) {
 int Usage() {
   std::cerr
       << "usage: nebula_lint --root <repo> [--baseline <file>]\n"
-         "                   [--update-baseline] [--json <file>]\n"
+         "                   [--update-baseline] [--json <file>] "
+         "[--timings]\n"
          "       nebula_lint --src <dir> [--json <file>]\n"
          "       nebula_lint --self-test <fixtures-dir>\n";
   return 2;
@@ -355,6 +397,7 @@ int Usage() {
 int Main(int argc, char** argv) {
   fs::path root, src, self_test, baseline, json;
   bool update_baseline = false;
+  bool timings = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -382,6 +425,8 @@ int Main(int argc, char** argv) {
       json = v;
     } else if (arg == "--update-baseline") {
       update_baseline = true;
+    } else if (arg == "--timings") {
+      timings = true;
     } else {
       return Usage();
     }
@@ -392,7 +437,7 @@ int Main(int argc, char** argv) {
   if (modes != 1) return Usage();
   if (!self_test.empty()) return RunSelfTest(self_test);
   if (!src.empty()) return RunSrcOnly(src, json);
-  return RunFull(root, baseline, update_baseline, json);
+  return RunFull(root, baseline, update_baseline, json, timings);
 }
 
 }  // namespace

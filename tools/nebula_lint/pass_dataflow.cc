@@ -1,0 +1,911 @@
+// Dataflow-lite analysis over the stripped-token scanner.
+//
+//   [sql-taint]       inside a function the sink registry
+//                     (tools/sql_sinks.txt) declares to *return SQL*
+//                     (`sink-return`), every string that flows into the
+//                     returned value must be provably safe: a literal, a
+//                     registered `sanitizer`/`safe-call` result, a
+//                     `safe-type` builder (SqlFragment), or another
+//                     sink's output. Anything else — a parameter, a
+//                     member, an unregistered call — is tainted, and the
+//                     full taint chain is reported like [lock-order].
+//   [unordered-iteration]
+//                     a range-for over a std::unordered_map/_set in a
+//                     result-affecting layer (all of src/ except
+//                     src/obs/) is unspecified iteration order leaking
+//                     into results; iterate a sorted view or annotate
+//                     the loop `// nebula-lint: order-insensitive` when
+//                     a total-order reduction follows.
+//   [unchecked-io]    fopen/fwrite/fread/fclose/fsync/fdatasync/
+//                     ftruncate/rename/unlink outside src/durability/
+//                     (file IO belongs to the durability layer), or
+//                     inside it with the return value dropped on the
+//                     floor (not assigned, not tested, not `(void)`-cast,
+//                     no std::error_code out-param).
+//
+// The taint analysis is intraprocedural and deliberately modest: one
+// linear walk over a sink function's statements, tracking std::string /
+// std::vector<std::string> / safe-type locals. Receiver types are not
+// resolved — a call is judged by its (unqualified) callee name against
+// the registry — so registry names should be distinctive. Conservative
+// by default: an expression the walker cannot prove safe is tainted.
+
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace nebula_lint {
+
+SqlSinkRegistry SqlSinkRegistry::Load(const fs::path& path,
+                                      std::string* error) {
+  SqlSinkRegistry registry;
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open SQL sink registry " + path.string();
+    return registry;
+  }
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string directive, name;
+    if (!(fields >> directive)) continue;
+    if (!(fields >> name)) {
+      *error = path.string() + ":" + std::to_string(lineno) +
+               ": directive '" + directive + "' needs a name";
+      return registry;
+    }
+    if (directive == "sink-return") {
+      Sink sink;
+      const size_t sep = name.rfind("::");
+      if (sep == std::string::npos) {
+        sink.name = name;
+      } else {
+        sink.qualifier = name.substr(0, sep);
+        sink.name = name.substr(sep + 2);
+      }
+      registry.sink_names.insert(sink.name);
+      registry.sink_returns.push_back(std::move(sink));
+    } else if (directive == "sanitizer") {
+      registry.sanitizers.insert(name);
+    } else if (directive == "safe-call") {
+      registry.safe_calls.insert(name);
+    } else if (directive == "safe-type") {
+      registry.safe_types.insert(name);
+    } else {
+      *error = path.string() + ":" + std::to_string(lineno) +
+               ": unknown directive '" + directive +
+               "' (want sink-return / sanitizer / safe-call / safe-type)";
+      return registry;
+    }
+  }
+  if (registry.sink_returns.empty()) {
+    *error = "SQL sink registry " + path.string() +
+             " declares no sink-return functions";
+  }
+  return registry;
+}
+
+namespace {
+
+constexpr size_t npos = std::string::npos;
+
+bool IsIdentStart(char c) {
+  return IsIdentChar(c) && std::isdigit(static_cast<unsigned char>(c)) == 0;
+}
+
+bool IsWs(char c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
+
+size_t SkipWs(const std::string& t, size_t pos) {
+  while (pos < t.size() && IsWs(t[pos])) ++pos;
+  return pos;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && IsWs(s[b])) ++b;
+  while (e > b && IsWs(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::string ReadIdentAt(const std::string& t, size_t pos) {
+  if (pos >= t.size() || !IsIdentStart(t[pos])) return "";
+  size_t end = pos;
+  while (end < t.size() && IsIdentChar(t[end])) ++end;
+  return t.substr(pos, end - pos);
+}
+
+/// Finds `token` at or after `from` with identifier boundaries.
+size_t FindToken(const std::string& t, const std::string& token, size_t from) {
+  size_t pos = from;
+  while ((pos = t.find(token, pos)) != npos) {
+    const bool left = pos == 0 || !IsIdentChar(t[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool right = end >= t.size() || !IsIdentChar(t[end]);
+    if (left && right) return pos;
+    pos = end;
+  }
+  return npos;
+}
+
+/// Index of the `close` matching the `open` at `pos`, or npos.
+size_t MatchForward(const std::string& t, size_t pos, char open, char close) {
+  int depth = 0;
+  for (size_t i = pos; i < t.size(); ++i) {
+    if (t[i] == open) ++depth;
+    if (t[i] == close && --depth == 0) return i;
+  }
+  return npos;
+}
+
+/// Last identifier of a trimmed expression ("query.keywords" -> keywords,
+/// "*lists.front()" -> "" — not an identifier tail).
+std::string TrailingIdent(const std::string& s) {
+  size_t e = s.size();
+  while (e > 0 && IsWs(s[e - 1])) --e;
+  if (e == 0 || !IsIdentChar(s[e - 1])) return "";
+  size_t b = e;
+  while (b > 0 && IsIdentChar(s[b - 1])) --b;
+  if (!IsIdentStart(s[b])) return "";
+  return s.substr(b, e - b);
+}
+
+/// Start of the whole qualified name ending at `ident_start` — walks back
+/// over `ns::`, `Cls::`, and a leading global `::`.
+size_t QualifiedStart(const std::string& t, size_t ident_start) {
+  size_t s = ident_start;
+  while (s >= 2 && t[s - 1] == ':' && t[s - 2] == ':') {
+    size_t e = s - 2;
+    size_t b = e;
+    while (b > 0 && IsIdentChar(t[b - 1])) --b;
+    if (b == e) {
+      s = e;  // leading global "::"
+      break;
+    }
+    s = b;
+  }
+  return s;
+}
+
+/// The file's code_lines joined with '\n' plus an offset->line index, so
+/// multi-line constructs (signatures, statements) scan as one string.
+struct Flat {
+  std::string text;
+  std::vector<size_t> line_start;
+
+  explicit Flat(const std::vector<std::string>& lines) {
+    for (const std::string& line : lines) {
+      line_start.push_back(text.size());
+      text += line;
+      text += '\n';
+    }
+  }
+
+  size_t LineOf(size_t pos) const {
+    const auto it =
+        std::upper_bound(line_start.begin(), line_start.end(), pos);
+    return static_cast<size_t>(it - line_start.begin());  // 1-based
+  }
+};
+
+/// Splits `s` at top-level (outside (), [], {}) occurrences of `sep`,
+/// skipping "::" when sep == ':'.
+std::vector<std::string> SplitTopLevel(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (depth == 0 && c == sep) {
+      if (sep == ':' &&
+          ((i + 1 < s.size() && s[i + 1] == ':') || (i > 0 && s[i - 1] == ':'))) {
+        continue;
+      }
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  parts.push_back(s.substr(start));
+  return parts;
+}
+
+// --------------------------------------------------------------------------
+// [sql-taint]
+
+/// One linear walk over a sink function's body, tracking the safety of
+/// string-ish locals; reports every `return` whose value it cannot prove
+/// escaped.
+class SinkBodyAnalyzer {
+ public:
+  SinkBodyAnalyzer(const SourceFile& file, const Flat& flat,
+                   const SqlSinkRegistry& registry, std::string display,
+                   Report* report)
+      : file_(file),
+        flat_(flat),
+        registry_(registry),
+        display_(std::move(display)),
+        report_(report) {}
+
+  void Analyze(size_t params_begin, size_t params_end, size_t body_open,
+               size_t body_close) {
+    for (const std::string& param :
+         SplitTopLevel(flat_.text.substr(params_begin, params_end - params_begin),
+                       ',')) {
+      const std::string name = TrailingIdent(param);
+      if (!name.empty()) params_.insert(name);
+    }
+    size_t i = body_open + 1;
+    while (i < body_close) {
+      while (i < body_close && (IsWs(flat_.text[i]) || flat_.text[i] == ';')) {
+        ++i;
+      }
+      if (i >= body_close) break;
+      if (flat_.text[i] == '}') {
+        ++i;
+        continue;
+      }
+      const size_t start = i;
+      int depth = 0;
+      size_t stop = npos;
+      char boundary = 0;
+      for (size_t j = i; j < body_close; ++j) {
+        const char c = flat_.text[j];
+        if (c == '(' || c == '[') ++depth;
+        if (c == ')' || c == ']') --depth;
+        if (depth == 0 && (c == ';' || c == '{' || c == '}')) {
+          stop = j;
+          boundary = c;
+          break;
+        }
+      }
+      if (stop == npos) break;
+      const std::string stmt = Trim(flat_.text.substr(start, stop - start));
+      if (boundary == '{') {
+        HandleHeader(stmt, start);
+      } else if (boundary == ';') {
+        ProcessStatement(stmt, start);
+      }
+      i = stop + 1;
+    }
+  }
+
+ private:
+  struct Var {
+    enum Kind { kString, kStringVec, kFragment } kind = kString;
+    bool safe = true;
+    std::vector<std::string> chain;  ///< taint provenance, oldest first
+  };
+
+  struct Safety {
+    bool safe = true;
+    std::string why;  ///< taint chain when !safe
+  };
+
+  std::string At(size_t offset) const {
+    return "line " + std::to_string(flat_.LineOf(offset));
+  }
+
+  /// Control headers that end in '{' — only the range-for binds a name.
+  void HandleHeader(const std::string& stmt, size_t offset) {
+    if (ReadIdentAt(stmt, 0) == "for") BindRangeFor(stmt, offset);
+  }
+
+  void BindRangeFor(const std::string& stmt, size_t offset) {
+    const size_t open = stmt.find('(');
+    if (open == npos) return;
+    const size_t close = MatchForward(stmt, open, '(', ')');
+    if (close == npos) return;
+    const std::string inner = stmt.substr(open + 1, close - open - 1);
+    const std::vector<std::string> halves = SplitTopLevel(inner, ':');
+    if (halves.size() != 2) return;  // classic for / no top-level colon
+    const std::string name = TrailingIdent(halves[0]);
+    if (name.empty()) return;  // structured binding — stays untracked
+    const Safety source = EvalOperand(Trim(halves[1]));
+    Var var;
+    var.kind = Var::kString;
+    var.safe = source.safe;
+    if (!source.safe) {
+      var.chain.push_back("'" + name + "' ranges over unsafe " +
+                          Trim(halves[1]) + " (" + At(offset) + ")");
+    }
+    vars_[name] = std::move(var);
+  }
+
+  void ProcessStatement(const std::string& stmt, size_t offset) {
+    if (stmt.empty()) return;
+    const std::string head = ReadIdentAt(stmt, 0);
+    // Peel single-statement control prefixes: `if (x) sql += v`.
+    if (head == "if" || head == "while" || head == "switch" || head == "for") {
+      const size_t open = stmt.find('(');
+      if (open == npos) return;
+      const size_t close = MatchForward(stmt, open, '(', ')');
+      if (close == npos) return;
+      if (head == "for") BindRangeFor(stmt.substr(0, close + 1), offset);
+      ProcessStatement(Trim(stmt.substr(close + 1)), offset);
+      return;
+    }
+    if (head == "else" || head == "do") {
+      ProcessStatement(Trim(stmt.substr(head.size())), offset);
+      return;
+    }
+    if (head == "return") {
+      HandleReturn(Trim(stmt.substr(head.size())), offset);
+      return;
+    }
+    if (TryDeclaration(stmt, offset)) return;
+    TryMutation(stmt, offset);
+  }
+
+  /// Parses `[const|static|constexpr] <type> [&*] name [= init | (init)]`
+  /// for the tracked types; returns false when `stmt` is not such a
+  /// declaration.
+  bool TryDeclaration(const std::string& stmt, size_t offset) {
+    size_t p = 0;
+    std::string word = ReadIdentAt(stmt, p);
+    while (word == "const" || word == "static" || word == "constexpr") {
+      p = SkipWs(stmt, p + word.size());
+      word = ReadIdentAt(stmt, p);
+    }
+    std::string last;
+    std::string targs;
+    if (!ParseQualifiedType(stmt, &p, &last, &targs)) return false;
+    Var::Kind kind;
+    if (last == "string") {
+      kind = Var::kString;
+    } else if (last == "auto") {
+      kind = Var::kString;  // best effort: treat as a plain string
+    } else if (last == "vector" && ContainsToken(targs, "string")) {
+      kind = Var::kStringVec;
+    } else if (registry_.safe_types.count(last) != 0) {
+      kind = Var::kFragment;
+    } else {
+      return false;
+    }
+    p = SkipWs(stmt, p);
+    while (p < stmt.size() && (stmt[p] == '&' || stmt[p] == '*')) {
+      p = SkipWs(stmt, p + 1);
+    }
+    const std::string name = ReadIdentAt(stmt, p);
+    if (name.empty()) return false;
+    p = SkipWs(stmt, p + name.size());
+    Var var;
+    var.kind = kind;
+    var.chain.push_back("'" + name + "' (" + At(offset) + ")");
+    Safety init;
+    if (p >= stmt.size()) {
+      // No initializer: empty string/vector, fresh fragment — safe.
+    } else if (stmt[p] == '=' && (p + 1 >= stmt.size() || stmt[p + 1] != '=')) {
+      init = EvalExpr(Trim(stmt.substr(p + 1)));
+    } else if (stmt[p] == '(' || stmt[p] == '{') {
+      const size_t close =
+          MatchForward(stmt, p, stmt[p], stmt[p] == '(' ? ')' : '}');
+      if (close == npos) return false;
+      init = EvalExpr(Trim(stmt.substr(p + 1, close - p - 1)));
+    } else {
+      return false;  // `std::string Foo(int);` and other non-decl shapes
+    }
+    if (kind != Var::kFragment && !init.safe) {
+      var.safe = false;
+      var.chain.push_back("initialized from " + init.why + " (" + At(offset) +
+                          ")");
+    }
+    vars_[name] = std::move(var);
+    return true;
+  }
+
+  bool ParseQualifiedType(const std::string& s, size_t* pos, std::string* last,
+                          std::string* targs) const {
+    size_t p = *pos;
+    std::string id;
+    while (true) {
+      id = ReadIdentAt(s, p);
+      if (id.empty()) return false;
+      p += id.size();
+      if (p + 1 < s.size() && s[p] == ':' && s[p + 1] == ':') {
+        p += 2;
+        continue;
+      }
+      break;
+    }
+    *last = id;
+    size_t q = SkipWs(s, p);
+    if (q < s.size() && s[q] == '<') {
+      const size_t close = MatchForward(s, q, '<', '>');
+      if (close == npos) return false;
+      *targs = s.substr(q, close - q + 1);
+      p = close + 1;
+    }
+    *pos = p;
+    return true;
+  }
+
+  /// `name += expr` / `name = expr` / `name.push_back(expr)` and friends.
+  void TryMutation(const std::string& stmt, size_t offset) {
+    const std::string name = ReadIdentAt(stmt, 0);
+    if (name.empty()) return;
+    const auto it = vars_.find(name);
+    if (it == vars_.end()) return;
+    Var& var = it->second;
+    if (var.kind == Var::kFragment) return;  // every method appends escaped
+    size_t p = SkipWs(stmt, name.size());
+    if (p + 1 < stmt.size() && stmt[p] == '+' && stmt[p + 1] == '=') {
+      Mutate(var, name, "+=", EvalExpr(Trim(stmt.substr(p + 2))), offset,
+             /*reset=*/false);
+      return;
+    }
+    if (p < stmt.size() && stmt[p] == '=' &&
+        (p + 1 >= stmt.size() || stmt[p + 1] != '=')) {
+      Mutate(var, name, "=", EvalExpr(Trim(stmt.substr(p + 1))), offset,
+             /*reset=*/true);
+      return;
+    }
+    if (p < stmt.size() && (stmt[p] == '.' ||
+                            (p + 1 < stmt.size() && stmt[p] == '-' &&
+                             stmt[p + 1] == '>'))) {
+      p += stmt[p] == '.' ? 1 : 2;
+      const std::string method = ReadIdentAt(stmt, p);
+      if (method != "append" && method != "push_back" &&
+          method != "emplace_back" && method != "insert" &&
+          method != "assign") {
+        return;
+      }
+      const size_t open = SkipWs(stmt, p + method.size());
+      if (open >= stmt.size() || stmt[open] != '(') return;
+      const size_t close = MatchForward(stmt, open, '(', ')');
+      if (close == npos) return;
+      Mutate(var, name, "." + method,
+             EvalExpr(Trim(stmt.substr(open + 1, close - open - 1))), offset,
+             /*reset=*/false);
+    }
+  }
+
+  void Mutate(Var& var, const std::string& name, const std::string& verb,
+              const Safety& value, size_t offset, bool reset) {
+    if (reset) {
+      var.safe = true;
+      var.chain.resize(1);  // keep the declaration entry
+    }
+    if (!value.safe) {
+      var.safe = false;
+      var.chain.push_back("'" + name + "' " + verb + " " + value.why + " (" +
+                          At(offset) + ")");
+    }
+  }
+
+  void HandleReturn(const std::string& expr, size_t offset) {
+    const Safety value = EvalExpr(expr);
+    if (value.safe) return;
+    report_->Add(
+        file_.rel, flat_.LineOf(offset), "sql-taint",
+        "tainted data reaches SQL sink " + display_ + "(): " + value.why +
+            " -> returned (" + At(offset) +
+            "); escape dynamic pieces with sql/escape.h (EscapeSqlLiteral / "
+            "QuoteIdent / SqlFragment) or register the producer in "
+            "tools/sql_sinks.txt");
+  }
+
+  /// Safety of a full expression: top-level `+` concatenation and `?:`
+  /// are safe iff every value operand is.
+  Safety EvalExpr(const std::string& expr) {
+    const std::string e = StripOuterParens(Trim(expr));
+    if (e.empty()) return {};
+    const size_t question = TopLevelQuestion(e);
+    if (question != npos) {
+      const size_t colon = TopLevelColonAfter(e, question);
+      if (colon != npos) {
+        Safety a = EvalExpr(e.substr(question + 1, colon - question - 1));
+        if (!a.safe) return a;
+        return EvalExpr(e.substr(colon + 1));
+      }
+    }
+    for (const std::string& part : SplitTopLevel(e, '+')) {
+      const std::string operand = Trim(part);
+      if (operand.empty()) continue;  // unary +/++ fragments
+      Safety s = EvalOperand(operand);
+      if (!s.safe) return s;
+    }
+    return {};
+  }
+
+  Safety EvalOperand(const std::string& raw) {
+    const std::string op = StripOuterParens(Trim(raw));
+    if (op.empty()) return {};
+    const char c0 = op[0];
+    if (c0 == '"' || c0 == '\'') return {};  // literal
+    if (std::isdigit(static_cast<unsigned char>(c0)) != 0) return {};
+    if (op.back() == ')') return EvalCall(op);
+    if (op.back() == ']') return EvalIndex(op);
+    if (ReadIdentAt(op, 0).size() == op.size()) return EvalName(op);
+    return Tainted(op);
+  }
+
+  Safety EvalCall(const std::string& op) {
+    // Matching '(' of the trailing ')'.
+    int depth = 0;
+    size_t open = npos;
+    for (size_t i = op.size(); i-- > 0;) {
+      if (op[i] == ')') ++depth;
+      if (op[i] == '(' && --depth == 0) {
+        open = i;
+        break;
+      }
+    }
+    if (open == npos || open == 0) return Tainted(op);
+    size_t e = open;
+    while (e > 0 && IsWs(op[e - 1])) --e;
+    if (e == 0 || !IsIdentChar(op[e - 1])) return Tainted(op);
+    size_t b = e;
+    while (b > 0 && IsIdentChar(op[b - 1])) --b;
+    const std::string callee = op.substr(b, e - b);
+    if (registry_.sanitizers.count(callee) != 0 ||
+        registry_.safe_calls.count(callee) != 0) {
+      return {};
+    }
+    // Another sink's return value is already escaped SQL.
+    if (registry_.sink_names.count(callee) != 0) return {};
+    const size_t qual = QualifiedStart(op, b);
+    size_t r = qual;
+    while (r > 0 && IsWs(op[r - 1])) --r;
+    std::string receiver;
+    if (r > 0 && op[r - 1] == '.') {
+      receiver = op.substr(0, r - 1);
+    } else if (r > 1 && op[r - 1] == '>' && op[r - 2] == '-') {
+      receiver = op.substr(0, r - 2);
+    }
+    if (!receiver.empty()) {
+      receiver = Trim(receiver);
+      const auto it = vars_.find(receiver);
+      if (it != vars_.end() && it->second.kind == Var::kFragment) {
+        return {};  // fragment builders only ever hold escaped SQL
+      }
+      // `X(...).str()`: safe iff X(...) is (e.g. ToFragment().str()).
+      if (callee == "str") return EvalOperand(receiver);
+    }
+    return Tainted(op, "call to '" + callee +
+                           "(...)' which is not a registered sanitizer");
+  }
+
+  Safety EvalIndex(const std::string& op) {
+    int depth = 0;
+    size_t open = npos;
+    for (size_t i = op.size(); i-- > 0;) {
+      if (op[i] == ']') ++depth;
+      if (op[i] == '[' && --depth == 0) {
+        open = i;
+        break;
+      }
+    }
+    if (open == npos) return Tainted(op);
+    const std::string base = TrailingIdent(op.substr(0, open));
+    const auto it = vars_.find(base);
+    if (it != vars_.end() && it->second.kind == Var::kStringVec) {
+      return FromVar(it->second);
+    }
+    return Tainted(op);
+  }
+
+  Safety EvalName(const std::string& name) {
+    const auto it = vars_.find(name);
+    if (it != vars_.end()) return FromVar(it->second);
+    if (params_.count(name) != 0) {
+      return Tainted(name, "parameter '" + name + "'");
+    }
+    return Tainted(name);
+  }
+
+  Safety FromVar(const Var& var) const {
+    if (var.safe) return {};
+    Safety s;
+    s.safe = false;
+    for (size_t i = 0; i < var.chain.size(); ++i) {
+      if (i > 0) s.why += " -> ";
+      s.why += var.chain[i];
+    }
+    return s;
+  }
+
+  Safety Tainted(const std::string& expr, std::string why = "") const {
+    Safety s;
+    s.safe = false;
+    s.why = why.empty() ? "unproven value '" + expr + "'" : std::move(why);
+    return s;
+  }
+
+  static std::string StripOuterParens(std::string e) {
+    while (e.size() >= 2 && e.front() == '(' &&
+           MatchForward(e, 0, '(', ')') == e.size() - 1) {
+      e = Trim(e.substr(1, e.size() - 2));
+    }
+    return e;
+  }
+
+  static size_t TopLevelQuestion(const std::string& e) {
+    int depth = 0;
+    for (size_t i = 0; i < e.size(); ++i) {
+      const char c = e[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (depth == 0 && c == '?') return i;
+    }
+    return npos;
+  }
+
+  static size_t TopLevelColonAfter(const std::string& e, size_t question) {
+    int depth = 0;
+    int nested = 0;
+    for (size_t i = question + 1; i < e.size(); ++i) {
+      const char c = e[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (depth != 0) continue;
+      if (c == '?') ++nested;
+      if (c == ':') {
+        if ((i + 1 < e.size() && e[i + 1] == ':') ||
+            (i > 0 && e[i - 1] == ':')) {
+          continue;  // "::"
+        }
+        if (nested == 0) return i;
+        --nested;
+      }
+    }
+    return npos;
+  }
+
+  const SourceFile& file_;
+  const Flat& flat_;
+  const SqlSinkRegistry& registry_;
+  const std::string display_;
+  Report* report_;
+  std::set<std::string> params_;
+  std::map<std::string, Var> vars_;
+};
+
+/// Finds every *definition* of a registered sink in `file` and analyzes
+/// its body. Declarations (no `{`) and differently-qualified homonyms are
+/// skipped.
+void CheckSqlTaint(const SourceFile& file, const Flat& flat,
+                   const SqlSinkRegistry& registry, Report* report) {
+  const std::string& text = flat.text;
+  for (const SqlSinkRegistry::Sink& sink : registry.sink_returns) {
+    size_t pos = 0;
+    while ((pos = FindToken(text, sink.name, pos)) != npos) {
+      const size_t adv = pos + sink.name.size();
+      if (!sink.qualifier.empty()) {
+        if (pos < sink.qualifier.size() + 2 || text[pos - 1] != ':' ||
+            text[pos - 2] != ':') {
+          pos = adv;
+          continue;
+        }
+        const size_t qe = pos - 2;
+        size_t qs = qe;
+        while (qs > 0 && IsIdentChar(text[qs - 1])) --qs;
+        if (text.compare(qs, qe - qs, sink.qualifier) != 0) {
+          pos = adv;
+          continue;
+        }
+      } else if (pos > 0 && (text[pos - 1] == ':' || text[pos - 1] == '.' ||
+                             text[pos - 1] == '>')) {
+        pos = adv;  // member/qualified use, not a free-function definition
+        continue;
+      }
+      const size_t open = SkipWs(text, adv);
+      if (open >= text.size() || text[open] != '(') {
+        pos = adv;
+        continue;
+      }
+      const size_t close = MatchForward(text, open, '(', ')');
+      if (close == npos) {
+        pos = adv;
+        continue;
+      }
+      size_t q = SkipWs(text, close + 1);
+      while (q < text.size() && IsIdentStart(text[q])) {
+        const std::string word = ReadIdentAt(text, q);
+        if (word != "const" && word != "noexcept" && word != "override" &&
+            word != "final") {
+          break;
+        }
+        q = SkipWs(text, q + word.size());
+      }
+      if (q >= text.size() || text[q] != '{') {
+        pos = adv;
+        continue;
+      }
+      const size_t body_close = MatchForward(text, q, '{', '}');
+      if (body_close == npos) {
+        pos = adv;
+        continue;
+      }
+      const std::string display = sink.qualifier.empty()
+                                      ? sink.name
+                                      : sink.qualifier + "::" + sink.name;
+      SinkBodyAnalyzer(file, flat, registry, display, report)
+          .Analyze(open + 1, close, q, body_close);
+      pos = body_close;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// [unordered-iteration]
+
+/// Names declared in `file` with an unordered container type (directly or
+/// through a single-line `using X = std::unordered_...` alias).
+void CollectUnorderedNames(const SourceFile& file,
+                           std::set<std::string>* names) {
+  const Flat flat(file.code_lines);
+  const std::string& text = flat.text;
+  std::vector<std::string> type_tokens = {"unordered_map", "unordered_set",
+                                          "unordered_multimap",
+                                          "unordered_multiset"};
+  // Single-line alias sweep first, so alias-typed members resolve too.
+  for (const std::string& line : file.code_lines) {
+    const size_t u = line.find("using");
+    if (u == npos || line.find("unordered_") == npos) continue;
+    size_t p = u + 5;
+    p = SkipWs(line, p);
+    const std::string alias = ReadIdentAt(line, p);
+    if (alias.empty()) continue;
+    p = SkipWs(line, p + alias.size());
+    if (p >= line.size() || line[p] != '=') continue;
+    type_tokens.push_back(alias);
+  }
+  for (const std::string& token : type_tokens) {
+    size_t pos = 0;
+    while ((pos = FindToken(text, token, pos)) != npos) {
+      size_t p = pos + token.size();
+      p = SkipWs(text, p);
+      if (p < text.size() && text[p] == '<') {
+        const size_t close = MatchForward(text, p, '<', '>');
+        if (close == npos) {
+          pos += token.size();
+          continue;
+        }
+        p = SkipWs(text, close + 1);
+      }
+      while (p < text.size() && (text[p] == '&' || text[p] == '*')) {
+        p = SkipWs(text, p + 1);
+      }
+      const std::string name = ReadIdentAt(text, p);
+      if (!name.empty()) {
+        // `unordered_map<...> Foo(` is a function returning a map, not a
+        // variable — but a range-for can only name variables, so the
+        // over-collection is harmless.
+        names->insert(name);
+      }
+      pos += token.size();
+    }
+  }
+}
+
+bool HasOrderInsensitiveMarker(const SourceFile& file, size_t line) {
+  static const char kMarker[] = "nebula-lint: order-insensitive";
+  for (size_t candidate : {line, line - 1}) {
+    if (candidate >= 1 && candidate <= file.raw_lines.size() &&
+        file.raw_lines[candidate - 1].find(kMarker) != npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckUnorderedIteration(const SourceFile& file, const Flat& flat,
+                             const SourceTree& tree, Report* report) {
+  std::set<std::string> unordered;
+  CollectUnorderedNames(file, &unordered);
+  if (!file.is_header && EndsWith(file.rel, ".cc")) {
+    const std::string header_rel =
+        file.rel.substr(0, file.rel.size() - 3) + ".h";
+    const SourceFile* header = tree.Find(header_rel);
+    if (header != nullptr) CollectUnorderedNames(*header, &unordered);
+  }
+  if (unordered.empty()) return;
+  const std::string& text = flat.text;
+  size_t pos = 0;
+  while ((pos = FindToken(text, "for", pos)) != npos) {
+    const size_t for_pos = pos;
+    pos += 3;
+    const size_t open = SkipWs(text, pos);
+    if (open >= text.size() || text[open] != '(') continue;
+    const size_t close = MatchForward(text, open, '(', ')');
+    if (close == npos) continue;
+    const std::vector<std::string> halves =
+        SplitTopLevel(text.substr(open + 1, close - open - 1), ':');
+    if (halves.size() != 2) continue;  // not a range-for
+    const std::string collection = TrailingIdent(halves[1]);
+    if (collection.empty() || unordered.count(collection) == 0) continue;
+    const size_t line = flat.LineOf(for_pos);
+    if (HasOrderInsensitiveMarker(file, line)) continue;
+    report->Add(
+        file.rel, line, "unordered-iteration",
+        "range-for over unordered container '" + collection +
+            "': iteration order is unspecified and this layer affects "
+            "results — iterate a sorted view, or annotate the loop "
+            "'// nebula-lint: order-insensitive' when a total-order "
+            "reduction follows");
+  }
+}
+
+// --------------------------------------------------------------------------
+// [unchecked-io]
+
+const char* const kIoFamily[] = {"fopen",  "fwrite",    "fread",
+                                 "fclose", "fsync",     "fdatasync",
+                                 "ftruncate", "rename", "unlink"};
+
+void CheckUncheckedIo(const SourceFile& file, const Flat& flat,
+                      Report* report) {
+  const bool in_durability = file.rel.rfind("src/durability/", 0) == 0;
+  const std::string& text = flat.text;
+  for (const char* fn : kIoFamily) {
+    size_t pos = 0;
+    while ((pos = FindToken(text, fn, pos)) != npos) {
+      const size_t name_pos = pos;
+      pos += std::strlen(fn);
+      const size_t open = SkipWs(text, pos);
+      if (open >= text.size() || text[open] != '(') continue;
+      const size_t close = MatchForward(text, open, '(', ')');
+      if (close == npos) continue;
+      const size_t qual = QualifiedStart(text, name_pos);
+      size_t before = qual;
+      while (before > 0 && IsWs(text[before - 1])) --before;
+      // Member calls (`obj.rename(...)`) are some other API, not stdio.
+      if (before > 0 && (text[before - 1] == '.' ||
+                         (before > 1 && text[before - 1] == '>' &&
+                          text[before - 2] == '-'))) {
+        continue;
+      }
+      const std::string spelled = text.substr(qual, open - qual);
+      if (!in_durability) {
+        report->Add(file.rel, flat.LineOf(name_pos), "unchecked-io",
+                    "durable-IO call " + Trim(spelled) +
+                        "(...) outside src/durability/ — file IO belongs "
+                        "to the durability layer (WAL/snapshots), where "
+                        "every return is checked");
+        continue;
+      }
+      // Inside durability: the return must be consumed. `(void)`-cast,
+      // assigned, tested, or routed through a std::error_code out-param
+      // all count; a bare statement-position call does not.
+      if (before >= 6 && text.compare(before - 6, 6, "(void)") == 0) continue;
+      const char prev = before > 0 ? text[before - 1] : ';';
+      const bool statement_position =
+          prev == ';' || prev == '{' || prev == '}' || before == 0;
+      if (!statement_position) continue;
+      const std::string args = text.substr(open + 1, close - open - 1);
+      if (ContainsToken(args, "ec")) continue;  // error_code overload
+      report->Add(file.rel, flat.LineOf(name_pos), "unchecked-io",
+                  Trim(spelled) +
+                      "(...) return value unchecked — test it, assign it, "
+                      "use the std::error_code overload, or cast to (void) "
+                      "with a reason");
+    }
+  }
+}
+
+}  // namespace
+
+void RunDataflowPass(const SourceTree& tree, const SqlSinkRegistry& registry,
+                     Report* report) {
+  for (const SourceFile& file : tree.files) {
+    if (file.rel.rfind("src/", 0) != 0) continue;  // tools/tests sit above
+    const Flat flat(file.code_lines);
+    CheckSqlTaint(file, flat, registry, report);
+    if (file.rel.rfind("src/obs/", 0) != 0) {
+      CheckUnorderedIteration(file, flat, tree, report);
+    }
+    CheckUncheckedIo(file, flat, report);
+  }
+}
+
+}  // namespace nebula_lint

@@ -55,11 +55,19 @@ namespace {
 
 /// Manifest module of a root-relative path: "<dir>" for src/<dir>/...,
 /// "tools/<dir>" for tools/<dir>/..., "" for everything else (top-level
-/// tools, tests/, bench/ — unconstrained).
-std::string ModuleOf(const std::string& rel) {
+/// tools, tests/, bench/ — unconstrained). Longest match wins: when the
+/// manifest declares a file-stem module "<dir>/<stem>" (e.g. sql/escape),
+/// src/<dir>/<stem>.{h,cc} resolve to that module instead of "<dir>", so
+/// a single low-level file can be carved out below its directory's tier.
+std::string ModuleOf(const std::string& rel, const LayerManifest& manifest) {
   if (rel.rfind("src/", 0) == 0) {
     const size_t slash = rel.find('/', 4);
     if (slash == std::string::npos) return "";
+    const size_t dot = rel.rfind('.');
+    if (dot != std::string::npos && dot > slash) {
+      const std::string stem = rel.substr(4, dot - 4);  // "<dir>/<stem>"
+      if (manifest.tier_of.count(stem) != 0) return stem;
+    }
     return rel.substr(4, slash - 4);
   }
   if (rel.rfind("tools/", 0) == 0) {
@@ -70,9 +78,10 @@ std::string ModuleOf(const std::string& rel) {
   return "";
 }
 
-/// How a module name reads in a finding ("src/meta" vs "tools/nebula_lint").
+/// How a module name reads in a finding ("src/meta", "src/sql/escape",
+/// "tools/nebula_lint").
 std::string DisplayModule(const std::string& module) {
-  return module.find('/') != std::string::npos ? module : "src/" + module;
+  return module.rfind("tools/", 0) == 0 ? module : "src/" + module;
 }
 
 /// Resolves an include target to a root-relative path in the tree, or ""
@@ -167,7 +176,7 @@ void RunLayerPass(const SourceTree& tree, const LayerManifest& manifest,
                   Report* report) {
   std::map<std::string, std::vector<std::string>> graph;
   for (const SourceFile& file : tree.files) {
-    const std::string module = ModuleOf(file.rel);
+    const std::string module = ModuleOf(file.rel, manifest);
     size_t tier = 0;  // 0 = above every tier (tools/, tests/)
     bool module_known = true;
     if (!module.empty()) {
@@ -191,7 +200,7 @@ void RunLayerPass(const SourceTree& tree, const LayerManifest& manifest,
       if (resolved.empty()) continue;  // not a project file
       graph[file.rel].push_back(resolved);
       if (module.empty() || !module_known) continue;  // apps: anything goes
-      const std::string target_module = ModuleOf(resolved);
+      const std::string target_module = ModuleOf(resolved, manifest);
       if (target_module.empty() || target_module == module) continue;
       auto it = manifest.tier_of.find(target_module);
       if (it == manifest.tier_of.end()) continue;  // reported at its source

@@ -68,13 +68,56 @@ struct StripState {
   bool in_block_comment = false;
   bool in_raw_string = false;
   std::string raw_delim;  ///< the )delim" closer of the active raw string
+  bool in_line_comment = false;  ///< // comment continued by a trailing '\'
+  bool in_string = false;  ///< ordinary literal spliced by a trailing '\'
+  char quote = '"';        ///< the quote character of the spliced literal
 };
+
+/// True when the 'R' at `pos` starts a raw string: it may carry an
+/// encoding prefix (u8R, uR, UR, LR), and whatever precedes the whole
+/// prefix must not be an identifier character.
+bool RawStringPrefixOk(const std::string& line, size_t pos) {
+  size_t p = pos;
+  if (p >= 2 && line[p - 2] == 'u' && line[p - 1] == '8') {
+    p -= 2;
+  } else if (p >= 1 &&
+             (line[p - 1] == 'u' || line[p - 1] == 'U' || line[p - 1] == 'L')) {
+    p -= 1;
+  }
+  return p == 0 || !IsIdentChar(line[p - 1]);
+}
 
 /// Blanks comments and string/char literal *contents* in `line` (lengths
 /// preserved, quote characters kept so tokenization stays sane).
 std::string StripLine(const std::string& line, StripState* state) {
   std::string out(line.size(), ' ');
   size_t i = 0;
+  // A // comment whose line ended in '\' swallows the next physical line
+  // (and keeps swallowing while the backslashes continue).
+  if (state->in_line_comment) {
+    state->in_line_comment = !line.empty() && line.back() == '\\';
+    return out;
+  }
+  // An ordinary literal spliced across lines by a trailing '\': keep
+  // blanking until its closing quote.
+  if (state->in_string) {
+    state->in_string = false;
+    size_t j = 0;
+    while (j < line.size()) {
+      if (line[j] == '\\') {
+        j += 2;
+        continue;
+      }
+      if (line[j] == state->quote) break;
+      ++j;
+    }
+    if (j >= line.size()) {
+      state->in_string = !line.empty() && line.back() == '\\';
+      return out;
+    }
+    out[j] = state->quote;
+    i = j + 1;
+  }
   while (i < line.size()) {
     if (state->in_block_comment) {
       const size_t close = line.find("*/", i);
@@ -93,6 +136,8 @@ std::string StripLine(const std::string& line, StripState* state) {
     }
     const char c = line[i];
     if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      // A trailing '\' splices the next physical line into this comment.
+      state->in_line_comment = !line.empty() && line.back() == '\\';
       return out;  // line comment: rest of line stays blank
     }
     if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
@@ -101,7 +146,7 @@ std::string StripLine(const std::string& line, StripState* state) {
       continue;
     }
     if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"' &&
-        (i == 0 || !IsIdentChar(line[i - 1]))) {
+        RawStringPrefixOk(line, i)) {
       const size_t open_paren = line.find('(', i + 2);
       if (open_paren != std::string::npos) {
         // Built locally and move-assigned — GCC 12's -Wrestrict
@@ -136,8 +181,19 @@ std::string StripLine(const std::string& line, StripState* state) {
         if (line[j] == c) break;
         ++j;
       }
-      if (j < line.size()) out[j] = c;
-      i = (j < line.size()) ? j + 1 : line.size();
+      if (j < line.size()) {
+        out[j] = c;
+        i = j + 1;
+        continue;
+      }
+      // Unterminated on this line: a trailing '\' splices the literal
+      // into the next physical line; anything else is ill-formed input
+      // and the state resets (fail open).
+      if (!line.empty() && line.back() == '\\') {
+        state->in_string = true;
+        state->quote = c;
+      }
+      i = line.size();
       continue;
     }
     out[i] = c;

@@ -59,6 +59,7 @@ NEBULA_LINT_BIN="${BUILD_DIR}/tools/nebula_lint"
 if [ -x "${NEBULA_LINT_BIN}" ]; then
   if ! "${NEBULA_LINT_BIN}" --root "${REPO_ROOT}" \
        --baseline "${REPO_ROOT}/tools/lint_baseline.txt" \
+       --timings \
        --json "${LINT_JSON}"; then
     echo "run_lint.sh: nebula_lint found fresh violations (see above;" \
          "artifact: ${LINT_JSON})" >&2
@@ -137,6 +138,8 @@ NEBULA_LINT_RULES="${NEBULA_LINT_RULES}|unused-include|missing-include"
 NEBULA_LINT_RULES="${NEBULA_LINT_RULES}|dropped-status|lock-rank-missing"
 NEBULA_LINT_RULES="${NEBULA_LINT_RULES}|lock-rank-unknown|lock-order"
 NEBULA_LINT_RULES="${NEBULA_LINT_RULES}|guarded-coverage"
+NEBULA_LINT_RULES="${NEBULA_LINT_RULES}|sql-taint|unordered-iteration"
+NEBULA_LINT_RULES="${NEBULA_LINT_RULES}|unchecked-io"
 touch "${BASELINE}"
 grep -E ": \[(${NEBULA_LINT_RULES})\] " "${BASELINE}" >"${OURS}" || true
 
